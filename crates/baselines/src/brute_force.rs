@@ -1,0 +1,242 @@
+//! Exhaustive enumeration oracles: all dense subgraphs of a weighted graph and
+//! all maximal cliques of an unweighted graph.
+//!
+//! These are the reference implementations ("Threshold" offline variant of
+//! Engagement, Section 4.2.2) against which the streaming algorithms are
+//! validated. They are exponential in the worst case and intended for small
+//! graphs (tests) and for the scaled-down recall measurements of the GRASP
+//! comparison.
+
+use dyndens_density::{DensityMeasure, ThresholdFamily};
+use dyndens_graph::{DynamicGraph, VertexId, VertexSet};
+
+/// Exhaustive enumeration of dense / output-dense subgraphs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForce;
+
+impl BruteForce {
+    /// Enumerates every subgraph of cardinality `2..=Nmax` whose score clears
+    /// the *dense* bound `S_n T_n` of the given threshold family. Returns
+    /// `(vertices, score)` pairs.
+    ///
+    /// Candidate generation only grows sets by neighbouring vertices or (when
+    /// the current set's score alone already clears the next cardinality's
+    /// bound, i.e. it is "too dense") by any vertex, mirroring the growth
+    /// property the thresholds guarantee; this keeps the oracle usable on the
+    /// moderately sized graphs of the recall experiments while remaining
+    /// exhaustive.
+    pub fn dense_subgraphs<D: DensityMeasure>(
+        graph: &DynamicGraph,
+        thresholds: &ThresholdFamily<D>,
+    ) -> Vec<(VertexSet, f64)> {
+        Self::enumerate(graph, |score, n| thresholds.is_dense(score, n), thresholds)
+    }
+
+    /// Enumerates every subgraph of cardinality `2..=Nmax` whose density
+    /// clears the *output* threshold `T`.
+    pub fn output_dense_subgraphs<D: DensityMeasure>(
+        graph: &DynamicGraph,
+        thresholds: &ThresholdFamily<D>,
+    ) -> Vec<(VertexSet, f64)> {
+        Self::enumerate(graph, |score, n| thresholds.is_output_dense(score, n), thresholds)
+    }
+
+    fn enumerate<D: DensityMeasure>(
+        graph: &DynamicGraph,
+        accept: impl Fn(f64, usize) -> bool,
+        thresholds: &ThresholdFamily<D>,
+    ) -> Vec<(VertexSet, f64)> {
+        let n_max = thresholds.n_max();
+        let n = graph.vertex_count();
+        let mut out = Vec::new();
+        if n < 2 || n_max < 2 {
+            return out;
+        }
+        // Enumerate all subsets of cardinality 2..=n_max via combinations over
+        // the vertex ids. We prune nothing except the cardinality cap: the
+        // oracle must remain exhaustive (dense subgraphs can be disconnected
+        // when smaller subsets are sufficiently heavy).
+        let vertices: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        let mut current: Vec<VertexId> = Vec::with_capacity(n_max);
+        Self::combinations(graph, &vertices, 0, &mut current, n_max, &accept, &mut out);
+        out
+    }
+
+    fn combinations(
+        graph: &DynamicGraph,
+        vertices: &[VertexId],
+        start: usize,
+        current: &mut Vec<VertexId>,
+        n_max: usize,
+        accept: &impl Fn(f64, usize) -> bool,
+        out: &mut Vec<(VertexSet, f64)>,
+    ) {
+        if current.len() >= 2 {
+            let set = VertexSet::from_vertices(current.iter().copied());
+            let score = graph.score(&set);
+            if accept(score, set.len()) {
+                out.push((set, score));
+            }
+        }
+        if current.len() == n_max {
+            return;
+        }
+        for i in start..vertices.len() {
+            current.push(vertices[i]);
+            Self::combinations(graph, vertices, i + 1, current, n_max, accept, out);
+            current.pop();
+        }
+    }
+
+    /// Enumerates all maximal cliques of the graph's unweighted skeleton
+    /// (edges with weight `> 0`), using the Bron–Kerbosch algorithm with
+    /// pivoting. Used as the oracle for the Stix baseline.
+    pub fn maximal_cliques(graph: &DynamicGraph) -> Vec<VertexSet> {
+        let n = graph.vertex_count();
+        let mut cliques = Vec::new();
+        let all: Vec<VertexId> = (0..n as u32)
+            .map(VertexId)
+            .filter(|&v| graph.degree(v) > 0)
+            .collect();
+        let mut r = Vec::new();
+        let mut p = all;
+        let mut x = Vec::new();
+        Self::bron_kerbosch(graph, &mut r, &mut p, &mut x, &mut cliques);
+        cliques
+    }
+
+    fn bron_kerbosch(
+        graph: &DynamicGraph,
+        r: &mut Vec<VertexId>,
+        p: &mut Vec<VertexId>,
+        x: &mut Vec<VertexId>,
+        out: &mut Vec<VertexSet>,
+    ) {
+        if p.is_empty() && x.is_empty() {
+            if r.len() >= 2 {
+                out.push(VertexSet::from_vertices(r.iter().copied()));
+            }
+            return;
+        }
+        // Pivot: vertex from P ∪ X with the most neighbours in P.
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .copied()
+            .max_by_key(|&u| p.iter().filter(|&&v| graph.weight(u, v) > 0.0).count());
+        let candidates: Vec<VertexId> = match pivot {
+            Some(u) => p.iter().copied().filter(|&v| graph.weight(u, v) <= 0.0).collect(),
+            None => p.clone(),
+        };
+        for v in candidates {
+            let neighbours = |set: &[VertexId]| -> Vec<VertexId> {
+                set.iter().copied().filter(|&u| graph.weight(u, v) > 0.0).collect()
+            };
+            let mut new_p = neighbours(p);
+            let mut new_x = neighbours(x);
+            r.push(v);
+            Self::bron_kerbosch(graph, r, &mut new_p, &mut new_x, out);
+            r.pop();
+            p.retain(|&u| u != v);
+            x.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndens_density::{AvgWeight, ThresholdFamily};
+    use dyndens_graph::EdgeUpdate;
+
+    fn triangle_plus_edge() -> DynamicGraph {
+        let mut g = DynamicGraph::with_vertices(5);
+        for (a, b, w) in [(0, 1, 1.0), (0, 2, 1.2), (1, 2, 1.1), (3, 4, 0.8)] {
+            g.apply_update(&EdgeUpdate::new(VertexId(a), VertexId(b), w));
+        }
+        g
+    }
+
+    #[test]
+    fn enumerates_dense_and_output_dense() {
+        let g = triangle_plus_edge();
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 3, 0.15);
+        let dense = BruteForce::dense_subgraphs(&g, &fam);
+        let output = BruteForce::output_dense_subgraphs(&g, &fam);
+        let dense_sets: Vec<String> = dense.iter().map(|(s, _)| s.to_string()).collect();
+        // T_2 = 0.85: {0,1}, {0,2}, {1,2} qualify, {3,4} (0.8) does not.
+        assert!(dense_sets.contains(&"{0, 1}".to_string()));
+        assert!(dense_sets.contains(&"{0, 2}".to_string()));
+        assert!(dense_sets.contains(&"{1, 2}".to_string()));
+        assert!(dense_sets.contains(&"{0, 1, 2}".to_string()));
+        assert!(!dense_sets.contains(&"{3, 4}".to_string()));
+        // Output-dense needs average weight >= 1: {0,1} (1.0), {0,2}, {1,2},
+        // and the triangle (avg 1.1).
+        assert_eq!(output.len(), 4);
+        // output-dense is a subset of dense
+        assert!(output.len() <= dense.len());
+    }
+
+    #[test]
+    fn cardinality_cap_is_respected() {
+        let mut g = DynamicGraph::with_vertices(6);
+        for a in 0..6u32 {
+            for b in (a + 1)..6u32 {
+                g.apply_update(&EdgeUpdate::new(VertexId(a), VertexId(b), 2.0));
+            }
+        }
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 3, 0.1);
+        let dense = BruteForce::dense_subgraphs(&g, &fam);
+        assert!(dense.iter().all(|(s, _)| s.len() <= 3));
+        // C(6,2) + C(6,3) = 15 + 20
+        assert_eq!(dense.len(), 35);
+    }
+
+    #[test]
+    fn disconnected_subgraphs_are_found_when_heavy_enough() {
+        let mut g = DynamicGraph::with_vertices(3);
+        g.apply_update(&EdgeUpdate::new(VertexId(0), VertexId(1), 10.0));
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 3, 0.15);
+        let dense = BruteForce::dense_subgraphs(&g, &fam);
+        // {0,1,2} has score 10 over S_3 = 3: dense even though vertex 2 is
+        // disconnected.
+        assert!(dense.iter().any(|(s, _)| *s == VertexSet::from_ids(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn empty_graph_has_no_dense_subgraphs() {
+        let g = DynamicGraph::with_vertices(1);
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 4, 0.1);
+        assert!(BruteForce::dense_subgraphs(&g, &fam).is_empty());
+        assert!(BruteForce::maximal_cliques(&g).is_empty());
+    }
+
+    #[test]
+    fn maximal_cliques_match_expectation() {
+        let g = triangle_plus_edge();
+        let mut cliques = BruteForce::maximal_cliques(&g);
+        cliques.sort();
+        assert_eq!(
+            cliques,
+            vec![VertexSet::from_ids(&[0, 1, 2]), VertexSet::from_ids(&[3, 4])]
+        );
+    }
+
+    #[test]
+    fn maximal_cliques_on_a_path() {
+        let mut g = DynamicGraph::with_vertices(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            g.apply_update(&EdgeUpdate::new(VertexId(a), VertexId(b), 1.0));
+        }
+        let mut cliques = BruteForce::maximal_cliques(&g);
+        cliques.sort();
+        assert_eq!(
+            cliques,
+            vec![
+                VertexSet::from_ids(&[0, 1]),
+                VertexSet::from_ids(&[1, 2]),
+                VertexSet::from_ids(&[2, 3]),
+            ]
+        );
+    }
+}

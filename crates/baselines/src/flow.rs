@@ -1,0 +1,213 @@
+//! A Dinic maximum-flow / minimum-cut solver over real-valued capacities.
+//!
+//! Goldberg's max-density subgraph algorithm (see [`crate::goldberg`]) reduces
+//! the densest-subgraph decision problem to a sequence of min-cut computations
+//! on a small flow network; this module provides the flow substrate. It is a
+//! textbook Dinic implementation (level graph BFS + blocking-flow DFS) with an
+//! epsilon guard for floating point capacities.
+
+/// Capacities below this value are treated as saturated/zero.
+pub const FLOW_EPSILON: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    capacity: f64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A flow network with a fixed number of nodes.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Edge>>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { graph: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity (and a
+    /// zero-capacity reverse edge).
+    pub fn add_edge(&mut self, from: usize, to: usize, capacity: f64) {
+        assert!(capacity >= 0.0, "capacities must be non-negative");
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Edge { to, capacity, rev: rev_from });
+        self.graph[to].push(Edge { to: from, capacity: 0.0, rev: rev_to });
+    }
+
+    /// Adds an undirected edge (capacity in both directions).
+    pub fn add_undirected_edge(&mut self, a: usize, b: usize, capacity: f64) {
+        assert!(capacity >= 0.0, "capacities must be non-negative");
+        let rev_a = self.graph[b].len();
+        let rev_b = self.graph[a].len();
+        self.graph[a].push(Edge { to: b, capacity, rev: rev_a });
+        self.graph[b].push(Edge { to: a, capacity, rev: rev_b });
+    }
+
+    fn bfs_levels(&self, source: usize, sink: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.graph.len()];
+        level[source] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for e in &self.graph[u] {
+                if e.capacity > FLOW_EPSILON && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if level[sink] < 0 {
+            None
+        } else {
+            Some(level)
+        }
+    }
+
+    fn dfs_augment(
+        &mut self,
+        u: usize,
+        sink: usize,
+        pushed: f64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> f64 {
+        if u == sink {
+            return pushed;
+        }
+        while iter[u] < self.graph[u].len() {
+            let (to, cap, rev) = {
+                let e = &self.graph[u][iter[u]];
+                (e.to, e.capacity, e.rev)
+            };
+            if cap > FLOW_EPSILON && level[to] == level[u] + 1 {
+                let d = self.dfs_augment(to, sink, pushed.min(cap), level, iter);
+                if d > FLOW_EPSILON {
+                    self.graph[u][iter[u]].capacity -= d;
+                    self.graph[to][rev].capacity += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `source` to `sink`, mutating the
+    /// residual capacities in place.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> f64 {
+        assert!(source != sink);
+        let mut flow = 0.0;
+        while let Some(level) = self.bfs_levels(source, sink) {
+            let mut iter = vec![0usize; self.graph.len()];
+            loop {
+                let pushed = self.dfs_augment(source, sink, f64::INFINITY, &level, &mut iter);
+                if pushed <= FLOW_EPSILON {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// After [`max_flow`](Self::max_flow), returns the source side of a
+    /// minimum cut (the nodes reachable from `source` in the residual graph).
+    pub fn min_cut_source_side(&self, source: usize) -> Vec<bool> {
+        let mut reachable = vec![false; self.graph.len()];
+        reachable[source] = true;
+        let mut stack = vec![source];
+        while let Some(u) = stack.pop() {
+            for e in &self.graph[u] {
+                if e.capacity > FLOW_EPSILON && !reachable[e.to] {
+                    reachable[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        reachable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, 1.5);
+        assert!((net.max_flow(0, 2) - 1.5).abs() < 1e-9);
+        let cut = net.min_cut_source_side(0);
+        assert!(cut[0] && cut[1] && !cut[2]);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(0, 2, 2.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(2, 3, 2.0);
+        net.add_edge(1, 2, 10.0);
+        assert!((net.max_flow(0, 3) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // A 6-node network with a known max flow of 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16.0);
+        net.add_edge(0, 2, 13.0);
+        net.add_edge(1, 2, 10.0);
+        net.add_edge(2, 1, 4.0);
+        net.add_edge(1, 3, 12.0);
+        net.add_edge(3, 2, 9.0);
+        net.add_edge(2, 4, 14.0);
+        net.add_edge(4, 3, 7.0);
+        net.add_edge(3, 5, 20.0);
+        net.add_edge(4, 5, 4.0);
+        assert!((net.max_flow(0, 5) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undirected_edge_carries_flow_both_ways() {
+        let mut net = FlowNetwork::new(3);
+        net.add_undirected_edge(0, 1, 1.0);
+        net.add_undirected_edge(1, 2, 1.0);
+        assert!((net.max_flow(0, 2) - 1.0).abs() < 1e-9);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5.0);
+        assert_eq!(net.max_flow(0, 3), 0.0);
+        let cut = net.min_cut_source_side(0);
+        assert!(cut[0] && cut[1] && !cut[2] && !cut[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Goldberg's maximum-density subgraph algorithm (offline Top-1 variant of
+//! Engagement for `S_n = n`, discussed in Section 4.2.2 of the paper).
+//!
+//! The density maximised here is the classical `score(S) / |S|` (up to a
+//! constant factor this is the paper's `AvgDegree` measure). The algorithm
+//! performs a binary search over candidate densities `g`; each decision "is
+//! there a subgraph with density > g?" is answered by a minimum-cut
+//! computation on an auxiliary network:
+//!
+//! * source `s` connects to every vertex `v` with capacity `deg_w(v)` (its
+//!   weighted degree);
+//! * every vertex connects to the sink `t` with capacity `2 g`;
+//! * every graph edge `(u, v, w)` becomes an undirected arc of capacity `w`.
+//!
+//! The source side of the minimum cut (minus `s`) is non-empty exactly when a
+//! subgraph of density greater than `g` exists, and in that case it *is* such
+//! a subgraph.
+
+use crate::flow::FlowNetwork;
+use dyndens_graph::{DynamicGraph, VertexId, VertexSet};
+
+/// Result of the densest subgraph computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensestSubgraph {
+    /// The vertex set achieving (approximately) maximum density.
+    pub vertices: VertexSet,
+    /// Its density `score / |S|`.
+    pub density: f64,
+}
+
+/// Computes the subgraph maximising `score(S) / |S|` over all non-empty vertex
+/// subsets, via Goldberg's min-cut reduction with a binary search over the
+/// density value. `tolerance` bounds the absolute error on the reported
+/// density (the returned vertex set is an actual subgraph whose exact density
+/// is recomputed and reported).
+///
+/// Returns `None` for graphs without edges.
+pub fn densest_subgraph(graph: &DynamicGraph, tolerance: f64) -> Option<DensestSubgraph> {
+    let n = graph.vertex_count();
+    if n == 0 || graph.edge_count() == 0 {
+        return None;
+    }
+    let total_weight: f64 = graph.total_weight();
+    let degrees: Vec<f64> = (0..n)
+        .map(|v| graph.neighbors(VertexId(v as u32)).map(|(_, w)| w).sum())
+        .collect();
+
+    let mut lo = 0.0_f64;
+    let mut hi = total_weight.max(1.0);
+    let mut best: Option<VertexSet> = None;
+
+    // Each iteration halves the interval; stop when within tolerance.
+    while hi - lo > tolerance.max(1e-12) {
+        let guess = (lo + hi) / 2.0;
+        match cut_side_for_guess(graph, &degrees, guess) {
+            Some(candidate) if !candidate.is_empty() => {
+                best = Some(candidate);
+                lo = guess;
+            }
+            _ => hi = guess,
+        }
+    }
+
+    let vertices = match best {
+        Some(v) => v,
+        // Even density 0 was not exceeded by the search resolution; fall back
+        // to the heaviest single edge.
+        None => {
+            let (a, b, _) = graph
+                .edges()
+                .max_by(|x, y| x.2.partial_cmp(&y.2).unwrap())?;
+            VertexSet::pair(a, b)
+        }
+    };
+    let density = graph.score(&vertices) / vertices.len() as f64;
+    Some(DensestSubgraph { vertices, density })
+}
+
+/// Builds the auxiliary network for density guess `g`, computes the min cut
+/// and returns the source-side vertex set (possibly empty).
+fn cut_side_for_guess(graph: &DynamicGraph, degrees: &[f64], guess: f64) -> Option<VertexSet> {
+    let n = graph.vertex_count();
+    let source = n;
+    let sink = n + 1;
+    let mut net = FlowNetwork::new(n + 2);
+    for (v, &deg) in degrees.iter().enumerate() {
+        if deg > 0.0 {
+            net.add_edge(source, v, deg);
+        }
+        net.add_edge(v, sink, 2.0 * guess);
+    }
+    for (a, b, w) in graph.edges() {
+        net.add_undirected_edge(a.index(), b.index(), w);
+    }
+    net.max_flow(source, sink);
+    let side = net.min_cut_source_side(source);
+    let vertices: Vec<VertexId> = (0..n)
+        .filter(|&v| side[v])
+        .map(|v| VertexId(v as u32))
+        .collect();
+    Some(VertexSet::from_vertices(vertices))
+}
+
+/// Brute-force densest subgraph (maximising `score / |S|`) for validation on
+/// small graphs.
+pub fn densest_subgraph_brute_force(graph: &DynamicGraph) -> Option<DensestSubgraph> {
+    let n = graph.vertex_count();
+    if n == 0 || graph.edge_count() == 0 {
+        return None;
+    }
+    let mut best: Option<DensestSubgraph> = None;
+    // Enumerate all non-empty subsets (exponential; tests only).
+    assert!(n <= 20, "brute force densest subgraph is for small graphs only");
+    for mask in 1u32..(1 << n) {
+        let vertices: Vec<VertexId> =
+            (0..n).filter(|&v| mask & (1 << v) != 0).map(|v| VertexId(v as u32)).collect();
+        if vertices.len() < 2 {
+            continue;
+        }
+        let set = VertexSet::from_vertices(vertices);
+        let density = graph.score(&set) / set.len() as f64;
+        if best.as_ref().map_or(true, |b| density > b.density) {
+            best = Some(DensestSubgraph { vertices: set, density });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndens_graph::EdgeUpdate;
+
+    fn graph_from(edges: &[(u32, u32, f64)]) -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for &(a, b, w) in edges {
+            g.apply_update(&EdgeUpdate::new(VertexId(a), VertexId(b), w));
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_no_densest_subgraph() {
+        let g = DynamicGraph::with_vertices(3);
+        assert!(densest_subgraph(&g, 1e-6).is_none());
+        assert!(densest_subgraph_brute_force(&g).is_none());
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = graph_from(&[(0, 1, 2.0)]);
+        let d = densest_subgraph(&g, 1e-6).unwrap();
+        assert_eq!(d.vertices, VertexSet::from_ids(&[0, 1]));
+        assert!((d.density - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clique_beats_pendant_edges() {
+        // A 4-clique with unit weights (density 6/4 = 1.5) plus light pendant
+        // edges that would dilute it.
+        let mut edges = vec![];
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                edges.push((a, b, 1.0));
+            }
+        }
+        edges.push((3, 4, 0.1));
+        edges.push((4, 5, 0.1));
+        let g = graph_from(&edges);
+        let d = densest_subgraph(&g, 1e-6).unwrap();
+        assert_eq!(d.vertices, VertexSet::from_ids(&[0, 1, 2, 3]));
+        assert!((d.density - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..8usize);
+            let mut edges = vec![];
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        // Dyadic weights keep the arithmetic exact.
+                        edges.push((a, b, rng.gen_range(1..16) as f64 / 8.0));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let g = graph_from(&edges);
+            let fast = densest_subgraph(&g, 1e-7).unwrap();
+            let slow = densest_subgraph_brute_force(&g).unwrap();
+            assert!(
+                (fast.density - slow.density).abs() < 1e-4,
+                "density mismatch: {} vs {} on {:?}",
+                fast.density,
+                slow.density,
+                edges
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_density_prefers_heavy_pair_over_light_clique() {
+        let mut edges = vec![(0u32, 1u32, 10.0)];
+        for a in 2..6u32 {
+            for b in (a + 1)..6u32 {
+                edges.push((a, b, 0.5));
+            }
+        }
+        let g = graph_from(&edges);
+        let d = densest_subgraph(&g, 1e-6).unwrap();
+        assert_eq!(d.vertices, VertexSet::from_ids(&[0, 1]));
+        assert!((d.density - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,365 @@
+//! Incremental maintenance of all maximal cliques in a dynamic unweighted
+//! graph, in the spirit of the Stix algorithm (Section 5.2 of the paper).
+//!
+//! The paper compares DynDens (configured with `AvgWeight`, `T = 1` on an
+//! unweighted graph, i.e. maintaining *all* cliques up to `Nmax`) against an
+//! algorithm that maintains *maximal* cliques of unconstrained cardinality
+//! under edge insertions and deletions. This module implements that baseline
+//! from scratch:
+//!
+//! * on **edge insertion** `(u, v)`, every new maximal clique containing the
+//!   edge has the form `(C ∩ N(v)) ∪ {u, v}` for some previous maximal clique
+//!   `C` containing `u` (or symmetrically `v`); candidates are generated that
+//!   way, filtered for maximality, and previous cliques that became
+//!   non-maximal are discarded;
+//! * on **edge deletion**, every clique containing both endpoints is split
+//!   into its two "one endpoint removed" halves, which are retained only if
+//!   still maximal.
+//!
+//! Correctness is validated against a Bron–Kerbosch oracle in the tests and in
+//! the integration suite.
+
+use dyndens_graph::{DynamicGraph, FxHashMap, FxHashSet, VertexId, VertexSet};
+
+/// Maintains the set of all maximal cliques (of cardinality `>= 2`) of an
+/// unweighted dynamic graph.
+#[derive(Debug, Clone, Default)]
+pub struct StixCliques {
+    graph: DynamicGraph,
+    /// All maximal cliques, keyed by an arbitrary id.
+    cliques: FxHashMap<u64, VertexSet>,
+    /// For every vertex, the ids of the maximal cliques containing it.
+    member_of: FxHashMap<VertexId, FxHashSet<u64>>,
+    next_id: u64,
+}
+
+impl StixCliques {
+    /// Creates an empty maintainer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying unweighted graph (edge present iff weight `> 0`).
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Number of maximal cliques currently maintained.
+    pub fn clique_count(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// The current set of maximal cliques (sorted for deterministic output).
+    pub fn cliques(&self) -> Vec<VertexSet> {
+        let mut v: Vec<VertexSet> = self.cliques.values().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Inserts the edge `(u, v)`. No-op if the edge already exists.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v || self.graph.weight(u, v) > 0.0 {
+            return;
+        }
+        self.graph.set_weight(u, v, 1.0);
+
+        // Candidate new cliques: extend the intersection of an existing clique
+        // around one endpoint with the other endpoint's neighbourhood.
+        let mut candidates: FxHashSet<VertexSet> = FxHashSet::default();
+        for (anchor, other) in [(u, v), (v, u)] {
+            let clique_ids: Vec<u64> = self
+                .member_of
+                .get(&anchor)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            if clique_ids.is_empty() {
+                candidates.insert(VertexSet::pair(u, v));
+            }
+            for id in clique_ids {
+                let clique = &self.cliques[&id];
+                let mut base: Vec<VertexId> = clique
+                    .iter()
+                    .filter(|&w| w != anchor && self.graph.weight(w, other) > 0.0)
+                    .collect();
+                base.push(u);
+                base.push(v);
+                candidates.insert(VertexSet::from_vertices(base));
+            }
+        }
+        if candidates.is_empty() {
+            candidates.insert(VertexSet::pair(u, v));
+        }
+
+        // Keep only candidates that are maximal: not contained in another
+        // candidate and not extendable... candidates built from maximal
+        // cliques are maximal unless contained in another candidate or in an
+        // existing clique (possible when u and v already share a clique
+        // context through different anchors).
+        let candidate_vec: Vec<VertexSet> = candidates.into_iter().collect();
+        let mut new_cliques: Vec<VertexSet> = Vec::new();
+        'outer: for (i, cand) in candidate_vec.iter().enumerate() {
+            for (j, other) in candidate_vec.iter().enumerate() {
+                if i != j && cand.is_subset_of(other) && (cand != other || i > j) {
+                    continue 'outer;
+                }
+            }
+            // Also drop candidates already covered by an existing clique.
+            if self.contained_in_existing(cand) {
+                continue;
+            }
+            new_cliques.push(cand.clone());
+        }
+
+        // Existing cliques that became non-maximal (subsets of a new clique)
+        // are removed.
+        let mut to_remove: Vec<u64> = Vec::new();
+        for new_clique in &new_cliques {
+            // Only cliques sharing a vertex with the new clique can be subsumed.
+            let mut seen: FxHashSet<u64> = FxHashSet::default();
+            for w in new_clique.iter() {
+                if let Some(ids) = self.member_of.get(&w) {
+                    for &id in ids {
+                        if seen.insert(id) && self.cliques[&id].is_subset_of(new_clique) {
+                            to_remove.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        for id in to_remove {
+            self.remove_clique(id);
+        }
+        for clique in new_cliques {
+            self.add_clique(clique);
+        }
+    }
+
+    /// Deletes the edge `(u, v)`. No-op if the edge does not exist.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v || self.graph.weight(u, v) <= 0.0 {
+            return;
+        }
+        self.graph.set_weight(u, v, 0.0);
+
+        let affected: Vec<u64> = self
+            .member_of
+            .get(&u)
+            .map(|s| {
+                s.iter()
+                    .copied()
+                    .filter(|id| self.cliques[id].contains(v))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut candidates: Vec<VertexSet> = Vec::new();
+        for id in affected {
+            let clique = self.cliques[&id].clone();
+            self.remove_clique(id);
+            for drop in [u, v] {
+                let half = clique.without(drop);
+                if half.len() >= 2 {
+                    candidates.push(half);
+                }
+            }
+        }
+        // Retain candidate halves that are still maximal.
+        for cand in candidates {
+            if !self.contained_in_existing(&cand) && !self.is_extendable(&cand) {
+                self.add_clique(cand);
+            }
+        }
+    }
+
+    /// Applies an unweighted interpretation of a signed update: positive delta
+    /// inserts the edge, non-positive delta deletes it.
+    pub fn apply_unweighted_update(&mut self, u: VertexId, v: VertexId, positive: bool) {
+        if positive {
+            self.insert_edge(u, v);
+        } else {
+            self.delete_edge(u, v);
+        }
+    }
+
+    fn contained_in_existing(&self, set: &VertexSet) -> bool {
+        let Some(first) = set.as_slice().first() else { return false };
+        let Some(ids) = self.member_of.get(first) else { return false };
+        ids.iter().any(|id| set.is_subset_of(&self.cliques[id]) && &self.cliques[id] != set)
+            || ids.iter().any(|id| &self.cliques[id] == set)
+    }
+
+    /// `true` if some vertex outside `set` is adjacent to every member of
+    /// `set` (i.e. `set` is not maximal).
+    fn is_extendable(&self, set: &VertexSet) -> bool {
+        let Some(first) = set.as_slice().first() else { return false };
+        for (cand, _) in self.graph.neighbors(*first) {
+            if set.contains(cand) {
+                continue;
+            }
+            if set.iter().all(|w| self.graph.weight(w, cand) > 0.0) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn add_clique(&mut self, clique: VertexSet) {
+        let id = self.next_id;
+        self.next_id += 1;
+        for v in clique.iter() {
+            self.member_of.entry(v).or_default().insert(id);
+        }
+        self.cliques.insert(id, clique);
+    }
+
+    fn remove_clique(&mut self, id: u64) {
+        if let Some(clique) = self.cliques.remove(&id) {
+            for v in clique.iter() {
+                if let Some(set) = self.member_of.get_mut(&v) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.member_of.remove(&v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerates all cliques (not just maximal ones) of cardinality
+    /// `2..=n_max` by expanding the maintained maximal cliques. This is the
+    /// post-processing step the paper describes as necessary to use a maximal
+    /// clique maintainer for Engagement (whose output are *all* cliques under
+    /// a cardinality constraint).
+    pub fn all_cliques_up_to(&self, n_max: usize) -> Vec<VertexSet> {
+        let mut out: FxHashSet<VertexSet> = FxHashSet::default();
+        for clique in self.cliques.values() {
+            let members: Vec<VertexId> = clique.iter().collect();
+            let mut current = Vec::new();
+            Self::subsets(&members, 0, &mut current, n_max, &mut out);
+        }
+        let mut v: Vec<VertexSet> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    fn subsets(
+        members: &[VertexId],
+        start: usize,
+        current: &mut Vec<VertexId>,
+        n_max: usize,
+        out: &mut FxHashSet<VertexSet>,
+    ) {
+        if current.len() >= 2 {
+            out.insert(VertexSet::from_vertices(current.iter().copied()));
+        }
+        if current.len() == n_max {
+            return;
+        }
+        for i in start..members.len() {
+            current.push(members[i]);
+            Self::subsets(members, i + 1, current, n_max, out);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::BruteForce;
+
+    fn check_against_oracle(stix: &StixCliques) {
+        let mut expected = BruteForce::maximal_cliques(stix.graph());
+        expected.sort();
+        assert_eq!(stix.cliques(), expected);
+    }
+
+    #[test]
+    fn builds_triangle_incrementally() {
+        let mut s = StixCliques::new();
+        s.insert_edge(VertexId(0), VertexId(1));
+        check_against_oracle(&s);
+        s.insert_edge(VertexId(1), VertexId(2));
+        check_against_oracle(&s);
+        s.insert_edge(VertexId(0), VertexId(2));
+        check_against_oracle(&s);
+        assert_eq!(s.cliques(), vec![VertexSet::from_ids(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn insertion_merges_overlapping_cliques() {
+        let mut s = StixCliques::new();
+        // Two triangles sharing the edge (1,2), then connect 0 and 3.
+        for (a, b) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            s.insert_edge(VertexId(a), VertexId(b));
+            check_against_oracle(&s);
+        }
+        s.insert_edge(VertexId(0), VertexId(3));
+        check_against_oracle(&s);
+        assert_eq!(s.cliques(), vec![VertexSet::from_ids(&[0, 1, 2, 3])]);
+    }
+
+    #[test]
+    fn deletion_splits_cliques() {
+        let mut s = StixCliques::new();
+        for (a, b) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3)] {
+            s.insert_edge(VertexId(a), VertexId(b));
+        }
+        assert_eq!(s.clique_count(), 1);
+        s.delete_edge(VertexId(0), VertexId(3));
+        check_against_oracle(&s);
+        s.delete_edge(VertexId(1), VertexId(2));
+        check_against_oracle(&s);
+        s.delete_edge(VertexId(0), VertexId(1));
+        check_against_oracle(&s);
+    }
+
+    #[test]
+    fn duplicate_operations_are_no_ops() {
+        let mut s = StixCliques::new();
+        s.insert_edge(VertexId(0), VertexId(1));
+        s.insert_edge(VertexId(0), VertexId(1));
+        s.insert_edge(VertexId(1), VertexId(1));
+        assert_eq!(s.clique_count(), 1);
+        s.delete_edge(VertexId(0), VertexId(1));
+        s.delete_edge(VertexId(0), VertexId(1));
+        assert_eq!(s.clique_count(), 0);
+        check_against_oracle(&s);
+    }
+
+    #[test]
+    fn random_stream_matches_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = StixCliques::new();
+        for _ in 0..300 {
+            let a = rng.gen_range(0..8u32);
+            let mut b = rng.gen_range(0..8u32);
+            if a == b {
+                b = (b + 1) % 8;
+            }
+            if rng.gen_bool(0.7) {
+                s.insert_edge(VertexId(a), VertexId(b));
+            } else {
+                s.delete_edge(VertexId(a), VertexId(b));
+            }
+            check_against_oracle(&s);
+        }
+    }
+
+    #[test]
+    fn all_cliques_expansion() {
+        let mut s = StixCliques::new();
+        for (a, b) in [(0, 1), (0, 2), (1, 2), (2, 3)] {
+            s.insert_edge(VertexId(a), VertexId(b));
+        }
+        let all = s.all_cliques_up_to(3);
+        assert!(all.contains(&VertexSet::from_ids(&[0, 1])));
+        assert!(all.contains(&VertexSet::from_ids(&[0, 1, 2])));
+        assert!(all.contains(&VertexSet::from_ids(&[2, 3])));
+        assert!(!all.contains(&VertexSet::from_ids(&[1, 3])));
+        // With n_max = 2 the triangle itself is excluded.
+        let pairs = s.all_cliques_up_to(2);
+        assert!(!pairs.contains(&VertexSet::from_ids(&[0, 1, 2])));
+    }
+}

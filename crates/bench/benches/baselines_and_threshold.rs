@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the baselines (GRASP, Stix, recompute) and
+//! for the dynamic threshold adjustment (Figures 4(h)/(i) and 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyndens_baselines::{recompute, Grasp, GraspConfig, StixCliques};
+use dyndens_bench::{unweighted_dataset, DatasetSpec};
+use dyndens_core::{DynDens, DynDensConfig};
+use dyndens_density::AvgWeight;
+use dyndens_graph::EdgeUpdate;
+use dyndens_workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn small_unweighted() -> Vec<EdgeUpdate> {
+    unweighted_dataset(&DatasetSpec { n_posts: 4_000, n_background_entities: 150, seed: 2011 })
+}
+
+fn grasp_vs_dyndens(c: &mut Criterion) {
+    let updates = small_unweighted();
+    let mut group = c.benchmark_group("fig4hi_grasp_vs_dyndens");
+    group.sample_size(10);
+    group.bench_function("dyndens_exact", |b| {
+        b.iter(|| {
+            let mut engine =
+                DynDens::new(AvgWeight, DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5));
+            for u in &updates {
+                engine.apply_update(*u);
+            }
+            engine.output_dense_count()
+        })
+    });
+    for iterations in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("grasp_iterations", iterations),
+            &iterations,
+            |b, &iters| {
+                b.iter(|| {
+                    let mut grasp = Grasp::new(
+                        AvgWeight,
+                        1.0,
+                        GraspConfig { iterations_per_update: iters, alpha: 0.5, n_max: 5, seed: 42 },
+                    );
+                    for u in &updates {
+                        grasp.apply_update(*u);
+                    }
+                    grasp.found().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn stix_vs_dyndens(c: &mut Criterion) {
+    let updates = small_unweighted();
+    let mut group = c.benchmark_group("stix_vs_dyndens");
+    group.sample_size(10);
+    group.bench_function("stix_maximal_cliques", |b| {
+        b.iter(|| {
+            let mut stix = StixCliques::new();
+            for u in &updates {
+                stix.apply_unweighted_update(u.a, u.b, u.is_positive());
+            }
+            stix.clique_count()
+        })
+    });
+    group.bench_function("dyndens_all_cliques_nmax5", |b| {
+        b.iter(|| {
+            let mut engine =
+                DynDens::new(AvgWeight, DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5));
+            for u in &updates {
+                engine.apply_update(*u);
+            }
+            engine.dense_count()
+        })
+    });
+    group.finish();
+}
+
+fn threshold_adjustment(c: &mut Criterion) {
+    let workload = SyntheticWorkload::generate(SyntheticConfig::edge_preferential(5_000, 15_000, 2));
+    let base_config = DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.3);
+    let mut base = DynDens::with_vertex_capacity(AvgWeight, base_config, workload.config().n_vertices);
+    for u in workload.updates() {
+        base.apply_update(*u);
+    }
+
+    let mut group = c.benchmark_group("fig6_threshold_adjustment");
+    group.sample_size(10);
+    group.bench_function("incremental_decrease_to_0.8", |b| {
+        b.iter(|| {
+            let mut engine = base.clone();
+            engine.set_output_threshold(0.8);
+            engine.output_dense_count()
+        })
+    });
+    group.bench_function("incremental_increase_to_1.2", |b| {
+        b.iter(|| {
+            let mut engine = base.clone();
+            engine.set_output_threshold(1.2);
+            engine.output_dense_count()
+        })
+    });
+    group.bench_function("full_recompute_at_0.8", |b| {
+        b.iter(|| {
+            let engine = recompute(
+                AvgWeight,
+                DynDensConfig::new(0.8, 5).with_delta_it_fraction(0.3),
+                base.graph(),
+            );
+            engine.output_dense_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, grasp_vs_dyndens, stix_vs_dyndens, threshold_adjustment);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks: per-update processing cost of the DynDens
+//! engine across density measures and datasets (the micro-level counterpart of
+//! Figures 4(a)–4(f)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyndens_bench::{unweighted_dataset, weighted_dataset, DatasetSpec};
+use dyndens_core::{DynDens, DynDensConfig};
+use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens};
+use dyndens_graph::EdgeUpdate;
+
+fn spec() -> DatasetSpec {
+    DatasetSpec { n_posts: 6_000, n_background_entities: 200, seed: 2011 }
+}
+
+fn bench_stream<D: DensityMeasure + Copy>(
+    c: &mut Criterion,
+    group_name: &str,
+    measure: D,
+    threshold: f64,
+    updates: &[EdgeUpdate],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.throughput(Throughput::Elements(updates.len() as u64));
+    group.sample_size(10);
+    for &n_max in &[4usize, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("Nmax={n_max}")), &n_max, |b, &n_max| {
+            b.iter(|| {
+                let config = DynDensConfig::new(threshold, n_max).with_delta_it_fraction(0.05);
+                let mut engine = DynDens::new(measure, config);
+                let mut events = Vec::new();
+                for u in updates {
+                    events.clear();
+                    engine.apply_update_into(*u, &mut events);
+                }
+                engine.dense_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn engine_update_benches(c: &mut Criterion) {
+    let weighted = weighted_dataset(&spec());
+    let unweighted = unweighted_dataset(&spec());
+
+    bench_stream(c, "fig4a_avgweight_weighted", AvgWeight, 0.5, &weighted);
+    bench_stream(c, "fig4b_sqrtdens_weighted", SqrtDens, 0.7, &weighted);
+    bench_stream(c, "fig4c_avgdegree_weighted", AvgDegree, 1.2, &weighted);
+    bench_stream(c, "fig4d_avgweight_unweighted", AvgWeight, 1.0, &unweighted);
+    bench_stream(c, "fig4e_sqrtdens_unweighted", SqrtDens, 1.0, &unweighted);
+    bench_stream(c, "fig4f_avgdegree_unweighted", AvgDegree, 1.9, &unweighted);
+}
+
+criterion_group!(benches, engine_update_benches);
+criterion_main!(benches);

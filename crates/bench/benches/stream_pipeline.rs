@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the post → edge-weight-update pipeline
+//! (association measures, decayed counters and the end-to-end story
+//! pipeline). This is the counterpart of the paper's dataset-preparation cost
+//! figures (under 90 seconds for a full day of posts).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dyndens_core::DynDensConfig;
+use dyndens_density::AvgWeight;
+use dyndens_stream::{ChiSquareCorrelation, EdgeUpdateGenerator, LogLikelihoodRatio, StoryPipeline};
+use dyndens_workloads::{TweetSimulator, TweetSimulatorConfig};
+
+fn corpus() -> dyndens_workloads::SimulatedCorpus {
+    TweetSimulator::new(TweetSimulatorConfig {
+        n_posts: 5_000,
+        n_background_entities: 200,
+        ..TweetSimulatorConfig::default()
+    })
+    .generate()
+}
+
+fn update_generation(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("post_to_update_pipeline");
+    group.throughput(Throughput::Elements(corpus.posts.len() as u64));
+    group.sample_size(10);
+    group.bench_function("chi_square_weighted", |b| {
+        b.iter(|| {
+            let mut generator = EdgeUpdateGenerator::new(ChiSquareCorrelation::default(), 7_200.0);
+            generator.process_posts(corpus.posts.iter()).len()
+        })
+    });
+    group.bench_function("llr_unweighted", |b| {
+        b.iter(|| {
+            let mut generator = EdgeUpdateGenerator::new(LogLikelihoodRatio::default(), 7_200.0);
+            generator.process_posts(corpus.posts.iter()).len()
+        })
+    });
+    group.finish();
+}
+
+fn end_to_end_story_pipeline(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("end_to_end_story_pipeline");
+    group.throughput(Throughput::Elements(corpus.posts.len() as u64));
+    group.sample_size(10);
+    group.bench_function("ingest_and_rank", |b| {
+        b.iter(|| {
+            let mut pipeline = StoryPipeline::new(
+                ChiSquareCorrelation::default(),
+                7_200.0,
+                AvgWeight,
+                DynDensConfig::new(0.4, 5).with_delta_it_fraction(0.25),
+            );
+            for post in &corpus.posts {
+                pipeline.ingest_post(post);
+            }
+            pipeline.top_stories(5).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, update_generation, end_to_end_story_pipeline);
+criterion_main!(benches);

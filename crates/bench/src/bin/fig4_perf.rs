@@ -1,0 +1,128 @@
+//! Figures 4(a)–4(f) and Table 2: end-to-end update processing time while
+//! sweeping the density threshold `T` and the maximum cardinality `Nmax`, for
+//! the three density measures on the weighted and unweighted datasets.
+//!
+//! Usage:
+//!
+//! ```bash
+//! cargo run --release -p dyndens-bench --bin fig4_perf -- [--figure a|b|c|d|e|f|all] [--scale 1.0]
+//! ```
+
+use std::time::Duration;
+
+use dyndens_bench::{run_updates, unweighted_dataset, weighted_dataset, DatasetSpec, Table};
+use dyndens_core::DynDensConfig;
+use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens};
+use dyndens_graph::EdgeUpdate;
+
+struct FigureSpec {
+    id: &'static str,
+    measure_name: &'static str,
+    dataset: &'static str,
+    thresholds: &'static [f64],
+    n_maxes: &'static [usize],
+}
+
+const FIGURES: &[FigureSpec] = &[
+    // Threshold grids chosen to bracket the paper's operating points for each
+    // measure/dataset combination (Fig. 4(a)-(f) / Table 2).
+    FigureSpec { id: "a", measure_name: "AvgWeight", dataset: "weighted", thresholds: &[0.35, 0.41, 0.5, 0.6], n_maxes: &[4, 5, 6, 8] },
+    FigureSpec { id: "b", measure_name: "SqrtDens", dataset: "weighted", thresholds: &[0.5, 0.6, 0.8, 1.0], n_maxes: &[4, 5, 6, 8] },
+    FigureSpec { id: "c", measure_name: "AvgDegree", dataset: "weighted", thresholds: &[0.9, 1.1, 1.7, 2.0], n_maxes: &[4, 5, 6, 8] },
+    FigureSpec { id: "d", measure_name: "AvgWeight", dataset: "unweighted", thresholds: &[0.7, 0.8, 1.0], n_maxes: &[4, 5, 6] },
+    FigureSpec { id: "e", measure_name: "SqrtDens", dataset: "unweighted", thresholds: &[0.8, 0.9, 1.0], n_maxes: &[4, 5, 6] },
+    FigureSpec { id: "f", measure_name: "AvgDegree", dataset: "unweighted", thresholds: &[1.7, 1.9, 2.1], n_maxes: &[4, 5, 6] },
+];
+
+fn parse_args() -> (String, f64) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut figure = "all".to_string();
+    let mut scale = 1.0;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--figure" => {
+                figure = args.get(i + 1).cloned().unwrap_or_else(|| "all".into());
+                i += 2;
+            }
+            "--scale" => {
+                scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    (figure, scale)
+}
+
+fn run_figure<D: DensityMeasure + Copy>(spec: &FigureSpec, measure: D, updates: &[EdgeUpdate]) {
+    let mut table = Table::new(
+        &format!(
+            "Figure 4({}): {} density, {} dataset ({} updates)",
+            spec.id,
+            spec.measure_name,
+            spec.dataset,
+            updates.len()
+        ),
+        &["T", "Nmax", "time_ms", "avg output-dense", "dense at end", "explorations"],
+    );
+    for &t in spec.thresholds {
+        for &n_max in spec.n_maxes {
+            let config = DynDensConfig::new(t, n_max).with_delta_it_fraction(0.01);
+            let result = run_updates(measure, config, updates, Some(Duration::from_secs(600)), 1000);
+            match result {
+                Some(m) => {
+                    table.row(vec![
+                        format!("{t}"),
+                        format!("{n_max}"),
+                        format!("{:.1}", m.millis()),
+                        format!("{:.1}", m.avg_output_dense),
+                        format!("{}", m.dense_at_end),
+                        format!("{}", m.stats.explorations),
+                    ]);
+                }
+                None => {
+                    table.row(vec![
+                        format!("{t}"),
+                        format!("{n_max}"),
+                        ">cap".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    table.print();
+}
+
+fn main() {
+    let (figure, scale) = parse_args();
+    let spec = DatasetSpec::scaled(scale);
+    println!(
+        "dataset scale {scale}: {} posts, {} background entities",
+        spec.n_posts, spec.n_background_entities
+    );
+    let weighted = weighted_dataset(&spec);
+    let unweighted = unweighted_dataset(&spec);
+    println!(
+        "weighted dataset: {} updates; unweighted dataset: {} updates",
+        weighted.len(),
+        unweighted.len()
+    );
+
+    for fig in FIGURES {
+        if figure != "all" && figure != fig.id {
+            continue;
+        }
+        let updates = if fig.dataset == "weighted" { &weighted } else { &unweighted };
+        match fig.measure_name {
+            "AvgWeight" => run_figure(fig, AvgWeight, updates),
+            "SqrtDens" => run_figure(fig, SqrtDens, updates),
+            "AvgDegree" => run_figure(fig, AvgDegree, updates),
+            _ => unreachable!(),
+        }
+    }
+    println!("\n(Table 2 corresponds to the 'avg output-dense' column above.)");
+}

@@ -1,0 +1,80 @@
+//! Comparison against the Stix dynamic maximal-clique baseline (Section 5.2):
+//! on the unweighted dataset with `AvgWeight` and `T = 1`, DynDens maintains
+//! all cliques up to `Nmax` while Stix maintains maximal cliques of
+//! unconstrained cardinality. The paper finds the two roughly comparable at
+//! `Nmax = 5`, with DynDens faster for smaller `Nmax` and slower for larger.
+//!
+//! Usage:
+//!
+//! ```bash
+//! cargo run --release -p dyndens-bench --bin stix_comparison -- [--scale 1.0]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use dyndens_baselines::StixCliques;
+use dyndens_bench::{run_updates, unweighted_dataset, DatasetSpec, Table};
+use dyndens_core::DynDensConfig;
+use dyndens_density::AvgWeight;
+
+fn main() {
+    let scale = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let spec = DatasetSpec::scaled(scale);
+    let updates = unweighted_dataset(&spec);
+    println!("unweighted dataset: {} updates", updates.len());
+
+    // Stix: edge insertions/deletions follow the 0/1 weights.
+    let start = Instant::now();
+    let mut stix = StixCliques::new();
+    for u in &updates {
+        stix.apply_unweighted_update(u.a, u.b, u.is_positive());
+    }
+    let stix_time = start.elapsed();
+    println!(
+        "Stix: {:.1} ms, {} maximal cliques at end of stream",
+        stix_time.as_secs_f64() * 1e3,
+        stix.clique_count()
+    );
+
+    let mut table = Table::new(
+        "Stix vs DynDens (AvgWeight, T = 1, unweighted dataset)",
+        &["algorithm", "Nmax", "time_ms", "relative to Stix", "subgraphs maintained"],
+    );
+    table.row(vec![
+        "Stix (maximal cliques)".into(),
+        "unbounded".into(),
+        format!("{:.1}", stix_time.as_secs_f64() * 1e3),
+        "1.00".into(),
+        format!("{}", stix.clique_count()),
+    ]);
+    for n_max in [3usize, 4, 5, 6, 7] {
+        // delta_it at half its maximum value, as in the paper's comparison.
+        let config = DynDensConfig::new(1.0, n_max).with_delta_it_fraction(0.5);
+        match run_updates(AvgWeight, config, &updates, Some(Duration::from_secs(600)), 1000) {
+            Some(m) => {
+                table.row(vec![
+                    "DynDens (all cliques)".into(),
+                    format!("{n_max}"),
+                    format!("{:.1}", m.millis()),
+                    format!("{:.2}", m.millis() / (stix_time.as_secs_f64() * 1e3).max(1e-9)),
+                    format!("{}", m.dense_at_end),
+                ]);
+            }
+            None => {
+                table.row(vec![
+                    "DynDens (all cliques)".into(),
+                    format!("{n_max}"),
+                    ">cap".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!("\n(Expected shape: DynDens is comparable to Stix around Nmax = 5, faster below, slower above.)");
+}

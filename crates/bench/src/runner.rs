@@ -1,0 +1,120 @@
+//! Timing helpers shared by the harness binaries.
+
+use std::time::{Duration, Instant};
+
+use dyndens_core::{DynDens, DynDensConfig, EngineStats};
+use dyndens_density::DensityMeasure;
+use dyndens_graph::EdgeUpdate;
+
+/// The outcome of running one engine configuration over an update stream.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// Wall-clock time to process every update.
+    pub elapsed: Duration,
+    /// Number of updates processed.
+    pub updates: usize,
+    /// Dense subgraphs maintained at the end of the stream.
+    pub dense_at_end: usize,
+    /// Output-dense subgraphs at the end of the stream.
+    pub output_dense_at_end: usize,
+    /// Average number of output-dense subgraphs, sampled every `sample_every`
+    /// updates (the quantity Table 2 reports).
+    pub avg_output_dense: f64,
+    /// Engine work counters.
+    pub stats: EngineStats,
+}
+
+impl RunMeasurement {
+    /// Milliseconds elapsed (convenience for table rows).
+    pub fn millis(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}
+
+/// Runs a DynDens engine over `updates`, optionally capping the wall-clock
+/// time (`time_cap`, mirroring the paper's 10-minute cap on individual runs).
+/// Returns `None` if the cap was exceeded.
+pub fn run_updates<D: DensityMeasure>(
+    measure: D,
+    config: DynDensConfig,
+    updates: &[EdgeUpdate],
+    time_cap: Option<Duration>,
+    sample_every: usize,
+) -> Option<RunMeasurement> {
+    let mut engine = DynDens::new(measure, config);
+    let mut events = Vec::new();
+    let mut output_samples: Vec<usize> = Vec::new();
+    let start = Instant::now();
+    for (i, u) in updates.iter().enumerate() {
+        events.clear();
+        engine.apply_update_into(*u, &mut events);
+        if sample_every > 0 && i % sample_every == 0 {
+            output_samples.push(engine.output_dense_count());
+            if let Some(cap) = time_cap {
+                if start.elapsed() > cap {
+                    return None;
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    if let Some(cap) = time_cap {
+        if elapsed > cap {
+            return None;
+        }
+    }
+    let output_dense_at_end = engine.output_dense_count();
+    output_samples.push(output_dense_at_end);
+    let avg_output_dense =
+        output_samples.iter().sum::<usize>() as f64 / output_samples.len() as f64;
+    Some(RunMeasurement {
+        elapsed,
+        updates: updates.len(),
+        dense_at_end: engine.dense_count(),
+        output_dense_at_end,
+        avg_output_dense,
+        stats: engine.stats().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndens_density::AvgWeight;
+    use dyndens_graph::VertexId;
+
+    fn toy_updates() -> Vec<EdgeUpdate> {
+        (0..50u32)
+            .map(|i| EdgeUpdate::new(VertexId(i % 7), VertexId((i + 1) % 7), 0.2))
+            .collect()
+    }
+
+    #[test]
+    fn measures_a_small_run() {
+        let m = run_updates(
+            AvgWeight,
+            DynDensConfig::new(0.5, 4).with_delta_it_fraction(0.3),
+            &toy_updates(),
+            None,
+            10,
+        )
+        .unwrap();
+        assert_eq!(m.updates, 50);
+        assert!(m.millis() >= 0.0);
+        assert!(m.dense_at_end >= m.output_dense_at_end);
+        assert!(m.avg_output_dense >= 0.0);
+        assert_eq!(m.stats.updates, 50);
+    }
+
+    #[test]
+    fn time_cap_aborts_long_runs() {
+        let result = run_updates(
+            AvgWeight,
+            DynDensConfig::new(0.5, 4).with_delta_it_fraction(0.3),
+            &toy_updates(),
+            Some(Duration::from_nanos(1)),
+            1,
+        );
+        assert!(result.is_none());
+    }
+}

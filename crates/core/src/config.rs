@@ -1,0 +1,139 @@
+//! Engine configuration.
+
+/// How the exploration granularity `delta_it` is specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaIt {
+    /// An absolute value, which must lie in the validity interval
+    /// `(0, delta_it_max]` for the chosen measure, threshold and `Nmax`.
+    Absolute(f64),
+    /// A fraction of the maximum admissible value (the parameterisation used
+    /// throughout the paper's evaluation, e.g. "1% of its maximum value").
+    FractionOfMax(f64),
+}
+
+impl Default for DeltaIt {
+    fn default() -> Self {
+        // A middle-of-the-road default; Section 5.1 observes good performance
+        // over a wide range of values.
+        DeltaIt::FractionOfMax(0.25)
+    }
+}
+
+/// Configuration of a [`DynDens`](crate::DynDens) engine.
+///
+/// * `threshold` — the output density threshold `T`.
+/// * `n_max` — the maximum cardinality `Nmax` of subgraphs of interest
+///   (stories presented to a user are small, e.g. 4–10 entities).
+/// * `delta_it` — the exploration granularity, trading index size for
+///   exploration work (Section 4.1.4).
+/// * `implicit_too_dense` — enable the `ImplicitTooDense` index optimisation
+///   (Section 3.2.3); when disabled, too-dense subgraphs are expanded with
+///   every vertex of the graph (`explore-all`).
+/// * `max_explore` / `degree_prioritize` — the two pruning heuristics of
+///   Section 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynDensConfig {
+    /// Output density threshold `T`.
+    pub threshold: f64,
+    /// Maximum cardinality `Nmax` of maintained subgraphs.
+    pub n_max: usize,
+    /// Exploration granularity `delta_it`.
+    pub delta_it: DeltaIt,
+    /// Enable the `ImplicitTooDense` optimisation (default: `true`).
+    pub implicit_too_dense: bool,
+    /// Enable the MaxExplore heuristic (default: `true`).
+    pub max_explore: bool,
+    /// Enable the DegreePrioritize heuristic (default: `true`).
+    pub degree_prioritize: bool,
+}
+
+impl DynDensConfig {
+    /// Creates a configuration with the given threshold and maximum
+    /// cardinality, with all optimisations enabled and the default
+    /// `delta_it` fraction.
+    pub fn new(threshold: f64, n_max: usize) -> Self {
+        DynDensConfig {
+            threshold,
+            n_max,
+            delta_it: DeltaIt::default(),
+            implicit_too_dense: true,
+            max_explore: true,
+            degree_prioritize: true,
+        }
+    }
+
+    /// Sets `delta_it` to an absolute value.
+    pub fn with_delta_it(mut self, delta_it: f64) -> Self {
+        self.delta_it = DeltaIt::Absolute(delta_it);
+        self
+    }
+
+    /// Sets `delta_it` as a fraction of its maximum admissible value.
+    pub fn with_delta_it_fraction(mut self, fraction: f64) -> Self {
+        self.delta_it = DeltaIt::FractionOfMax(fraction);
+        self
+    }
+
+    /// Enables or disables the `ImplicitTooDense` optimisation.
+    pub fn with_implicit_too_dense(mut self, enabled: bool) -> Self {
+        self.implicit_too_dense = enabled;
+        self
+    }
+
+    /// Enables or disables the MaxExplore heuristic.
+    pub fn with_max_explore(mut self, enabled: bool) -> Self {
+        self.max_explore = enabled;
+        self
+    }
+
+    /// Enables or disables the DegreePrioritize heuristic.
+    pub fn with_degree_prioritize(mut self, enabled: bool) -> Self {
+        self.degree_prioritize = enabled;
+        self
+    }
+
+    /// Disables every optional optimisation and heuristic; useful as a
+    /// baseline in ablation studies and as a reference in correctness tests.
+    pub fn plain(threshold: f64, n_max: usize) -> Self {
+        Self::new(threshold, n_max)
+            .with_implicit_too_dense(false)
+            .with_max_explore(false)
+            .with_degree_prioritize(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let c = DynDensConfig::new(0.8, 6)
+            .with_delta_it(0.05)
+            .with_implicit_too_dense(false)
+            .with_max_explore(false)
+            .with_degree_prioritize(false);
+        assert_eq!(c.threshold, 0.8);
+        assert_eq!(c.n_max, 6);
+        assert_eq!(c.delta_it, DeltaIt::Absolute(0.05));
+        assert!(!c.implicit_too_dense);
+        assert!(!c.max_explore);
+        assert!(!c.degree_prioritize);
+    }
+
+    #[test]
+    fn defaults_enable_optimisations() {
+        let c = DynDensConfig::new(1.0, 5);
+        assert!(c.implicit_too_dense);
+        assert!(c.max_explore);
+        assert!(c.degree_prioritize);
+        assert_eq!(c.delta_it, DeltaIt::FractionOfMax(0.25));
+    }
+
+    #[test]
+    fn plain_disables_everything() {
+        let c = DynDensConfig::plain(1.0, 5).with_delta_it_fraction(0.5);
+        assert!(!c.implicit_too_dense && !c.max_explore && !c.degree_prioritize);
+        assert_eq!(c.delta_it, DeltaIt::FractionOfMax(0.5));
+    }
+}

@@ -1,0 +1,110 @@
+//! Events reported by the engine and cumulative processing statistics.
+
+use dyndens_graph::VertexSet;
+
+/// A change in the reported set of output-dense subgraphs, produced while
+/// processing an edge weight update or a threshold adjustment.
+///
+/// Events refer to **explicitly materialised** subgraphs. Supergraphs of
+/// too-dense subgraphs that are only represented implicitly through the
+/// `ImplicitTooDense` optimisation (Section 3.2.3) do not generate events;
+/// this mirrors the accounting used in the paper's evaluation (Table 2
+/// "excluding output-dense subgraphs that are not represented in the index").
+#[derive(Debug, Clone, PartialEq)]
+pub enum DenseEvent {
+    /// The subgraph's density rose to (or above) the output threshold `T`.
+    BecameOutputDense {
+        /// The vertices of the subgraph.
+        vertices: VertexSet,
+        /// Its density after the update.
+        density: f64,
+    },
+    /// The subgraph's density fell below the output threshold `T`.
+    NoLongerOutputDense {
+        /// The vertices of the subgraph.
+        vertices: VertexSet,
+        /// Its density after the update.
+        density: f64,
+    },
+}
+
+impl DenseEvent {
+    /// The vertex set the event refers to.
+    pub fn vertices(&self) -> &VertexSet {
+        match self {
+            DenseEvent::BecameOutputDense { vertices, .. }
+            | DenseEvent::NoLongerOutputDense { vertices, .. } => vertices,
+        }
+    }
+
+    /// `true` for [`DenseEvent::BecameOutputDense`].
+    pub fn is_became(&self) -> bool {
+        matches!(self, DenseEvent::BecameOutputDense { .. })
+    }
+}
+
+/// Cumulative counters describing the work performed by a [`DynDens`]
+/// engine instance. Useful for the paper's cost analysis (Section 4.2) and
+/// for the benchmark harness.
+///
+/// [`DynDens`]: crate::DynDens
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total number of updates processed.
+    pub updates: u64,
+    /// Number of positive updates processed.
+    pub positive_updates: u64,
+    /// Number of negative updates processed.
+    pub negative_updates: u64,
+    /// Number of `explore` invocations (Algorithm 2).
+    pub explorations: u64,
+    /// Number of cheap explorations performed (Algorithm 1, line 6).
+    pub cheap_explorations: u64,
+    /// Number of candidate subgraphs whose density was evaluated.
+    pub candidates_examined: u64,
+    /// Number of newly-dense subgraphs inserted into the index.
+    pub subgraphs_inserted: u64,
+    /// Number of losing-dense subgraphs evicted from the index.
+    pub subgraphs_evicted: u64,
+    /// Number of explore-all expansions performed (only when the
+    /// `ImplicitTooDense` optimisation is disabled).
+    pub explore_all_invocations: u64,
+    /// Number of `*` (implicit too-dense) markers created.
+    pub star_markers_created: u64,
+    /// Number of `*` markers removed.
+    pub star_markers_removed: u64,
+    /// Number of explorations skipped by the MaxExplore heuristic.
+    pub max_explore_skips: u64,
+    /// Number of candidates skipped by the DegreePrioritize heuristic.
+    pub degree_prioritize_skips: u64,
+}
+
+impl EngineStats {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = EngineStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let v = VertexSet::from_ids(&[1, 2, 3]);
+        let e = DenseEvent::BecameOutputDense { vertices: v.clone(), density: 1.25 };
+        assert_eq!(e.vertices(), &v);
+        assert!(e.is_became());
+        let e = DenseEvent::NoLongerOutputDense { vertices: v.clone(), density: 0.5 };
+        assert!(!e.is_became());
+        assert_eq!(e.vertices(), &v);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut s = EngineStats { updates: 10, explorations: 5, ..Default::default() };
+        s.reset();
+        assert_eq!(s, EngineStats::default());
+    }
+}

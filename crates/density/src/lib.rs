@@ -1,0 +1,46 @@
+//! # dyndens-density
+//!
+//! Density measures and threshold families for the Engagement problem.
+//!
+//! The paper defines the density of a subgraph `C` as
+//! `dens(C) = score(C) / S_|C|`, where `score(C)` is the sum of the pairwise
+//! edge weights inside `C` and `S_n` is a function quantifying the relative
+//! importance of a subgraph's cardinality. `S_n` must satisfy the monotonicity
+//! property `n/(n-1) <= S_n/S_{n-1} <= n/(n-2)`, which rules out
+//! counter-intuitive density definitions while covering all the commonly used
+//! ones. This crate provides:
+//!
+//! * the [`DensityMeasure`] trait together with the three instantiations used
+//!   throughout the paper's evaluation —
+//!   [`AvgWeight`](measure::AvgWeight) (`S_n = n(n-1)/2`, average edge weight),
+//!   [`AvgDegree`](measure::AvgDegree) (`S_n = n`, generalised average degree)
+//!   and [`SqrtDens`](measure::SqrtDens) (`S_n = sqrt(n(n-1))`); plus a
+//!   [`PowerMean`](measure::PowerMean) family covering the whole admissible
+//!   spectrum;
+//! * the threshold family [`ThresholdFamily`](threshold::ThresholdFamily)
+//!   `T_n` of Eq. (8), parameterised by the output threshold `T`, the maximum
+//!   cardinality `Nmax` and the exploration granularity `delta_it`, together
+//!   with the classification of subgraphs into *sparse*, *dense*,
+//!   *output-dense* and *too-dense* (Table 1 of the paper).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod measure;
+pub mod threshold;
+
+pub use measure::{AvgDegree, AvgWeight, DensityMeasure, PowerMean, SqrtDens};
+pub use threshold::{DensityClass, ThresholdFamily};
+
+/// Tolerance used when comparing scores against thresholds. Scores are
+/// accumulated incrementally from streams of floating point deltas, so strict
+/// comparisons would make "dense" an unstable property right at the boundary.
+/// Both the DynDens engine and the brute-force oracle use the same comparison
+/// helpers, keeping them consistent with each other.
+pub const SCORE_EPSILON: f64 = 1e-9;
+
+/// Returns `true` if `score` meets `bound` up to [`SCORE_EPSILON`].
+#[inline]
+pub fn score_meets(score: f64, bound: f64) -> bool {
+    score + SCORE_EPSILON >= bound
+}

@@ -1,0 +1,255 @@
+//! The cardinality scaling functions `S_n` that define graph density.
+
+/// A quantification of graph density via its cardinality scaling function
+/// `S_n`, with `dens(C) = score(C) / S_|C|`.
+///
+/// Implementations must satisfy the paper's monotonicity requirement
+/// `n/(n-1) <= S_n/S_{n-1} <= n/(n-2)` for all `n >= 3`, which guarantees the
+/// normalised quantity `g_n = S_n / (n (n-1))` is non-increasing and excludes
+/// degenerate density definitions (e.g. ones where removing a vertex from an
+/// unweighted clique *increases* its density). Use
+/// [`validate_monotonicity`](DensityMeasure::validate_monotonicity) in tests
+/// when defining a custom measure.
+pub trait DensityMeasure: std::fmt::Debug + Clone + Send + Sync + 'static {
+    /// A short human-readable name used in benchmark reports.
+    fn name(&self) -> &'static str;
+
+    /// The cardinality scaling `S_n`, for `n >= 2`.
+    fn s(&self, n: usize) -> f64;
+
+    /// The normalised scaling `g_n = S_n / (n (n - 1))`, for `n >= 2`.
+    ///
+    /// The monotonicity requirement on `S_n` implies `g_n <= g_{n-1}`.
+    #[inline]
+    fn g(&self, n: usize) -> f64 {
+        debug_assert!(n >= 2);
+        self.s(n) / (n as f64 * (n as f64 - 1.0))
+    }
+
+    /// The density of a subgraph with the given total edge weight and
+    /// cardinality.
+    #[inline]
+    fn density(&self, score: f64, n: usize) -> f64 {
+        score / self.s(n)
+    }
+
+    /// Checks the monotonicity requirement `n/(n-1) <= S_n/S_{n-1} <= n/(n-2)`
+    /// for every cardinality in `3..=max_n`, returning the first violating `n`
+    /// if any.
+    fn validate_monotonicity(&self, max_n: usize) -> Result<(), usize> {
+        const TOL: f64 = 1e-9;
+        for n in 3..=max_n {
+            let ratio = self.s(n) / self.s(n - 1);
+            let nf = n as f64;
+            let lower = nf / (nf - 1.0);
+            let upper = nf / (nf - 2.0);
+            if ratio < lower - TOL || ratio > upper + TOL {
+                return Err(n);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `S_n = n (n - 1) / 2`: density is the **average edge weight** of the
+/// subgraph. Favours small, tightly connected subgraphs. On unweighted graphs
+/// a subgraph has density 1 under this measure iff it is a clique.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AvgWeight;
+
+impl DensityMeasure for AvgWeight {
+    fn name(&self) -> &'static str {
+        "AvgWeight"
+    }
+
+    #[inline]
+    fn s(&self, n: usize) -> f64 {
+        let n = n as f64;
+        n * (n - 1.0) / 2.0
+    }
+
+    #[inline]
+    fn g(&self, _n: usize) -> f64 {
+        0.5
+    }
+}
+
+/// `S_n = n`: density is a **generalised average node degree**
+/// (`2 score / n` up to a factor of two). Favours larger subgraphs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AvgDegree;
+
+impl DensityMeasure for AvgDegree {
+    fn name(&self) -> &'static str {
+        "AvgDegree"
+    }
+
+    #[inline]
+    fn s(&self, n: usize) -> f64 {
+        n as f64
+    }
+
+    #[inline]
+    fn g(&self, n: usize) -> f64 {
+        1.0 / (n as f64 - 1.0)
+    }
+}
+
+/// `S_n = sqrt(n (n - 1))`: a compromise between [`AvgWeight`] and
+/// [`AvgDegree`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqrtDens;
+
+impl DensityMeasure for SqrtDens {
+    fn name(&self) -> &'static str {
+        "SqrtDens"
+    }
+
+    #[inline]
+    fn s(&self, n: usize) -> f64 {
+        let n = n as f64;
+        (n * (n - 1.0)).sqrt()
+    }
+}
+
+/// A parametric family `S_n = (n (n - 1))^p / 2^p` interpolating between
+/// [`AvgDegree`]-like (`p` close to 0.5) and [`AvgWeight`] (`p = 1`) behaviour.
+///
+/// For exponents `p` in `[0.5, 1.0]` the monotonicity requirement holds:
+/// `S_n / S_{n-1} = (n / (n - 2))^p`, which lies between `n/(n-1)` and
+/// `n/(n-2)` for that range of `p`. The constructor rejects exponents outside
+/// the admissible range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerMean {
+    exponent: f64,
+}
+
+impl PowerMean {
+    /// Creates the measure `S_n = (n (n - 1) / 2)^p`. `p` must lie in
+    /// `[0.5, 1.0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` lies outside `[0.5, 1.0]`.
+    pub fn new(exponent: f64) -> Self {
+        assert!(
+            (0.5..=1.0).contains(&exponent),
+            "PowerMean exponent must lie in [0.5, 1.0], got {exponent}"
+        );
+        PowerMean { exponent }
+    }
+
+    /// The exponent `p`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl DensityMeasure for PowerMean {
+    fn name(&self) -> &'static str {
+        "PowerMean"
+    }
+
+    #[inline]
+    fn s(&self, n: usize) -> f64 {
+        let n = n as f64;
+        (n * (n - 1.0) / 2.0).powf(self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_weight_values() {
+        let m = AvgWeight;
+        assert_eq!(m.s(2), 1.0);
+        assert_eq!(m.s(3), 3.0);
+        assert_eq!(m.s(4), 6.0);
+        assert_eq!(m.g(2), 0.5);
+        assert_eq!(m.g(10), 0.5);
+        // density of a triangle with all weights 1 is 1
+        assert!((m.density(3.0, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(m.name(), "AvgWeight");
+    }
+
+    #[test]
+    fn avg_degree_values() {
+        let m = AvgDegree;
+        assert_eq!(m.s(2), 2.0);
+        assert_eq!(m.s(5), 5.0);
+        assert!((m.g(3) - 0.5).abs() < 1e-12);
+        assert!((m.g(5) - 0.25).abs() < 1e-12);
+        assert_eq!(m.name(), "AvgDegree");
+    }
+
+    #[test]
+    fn sqrt_dens_values() {
+        let m = SqrtDens;
+        assert!((m.s(2) - (2.0f64).sqrt()).abs() < 1e-12);
+        assert!((m.s(3) - (6.0f64).sqrt()).abs() < 1e-12);
+        // Its growth ratio S_n / S_{n-1} lies strictly between AvgDegree's
+        // (the lower bound n/(n-1)) and AvgWeight's (the upper bound n/(n-2)),
+        // which is the sense in which the paper says it "lies in between".
+        for n in 4..10 {
+            let ratio = m.s(n) / m.s(n - 1);
+            let lower = AvgDegree.s(n) / AvgDegree.s(n - 1);
+            let upper = AvgWeight.s(n) / AvgWeight.s(n - 1);
+            assert!(ratio > lower && ratio < upper, "n={n}");
+        }
+        assert_eq!(m.name(), "SqrtDens");
+    }
+
+    #[test]
+    fn monotonicity_holds_for_builtin_measures() {
+        assert_eq!(AvgWeight.validate_monotonicity(64), Ok(()));
+        assert_eq!(AvgDegree.validate_monotonicity(64), Ok(()));
+        assert_eq!(SqrtDens.validate_monotonicity(64), Ok(()));
+        assert_eq!(PowerMean::new(0.5).validate_monotonicity(64), Ok(()));
+        assert_eq!(PowerMean::new(0.75).validate_monotonicity(64), Ok(()));
+        assert_eq!(PowerMean::new(1.0).validate_monotonicity(64), Ok(()));
+    }
+
+    #[test]
+    fn monotonicity_detects_violations() {
+        /// A deliberately invalid measure: constant `S_n` means removing a
+        /// vertex never lowers the denominator.
+        #[derive(Debug, Clone)]
+        struct Constant;
+        impl DensityMeasure for Constant {
+            fn name(&self) -> &'static str {
+                "Constant"
+            }
+            fn s(&self, _n: usize) -> f64 {
+                1.0
+            }
+        }
+        assert_eq!(Constant.validate_monotonicity(10), Err(3));
+    }
+
+    #[test]
+    fn g_is_non_increasing() {
+        for n in 3..=32 {
+            assert!(AvgWeight.g(n) <= AvgWeight.g(n - 1) + 1e-12);
+            assert!(AvgDegree.g(n) <= AvgDegree.g(n - 1) + 1e-12);
+            assert!(SqrtDens.g(n) <= SqrtDens.g(n - 1) + 1e-12);
+            assert!(PowerMean::new(0.6).g(n) <= PowerMean::new(0.6).g(n - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_mean_matches_avg_weight_at_one() {
+        let p = PowerMean::new(1.0);
+        for n in 2..10 {
+            assert!((p.s(n) - AvgWeight.s(n)).abs() < 1e-9);
+        }
+        assert_eq!(p.exponent(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn power_mean_rejects_bad_exponent() {
+        let _ = PowerMean::new(1.5);
+    }
+}

@@ -1,0 +1,407 @@
+//! The cardinality-dependent threshold family `T_n` (Eq. 8 of the paper) and
+//! the static density classification of Table 1.
+
+use crate::measure::DensityMeasure;
+use crate::score_meets;
+
+/// The static density class of a subgraph (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DensityClass {
+    /// `dens(C) < T_|C|`: not maintained by DynDens.
+    Sparse,
+    /// `T_|C| <= dens(C) < T`: maintained, but not reported.
+    DenseOnly,
+    /// `T <= dens(C) < T_{|C|+1}`: maintained and reported.
+    OutputDense,
+    /// `dens(C) >= T_{|C|+1}`: every supergraph obtained by adding one vertex
+    /// (even a disconnected one) is still dense.
+    TooDense,
+}
+
+impl DensityClass {
+    /// `true` for every class except [`DensityClass::Sparse`].
+    #[inline]
+    pub fn is_dense(self) -> bool {
+        !matches!(self, DensityClass::Sparse)
+    }
+
+    /// `true` for [`DensityClass::OutputDense`] and [`DensityClass::TooDense`]
+    /// when the latter also clears the output threshold (which it always does,
+    /// since `T_{n+1} >= T_n` and `T_n <= T` for `n <= Nmax`... see
+    /// [`ThresholdFamily::classify`], which performs the exact checks).
+    #[inline]
+    pub fn is_output_dense(self) -> bool {
+        matches!(self, DensityClass::OutputDense | DensityClass::TooDense)
+    }
+}
+
+/// The threshold family `T_n` used by DynDens to decide which subgraphs to
+/// maintain, instantiated as in Section 4.1.3 (Eq. 8):
+///
+/// ```text
+/// T_n = (1 / g_n) * ( g_Nmax * T  +  delta_it * ( (n-2)/(n-1) - (Nmax-2)/(Nmax-1) ) )
+/// ```
+///
+/// where `g_n = S_n / (n (n-1))`. This instantiation guarantees:
+///
+/// * `T_Nmax = T`, so every output-dense subgraph (of cardinality at most
+///   `Nmax`) is also dense and therefore maintained;
+/// * the growth property: every dense subgraph of cardinality `n` has a dense
+///   subgraph of cardinality `n - 1`;
+/// * the single-iteration condition of Eq. (1) simplifies to
+///   `delta <= delta_it`, so an update of magnitude `delta` requires at most
+///   `ceil(delta / delta_it)` exploration iterations.
+///
+/// `delta_it` must lie in the open interval `(0, delta_it_max)` with
+/// `delta_it_max = (Nmax - 1)/(Nmax - 2) * g_Nmax * T` (for `Nmax > 2`); small
+/// values mean DynDens maintains barely more than the output-dense subgraphs
+/// but explores more per update, large values maintain more subgraphs but
+/// explore less — the space/time trade-off of Section 4.1.4.
+#[derive(Debug, Clone)]
+pub struct ThresholdFamily<D: DensityMeasure> {
+    measure: D,
+    /// Output density threshold `T`.
+    threshold: f64,
+    /// Maximum cardinality of subgraphs of interest.
+    n_max: usize,
+    /// Exploration granularity `delta_it`.
+    delta_it: f64,
+    /// Precomputed `S_n * T_n` for `n in 0..=n_max + 1` (entries 0 and 1 are
+    /// unused and set to 0). Comparing `score(C) >= S_n * T_n` avoids a
+    /// division in the hot path and is how the paper's inequalities are stated.
+    score_thresholds: Vec<f64>,
+}
+
+impl<D: DensityMeasure> ThresholdFamily<D> {
+    /// Builds the threshold family for output threshold `T`, maximum
+    /// cardinality `n_max` and exploration granularity `delta_it`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_max < 2`, `threshold <= 0`, or `delta_it` lies outside the
+    /// validity interval `(0, delta_it_max)`.
+    pub fn new(measure: D, threshold: f64, n_max: usize, delta_it: f64) -> Self {
+        assert!(n_max >= 2, "Nmax must be at least 2, got {n_max}");
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "the density threshold T must be positive and finite, got {threshold}"
+        );
+        let max = Self::delta_it_upper_bound(&measure, threshold, n_max);
+        assert!(
+            delta_it > 0.0 && delta_it <= max,
+            "delta_it = {delta_it} outside the validity interval (0, {max}]"
+        );
+        let mut family = ThresholdFamily {
+            measure,
+            threshold,
+            n_max,
+            delta_it,
+            score_thresholds: Vec::new(),
+        };
+        family.recompute_tables();
+        family
+    }
+
+    /// Builds the family with `delta_it` expressed as a fraction of its maximum
+    /// admissible value (the form used throughout the paper's evaluation, e.g.
+    /// "`delta_it` set to 1% of its maximum value").
+    pub fn with_delta_it_fraction(measure: D, threshold: f64, n_max: usize, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "delta_it fraction must lie in (0, 1], got {fraction}"
+        );
+        let max = Self::delta_it_upper_bound(&measure, threshold, n_max);
+        Self::new(measure, threshold, n_max, fraction * max)
+    }
+
+    /// The largest admissible `delta_it` for the given parameters:
+    /// `(Nmax - 1)/(Nmax - 2) * g_Nmax * T` (for `Nmax > 2`; for `Nmax = 2`
+    /// the `delta_it` term never contributes and any positive value is valid,
+    /// so we return `g_2 * T`).
+    pub fn delta_it_upper_bound(measure: &D, threshold: f64, n_max: usize) -> f64 {
+        let g_max = measure.g(n_max);
+        if n_max <= 2 {
+            g_max * threshold
+        } else {
+            (n_max as f64 - 1.0) / (n_max as f64 - 2.0) * g_max * threshold
+        }
+    }
+
+    fn recompute_tables(&mut self) {
+        let g_max = self.measure.g(self.n_max);
+        let corr_max = (self.n_max as f64 - 2.0) / (self.n_max as f64 - 1.0);
+        let mut score_thresholds = vec![0.0; self.n_max + 2];
+        for (n, slot) in score_thresholds.iter_mut().enumerate().take(self.n_max + 2).skip(2) {
+            let nf = n as f64;
+            let corr_n = (nf - 2.0) / (nf - 1.0);
+            // T_n * g_n  =  g_Nmax * T + delta_it * (corr_n - corr_max)
+            let tn_gn = g_max * self.threshold + self.delta_it * (corr_n - corr_max);
+            // S_n * T_n  =  n (n-1) * (T_n * g_n)
+            *slot = nf * (nf - 1.0) * tn_gn;
+        }
+        self.score_thresholds = score_thresholds;
+    }
+
+    /// The density measure in use.
+    pub fn measure(&self) -> &D {
+        &self.measure
+    }
+
+    /// The output density threshold `T`.
+    pub fn output_threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The maximum cardinality `Nmax` of subgraphs of interest.
+    pub fn n_max(&self) -> usize {
+        self.n_max
+    }
+
+    /// The exploration granularity `delta_it`.
+    pub fn delta_it(&self) -> f64 {
+        self.delta_it
+    }
+
+    /// Replaces the output threshold `T`, rescaling `delta_it` proportionally
+    /// (`delta_it *= T_new / T_old`), as prescribed by Algorithm 3 line 1 of
+    /// the dynamic threshold adjustment procedure.
+    pub fn set_output_threshold(&mut self, new_threshold: f64) {
+        assert!(
+            new_threshold > 0.0 && new_threshold.is_finite(),
+            "the density threshold T must be positive and finite, got {new_threshold}"
+        );
+        self.delta_it *= new_threshold / self.threshold;
+        self.threshold = new_threshold;
+        self.recompute_tables();
+    }
+
+    /// The maintenance threshold `T_n` for subgraphs of cardinality `n`
+    /// (`2 <= n <= Nmax`). `T_Nmax` equals the output threshold `T`.
+    pub fn t(&self, n: usize) -> f64 {
+        assert!((2..=self.n_max + 1).contains(&n), "T_n defined for 2 <= n <= Nmax+1");
+        self.score_thresholds[n] / self.measure.s(n)
+    }
+
+    /// The score a subgraph of cardinality `n` must reach to be **dense**:
+    /// `S_n * T_n`.
+    #[inline]
+    pub fn dense_score_bound(&self, n: usize) -> f64 {
+        self.score_thresholds[n]
+    }
+
+    /// The score a subgraph of cardinality `n` must reach to be
+    /// **output-dense**: `S_n * T`.
+    #[inline]
+    pub fn output_score_bound(&self, n: usize) -> f64 {
+        self.measure.s(n) * self.threshold
+    }
+
+    /// `true` if a subgraph of cardinality `n` with total edge weight `score`
+    /// is dense (i.e. should be maintained by DynDens).
+    #[inline]
+    pub fn is_dense(&self, score: f64, n: usize) -> bool {
+        n >= 2 && n <= self.n_max && score_meets(score, self.dense_score_bound(n))
+    }
+
+    /// `true` if a subgraph of cardinality `n` with total edge weight `score`
+    /// is output-dense (i.e. must be reported).
+    #[inline]
+    pub fn is_output_dense(&self, score: f64, n: usize) -> bool {
+        n >= 2 && n <= self.n_max && score_meets(score, self.output_score_bound(n))
+    }
+
+    /// `true` if a subgraph of cardinality `n` with total edge weight `score`
+    /// is too-dense: augmenting it with **any** vertex (even a disconnected
+    /// one, which contributes no weight) still yields a dense subgraph, i.e.
+    /// `score >= S_{n+1} * T_{n+1}`.
+    ///
+    /// This is the operational reading of the paper's definition ("after
+    /// adding any other vertex to it, it is still dense"); it is what both the
+    /// exploration pruning and the explore-all / `ImplicitTooDense` machinery
+    /// rely on.
+    #[inline]
+    pub fn is_too_dense(&self, score: f64, n: usize) -> bool {
+        if n < 2 || n >= self.n_max {
+            // Subgraphs of maximum cardinality cannot grow further, so the
+            // notion of too-dense does not apply to them.
+            return false;
+        }
+        score_meets(score, self.dense_score_bound(n + 1))
+    }
+
+    /// Classifies a subgraph by score and cardinality.
+    pub fn classify(&self, score: f64, n: usize) -> DensityClass {
+        if !self.is_dense(score, n) {
+            DensityClass::Sparse
+        } else if self.is_too_dense(score, n) {
+            DensityClass::TooDense
+        } else if self.is_output_dense(score, n) {
+            DensityClass::OutputDense
+        } else {
+            DensityClass::DenseOnly
+        }
+    }
+
+    /// The number of exploration iterations DynDens must perform for an update
+    /// of magnitude `delta`: `ceil(delta / delta_it)` (Section 4.1.4).
+    pub fn exploration_iterations(&self, delta: f64) -> usize {
+        if delta <= 0.0 {
+            return 0;
+        }
+        (delta / self.delta_it).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{AvgDegree, AvgWeight, SqrtDens};
+
+    #[test]
+    fn t_nmax_equals_output_threshold() {
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 4, 0.15);
+        assert!((fam.t(4) - 1.0).abs() < 1e-12);
+        let fam = ThresholdFamily::with_delta_it_fraction(AvgDegree, 1.7, 8, 0.3);
+        assert!((fam.t(8) - 1.7).abs() < 1e-12);
+        let fam = ThresholdFamily::with_delta_it_fraction(SqrtDens, 0.6, 6, 0.01);
+        assert!((fam.t(6) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_example_thresholds() {
+        // Section 3.1's walkthrough quotes T_2 = 0.9, T_3 = 0.975, T_4 = 1 for
+        // "delta_it = 0.15". Those values follow from Eq. (8) when the
+        // delta_it correction is applied on the density scale directly (i.e.
+        // S_n = n(n-1), the convention of the paper's closed-form bullet). For
+        // our canonical AvgWeight (S_n = n(n-1)/2, density = average edge
+        // weight, matching the densities listed in Figure 2(b)), the same
+        // thresholds correspond to delta_it = 0.075.
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 4, 0.075);
+        assert!((fam.t(2) - 0.9).abs() < 1e-9, "T_2 = {}", fam.t(2));
+        assert!((fam.t(3) - 0.975).abs() < 1e-9, "T_3 = {}", fam.t(3));
+        assert!((fam.t(4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_degree_closed_form() {
+        // For S_n = n the paper derives T_n = (n-1)/(Nmax-1) (T + delta_it) - delta_it.
+        let (t, n_max, dit) = (2.0, 6, 0.05);
+        let fam = ThresholdFamily::new(AvgDegree, t, n_max, dit);
+        for n in 2..=n_max {
+            let expected = (n as f64 - 1.0) / (n_max as f64 - 1.0) * (t + dit) - dit;
+            assert!((fam.t(n) - expected).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn avg_weight_closed_form() {
+        // For S_n = n(n-1)/2 (so g_n = 1/2): T_n = T - 2*delta_it*(1/(n-1) - 1/(Nmax-1)).
+        let (t, n_max, dit) = (1.0, 5, 0.1);
+        let fam = ThresholdFamily::new(AvgWeight, t, n_max, dit);
+        for n in 2..=n_max {
+            let expected = t - 2.0 * dit * (1.0 / (n as f64 - 1.0) - 1.0 / (n_max as f64 - 1.0));
+            assert!((fam.t(n) - expected).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tn_gn_is_strictly_increasing() {
+        // The growth property requires T_n * g_n > T_{n-1} * g_{n-1}.
+        for n_max in [4usize, 6, 10] {
+            let fam = ThresholdFamily::with_delta_it_fraction(SqrtDens, 0.8, n_max, 0.4);
+            for n in 3..=n_max {
+                let cur = fam.t(n) * SqrtDens.g(n);
+                let prev = fam.t(n - 1) * SqrtDens.g(n - 1);
+                assert!(cur > prev, "violated at n={n} for Nmax={n_max}");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_positive_within_validity_range() {
+        for frac in [0.01, 0.25, 0.5, 0.99] {
+            let fam = ThresholdFamily::with_delta_it_fraction(AvgWeight, 0.7, 10, frac);
+            for n in 2..=10 {
+                assert!(fam.t(n) > 0.0, "T_{n} must be positive (frac={frac})");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_definitions() {
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 4, 0.15);
+        // 2-subgraph (S_2 = 1): dense needs score >= T_2 = 0.9, output-dense
+        // >= 1.0, too-dense needs score >= S_3 * T_3 = 3 * 0.95 = 2.85 (adding
+        // any third vertex must keep the subgraph dense).
+        assert_eq!(fam.classify(0.5, 2), DensityClass::Sparse);
+        assert_eq!(fam.classify(0.92, 2), DensityClass::DenseOnly);
+        assert_eq!(fam.classify(0.98, 2), DensityClass::DenseOnly);
+        assert_eq!(fam.classify(1.05, 2), DensityClass::OutputDense);
+        assert_eq!(fam.classify(2.9, 2), DensityClass::TooDense);
+        // A 3-subgraph with score 2.94 clears T_3 (2.85) but not T = 1.0.
+        assert_eq!(fam.classify(2.94, 3), DensityClass::DenseOnly);
+        assert!(fam.classify(3.0, 3).is_output_dense());
+        // Too-dense at cardinality 3 requires score >= S_4 * T_4 = 6.
+        assert_eq!(fam.classify(6.0, 3), DensityClass::TooDense);
+        // Nmax-subgraphs can never be too-dense (they cannot grow further).
+        assert!(!fam.is_too_dense(100.0, 4));
+        assert!(matches!(fam.classify(100.0, 4), DensityClass::OutputDense));
+        // Cardinalities above Nmax or below 2 are never dense.
+        assert!(!fam.is_dense(100.0, 5));
+        assert!(!fam.is_dense(100.0, 1));
+    }
+
+    #[test]
+    fn density_class_helpers() {
+        assert!(!DensityClass::Sparse.is_dense());
+        assert!(DensityClass::DenseOnly.is_dense());
+        assert!(!DensityClass::DenseOnly.is_output_dense());
+        assert!(DensityClass::OutputDense.is_output_dense());
+        assert!(DensityClass::TooDense.is_output_dense());
+    }
+
+    #[test]
+    fn exploration_iterations_bound() {
+        let fam = ThresholdFamily::new(AvgWeight, 1.0, 4, 0.15);
+        assert_eq!(fam.exploration_iterations(0.15), 1);
+        assert_eq!(fam.exploration_iterations(0.151), 2);
+        assert_eq!(fam.exploration_iterations(0.30), 2);
+        assert_eq!(fam.exploration_iterations(1.0), 7);
+        assert_eq!(fam.exploration_iterations(-0.5), 0);
+        assert_eq!(fam.exploration_iterations(0.0), 0);
+    }
+
+    #[test]
+    fn set_output_threshold_rescales_delta_it() {
+        let mut fam = ThresholdFamily::new(AvgWeight, 1.0, 4, 0.15);
+        fam.set_output_threshold(0.8);
+        assert!((fam.output_threshold() - 0.8).abs() < 1e-12);
+        assert!((fam.delta_it() - 0.12).abs() < 1e-12);
+        assert!((fam.t(4) - 0.8).abs() < 1e-12);
+        fam.set_output_threshold(1.0);
+        assert!((fam.delta_it() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_it_upper_bound_formula() {
+        // (Nmax-1)/(Nmax-2) * g_Nmax * T
+        let b = ThresholdFamily::delta_it_upper_bound(&AvgWeight, 1.0, 4);
+        assert!((b - 1.5 * 0.5).abs() < 1e-12);
+        let b = ThresholdFamily::delta_it_upper_bound(&AvgDegree, 2.0, 5);
+        assert!((b - (4.0 / 3.0) * (1.0 / 4.0) * 2.0).abs() < 1e-12);
+        let b = ThresholdFamily::delta_it_upper_bound(&AvgWeight, 1.0, 2);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "validity interval")]
+    fn rejects_out_of_range_delta_it() {
+        let _ = ThresholdFamily::new(AvgWeight, 1.0, 4, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nmax")]
+    fn rejects_tiny_nmax() {
+        let _ = ThresholdFamily::new(AvgWeight, 1.0, 1, 0.01);
+    }
+}

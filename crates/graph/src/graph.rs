@@ -1,0 +1,332 @@
+//! The evolving weighted graph and its adjacency-list index.
+
+use crate::hash::FxHashMap;
+use crate::{EdgeUpdate, VertexId, VertexSet};
+
+/// Weights whose absolute value falls below this threshold are treated as zero
+/// and the corresponding edge is removed from the adjacency lists. Association
+/// measures are non-negative in practice, but the stream of updates may drive a
+/// weight back to (numerically almost) zero.
+pub const WEIGHT_EPSILON: f64 = 1e-12;
+
+/// The neighbourhood score vector `Γ_C` of a subgraph `C`: for every vertex `u`
+/// adjacent to `C` (and for every member of `C`), the total weight of edges
+/// between `u` and the members of `C`, i.e. `Γ_C · ê_u`.
+///
+/// This is exactly the quantity DynDens needs during exploration: the score of
+/// `C ∪ {u}` is `score(C) + Γ_C · ê_u` (footnote 6 of the paper).
+pub type NeighborhoodScores = FxHashMap<VertexId, f64>;
+
+/// The evolving, complete weighted graph, stored sparsely via per-vertex
+/// adjacency maps.
+///
+/// Absent edges have weight `0.0`. Applying an [`EdgeUpdate`] adjusts a single
+/// edge weight; weights that become (numerically) zero are pruned so that
+/// `neighbors()` only reports genuinely connected vertices.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    adjacency: Vec<FxHashMap<VertexId, f64>>,
+    edge_count: usize,
+    total_weight: f64,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph with `n` vertices (`VertexId(0) .. VertexId(n-1)`).
+    pub fn with_vertices(n: usize) -> Self {
+        DynamicGraph {
+            adjacency: vec![FxHashMap::default(); n],
+            edge_count: 0,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Creates an empty graph with no vertices; vertices are added lazily by
+    /// [`ensure_vertex`](Self::ensure_vertex) or when updates mention them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices currently allocated.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges with non-zero weight.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sum of all (non-zero) edge weights.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Ensures the vertex `v` exists, growing the vertex set if needed.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        assert!(!v.is_star(), "the fictitious * vertex cannot be materialised");
+        if v.index() >= self.adjacency.len() {
+            self.adjacency.resize_with(v.index() + 1, FxHashMap::default);
+        }
+    }
+
+    /// Current weight of the edge `(a, b)`; `0.0` if absent.
+    #[inline]
+    pub fn weight(&self, a: VertexId, b: VertexId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.adjacency
+            .get(a.index())
+            .and_then(|adj| adj.get(&b))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Degree of `u`: the number of neighbours with non-zero edge weight.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.adjacency.get(u.index()).map_or(0, FxHashMap::len)
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(FxHashMap::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over the neighbours of `u` together with the edge weights.
+    pub fn neighbors(&self, u: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        self.adjacency
+            .get(u.index())
+            .into_iter()
+            .flat_map(|adj| adj.iter().map(|(&v, &w)| (v, w)))
+    }
+
+    /// The weighted "degree" of `u` with respect to subgraph `C`:
+    /// `D_u = Γ_u · c = Σ_{j ∈ C} w_uj`.
+    pub fn degree_into(&self, u: VertexId, set: &VertexSet) -> f64 {
+        // Iterate over the smaller of the two collections.
+        let adj = match self.adjacency.get(u.index()) {
+            Some(adj) => adj,
+            None => return 0.0,
+        };
+        if set.len() < adj.len() {
+            set.iter()
+                .filter(|&v| v != u)
+                .map(|v| adj.get(&v).copied().unwrap_or(0.0))
+                .sum()
+        } else {
+            adj.iter()
+                .filter(|(v, _)| **v != u && set.contains(**v))
+                .map(|(_, &w)| w)
+                .sum()
+        }
+    }
+
+    /// Sets the weight of edge `(a, b)` to an absolute value, returning the old
+    /// weight.
+    pub fn set_weight(&mut self, a: VertexId, b: VertexId, weight: f64) -> f64 {
+        assert!(a != b, "self loops are not supported");
+        assert!(weight.is_finite(), "edge weight must be finite");
+        self.ensure_vertex(a);
+        self.ensure_vertex(b);
+        let old = self.weight(a, b);
+        let had_edge = old.abs() > WEIGHT_EPSILON;
+        let has_edge = weight.abs() > WEIGHT_EPSILON;
+        if has_edge {
+            self.adjacency[a.index()].insert(b, weight);
+            self.adjacency[b.index()].insert(a, weight);
+        } else {
+            self.adjacency[a.index()].remove(&b);
+            self.adjacency[b.index()].remove(&a);
+        }
+        match (had_edge, has_edge) {
+            (false, true) => self.edge_count += 1,
+            (true, false) => self.edge_count -= 1,
+            _ => {}
+        }
+        self.total_weight += (if has_edge { weight } else { 0.0 }) - (if had_edge { old } else { 0.0 });
+        old
+    }
+
+    /// Applies an edge weight update, returning `(old_weight, new_weight)`.
+    pub fn apply_update(&mut self, update: &EdgeUpdate) -> (f64, f64) {
+        let old = self.weight(update.a, update.b);
+        let new = old + update.delta;
+        self.set_weight(update.a, update.b, new);
+        (old, new)
+    }
+
+    /// The score of a subgraph: `score(C) = Σ_{i,j ∈ C, i<j} w_ij`.
+    pub fn score(&self, set: &VertexSet) -> f64 {
+        let vertices = set.as_slice();
+        let mut score = 0.0;
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                score += self.weight(u, v);
+            }
+        }
+        score
+    }
+
+    /// Computes the neighbourhood score vector `Γ_C` of a subgraph by merging
+    /// the adjacency lists of its members. The returned map contains an entry
+    /// for every vertex `u` with at least one edge into `C` — including the
+    /// members of `C` themselves (callers typically skip those).
+    pub fn neighborhood_scores(&self, set: &VertexSet) -> NeighborhoodScores {
+        let mut scores = NeighborhoodScores::default();
+        for v in set.iter() {
+            if let Some(adj) = self.adjacency.get(v.index()) {
+                for (&u, &w) in adj {
+                    *scores.entry(u).or_insert(0.0) += w;
+                }
+            }
+        }
+        scores
+    }
+
+    /// Iterates over every edge `(a, b, w)` with `a < b` and non-zero weight.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f64)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, adj)| {
+            let a = VertexId(i as u32);
+            adj.iter()
+                .filter(move |(&b, _)| a < b)
+                .map(move |(&b, &w)| (a, b, w))
+        })
+    }
+
+    /// Returns whether the subgraph induced by `set` is connected (considering
+    /// only edges with non-zero weight). Singleton and empty sets are
+    /// considered connected.
+    pub fn is_connected(&self, set: &VertexSet) -> bool {
+        if set.len() <= 1 {
+            return true;
+        }
+        let mut visited = VertexSet::new();
+        let start = set.as_slice()[0];
+        let mut stack = vec![start];
+        visited.insert(start);
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.neighbors(u) {
+                if set.contains(v) && visited.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        visited.len() == set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> DynamicGraph {
+        // The execution-example graph of Figure 2(a) uses 5 vertices; we build a
+        // small weighted graph here.
+        let mut g = DynamicGraph::with_vertices(5);
+        g.set_weight(VertexId(0), VertexId(1), 1.0);
+        g.set_weight(VertexId(0), VertexId(2), 0.5);
+        g.set_weight(VertexId(1), VertexId(2), 2.0);
+        g.set_weight(VertexId(3), VertexId(4), 0.25);
+        g
+    }
+
+    #[test]
+    fn weights_and_counts() {
+        let g = sample_graph();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.weight(VertexId(0), VertexId(1)), 1.0);
+        assert_eq!(g.weight(VertexId(1), VertexId(0)), 1.0);
+        assert_eq!(g.weight(VertexId(0), VertexId(3)), 0.0);
+        assert_eq!(g.weight(VertexId(2), VertexId(2)), 0.0);
+        assert!((g.total_weight() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_weight_returns_old_and_prunes_zero() {
+        let mut g = sample_graph();
+        let old = g.set_weight(VertexId(0), VertexId(1), 0.0);
+        assert_eq!(old, 1.0);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.weight(VertexId(0), VertexId(1)), 0.0);
+    }
+
+    #[test]
+    fn apply_update_accumulates() {
+        let mut g = DynamicGraph::with_vertices(3);
+        let u = EdgeUpdate::new(VertexId(0), VertexId(1), 0.75);
+        let (old, new) = g.apply_update(&u);
+        assert_eq!((old, new), (0.0, 0.75));
+        let (old, new) = g.apply_update(&EdgeUpdate::new(VertexId(1), VertexId(0), -0.25));
+        assert_eq!((old, new), (0.75, 0.5));
+        assert_eq!(g.weight(VertexId(0), VertexId(1)), 0.5);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn ensure_vertex_grows() {
+        let mut g = DynamicGraph::new();
+        assert_eq!(g.vertex_count(), 0);
+        g.set_weight(VertexId(7), VertexId(2), 1.5);
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.degree(VertexId(7)), 1);
+        assert_eq!(g.degree(VertexId(6)), 0);
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn score_and_neighborhood() {
+        let g = sample_graph();
+        let c = VertexSet::from_ids(&[0, 1, 2]);
+        assert!((g.score(&c) - 3.5).abs() < 1e-12);
+
+        let gamma = g.neighborhood_scores(&c);
+        // vertex 0's edges into C: to 1 (1.0) + to 2 (0.5) = 1.5
+        assert!((gamma[&VertexId(0)] - 1.5).abs() < 1e-12);
+        // vertex 3 and 4 have no edges into C
+        assert!(!gamma.contains_key(&VertexId(3)));
+
+        // growing by a disconnected vertex leaves the score unchanged
+        let c34 = VertexSet::from_ids(&[0, 1, 2, 3]);
+        assert!((g.score(&c34) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_into_subgraph() {
+        let g = sample_graph();
+        let c = VertexSet::from_ids(&[0, 1]);
+        assert!((g.degree_into(VertexId(2), &c) - 2.5).abs() < 1e-12);
+        assert!((g.degree_into(VertexId(0), &c) - 1.0).abs() < 1e-12);
+        assert_eq!(g.degree_into(VertexId(4), &c), 0.0);
+        assert_eq!(g.degree_into(VertexId(100), &c), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = sample_graph();
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(a, b, _)| (a.0, b.0)).collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = sample_graph();
+        assert!(g.is_connected(&VertexSet::from_ids(&[0, 1, 2])));
+        assert!(!g.is_connected(&VertexSet::from_ids(&[0, 1, 3])));
+        assert!(g.is_connected(&VertexSet::from_ids(&[3])));
+        assert!(g.is_connected(&VertexSet::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fictitious")]
+    fn star_vertex_cannot_be_materialised() {
+        let mut g = DynamicGraph::new();
+        g.ensure_vertex(VertexId::STAR);
+    }
+}

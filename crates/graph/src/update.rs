@@ -1,0 +1,85 @@
+//! Edge weight updates — the items of the input stream.
+
+use crate::VertexId;
+
+/// A single edge weight update `update_i = (a, b, delta)`: at time instant `i`
+/// the weight of the edge between vertices `a` and `b` changes from `w_ab` to
+/// `w_ab + delta`.
+///
+/// Updates with `delta > 0` ("positive updates") may create newly-dense
+/// subgraphs and are the expensive case; updates with `delta < 0` ("negative
+/// updates") can only shrink the dense set and are cheap to process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeUpdate {
+    /// One endpoint of the updated edge.
+    pub a: VertexId,
+    /// The other endpoint of the updated edge.
+    pub b: VertexId,
+    /// The (signed) change in weight.
+    pub delta: f64,
+}
+
+impl EdgeUpdate {
+    /// Creates a new update, normalising the endpoint order so that `a < b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self loops carry no meaning for pairwise entity
+    /// association) or if `delta` is not finite.
+    pub fn new(a: VertexId, b: VertexId, delta: f64) -> Self {
+        assert!(a != b, "self-loop update ({a}, {b}) is not allowed");
+        assert!(delta.is_finite(), "update delta must be finite");
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        EdgeUpdate { a, b, delta }
+    }
+
+    /// Returns `true` if this is a positive update (`delta > 0`).
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        self.delta > 0.0
+    }
+
+    /// Returns `true` if this is a negative update (`delta < 0`).
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.delta < 0.0
+    }
+
+    /// The two endpoints as a tuple `(a, b)` with `a < b`.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalises_order() {
+        let u = EdgeUpdate::new(VertexId(5), VertexId(2), 0.25);
+        assert_eq!(u.endpoints(), (VertexId(2), VertexId(5)));
+        assert!(u.is_positive());
+        assert!(!u.is_negative());
+    }
+
+    #[test]
+    fn negative_update_classified() {
+        let u = EdgeUpdate::new(VertexId(0), VertexId(1), -0.5);
+        assert!(u.is_negative());
+        assert!(!u.is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = EdgeUpdate::new(VertexId(3), VertexId(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_delta_panics() {
+        let _ = EdgeUpdate::new(VertexId(3), VertexId(4), f64::NAN);
+    }
+}

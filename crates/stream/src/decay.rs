@@ -1,0 +1,238 @@
+//! Exponentially decayed occurrence and co-occurrence counters.
+//!
+//! To identify *emerging* stories rather than cumulative stories-to-date, the
+//! paper applies exponential decay to all entity occurrences and
+//! co-occurrences (with a configurable mean life, two hours in its
+//! experiments). The counters here decay lazily: each counter remembers the
+//! time it was last touched and scales its value by `exp(-dt / mean_life)`
+//! when read or incremented at a later time.
+
+use dyndens_graph::{FxHashMap, FxHashSet, VertexId};
+
+/// A single exponentially decayed counter.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct DecayedCount {
+    value: f64,
+    last_update: f64,
+}
+
+impl DecayedCount {
+    fn decayed(&self, now: f64, mean_life: f64) -> f64 {
+        if self.value == 0.0 {
+            return 0.0;
+        }
+        let dt = (now - self.last_update).max(0.0);
+        self.value * (-dt / mean_life).exp()
+    }
+
+    fn add(&mut self, now: f64, amount: f64, mean_life: f64) {
+        self.value = self.decayed(now, mean_life) + amount;
+        self.last_update = now;
+    }
+}
+
+/// The contingency statistics of an entity pair at a given time, used by the
+/// association measures: decayed occurrence counts of each entity, their
+/// decayed co-occurrence count and the decayed total number of posts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairStats {
+    /// Decayed number of posts mentioning the first entity.
+    pub count_a: f64,
+    /// Decayed number of posts mentioning the second entity.
+    pub count_b: f64,
+    /// Decayed number of posts mentioning both.
+    pub count_ab: f64,
+    /// Decayed total number of posts observed.
+    pub total: f64,
+}
+
+/// Tracks decayed entity occurrence counts, pairwise co-occurrence counts and
+/// the total (decayed) volume of posts.
+#[derive(Debug, Clone)]
+pub struct CooccurrenceTracker {
+    mean_life: f64,
+    total: DecayedCount,
+    occurrences: FxHashMap<VertexId, DecayedCount>,
+    cooccurrences: FxHashMap<(VertexId, VertexId), DecayedCount>,
+    /// For every entity, the set of entities it has ever co-occurred with
+    /// (needed to know which edge weights to refresh when an entity is
+    /// mentioned again).
+    partners: FxHashMap<VertexId, FxHashSet<VertexId>>,
+    /// When `None`, counts never decay ("cumulative stories to date" mode).
+    decay_enabled: bool,
+}
+
+impl CooccurrenceTracker {
+    /// Creates a tracker with the given mean post life (seconds).
+    pub fn new(mean_life: f64) -> Self {
+        assert!(mean_life > 0.0, "mean life must be positive");
+        CooccurrenceTracker {
+            mean_life,
+            total: DecayedCount::default(),
+            occurrences: FxHashMap::default(),
+            cooccurrences: FxHashMap::default(),
+            partners: FxHashMap::default(),
+            decay_enabled: true,
+        }
+    }
+
+    /// Creates a tracker that never decays its counts (cumulative mode, used
+    /// for the day-granularity qualitative results of Table 3).
+    pub fn without_decay() -> Self {
+        let mut t = Self::new(1.0);
+        t.decay_enabled = false;
+        t
+    }
+
+    fn life(&self) -> f64 {
+        if self.decay_enabled {
+            self.mean_life
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Records a post at time `now` mentioning the given (distinct) entities.
+    pub fn observe(&mut self, now: f64, entities: &[VertexId]) {
+        let life = self.life();
+        self.total.add(now, 1.0, life);
+        for &e in entities {
+            self.occurrences.entry(e).or_default().add(now, 1.0, life);
+        }
+        for (i, &a) in entities.iter().enumerate() {
+            for &b in &entities[i + 1..] {
+                let key = if a < b { (a, b) } else { (b, a) };
+                self.cooccurrences.entry(key).or_default().add(now, 1.0, life);
+                self.partners.entry(a).or_default().insert(b);
+                self.partners.entry(b).or_default().insert(a);
+            }
+        }
+    }
+
+    /// Decayed occurrence count of an entity at time `now`.
+    pub fn occurrences(&self, entity: VertexId, now: f64) -> f64 {
+        self.occurrences
+            .get(&entity)
+            .map_or(0.0, |c| c.decayed(now, self.life()))
+    }
+
+    /// Decayed co-occurrence count of a pair at time `now`.
+    pub fn cooccurrences(&self, a: VertexId, b: VertexId, now: f64) -> f64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.cooccurrences
+            .get(&key)
+            .map_or(0.0, |c| c.decayed(now, self.life()))
+    }
+
+    /// Decayed total number of posts at time `now`.
+    pub fn total(&self, now: f64) -> f64 {
+        self.total.decayed(now, self.life())
+    }
+
+    /// The entities that have ever co-occurred with `entity`.
+    pub fn partners(&self, entity: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.partners.get(&entity).into_iter().flatten().copied()
+    }
+
+    /// The full contingency statistics of a pair at time `now`.
+    pub fn pair_stats(&self, a: VertexId, b: VertexId, now: f64) -> PairStats {
+        PairStats {
+            count_a: self.occurrences(a, now),
+            count_b: self.occurrences(b, now),
+            count_ab: self.cooccurrences(a, b, now),
+            total: self.total(now),
+        }
+    }
+
+    /// Number of distinct entities observed so far.
+    pub fn entity_count(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: f64 = 3600.0;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn counts_accumulate_without_time_passing() {
+        let mut t = CooccurrenceTracker::new(2.0 * HOUR);
+        t.observe(0.0, &[v(0), v(1)]);
+        t.observe(0.0, &[v(0), v(1), v(2)]);
+        t.observe(0.0, &[v(3)]);
+        assert!((t.occurrences(v(0), 0.0) - 2.0).abs() < 1e-12);
+        assert!((t.occurrences(v(3), 0.0) - 1.0).abs() < 1e-12);
+        assert!((t.cooccurrences(v(0), v(1), 0.0) - 2.0).abs() < 1e-12);
+        assert!((t.cooccurrences(v(1), v(2), 0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(t.cooccurrences(v(0), v(3), 0.0), 0.0);
+        assert!((t.total(0.0) - 3.0).abs() < 1e-12);
+        assert_eq!(t.entity_count(), 4);
+    }
+
+    #[test]
+    fn decay_halves_after_mean_life_times_ln2() {
+        let mean_life = 2.0 * HOUR;
+        let mut t = CooccurrenceTracker::new(mean_life);
+        t.observe(0.0, &[v(0), v(1)]);
+        let half_life = mean_life * std::f64::consts::LN_2;
+        let c = t.cooccurrences(v(0), v(1), half_life);
+        assert!((c - 0.5).abs() < 1e-9, "expected 0.5, got {c}");
+        // Far in the future the count is negligible.
+        assert!(t.occurrences(v(0), 100.0 * mean_life) < 1e-9);
+    }
+
+    #[test]
+    fn old_and_new_observations_mix() {
+        let mean_life = HOUR;
+        let mut t = CooccurrenceTracker::new(mean_life);
+        t.observe(0.0, &[v(0), v(1)]);
+        t.observe(mean_life, &[v(0), v(1)]);
+        let expected = 1.0 + (-1.0f64).exp();
+        assert!((t.cooccurrences(v(0), v(1), mean_life) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_decay_counts_are_stable() {
+        let mut t = CooccurrenceTracker::without_decay();
+        t.observe(0.0, &[v(0), v(1)]);
+        t.observe(1e9, &[v(0)]);
+        assert!((t.occurrences(v(0), 2e9) - 2.0).abs() < 1e-12);
+        assert!((t.cooccurrences(v(0), v(1), 2e9) - 1.0).abs() < 1e-12);
+        assert!((t.total(3e9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partners_are_tracked() {
+        let mut t = CooccurrenceTracker::new(HOUR);
+        t.observe(0.0, &[v(0), v(1), v(2)]);
+        t.observe(0.0, &[v(0), v(3)]);
+        let mut partners: Vec<u32> = t.partners(v(0)).map(|p| p.0).collect();
+        partners.sort_unstable();
+        assert_eq!(partners, vec![1, 2, 3]);
+        assert_eq!(t.partners(v(4)).count(), 0);
+    }
+
+    #[test]
+    fn pair_stats_bundle() {
+        let mut t = CooccurrenceTracker::new(HOUR);
+        t.observe(0.0, &[v(0), v(1)]);
+        t.observe(0.0, &[v(0)]);
+        let s = t.pair_stats(v(0), v(1), 0.0);
+        assert!((s.count_a - 2.0).abs() < 1e-12);
+        assert!((s.count_b - 1.0).abs() < 1e-12);
+        assert!((s.count_ab - 1.0).abs() < 1e-12);
+        assert!((s.total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_mean_life() {
+        let _ = CooccurrenceTracker::new(0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Association measures: turning (co-)occurrence statistics into edge weights.
+//!
+//! The paper's techniques are agnostic to the specific measure of pairwise
+//! entity association; its evaluation uses two concrete choices which are both
+//! implemented here behind the [`AssociationMeasure`] trait:
+//!
+//! * a combination of the chi-square test and the correlation (phi)
+//!   coefficient — the **weighted** dataset: the edge weight is the positive
+//!   part of the correlation coefficient, retained only when the chi-square
+//!   statistic shows significant correlation (p < 5%);
+//! * a thresholded log-likelihood ratio — the **unweighted** dataset: an edge
+//!   of weight 1 exists when both entities are frequent enough (at least five
+//!   posts each) and the log-likelihood ratio of their co-occurrence is
+//!   significant (p < 1%), weight 0 otherwise.
+//!
+//! Both are computed from the 2×2 contingency table of decayed counts provided
+//! by [`PairStats`](crate::decay::PairStats).
+
+use crate::decay::PairStats;
+
+/// Chi-square critical value at p < 5%, one degree of freedom.
+pub const CHI2_CRITICAL_5PCT: f64 = 3.841;
+/// Chi-square critical value at p < 1%, one degree of freedom.
+pub const CHI2_CRITICAL_1PCT: f64 = 6.635;
+
+/// A measure of pairwise association strength between two entities.
+pub trait AssociationMeasure: std::fmt::Debug + Clone + Send + Sync + 'static {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The edge weight for a pair with the given contingency statistics.
+    /// Must be non-negative and finite; `0.0` means "no edge".
+    fn weight(&self, stats: &PairStats) -> f64;
+}
+
+/// The four cells of the 2×2 contingency table, clamped to be non-negative
+/// and consistent.
+fn contingency(stats: &PairStats) -> (f64, f64, f64, f64) {
+    let k11 = stats.count_ab.max(0.0);
+    let k12 = (stats.count_a - k11).max(0.0);
+    let k21 = (stats.count_b - k11).max(0.0);
+    let k22 = (stats.total - k11 - k12 - k21).max(0.0);
+    (k11, k12, k21, k22)
+}
+
+/// Pearson's chi-square statistic of the 2×2 table.
+pub fn chi_square(stats: &PairStats) -> f64 {
+    let (k11, k12, k21, k22) = contingency(stats);
+    let n = k11 + k12 + k21 + k22;
+    let row1 = k11 + k12;
+    let row2 = k21 + k22;
+    let col1 = k11 + k21;
+    let col2 = k12 + k22;
+    let denom = row1 * row2 * col1 * col2;
+    if denom <= 0.0 || n <= 0.0 {
+        return 0.0;
+    }
+    let det = k11 * k22 - k12 * k21;
+    n * det * det / denom
+}
+
+/// The correlation (phi) coefficient of the 2×2 table, in `[-1, 1]`.
+pub fn correlation_coefficient(stats: &PairStats) -> f64 {
+    let (k11, k12, k21, k22) = contingency(stats);
+    let denom = ((k11 + k12) * (k21 + k22) * (k11 + k21) * (k12 + k22)).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (k11 * k22 - k12 * k21) / denom
+}
+
+/// The log-likelihood ratio statistic (G²) of the 2×2 table.
+pub fn log_likelihood_ratio(stats: &PairStats) -> f64 {
+    let (k11, k12, k21, k22) = contingency(stats);
+    let n = k11 + k12 + k21 + k22;
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let row1 = k11 + k12;
+    let row2 = k21 + k22;
+    let col1 = k11 + k21;
+    let col2 = k12 + k22;
+    let term = |k: f64, row: f64, col: f64| -> f64 {
+        if k <= 0.0 {
+            return 0.0;
+        }
+        let expected = row * col / n;
+        if expected <= 0.0 {
+            return 0.0;
+        }
+        k * (k / expected).ln()
+    };
+    let g2 = 2.0
+        * (term(k11, row1, col1) + term(k12, row1, col2) + term(k21, row2, col1) + term(k22, row2, col2));
+    g2.max(0.0)
+}
+
+/// The chi-square + correlation-coefficient measure used for the paper's
+/// *weighted* dataset: weight is `max(correlation coefficient, 0)` when the
+/// chi-square statistic is significant, `0` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareCorrelation {
+    /// The chi-square significance cut-off (default: p < 5%).
+    pub chi2_critical: f64,
+}
+
+impl Default for ChiSquareCorrelation {
+    fn default() -> Self {
+        ChiSquareCorrelation { chi2_critical: CHI2_CRITICAL_5PCT }
+    }
+}
+
+impl AssociationMeasure for ChiSquareCorrelation {
+    fn name(&self) -> &'static str {
+        "chi-square + correlation coefficient"
+    }
+
+    fn weight(&self, stats: &PairStats) -> f64 {
+        if stats.count_ab <= 0.0 {
+            return 0.0;
+        }
+        if chi_square(stats) < self.chi2_critical {
+            return 0.0;
+        }
+        correlation_coefficient(stats).max(0.0)
+    }
+}
+
+/// The thresholded log-likelihood-ratio measure used for the paper's
+/// *unweighted* dataset: weight 1 when each entity appears in at least
+/// `min_occurrences` posts and the log-likelihood ratio is significant,
+/// weight 0 otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogLikelihoodRatio {
+    /// Minimum (decayed) occurrence count per entity (default: 5).
+    pub min_occurrences: f64,
+    /// The G² significance cut-off (default: p < 1%).
+    pub critical_value: f64,
+    /// When `false`, the raw G² value is used as the weight instead of the
+    /// 0/1 thresholding — the variant used for the qualitative experiment of
+    /// Table 3 ("edge weights were retained ... as opposed to being
+    /// thresholded").
+    pub thresholded: bool,
+}
+
+impl Default for LogLikelihoodRatio {
+    fn default() -> Self {
+        LogLikelihoodRatio {
+            min_occurrences: 5.0,
+            critical_value: CHI2_CRITICAL_1PCT,
+            thresholded: true,
+        }
+    }
+}
+
+impl LogLikelihoodRatio {
+    /// The non-thresholded variant (weights are raw, scaled G² values) at the
+    /// given significance level.
+    pub fn raw(critical_value: f64) -> Self {
+        LogLikelihoodRatio { min_occurrences: 1.0, critical_value, thresholded: false }
+    }
+}
+
+impl AssociationMeasure for LogLikelihoodRatio {
+    fn name(&self) -> &'static str {
+        "log-likelihood ratio"
+    }
+
+    fn weight(&self, stats: &PairStats) -> f64 {
+        if stats.count_ab <= 0.0
+            || stats.count_a < self.min_occurrences
+            || stats.count_b < self.min_occurrences
+        {
+            return 0.0;
+        }
+        // Positive association only: if the pair co-occurs less than expected
+        // under independence, it carries no edge.
+        if correlation_coefficient(stats) <= 0.0 {
+            return 0.0;
+        }
+        let g2 = log_likelihood_ratio(stats);
+        if g2 < self.critical_value {
+            0.0
+        } else if self.thresholded {
+            1.0
+        } else {
+            // Scale the raw statistic into a moderate range so densities stay
+            // comparable across measures.
+            g2 / self.critical_value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(count_a: f64, count_b: f64, count_ab: f64, total: f64) -> PairStats {
+        PairStats { count_a, count_b, count_ab, total }
+    }
+
+    #[test]
+    fn independent_pair_has_no_weight() {
+        // a and b each appear in half the posts, co-occur exactly as expected
+        // under independence.
+        let s = stats(50.0, 50.0, 25.0, 100.0);
+        assert!(chi_square(&s) < 1e-9);
+        assert!(correlation_coefficient(&s).abs() < 1e-9);
+        assert!(log_likelihood_ratio(&s) < 1e-9);
+        assert_eq!(ChiSquareCorrelation::default().weight(&s), 0.0);
+        assert_eq!(LogLikelihoodRatio::default().weight(&s), 0.0);
+    }
+
+    #[test]
+    fn perfectly_correlated_pair_has_full_weight() {
+        // a and b always appear together, in 20 of 100 posts.
+        let s = stats(20.0, 20.0, 20.0, 100.0);
+        assert!(chi_square(&s) > CHI2_CRITICAL_5PCT);
+        assert!((correlation_coefficient(&s) - 1.0).abs() < 1e-9);
+        assert!((ChiSquareCorrelation::default().weight(&s) - 1.0).abs() < 1e-9);
+        assert_eq!(LogLikelihoodRatio::default().weight(&s), 1.0);
+    }
+
+    #[test]
+    fn negatively_correlated_pair_has_no_weight() {
+        // a and b never co-occur although both are common.
+        let s = stats(40.0, 40.0, 0.0, 100.0);
+        assert!(correlation_coefficient(&s) < 0.0);
+        assert_eq!(ChiSquareCorrelation::default().weight(&s), 0.0);
+        assert_eq!(LogLikelihoodRatio::default().weight(&s), 0.0);
+    }
+
+    #[test]
+    fn rare_entities_are_filtered_by_llr_threshold() {
+        // Strong association but each entity appears in fewer than 5 posts.
+        let s = stats(3.0, 3.0, 3.0, 100.0);
+        assert_eq!(LogLikelihoodRatio::default().weight(&s), 0.0);
+        // The chi-square measure has no such floor and reports a weight.
+        assert!(ChiSquareCorrelation::default().weight(&s) > 0.0);
+    }
+
+    #[test]
+    fn weak_association_fails_significance() {
+        // Barely above independence with small counts: not significant.
+        let s = stats(6.0, 6.0, 1.0, 100.0);
+        assert_eq!(ChiSquareCorrelation::default().weight(&s), 0.0);
+        assert_eq!(LogLikelihoodRatio::default().weight(&s), 0.0);
+    }
+
+    #[test]
+    fn raw_llr_variant_scales_with_strength() {
+        let weak = stats(10.0, 10.0, 5.0, 200.0);
+        let strong = stats(10.0, 10.0, 10.0, 200.0);
+        let m = LogLikelihoodRatio::raw(CHI2_CRITICAL_5PCT);
+        let w_weak = m.weight(&weak);
+        let w_strong = m.weight(&strong);
+        assert!(w_strong > w_weak, "{w_strong} should exceed {w_weak}");
+        assert!(w_weak >= 0.0);
+    }
+
+    #[test]
+    fn measures_are_finite_on_degenerate_tables() {
+        for s in [
+            stats(0.0, 0.0, 0.0, 0.0),
+            stats(1.0, 0.0, 0.0, 1.0),
+            stats(5.0, 5.0, 5.0, 5.0),
+            stats(1e-9, 1e-9, 1e-9, 1e-9),
+        ] {
+            for value in [
+                chi_square(&s),
+                correlation_coefficient(&s),
+                log_likelihood_ratio(&s),
+                ChiSquareCorrelation::default().weight(&s),
+                LogLikelihoodRatio::default().weight(&s),
+            ] {
+                assert!(value.is_finite(), "non-finite value for {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_reported() {
+        assert!(ChiSquareCorrelation::default().name().contains("chi-square"));
+        assert!(LogLikelihoodRatio::default().name().contains("log-likelihood"));
+    }
+}

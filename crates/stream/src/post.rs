@@ -1,0 +1,65 @@
+//! Entity-annotated posts — the raw items of the social media stream.
+
+use dyndens_graph::VertexId;
+
+/// A single user-generated post (tweet, status update, blog post, ...) after
+/// entity extraction: a timestamp plus the set of real-world entities the post
+/// mentions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Post {
+    /// Timestamp in seconds (any monotone clock; the decay machinery only
+    /// looks at differences).
+    pub timestamp: f64,
+    /// The distinct entities mentioned by the post, as graph vertices.
+    pub entities: Vec<VertexId>,
+}
+
+impl Post {
+    /// Creates a post, de-duplicating the mentioned entities.
+    pub fn new(timestamp: f64, mut entities: Vec<VertexId>) -> Self {
+        assert!(timestamp.is_finite(), "post timestamp must be finite");
+        entities.sort_unstable();
+        entities.dedup();
+        Post { timestamp, entities }
+    }
+
+    /// Number of distinct entities mentioned.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Iterates over all unordered entity pairs mentioned together by this
+    /// post (the co-occurrences it induces).
+    pub fn entity_pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.entities.iter().enumerate().flat_map(move |(i, &a)| {
+            self.entities[i + 1..].iter().map(move |&b| (a, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_dedups_and_sorts() {
+        let p = Post::new(10.0, vec![VertexId(3), VertexId(1), VertexId(3)]);
+        assert_eq!(p.entities, vec![VertexId(1), VertexId(3)]);
+        assert_eq!(p.entity_count(), 2);
+    }
+
+    #[test]
+    fn entity_pairs_enumerates_combinations() {
+        let p = Post::new(0.0, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        let pairs: Vec<(u32, u32)> = p.entity_pairs().map(|(a, b)| (a.0, b.0)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        let single = Post::new(0.0, vec![VertexId(5)]);
+        assert_eq!(single.entity_pairs().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_timestamp()    {
+        let _ = Post::new(f64::NAN, vec![]);
+    }
+}

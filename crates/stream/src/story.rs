@@ -1,0 +1,229 @@
+//! End-to-end story identification: posts in, ranked stories out.
+//!
+//! This is the convenience layer a downstream application (such as an
+//! interactive story exploration system) would use: it wires together the
+//! entity registry, the post → edge-update pipeline and the DynDens engine,
+//! and exposes the current set of emerging stories after every post.
+
+use crate::entity::EntityRegistry;
+use crate::measures::AssociationMeasure;
+use crate::pipeline::EdgeUpdateGenerator;
+use crate::post::Post;
+use crate::ranking::rank_with_diversity;
+use dyndens_core::{DenseEvent, DynDens, DynDensConfig};
+use dyndens_density::DensityMeasure;
+use dyndens_graph::VertexSet;
+
+/// A story: a group of tightly coupled entities together with its density.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Story {
+    /// The entities involved in the story, as human-readable names.
+    pub entities: Vec<String>,
+    /// The vertex set backing the story.
+    pub vertices: VertexSet,
+    /// The story's density under the configured measure.
+    pub density: f64,
+    /// The diversity-adjusted density used for ranking.
+    pub adjusted_density: f64,
+}
+
+/// The complete real-time story identification pipeline.
+#[derive(Debug, Clone)]
+pub struct StoryPipeline<M: AssociationMeasure, D: DensityMeasure> {
+    registry: EntityRegistry,
+    generator: EdgeUpdateGenerator<M>,
+    engine: DynDens<D>,
+    diversity_penalty: f64,
+}
+
+impl<M: AssociationMeasure, D: DensityMeasure> StoryPipeline<M, D> {
+    /// Creates a pipeline with the given association measure, exponential
+    /// decay mean life (seconds), density measure and DynDens configuration.
+    pub fn new(association: M, mean_life: f64, density: D, config: DynDensConfig) -> Self {
+        StoryPipeline {
+            registry: EntityRegistry::new(),
+            generator: EdgeUpdateGenerator::new(association, mean_life),
+            engine: DynDens::new(density, config),
+            diversity_penalty: 0.8,
+        }
+    }
+
+    /// Creates a pipeline without temporal decay ("cumulative stories to
+    /// date", used for day-granularity summaries).
+    pub fn without_decay(association: M, density: D, config: DynDensConfig) -> Self {
+        StoryPipeline {
+            registry: EntityRegistry::new(),
+            generator: EdgeUpdateGenerator::without_decay(association),
+            engine: DynDens::new(density, config),
+            diversity_penalty: 0.8,
+        }
+    }
+
+    /// Sets the diversity penalty used when ranking stories (default 0.8).
+    pub fn with_diversity_penalty(mut self, penalty: f64) -> Self {
+        self.diversity_penalty = penalty;
+        self
+    }
+
+    /// The entity registry (name ↔ vertex mapping).
+    pub fn registry(&self) -> &EntityRegistry {
+        &self.registry
+    }
+
+    /// The underlying DynDens engine.
+    pub fn engine(&self) -> &DynDens<D> {
+        &self.engine
+    }
+
+    /// The update generator, exposing stream statistics.
+    pub fn generator(&self) -> &EdgeUpdateGenerator<M> {
+        &self.generator
+    }
+
+    /// Ingests a post given as `(timestamp, entity names)`, returning the
+    /// changes to the set of output-dense subgraphs it caused.
+    pub fn ingest(&mut self, timestamp: f64, entity_names: &[&str]) -> Vec<DenseEvent> {
+        let entities = entity_names.iter().map(|n| self.registry.intern(n)).collect();
+        let post = Post::new(timestamp, entities);
+        self.ingest_post(&post)
+    }
+
+    /// Ingests an already entity-resolved post.
+    pub fn ingest_post(&mut self, post: &Post) -> Vec<DenseEvent> {
+        let updates = self.generator.process_post(post);
+        let mut events = Vec::new();
+        for u in updates {
+            self.engine.apply_update_into(u, &mut events);
+        }
+        events
+    }
+
+    /// The current top stories, diversity-ranked.
+    pub fn top_stories(&self, limit: usize) -> Vec<Story> {
+        let candidates = self.engine.output_dense_subgraphs();
+        let ranked = rank_with_diversity(&candidates, self.diversity_penalty, limit);
+        ranked
+            .into_iter()
+            .map(|(vertices, density, adjusted_density)| Story {
+                entities: self.registry.describe(vertices.iter()),
+                vertices,
+                density,
+                adjusted_density,
+            })
+            .collect()
+    }
+
+    /// Adjusts the output density threshold at runtime (Section 6), e.g. when
+    /// the number of reported stories drifts outside a desired band.
+    pub fn set_threshold(&mut self, new_threshold: f64) -> Vec<DenseEvent> {
+        self.engine.set_output_threshold(new_threshold)
+    }
+
+    /// Number of stories currently reported (output-dense subgraphs).
+    pub fn story_count(&self) -> usize {
+        self.engine.output_dense_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::ChiSquareCorrelation;
+    use dyndens_density::AvgWeight;
+
+    fn pipeline_with_threshold(threshold: f64) -> StoryPipeline<ChiSquareCorrelation, AvgWeight> {
+        StoryPipeline::new(
+            ChiSquareCorrelation::default(),
+            7200.0,
+            AvgWeight,
+            DynDensConfig::new(threshold, 4).with_delta_it_fraction(0.3),
+        )
+    }
+
+    fn pipeline() -> StoryPipeline<ChiSquareCorrelation, AvgWeight> {
+        pipeline_with_threshold(0.7)
+    }
+
+    #[test]
+    fn recurring_entity_group_becomes_a_story() {
+        // The story has two facets sharing "Osama bin Laden"; each facet's
+        // correlation coefficient tops out around 0.5 (the shared entity also
+        // co-occurs with the other facet), so the story threshold is set
+        // accordingly.
+        let mut p = pipeline_with_threshold(0.45);
+        // A recurring story about a raid, interleaved with background chatter.
+        for i in 0..40 {
+            let t = i as f64 * 10.0;
+            p.ingest(t, &["Abbottabad", "Osama bin Laden"]);
+            p.ingest(t + 1.0, &["Barack Obama", "Osama bin Laden"]);
+            p.ingest(t + 2.0, &[match i % 4 {
+                0 => "Justin Bieber",
+                1 => "Lady Gaga",
+                2 => "Royal Wedding",
+                _ => "PlayStation",
+            }]);
+        }
+        assert!(p.story_count() > 0, "expected at least one story");
+        let stories = p.top_stories(3);
+        assert!(!stories.is_empty());
+        let all_entities: Vec<String> =
+            stories.iter().flat_map(|s| s.entities.clone()).collect();
+        assert!(all_entities.iter().any(|e| e == "Osama bin Laden"));
+        // Densities are positive and adjusted densities never exceed them.
+        for s in &stories {
+            assert!(s.density > 0.0);
+            assert!(s.adjusted_density <= s.density + 1e-12);
+            assert_eq!(s.entities.len(), s.vertices.len());
+        }
+    }
+
+    #[test]
+    fn unrelated_entities_do_not_form_stories() {
+        let mut p = pipeline();
+        // Every post mentions a different pair: no recurring association.
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        for i in 0..30 {
+            let x = names[i % names.len()];
+            let y = names[(i * 3 + 1) % names.len()];
+            if x != y {
+                p.ingest(i as f64, &[x, y]);
+            }
+        }
+        // With the chi-square significance filter nothing should be strongly
+        // associated enough to clear a 0.7 average-weight threshold for long.
+        assert!(p.story_count() <= 2, "unexpected stories: {:?}", p.top_stories(5));
+    }
+
+    #[test]
+    fn threshold_adjustment_controls_story_volume() {
+        let mut p = pipeline();
+        for i in 0..30 {
+            let t = i as f64;
+            p.ingest(t, &["NATO", "Libya"]);
+            p.ingest(t + 0.3, &["Sony", "PlayStation"]);
+            p.ingest(t + 0.6, &["noise"]);
+        }
+        let before = p.story_count();
+        p.set_threshold(0.99);
+        let tightened = p.story_count();
+        assert!(tightened <= before);
+        p.set_threshold(0.5);
+        let relaxed = p.story_count();
+        assert!(relaxed >= tightened);
+    }
+
+    #[test]
+    fn engine_state_matches_generator_weights() {
+        let mut p = pipeline();
+        for i in 0..25 {
+            p.ingest(i as f64, &["x", "y"]);
+            p.ingest(i as f64 + 0.5, &["background"]);
+        }
+        p.engine().validate().unwrap();
+        let x = p.registry().get("x").unwrap();
+        let y = p.registry().get("y").unwrap();
+        let engine_weight = p.engine().graph().weight(x, y);
+        let generator_weight = p.generator().current_weight(x, y);
+        assert!((engine_weight - generator_weight).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dyndens-workloads
+//!
+//! Workload generators for the DynDens benchmarks and tests:
+//!
+//! * [`synthetic`] — synthetic edge-weight-update streams matching the
+//!   generation strategies of the paper's threshold-adjustment experiments
+//!   (Section 6.2: `random`, `edgePreferential`, `nodePreferential`,
+//!   `nodePreferentialBoolean`) and the near-clique mixture used for the
+//!   heuristics ablation (Section 7.3);
+//! * [`tweets`] — a planted-story social media simulator standing in for the
+//!   Twitter and blog corpora the paper's datasets were derived from (which
+//!   are not redistributable); it produces entity-annotated posts with the
+//!   same statistical shape (entity-count mix per post, Zipf-distributed
+//!   background popularity, bursty facet-structured story mentions) so the
+//!   full pipeline — association measures, decay, DynDens — is exercised on
+//!   realistic input.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod synthetic;
+pub mod tweets;
+
+pub use synthetic::{SyntheticConfig, SyntheticStrategy, SyntheticWorkload};
+pub use tweets::{SimulatedCorpus, StoryScript, TweetSimulator, TweetSimulatorConfig};

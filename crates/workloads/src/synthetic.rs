@@ -1,0 +1,446 @@
+//! Synthetic edge weight update generators.
+//!
+//! Four strategies reproduce the synthetic graphs of the paper's
+//! threshold-adjustment evaluation (Section 6.2):
+//!
+//! * `Random` — updates pick an edge uniformly at random;
+//! * `EdgePreferential` — with probability `p_bin` the updated edge is drawn
+//!   from a pre-defined set of "hot" edges, otherwise uniformly at random;
+//! * `NodePreferential` — with probability `p_bin` both endpoints are drawn
+//!   from a pre-defined set of "hot" vertices;
+//! * `NodePreferentialBoolean` — like `NodePreferential` but weights are 0/1
+//!   (updates set an edge fully present or fully absent).
+//!
+//! A fifth strategy, `NearClique`, reproduces the mixture used in the
+//! heuristics ablation (Section 7.3): most updates fall inside small planted
+//! vertex groups (forming near-cliques), the rest are uniform background
+//! noise, and updates that would create too-dense subgraphs can be rejected so
+//! the ablation isolates the exploration-pruning heuristics from the
+//! `ImplicitTooDense` machinery.
+
+use dyndens_graph::{EdgeUpdate, FxHashMap, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The edge-selection strategy of a synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyntheticStrategy {
+    /// Uniformly random edges, weights uniform in `(0, max_magnitude]`.
+    Random,
+    /// A fraction of updates hits a fixed set of pre-defined edges.
+    EdgePreferential {
+        /// Number of pre-defined "hot" edges.
+        hot_edges: usize,
+        /// Probability that an update hits a hot edge.
+        p_bin: f64,
+    },
+    /// A fraction of updates connects pre-defined "hot" vertices.
+    NodePreferential {
+        /// Number of pre-defined hot vertices.
+        hot_nodes: usize,
+        /// Probability that an update falls inside the hot vertex set.
+        p_bin: f64,
+    },
+    /// Like `NodePreferential` but edges are boolean (weight jumps to 1 on a
+    /// positive update and back to 0 on a negative one).
+    NodePreferentialBoolean {
+        /// Number of pre-defined hot vertices.
+        hot_nodes: usize,
+        /// Probability that an update falls inside the hot vertex set.
+        p_bin: f64,
+    },
+    /// Near-cliques: most updates fall inside planted vertex groups.
+    NearClique {
+        /// Number of planted groups.
+        groups: usize,
+        /// Vertices per planted group.
+        group_size: usize,
+        /// Probability that an update falls inside a planted group.
+        p_group: f64,
+        /// When set, updates that would push any planted pair's weight to or
+        /// beyond this value are rejected (regenerated), keeping subgraphs
+        /// below the too-dense regime as in the Section 7.3 setup.
+        max_pair_weight: Option<f64>,
+    },
+}
+
+/// Configuration of a synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of vertices in the universe.
+    pub n_vertices: usize,
+    /// Number of updates to generate.
+    pub n_updates: usize,
+    /// Probability that an update is negative.
+    pub negative_prob: f64,
+    /// Maximum magnitude of a single update (weights are uniform in
+    /// `(0, max_magnitude]`; ignored by the boolean strategy).
+    pub max_magnitude: f64,
+    /// The edge-selection strategy.
+    pub strategy: SyntheticStrategy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's `random` graphs: uniform edges, weights in `(0, 1]`, 10%
+    /// negative updates.
+    pub fn random(n_vertices: usize, n_updates: usize, seed: u64) -> Self {
+        SyntheticConfig {
+            n_vertices,
+            n_updates,
+            negative_prob: 0.1,
+            max_magnitude: 1.0,
+            strategy: SyntheticStrategy::Random,
+            seed,
+        }
+    }
+
+    /// The paper's `edgePreferential` graphs (20% of updates hit hot edges).
+    pub fn edge_preferential(n_vertices: usize, n_updates: usize, seed: u64) -> Self {
+        SyntheticConfig {
+            strategy: SyntheticStrategy::EdgePreferential {
+                hot_edges: (n_vertices / 10).max(8),
+                p_bin: 0.2,
+            },
+            ..Self::random(n_vertices, n_updates, seed)
+        }
+    }
+
+    /// The paper's `nodePreferential` graphs (20% of updates stay within hot
+    /// vertices).
+    pub fn node_preferential(n_vertices: usize, n_updates: usize, seed: u64) -> Self {
+        SyntheticConfig {
+            strategy: SyntheticStrategy::NodePreferential {
+                hot_nodes: (n_vertices / 20).max(8),
+                p_bin: 0.2,
+            },
+            ..Self::random(n_vertices, n_updates, seed)
+        }
+    }
+
+    /// The paper's `nodePreferentialBoolean` graphs (0/1 weights).
+    pub fn node_preferential_boolean(n_vertices: usize, n_updates: usize, seed: u64) -> Self {
+        SyntheticConfig {
+            strategy: SyntheticStrategy::NodePreferentialBoolean {
+                hot_nodes: (n_vertices / 20).max(8),
+                p_bin: 0.2,
+            },
+            ..Self::random(n_vertices, n_updates, seed)
+        }
+    }
+
+    /// The near-clique mixture of Section 7.3 (90% of updates inside planted
+    /// 10-vertex groups, magnitudes in `(0, 0.1]`, 30% negative).
+    pub fn near_clique(n_vertices: usize, n_updates: usize, seed: u64) -> Self {
+        SyntheticConfig {
+            n_vertices,
+            n_updates,
+            negative_prob: 0.3,
+            max_magnitude: 0.1,
+            strategy: SyntheticStrategy::NearClique {
+                groups: (n_vertices / 1000).max(4),
+                group_size: 10,
+                p_group: 0.9,
+                max_pair_weight: None,
+            },
+            seed,
+        }
+    }
+}
+
+/// A generated synthetic workload: the update stream plus the bookkeeping
+/// needed to keep weights non-negative and strategies stateful.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    config: SyntheticConfig,
+    updates: Vec<EdgeUpdate>,
+    planted_groups: Vec<Vec<VertexId>>,
+}
+
+impl SyntheticWorkload {
+    /// Generates the workload described by `config`.
+    pub fn generate(config: SyntheticConfig) -> Self {
+        assert!(config.n_vertices >= 4, "need at least 4 vertices");
+        assert!((0.0..=1.0).contains(&config.negative_prob));
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.n_vertices as u32;
+
+        // Pre-defined hot edges / nodes / groups, depending on the strategy.
+        let mut hot_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut hot_nodes: Vec<VertexId> = Vec::new();
+        let mut planted_groups: Vec<Vec<VertexId>> = Vec::new();
+        match &config.strategy {
+            SyntheticStrategy::EdgePreferential { hot_edges: k, .. } => {
+                while hot_edges.len() < *k {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a != b {
+                        hot_edges.push((VertexId(a.min(b)), VertexId(a.max(b))));
+                    }
+                }
+            }
+            SyntheticStrategy::NodePreferential { hot_nodes: k, .. }
+            | SyntheticStrategy::NodePreferentialBoolean { hot_nodes: k, .. } => {
+                let mut all: Vec<u32> = (0..n).collect();
+                all.shuffle(&mut rng);
+                hot_nodes = all.into_iter().take(*k).map(VertexId).collect();
+            }
+            SyntheticStrategy::NearClique { groups, group_size, .. } => {
+                let mut all: Vec<u32> = (0..n).collect();
+                all.shuffle(&mut rng);
+                for g in 0..*groups {
+                    let start = g * group_size;
+                    if start + group_size > all.len() {
+                        break;
+                    }
+                    planted_groups
+                        .push(all[start..start + group_size].iter().copied().map(VertexId).collect());
+                }
+            }
+            SyntheticStrategy::Random => {}
+        }
+
+        // Current weights, to clamp negative updates and enforce strategy
+        // constraints.
+        let mut weights: FxHashMap<(VertexId, VertexId), f64> = FxHashMap::default();
+        let mut updates = Vec::with_capacity(config.n_updates);
+        let mut attempts = 0usize;
+        let max_attempts = config.n_updates * 20;
+
+        while updates.len() < config.n_updates && attempts < max_attempts {
+            attempts += 1;
+            let (a, b) = Self::pick_edge(&config, &mut rng, &hot_edges, &hot_nodes, &planted_groups);
+            let key = (a.min(b), a.max(b));
+            let current = weights.get(&key).copied().unwrap_or(0.0);
+            let negative = rng.gen_bool(config.negative_prob);
+
+            let delta = match &config.strategy {
+                SyntheticStrategy::NodePreferentialBoolean { .. } => {
+                    if negative {
+                        if current <= 0.0 {
+                            continue;
+                        }
+                        -current
+                    } else {
+                        if current >= 1.0 {
+                            continue;
+                        }
+                        1.0 - current
+                    }
+                }
+                _ => {
+                    let magnitude = rng.gen_range(0.0..config.max_magnitude).max(1e-6);
+                    if negative {
+                        if current <= 0.0 {
+                            continue;
+                        }
+                        -magnitude.min(current)
+                    } else {
+                        magnitude
+                    }
+                }
+            };
+
+            // Optional rejection of updates that would push a pair into the
+            // too-dense regime (Section 7.3).
+            if let SyntheticStrategy::NearClique { max_pair_weight: Some(cap), .. } = &config.strategy {
+                if delta > 0.0 && current + delta >= *cap {
+                    continue;
+                }
+            }
+
+            let new_weight = current + delta;
+            if new_weight <= 1e-12 {
+                weights.remove(&key);
+            } else {
+                weights.insert(key, new_weight);
+            }
+            updates.push(EdgeUpdate::new(key.0, key.1, delta));
+        }
+
+        SyntheticWorkload { config, updates, planted_groups }
+    }
+
+    fn pick_edge(
+        config: &SyntheticConfig,
+        rng: &mut StdRng,
+        hot_edges: &[(VertexId, VertexId)],
+        hot_nodes: &[VertexId],
+        planted_groups: &[Vec<VertexId>],
+    ) -> (VertexId, VertexId) {
+        let n = config.n_vertices as u32;
+        let uniform = |rng: &mut StdRng| -> (VertexId, VertexId) {
+            loop {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    return (VertexId(a), VertexId(b));
+                }
+            }
+        };
+        match &config.strategy {
+            SyntheticStrategy::Random => uniform(rng),
+            SyntheticStrategy::EdgePreferential { p_bin, .. } => {
+                if !hot_edges.is_empty() && rng.gen_bool(*p_bin) {
+                    hot_edges[rng.gen_range(0..hot_edges.len())]
+                } else {
+                    uniform(rng)
+                }
+            }
+            SyntheticStrategy::NodePreferential { p_bin, .. }
+            | SyntheticStrategy::NodePreferentialBoolean { p_bin, .. } => {
+                if hot_nodes.len() >= 2 && rng.gen_bool(*p_bin) {
+                    loop {
+                        let a = hot_nodes[rng.gen_range(0..hot_nodes.len())];
+                        let b = hot_nodes[rng.gen_range(0..hot_nodes.len())];
+                        if a != b {
+                            return (a, b);
+                        }
+                    }
+                } else {
+                    uniform(rng)
+                }
+            }
+            SyntheticStrategy::NearClique { p_group, .. } => {
+                if !planted_groups.is_empty() && rng.gen_bool(*p_group) {
+                    let group = &planted_groups[rng.gen_range(0..planted_groups.len())];
+                    loop {
+                        let a = group[rng.gen_range(0..group.len())];
+                        let b = group[rng.gen_range(0..group.len())];
+                        if a != b {
+                            return (a, b);
+                        }
+                    }
+                } else {
+                    uniform(rng)
+                }
+            }
+        }
+    }
+
+    /// The generated update stream.
+    pub fn updates(&self) -> &[EdgeUpdate] {
+        &self.updates
+    }
+
+    /// Consumes the workload, yielding the update stream.
+    pub fn into_updates(self) -> Vec<EdgeUpdate> {
+        self.updates
+    }
+
+    /// The configuration this workload was generated from.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// The planted vertex groups (non-empty only for the `NearClique`
+    /// strategy).
+    pub fn planted_groups(&self) -> &[Vec<VertexId>] {
+        &self.planted_groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndens_graph::DynamicGraph;
+
+    fn replay(updates: &[EdgeUpdate]) -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for u in updates {
+            g.apply_update(u);
+        }
+        g
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = SyntheticWorkload::generate(SyntheticConfig::random(100, 500, 7));
+        let b = SyntheticWorkload::generate(SyntheticConfig::random(100, 500, 7));
+        let c = SyntheticWorkload::generate(SyntheticConfig::random(100, 500, 8));
+        assert_eq!(a.updates(), b.updates());
+        assert_ne!(a.updates(), c.updates());
+        assert_eq!(a.updates().len(), 500);
+    }
+
+    #[test]
+    fn weights_never_go_negative() {
+        for config in [
+            SyntheticConfig::random(60, 800, 1),
+            SyntheticConfig::edge_preferential(60, 800, 2),
+            SyntheticConfig::node_preferential(60, 800, 3),
+            SyntheticConfig::node_preferential_boolean(60, 800, 4),
+            SyntheticConfig::near_clique(60, 800, 5),
+        ] {
+            let w = SyntheticWorkload::generate(config.clone());
+            let mut g = DynamicGraph::new();
+            for u in w.updates() {
+                g.apply_update(u);
+            }
+            for (_, _, weight) in g.edges() {
+                assert!(weight >= -1e-12, "negative weight under {:?}", config.strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_fraction_roughly_matches() {
+        let w = SyntheticWorkload::generate(SyntheticConfig::random(80, 4000, 11));
+        let neg = w.updates().iter().filter(|u| u.is_negative()).count();
+        let frac = neg as f64 / w.updates().len() as f64;
+        // Configured 10%; some negatives are skipped when the edge is absent.
+        assert!(frac > 0.02 && frac < 0.15, "negative fraction {frac}");
+    }
+
+    #[test]
+    fn boolean_strategy_keeps_weights_binary() {
+        let w = SyntheticWorkload::generate(SyntheticConfig::node_preferential_boolean(50, 1500, 21));
+        let g = replay(w.updates());
+        for (_, _, weight) in g.edges() {
+            assert!((weight - 1.0).abs() < 1e-9, "non-binary weight {weight}");
+        }
+    }
+
+    #[test]
+    fn edge_preferential_concentrates_updates() {
+        let w = SyntheticWorkload::generate(SyntheticConfig::edge_preferential(200, 4000, 33));
+        let mut counts: FxHashMap<(VertexId, VertexId), usize> = FxHashMap::default();
+        for u in w.updates() {
+            *counts.entry(u.endpoints()).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // With ~20% of 4000 updates spread over <=20 hot edges, the hottest
+        // edge must see far more traffic than a uniform edge would (~0.2).
+        assert!(max >= 10, "expected a hot edge, max multiplicity {max}");
+    }
+
+    #[test]
+    fn near_clique_groups_receive_most_updates() {
+        let config = SyntheticConfig::near_clique(4000, 3000, 9);
+        let w = SyntheticWorkload::generate(config);
+        assert!(!w.planted_groups().is_empty());
+        let in_group = |v: VertexId| w.planted_groups().iter().any(|g| g.contains(&v));
+        let inside = w
+            .updates()
+            .iter()
+            .filter(|u| in_group(u.a) && in_group(u.b))
+            .count();
+        let frac = inside as f64 / w.updates().len() as f64;
+        assert!(frac > 0.8, "only {frac} of updates fall inside planted groups");
+    }
+
+    #[test]
+    fn near_clique_rejection_caps_pair_weights() {
+        let mut config = SyntheticConfig::near_clique(500, 3000, 13);
+        if let SyntheticStrategy::NearClique { max_pair_weight, .. } = &mut config.strategy {
+            *max_pair_weight = Some(0.25);
+        }
+        let w = SyntheticWorkload::generate(config);
+        let g = replay(w.updates());
+        for (_, _, weight) in g.edges() {
+            assert!(weight < 0.25 + 1e-9, "pair weight {weight} exceeds the cap");
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! A planted-story social media simulator.
+//!
+//! The paper's real datasets (a one-day Twitter sample and a blog corpus, run
+//! through proprietary spam filtering and entity extraction) are not
+//! redistributable, so the benchmark harness uses this simulator instead. It
+//! generates a stream of entity-annotated posts whose statistical shape drives
+//! the same code paths:
+//!
+//! * the per-post entity-count mix follows the proportions the paper reports
+//!   for its tweet sample (roughly 76.5% of posts mention no entity of
+//!   interest, 18.3% one, 4.3% two and about 1% three or more);
+//! * background entity popularity is Zipf-distributed, producing the heavy
+//!   skew of real mention counts;
+//! * a configurable set of *stories* is planted: each story is a small group
+//!   of entities with a set of facets (entity pairs/triples) that are
+//!   mentioned together in bursts during the story's active window, exactly
+//!   the structure DynDens is designed to surface.
+//!
+//! The simulator produces [`Post`]s; feeding them through
+//! [`EdgeUpdateGenerator`](dyndens_stream::EdgeUpdateGenerator) yields the
+//! weighted or unweighted edge update streams used across the benchmark
+//! harness.
+
+use dyndens_graph::VertexId;
+use dyndens_stream::{AssociationMeasure, EdgeUpdateGenerator, EntityRegistry, Post};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A planted story: a named group of entities, its facets and its activity
+/// window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoryScript {
+    /// A label for reports (e.g. "bin Laden raid").
+    pub name: String,
+    /// The entities involved in the story.
+    pub entities: Vec<String>,
+    /// Start of the activity window (seconds).
+    pub start: f64,
+    /// End of the activity window (seconds).
+    pub end: f64,
+    /// Relative intensity: expected fraction of story posts (among all posts
+    /// within the window) devoted to this story.
+    pub intensity: f64,
+}
+
+impl StoryScript {
+    /// Creates a story active over the whole simulation.
+    pub fn new(name: &str, entities: &[&str], intensity: f64) -> Self {
+        StoryScript {
+            name: name.to_string(),
+            entities: entities.iter().map(|s| s.to_string()).collect(),
+            start: 0.0,
+            end: f64::INFINITY,
+            intensity,
+        }
+    }
+
+    /// Restricts the story to an activity window.
+    pub fn with_window(mut self, start: f64, end: f64) -> Self {
+        self.start = start;
+        self.end = end;
+        self
+    }
+}
+
+/// Configuration of the tweet simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TweetSimulatorConfig {
+    /// Number of posts to generate.
+    pub n_posts: usize,
+    /// Number of background entities (Zipf-distributed popularity).
+    pub n_background_entities: usize,
+    /// Simulated duration in seconds (posts are spread uniformly over it).
+    pub duration: f64,
+    /// Per-post probability mix of the number of mentioned entities:
+    /// `(zero, one, two, three_or_more)`. Defaults to the proportions reported
+    /// for the paper's tweet sample.
+    pub entity_count_mix: (f64, f64, f64, f64),
+    /// Zipf exponent for background entity popularity.
+    pub zipf_exponent: f64,
+    /// The planted stories.
+    pub stories: Vec<StoryScript>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TweetSimulatorConfig {
+    fn default() -> Self {
+        TweetSimulatorConfig {
+            n_posts: 20_000,
+            n_background_entities: 500,
+            duration: 24.0 * 3600.0,
+            entity_count_mix: (0.765, 0.183, 0.043, 0.009),
+            zipf_exponent: 1.1,
+            stories: default_stories(),
+            seed: 2011,
+        }
+    }
+}
+
+impl TweetSimulatorConfig {
+    /// A blog-like profile: far fewer posts, but each mentions more entities
+    /// (longer documents), matching the second half of the paper's Table 3.
+    pub fn blog_profile() -> Self {
+        TweetSimulatorConfig {
+            n_posts: 4_000,
+            entity_count_mix: (0.40, 0.25, 0.20, 0.15),
+            ..Self::default()
+        }
+    }
+}
+
+/// The default planted stories, loosely following the events the paper's
+/// qualitative table revolves around (1 May 2011).
+pub fn default_stories() -> Vec<StoryScript> {
+    let day = 24.0 * 3600.0;
+    vec![
+        StoryScript::new(
+            "raid announcement",
+            &["Barack Obama", "Osama bin Laden", "White House", "Abbottabad"],
+            0.30,
+        )
+        .with_window(0.80 * day, day),
+        StoryScript::new(
+            "raid commentary",
+            &["Osama bin Laden", "Abbottabad", "C.I.A.", "Pakistan"],
+            0.20,
+        )
+        .with_window(0.82 * day, day),
+        StoryScript::new("libya crisis", &["NATO", "Libya", "Muammar al-Gaddafi"], 0.15),
+        StoryScript::new("royal wedding", &["Royal Wedding", "Prince William", "Kate Middleton"], 0.12)
+            .with_window(0.0, 0.5 * day),
+        StoryScript::new("psn hack", &["Sony", "PlayStation", "Kazuo Hirai"], 0.12),
+        StoryScript::new("pop culture", &["Lady Gaga", "Justin Bieber"], 0.11),
+    ]
+}
+
+/// A generated corpus: the entity registry plus the post stream.
+#[derive(Debug, Clone)]
+pub struct SimulatedCorpus {
+    /// Name ↔ vertex mapping for every entity used by the corpus.
+    pub registry: EntityRegistry,
+    /// The generated posts, ordered by timestamp.
+    pub posts: Vec<Post>,
+    /// The vertices of each planted story, in the order of the configured
+    /// scripts.
+    pub story_vertices: Vec<Vec<VertexId>>,
+}
+
+impl SimulatedCorpus {
+    /// Converts the corpus into a stream of edge weight updates under the
+    /// given association measure and decay mean life (`None` disables decay).
+    pub fn to_updates<M: AssociationMeasure>(
+        &self,
+        measure: M,
+        mean_life: Option<f64>,
+    ) -> Vec<dyndens_graph::EdgeUpdate> {
+        let mut generator = match mean_life {
+            Some(life) => EdgeUpdateGenerator::new(measure, life),
+            None => EdgeUpdateGenerator::without_decay(measure),
+        };
+        generator.process_posts(self.posts.iter())
+    }
+}
+
+/// The planted-story post simulator.
+#[derive(Debug, Clone)]
+pub struct TweetSimulator {
+    config: TweetSimulatorConfig,
+}
+
+impl TweetSimulator {
+    /// Creates a simulator from a configuration.
+    pub fn new(config: TweetSimulatorConfig) -> Self {
+        assert!(config.n_posts > 0 && config.n_background_entities >= 10);
+        TweetSimulator { config }
+    }
+
+    /// Generates the corpus.
+    pub fn generate(&self) -> SimulatedCorpus {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut registry = EntityRegistry::new();
+
+        // Register story entities first so their ids are stable, then the
+        // background entities.
+        let story_vertices: Vec<Vec<VertexId>> = cfg
+            .stories
+            .iter()
+            .map(|s| s.entities.iter().map(|e| registry.intern(e)).collect())
+            .collect();
+        let background: Vec<VertexId> = (0..cfg.n_background_entities)
+            .map(|i| registry.intern(&format!("background-entity-{i}")))
+            .collect();
+
+        // Zipf-like sampling over the background entities.
+        let zipf_weights: Vec<f64> = (1..=background.len())
+            .map(|rank| 1.0 / (rank as f64).powf(cfg.zipf_exponent))
+            .collect();
+        let zipf_total: f64 = zipf_weights.iter().sum();
+        let sample_background = |rng: &mut StdRng| -> VertexId {
+            let mut x = rng.gen_range(0.0..zipf_total);
+            for (i, w) in zipf_weights.iter().enumerate() {
+                if x < *w {
+                    return background[i];
+                }
+                x -= w;
+            }
+            background[background.len() - 1]
+        };
+
+        let total_intensity: f64 = cfg.stories.iter().map(|s| s.intensity).sum();
+        let mut posts = Vec::with_capacity(cfg.n_posts);
+        for i in 0..cfg.n_posts {
+            let t = cfg.duration * (i as f64 + rng.gen_range(0.0..1.0)) / cfg.n_posts as f64;
+            // Decide how many entities this post mentions.
+            let (p0, p1, p2, _) = cfg.entity_count_mix;
+            let roll: f64 = rng.gen();
+            let count = if roll < p0 {
+                0
+            } else if roll < p0 + p1 {
+                1
+            } else if roll < p0 + p1 + p2 {
+                2
+            } else {
+                3 + usize::from(rng.gen_bool(0.3))
+            };
+            if count == 0 {
+                posts.push(Post::new(t, Vec::new()));
+                continue;
+            }
+
+            // Posts with 2+ entities are story posts with probability
+            // proportional to the active stories' intensities; story posts
+            // mention one facet (a small subset) of the story.
+            let active: Vec<usize> = cfg
+                .stories
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| t >= s.start && t <= s.end)
+                .map(|(i, _)| i)
+                .collect();
+            let is_story_post = count >= 2
+                && !active.is_empty()
+                && rng.gen_bool((total_intensity.min(1.0)).max(0.05));
+            let mut entities: Vec<VertexId> = if is_story_post {
+                // Pick an active story weighted by intensity.
+                let weights: Vec<f64> = active.iter().map(|&i| cfg.stories[i].intensity).collect();
+                let wsum: f64 = weights.iter().sum();
+                let mut x = rng.gen_range(0.0..wsum.max(1e-9));
+                let mut chosen = active[0];
+                for (idx, w) in active.iter().zip(weights.iter()) {
+                    if x < *w {
+                        chosen = *idx;
+                        break;
+                    }
+                    x -= w;
+                }
+                let story = &story_vertices[chosen];
+                // A facet: `count` entities of the story (post length limits
+                // mean a post usually covers one facet, not the whole story).
+                let mut facet: Vec<VertexId> = Vec::new();
+                let facet_size = count.min(story.len());
+                let offset = rng.gen_range(0..story.len());
+                for j in 0..facet_size {
+                    facet.push(story[(offset + j) % story.len()]);
+                }
+                facet
+            } else {
+                (0..count).map(|_| sample_background(&mut rng)).collect()
+            };
+            // Occasionally mix a background entity into a story post (noise).
+            if is_story_post && rng.gen_bool(0.1) {
+                entities.push(sample_background(&mut rng));
+            }
+            posts.push(Post::new(t, entities));
+        }
+
+        SimulatedCorpus { registry, posts, story_vertices }
+    }
+
+    /// The configuration used by this simulator.
+    pub fn config(&self) -> &TweetSimulatorConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndens_stream::ChiSquareCorrelation;
+
+    fn small_config() -> TweetSimulatorConfig {
+        TweetSimulatorConfig {
+            n_posts: 5_000,
+            n_background_entities: 100,
+            ..TweetSimulatorConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TweetSimulator::new(small_config()).generate();
+        let b = TweetSimulator::new(small_config()).generate();
+        assert_eq!(a.posts, b.posts);
+        assert_eq!(a.posts.len(), 5_000);
+    }
+
+    #[test]
+    fn entity_count_mix_roughly_matches() {
+        let corpus = TweetSimulator::new(small_config()).generate();
+        let zero = corpus.posts.iter().filter(|p| p.entity_count() == 0).count() as f64;
+        let one = corpus.posts.iter().filter(|p| p.entity_count() == 1).count() as f64;
+        let two_plus = corpus.posts.iter().filter(|p| p.entity_count() >= 2).count() as f64;
+        let n = corpus.posts.len() as f64;
+        assert!((zero / n - 0.765).abs() < 0.05, "zero-entity fraction {}", zero / n);
+        assert!((one / n - 0.183).abs() < 0.05, "one-entity fraction {}", one / n);
+        assert!(two_plus / n > 0.02 && two_plus / n < 0.12);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_within_duration() {
+        let corpus = TweetSimulator::new(small_config()).generate();
+        let cfg = small_config();
+        let mut last = 0.0;
+        for p in &corpus.posts {
+            assert!(p.timestamp >= last - 1e-9);
+            assert!(p.timestamp <= cfg.duration + 1.0);
+            last = p.timestamp;
+        }
+    }
+
+    #[test]
+    fn story_entities_cooccur_more_than_background_pairs() {
+        let corpus = TweetSimulator::new(small_config()).generate();
+        // Count co-mentions of the first facet of the "libya crisis" story.
+        let libya = &corpus.story_vertices[2];
+        let story_pair = (libya[0], libya[1]);
+        let mut story_count = 0usize;
+        let mut background_pairs = 0usize;
+        for p in &corpus.posts {
+            for (a, b) in p.entity_pairs() {
+                if (a, b) == story_pair || (b, a) == story_pair {
+                    story_count += 1;
+                } else {
+                    background_pairs += 1;
+                }
+            }
+        }
+        assert!(story_count > 10, "story pair only co-mentioned {story_count} times");
+        // Background pairs exist but no single background pair dominates like
+        // the story pair does; compare against the average.
+        assert!(background_pairs > 0);
+    }
+
+    #[test]
+    fn corpus_converts_to_updates_and_surfaces_the_story() {
+        use dyndens_core::{DynDens, DynDensConfig};
+        use dyndens_density::AvgWeight;
+
+        let corpus = TweetSimulator::new(small_config()).generate();
+        let updates = corpus.to_updates(ChiSquareCorrelation::default(), Some(2.0 * 3600.0));
+        assert!(!updates.is_empty());
+        let mut engine = DynDens::new(AvgWeight, DynDensConfig::new(0.4, 5).with_delta_it_fraction(0.3));
+        for u in &updates {
+            engine.apply_update(*u);
+        }
+        engine.validate().unwrap();
+        // At the end of the day the late-breaking raid story should be dense:
+        // at least one output-dense subgraph contains two of its entities.
+        let raid: Vec<VertexId> = corpus.story_vertices[0].clone();
+        let hit = engine.output_dense_subgraphs().iter().any(|(set, _)| {
+            set.iter().filter(|v| raid.contains(v)).count() >= 2
+        });
+        assert!(hit, "the planted raid story was not surfaced");
+    }
+
+    #[test]
+    fn blog_profile_mentions_more_entities_per_post() {
+        let tweets = TweetSimulator::new(small_config()).generate();
+        let blog_cfg = TweetSimulatorConfig {
+            n_posts: 2_000,
+            n_background_entities: 100,
+            ..TweetSimulatorConfig::blog_profile()
+        };
+        let blogs = TweetSimulator::new(blog_cfg).generate();
+        let avg = |posts: &[Post]| {
+            posts.iter().map(Post::entity_count).sum::<usize>() as f64 / posts.len() as f64
+        };
+        assert!(avg(&blogs.posts) > avg(&tweets.posts));
+    }
+}

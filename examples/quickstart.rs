@@ -1,0 +1,66 @@
+//! Quick start: maintain dense subgraphs over a hand-written update stream.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release -p dyndens --example quickstart
+//! ```
+//!
+//! The example builds a small entity graph one edge weight update at a time
+//! (mirroring the execution example of the paper, Section 3.1), prints the
+//! reported transitions after each update, and finally dumps the maintained
+//! output-dense subgraphs.
+
+use dyndens::prelude::*;
+
+fn main() {
+    // Report subgraphs of up to 4 entities whose average edge weight reaches
+    // 1.0; delta_it = 0.15 controls how many extra (non-reported) subgraphs
+    // are maintained to make updates cheap.
+    let config = DynDensConfig::new(1.0, 4).with_delta_it(0.15);
+    let mut engine = DynDens::new(AvgWeight, config);
+
+    // A stream of edge weight updates over five entities (0..=4). The first
+    // seven updates build the graph of the paper's Figure 2(a); the last one
+    // is the update the paper walks through (edge (0, 1) rises to 0.95).
+    let stream = [
+        (0u32, 2u32, 1.0),
+        (0, 3, 1.0),
+        (2, 3, 1.0),
+        (1, 3, 1.0),
+        (1, 2, 1.1),
+        (0, 1, 0.80),
+        (0, 4, 0.80),
+        (0, 1, 0.15),
+    ];
+
+    for (step, &(a, b, delta)) in stream.iter().enumerate() {
+        let update = EdgeUpdate::new(VertexId(a), VertexId(b), delta);
+        let events = engine.apply_update(update);
+        println!("step {step}: update ({a}, {b}) by {delta:+}");
+        for event in events {
+            match event {
+                DenseEvent::BecameOutputDense { vertices, density } => {
+                    println!("    + {vertices} became a story (density {density:.3})");
+                }
+                DenseEvent::NoLongerOutputDense { vertices, density } => {
+                    println!("    - {vertices} dropped out (density {density:.3})");
+                }
+            }
+        }
+    }
+
+    println!("\nmaintained dense subgraphs: {}", engine.dense_count());
+    println!("reported (output-dense) subgraphs:");
+    let mut reported = engine.output_dense_subgraphs();
+    reported.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (vertices, density) in reported {
+        println!("    {vertices}  density {density:.3}");
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nwork done: {} updates, {} explorations, {} cheap explorations, {} candidates examined",
+        stats.updates, stats.explorations, stats.cheap_explorations, stats.candidates_examined
+    );
+}

@@ -1,0 +1,89 @@
+//! Dynamic threshold adjustment at runtime (Section 6 of the paper).
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release -p dyndens --example threshold_tuning
+//! ```
+//!
+//! In practice the "right" density threshold depends on the stream: too low
+//! and thousands of subgraphs are reported, too high and nothing is. This
+//! example keeps the number of reported stories inside a target band by
+//! raising or lowering the threshold incrementally while the stream is being
+//! processed, and compares the cost of the incremental adjustment against a
+//! full recomputation (`DynDensRecompute`).
+
+use std::time::Instant;
+
+use dyndens::baselines::recompute;
+use dyndens::prelude::*;
+use dyndens::workloads::{SyntheticConfig, SyntheticWorkload};
+
+fn main() {
+    let workload = SyntheticWorkload::generate(SyntheticConfig::edge_preferential(3_000, 40_000, 5));
+    let updates = workload.updates();
+    println!("synthetic stream: {} updates over {} vertices\n", updates.len(), workload.config().n_vertices);
+
+    // Keep the number of reported subgraphs between 50 and 500.
+    let (low_watermark, high_watermark) = (50usize, 500usize);
+    let mut threshold = 0.9f64;
+    let config = DynDensConfig::new(threshold, 6).with_delta_it_fraction(0.3);
+    let mut engine = DynDens::new(AvgWeight, config.clone());
+
+    let chunk = updates.len() / 10;
+    for (i, batch) in updates.chunks(chunk.max(1)).enumerate() {
+        for u in batch {
+            engine.apply_update(*u);
+        }
+        let reported = engine.output_dense_count();
+        print!("after batch {i:>2}: threshold {threshold:.3}, {reported:>5} stories reported");
+
+        // Controller: nudge the threshold to stay inside the band.
+        if reported > high_watermark {
+            threshold *= 1.1;
+            let start = Instant::now();
+            engine.set_output_threshold(threshold);
+            println!(
+                "  -> too many, raising threshold to {threshold:.3} ({} stories, {:?})",
+                engine.output_dense_count(),
+                start.elapsed()
+            );
+        } else if reported < low_watermark && threshold > 0.2 {
+            threshold *= 0.9;
+            let start = Instant::now();
+            engine.set_output_threshold(threshold);
+            println!(
+                "  -> too few, lowering threshold to {threshold:.3} ({} stories, {:?})",
+                engine.output_dense_count(),
+                start.elapsed()
+            );
+        } else {
+            println!();
+        }
+    }
+
+    // Compare one incremental adjustment against a full recomputation at the
+    // same final threshold.
+    let target = threshold * 0.9;
+    let start = Instant::now();
+    engine.set_output_threshold(target);
+    let incremental = start.elapsed();
+
+    let start = Instant::now();
+    let rebuilt = recompute(
+        AvgWeight,
+        DynDensConfig::new(target, 6).with_delta_it_fraction(0.3),
+        engine.graph(),
+    );
+    let full = start.elapsed();
+
+    println!("\nfinal threshold {target:.3}:");
+    println!("    incremental adjustment: {incremental:?} ({} stories)", engine.output_dense_count());
+    println!("    full recomputation:     {full:?} ({} stories)", rebuilt.output_dense_count());
+    if incremental.as_secs_f64() > 0.0 {
+        println!(
+            "    speedup: {:.1}x",
+            full.as_secs_f64() / incremental.as_secs_f64().max(1e-9)
+        );
+    }
+}

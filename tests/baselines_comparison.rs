@@ -1,0 +1,179 @@
+//! Cross-crate integration tests comparing DynDens against the baseline
+//! algorithms on workload-generator streams (moderate scale versions of the
+//! paper's Section 5.2 and 6.2 comparisons).
+
+use dyndens::baselines::{recompute, BruteForce, Grasp, GraspConfig, StixCliques};
+use dyndens::prelude::*;
+use dyndens::workloads::{SyntheticConfig, SyntheticWorkload};
+
+/// A small unweighted-style workload (boolean weights).
+fn boolean_workload() -> SyntheticWorkload {
+    SyntheticWorkload::generate(SyntheticConfig::node_preferential_boolean(60, 1_500, 17))
+}
+
+#[test]
+fn dyndens_all_cliques_match_stix_expansion() {
+    // On an unweighted graph with AvgWeight and T = 1, Engagement asks for
+    // all cliques of cardinality <= Nmax; Stix maintains the maximal cliques,
+    // whose bounded-size subsets must coincide with DynDens' answer.
+    let n_max = 4;
+    let workload = boolean_workload();
+    let mut engine = DynDens::with_vertex_capacity(
+        AvgWeight,
+        DynDensConfig::new(1.0, n_max).with_delta_it_fraction(0.5),
+        workload.config().n_vertices,
+    );
+    let mut stix = StixCliques::new();
+    for u in workload.updates() {
+        engine.apply_update(*u);
+        stix.apply_unweighted_update(u.a, u.b, u.is_positive());
+    }
+    engine.validate().unwrap();
+
+    let mut dyndens_cliques: Vec<VertexSet> = engine
+        .output_dense_subgraphs()
+        .into_iter()
+        .map(|(s, _)| s)
+        .filter(|s| {
+            // Exclude subgraphs only dense by virtue of very heavy edges; with
+            // boolean weights every output-dense subgraph is a clique, but the
+            // index may also track dense-but-not-output subgraphs we ignore.
+            s.len() <= n_max
+        })
+        .collect();
+    // Star-covered cliques (supersets of too-dense subgraphs) also count.
+    let mut stix_cliques = stix.all_cliques_up_to(n_max);
+    for clique in &stix_cliques {
+        assert!(
+            engine.is_tracked_dense(clique),
+            "clique {clique} known to Stix is not tracked by DynDens"
+        );
+    }
+    dyndens_cliques.retain(|s| stix_cliques.contains(s));
+    dyndens_cliques.sort();
+    stix_cliques.sort();
+    // Every explicit DynDens output-dense subgraph must be one of Stix's
+    // cliques (soundness in the other direction).
+    for s in engine.output_dense_subgraphs().iter().map(|(s, _)| s) {
+        assert!(stix_cliques.contains(s), "DynDens reports non-clique {s}");
+    }
+}
+
+#[test]
+fn grasp_recall_is_partial_but_precise() {
+    let workload = SyntheticWorkload::generate(SyntheticConfig::near_clique(300, 4_000, 23));
+    let n_max = 5;
+    let threshold = 0.05;
+
+    let mut engine = DynDens::with_vertex_capacity(
+        AvgWeight,
+        DynDensConfig::new(threshold, n_max).with_delta_it_fraction(0.3),
+        workload.config().n_vertices,
+    );
+    let mut grasp = Grasp::new(
+        AvgWeight,
+        threshold,
+        GraspConfig { iterations_per_update: 2, alpha: 0.5, n_max, seed: 7 },
+    );
+    for u in workload.updates() {
+        engine.apply_update(*u);
+        grasp.apply_update(*u);
+    }
+    engine.validate().unwrap();
+
+    let truth: Vec<VertexSet> = engine
+        .output_dense_subgraphs()
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect();
+    assert!(!truth.is_empty(), "the workload should produce output-dense subgraphs");
+
+    // Precision: everything GRASP found is genuinely output-dense right now.
+    let fam = ThresholdFamily::with_delta_it_fraction(AvgWeight, threshold, n_max, 0.01);
+    for set in grasp.found() {
+        let score = grasp.graph().score(set);
+        assert!(fam.is_output_dense(score, set.len()), "GRASP false positive {set}");
+    }
+
+    // Recall: positive but typically below 1 — GRASP samples the answer.
+    let recall = grasp.recall_against(&truth);
+    assert!(recall > 0.0, "GRASP found nothing");
+    assert!(recall <= 1.0 + 1e-9);
+}
+
+#[test]
+fn incremental_engine_matches_recompute_on_synthetic_streams() {
+    for (seed, config) in [
+        (1u64, SyntheticConfig::random(80, 2_000, 1)),
+        (2, SyntheticConfig::edge_preferential(80, 2_000, 2)),
+        (3, SyntheticConfig::node_preferential(80, 2_000, 3)),
+    ] {
+        let workload = SyntheticWorkload::generate(config);
+        let engine_config = DynDensConfig::new(0.8, 5).with_delta_it_fraction(0.3);
+        let mut incremental = DynDens::with_vertex_capacity(
+            AvgWeight,
+            engine_config.clone(),
+            workload.config().n_vertices,
+        );
+        for u in workload.updates() {
+            incremental.apply_update(*u);
+        }
+        incremental.validate().unwrap();
+        let rebuilt = recompute(AvgWeight, engine_config, incremental.graph());
+        // The reported set must coincide up to implicit representation: every
+        // explicit answer of one engine is tracked by the other.
+        for (set, _) in rebuilt.output_dense_subgraphs() {
+            assert!(incremental.is_tracked_dense(&set), "seed {seed}: missing {set}");
+        }
+        for (set, _) in incremental.output_dense_subgraphs() {
+            assert!(rebuilt.is_tracked_dense(&set), "seed {seed}: spurious {set}");
+        }
+    }
+}
+
+#[test]
+fn threshold_update_agrees_with_recompute_on_synthetic_graphs() {
+    // A smaller-scale version of the Section 6.2 experiment: run at T = 1.0,
+    // then lower to 0.8 incrementally and compare against DynDensRecompute.
+    let workload = SyntheticWorkload::generate(SyntheticConfig::random(60, 1_500, 10));
+    let base = DynDensConfig::new(1.0, 5)
+        .with_delta_it_fraction(0.3)
+        .with_implicit_too_dense(false);
+    let mut engine =
+        DynDens::with_vertex_capacity(AvgWeight, base.clone(), workload.config().n_vertices);
+    for u in workload.updates() {
+        engine.apply_update(*u);
+    }
+    engine.set_output_threshold(0.8);
+    engine.validate().unwrap();
+
+    let lowered = DynDensConfig::new(0.8, 5)
+        .with_delta_it_fraction(0.3)
+        .with_implicit_too_dense(false);
+    let reference = recompute(AvgWeight, lowered, engine.graph());
+    let mut got: Vec<VertexSet> =
+        engine.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+    let mut want: Vec<VertexSet> =
+        reference.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn goldberg_densest_subgraph_is_at_least_as_dense_as_any_reported_story() {
+    let workload = SyntheticWorkload::generate(SyntheticConfig::near_clique(200, 2_000, 5));
+    let mut graph = DynamicGraph::new();
+    for u in workload.updates() {
+        graph.apply_update(u);
+    }
+    let densest = dyndens::baselines::densest_subgraph(&graph, 1e-6).expect("graph has edges");
+    // The offline Top-1 answer under S_n = n upper-bounds the AvgDegree
+    // density of every subgraph, including anything DynDens would report.
+    let fam = ThresholdFamily::with_delta_it_fraction(AvgDegree, 0.05, 6, 0.2);
+    let dense = BruteForce::dense_subgraphs(&graph, &fam);
+    for (set, score) in dense {
+        let avg_degree_density = score / set.len() as f64;
+        assert!(avg_degree_density <= densest.density + 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests over the post → update pipeline and across-crate invariants.
+
+use dyndens::prelude::*;
+use dyndens::stream::{
+    AssociationMeasure, ChiSquareCorrelation, EdgeUpdateGenerator, LogLikelihoodRatio, Post,
+};
+use proptest::prelude::*;
+
+/// Strategy for small random posts over a bounded entity universe.
+fn posts_strategy(n_entities: u32, max_posts: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::vec(0..n_entities, 0..4usize),
+        1..max_posts,
+    )
+}
+
+fn to_posts(raw: &[Vec<u32>]) -> Vec<Post> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, ids)| Post::new(i as f64 * 60.0, ids.iter().map(|&v| VertexId(v)).collect()))
+        .collect()
+}
+
+fn check_pipeline<M: AssociationMeasure>(measure: M, posts: &[Post]) {
+    let mut generator = EdgeUpdateGenerator::new(measure, 2.0 * 3600.0);
+    let mut graph = DynamicGraph::new();
+    let mut engine = DynDens::new(AvgWeight, DynDensConfig::new(0.5, 4).with_delta_it_fraction(0.3));
+    for post in posts {
+        for update in generator.process_post(post) {
+            // Updates are always well-formed and keep weights non-negative.
+            assert!(update.delta.is_finite());
+            let (_, new_weight) = graph.apply_update(&update);
+            assert!(new_weight >= -1e-9, "weight went negative: {new_weight}");
+            assert!(new_weight <= 1.0 + 1e-6, "association weights are bounded by 1");
+            engine.apply_update(update);
+        }
+    }
+    // The generator's emitted view, the replayed graph and the engine's graph
+    // all agree.
+    for (a, b, w) in graph.edges() {
+        assert!((generator.current_weight(a, b) - w).abs() < 1e-9);
+        assert!((engine.graph().weight(a, b) - w).abs() < 1e-9);
+    }
+    engine.validate().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn chi_square_pipeline_keeps_engine_consistent(raw in posts_strategy(12, 60)) {
+        check_pipeline(ChiSquareCorrelation::default(), &to_posts(&raw));
+    }
+
+    #[test]
+    fn llr_pipeline_keeps_engine_consistent(raw in posts_strategy(12, 60)) {
+        check_pipeline(LogLikelihoodRatio::default(), &to_posts(&raw));
+    }
+
+    /// The association weight of a pair never exceeds 1 and is 0 whenever the
+    /// pair never co-occurred.
+    #[test]
+    fn weights_are_bounded_and_zero_without_cooccurrence(raw in posts_strategy(10, 60)) {
+        let posts = to_posts(&raw);
+        let mut generator = EdgeUpdateGenerator::without_decay(ChiSquareCorrelation::default());
+        let mut cooccurred = std::collections::BTreeSet::new();
+        for post in &posts {
+            for (a, b) in post.entity_pairs() {
+                cooccurred.insert((a.min(b), a.max(b)));
+            }
+            generator.process_post(post);
+        }
+        for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                let w = generator.current_weight(VertexId(a), VertexId(b));
+                prop_assert!(w >= 0.0 && w <= 1.0 + 1e-9);
+                if !cooccurred.contains(&(VertexId(a), VertexId(b))) {
+                    prop_assert_eq!(w, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Events are consistent with the reported set: replaying the events of a
+    /// stream reconstructs exactly the engine's explicit output-dense set.
+    #[test]
+    fn event_stream_reconstructs_output_dense_set(raw in posts_strategy(10, 50)) {
+        let posts = to_posts(&raw);
+        let mut generator = EdgeUpdateGenerator::without_decay(ChiSquareCorrelation::default());
+        let mut engine = DynDens::new(AvgWeight, DynDensConfig::new(0.5, 4).with_delta_it_fraction(0.3));
+        let mut reported: std::collections::BTreeSet<VertexSet> = Default::default();
+        for post in &posts {
+            for update in generator.process_post(post) {
+                for event in engine.apply_update(update) {
+                    match event {
+                        DenseEvent::BecameOutputDense { vertices, .. } => {
+                            prop_assert!(reported.insert(vertices), "duplicate Became event");
+                        }
+                        DenseEvent::NoLongerOutputDense { vertices, .. } => {
+                            prop_assert!(reported.remove(&vertices), "unmatched NoLonger event");
+                        }
+                    }
+                }
+            }
+        }
+        let explicit: std::collections::BTreeSet<VertexSet> =
+            engine.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+        // Every explicitly reported subgraph appears in the event-derived set;
+        // the event set may additionally contain star-covered subgraphs that
+        // were reported before becoming implicit.
+        for set in &explicit {
+            prop_assert!(
+                reported.contains(set) || engine.covered_by_star(set),
+                "{} missing from the event ledger", set
+            );
+        }
+        for set in &reported {
+            prop_assert!(engine.is_tracked_dense(set), "{} in ledger but not tracked", set);
+        }
+    }
+}
