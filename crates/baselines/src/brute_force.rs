@@ -38,7 +38,11 @@ impl BruteForce {
         graph: &DynamicGraph,
         thresholds: &ThresholdFamily<D>,
     ) -> Vec<(VertexSet, f64)> {
-        Self::enumerate(graph, |score, n| thresholds.is_output_dense(score, n), thresholds)
+        Self::enumerate(
+            graph,
+            |score, n| thresholds.is_output_dense(score, n),
+            thresholds,
+        )
     }
 
     fn enumerate<D: DensityMeasure>(
@@ -125,12 +129,19 @@ impl BruteForce {
             .copied()
             .max_by_key(|&u| p.iter().filter(|&&v| graph.weight(u, v) > 0.0).count());
         let candidates: Vec<VertexId> = match pivot {
-            Some(u) => p.iter().copied().filter(|&v| graph.weight(u, v) <= 0.0).collect(),
+            Some(u) => p
+                .iter()
+                .copied()
+                .filter(|&v| graph.weight(u, v) <= 0.0)
+                .collect(),
             None => p.clone(),
         };
         for v in candidates {
             let neighbours = |set: &[VertexId]| -> Vec<VertexId> {
-                set.iter().copied().filter(|&u| graph.weight(u, v) > 0.0).collect()
+                set.iter()
+                    .copied()
+                    .filter(|&u| graph.weight(u, v) > 0.0)
+                    .collect()
             };
             let mut new_p = neighbours(p);
             let mut new_x = neighbours(x);
@@ -200,7 +211,9 @@ mod tests {
         let dense = BruteForce::dense_subgraphs(&g, &fam);
         // {0,1,2} has score 10 over S_3 = 3: dense even though vertex 2 is
         // disconnected.
-        assert!(dense.iter().any(|(s, _)| *s == VertexSet::from_ids(&[0, 1, 2])));
+        assert!(dense
+            .iter()
+            .any(|(s, _)| *s == VertexSet::from_ids(&[0, 1, 2])));
     }
 
     #[test]
@@ -218,7 +231,10 @@ mod tests {
         cliques.sort();
         assert_eq!(
             cliques,
-            vec![VertexSet::from_ids(&[0, 1, 2]), VertexSet::from_ids(&[3, 4])]
+            vec![
+                VertexSet::from_ids(&[0, 1, 2]),
+                VertexSet::from_ids(&[3, 4])
+            ]
         );
     }
 

@@ -26,7 +26,9 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { graph: vec![Vec::new(); n] }
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -45,8 +47,16 @@ impl FlowNetwork {
         assert!(capacity >= 0.0, "capacities must be non-negative");
         let rev_from = self.graph[to].len();
         let rev_to = self.graph[from].len();
-        self.graph[from].push(Edge { to, capacity, rev: rev_from });
-        self.graph[to].push(Edge { to: from, capacity: 0.0, rev: rev_to });
+        self.graph[from].push(Edge {
+            to,
+            capacity,
+            rev: rev_from,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            capacity: 0.0,
+            rev: rev_to,
+        });
     }
 
     /// Adds an undirected edge (capacity in both directions).
@@ -54,8 +64,16 @@ impl FlowNetwork {
         assert!(capacity >= 0.0, "capacities must be non-negative");
         let rev_a = self.graph[b].len();
         let rev_b = self.graph[a].len();
-        self.graph[a].push(Edge { to: b, capacity, rev: rev_a });
-        self.graph[b].push(Edge { to: a, capacity, rev: rev_b });
+        self.graph[a].push(Edge {
+            to: b,
+            capacity,
+            rev: rev_a,
+        });
+        self.graph[b].push(Edge {
+            to: a,
+            capacity,
+            rev: rev_b,
+        });
     }
 
     fn bfs_levels(&self, source: usize, sink: usize) -> Option<Vec<i32>> {

@@ -110,17 +110,25 @@ pub fn densest_subgraph_brute_force(graph: &DynamicGraph) -> Option<DensestSubgr
     }
     let mut best: Option<DensestSubgraph> = None;
     // Enumerate all non-empty subsets (exponential; tests only).
-    assert!(n <= 20, "brute force densest subgraph is for small graphs only");
+    assert!(
+        n <= 20,
+        "brute force densest subgraph is for small graphs only"
+    );
     for mask in 1u32..(1 << n) {
-        let vertices: Vec<VertexId> =
-            (0..n).filter(|&v| mask & (1 << v) != 0).map(|v| VertexId(v as u32)).collect();
+        let vertices: Vec<VertexId> = (0..n)
+            .filter(|&v| mask & (1 << v) != 0)
+            .map(|v| VertexId(v as u32))
+            .collect();
         if vertices.len() < 2 {
             continue;
         }
         let set = VertexSet::from_vertices(vertices);
         let density = graph.score(&set) / set.len() as f64;
-        if best.as_ref().map_or(true, |b| density > b.density) {
-            best = Some(DensestSubgraph { vertices: set, density });
+        if best.as_ref().is_none_or(|b| density > b.density) {
+            best = Some(DensestSubgraph {
+                vertices: set,
+                density,
+            });
         }
     }
     best

@@ -40,7 +40,12 @@ pub struct GraspConfig {
 
 impl Default for GraspConfig {
     fn default() -> Self {
-        GraspConfig { iterations_per_update: 4, alpha: 0.5, n_max: 5, seed: 42 }
+        GraspConfig {
+            iterations_per_update: 4,
+            alpha: 0.5,
+            n_max: 5,
+            seed: 42,
+        }
     }
 }
 
@@ -64,7 +69,13 @@ impl<D: DensityMeasure> Grasp<D> {
         let thresholds =
             ThresholdFamily::with_delta_it_fraction(measure, threshold, config.n_max, 0.01);
         let rng = StdRng::seed_from_u64(config.seed);
-        Grasp { graph: DynamicGraph::new(), thresholds, config, rng, found: FxHashSet::default() }
+        Grasp {
+            graph: DynamicGraph::new(),
+            thresholds,
+            config,
+            rng,
+            found: FxHashSet::default(),
+        }
     }
 
     /// The underlying graph.
@@ -132,9 +143,7 @@ impl<D: DensityMeasure> Grasp<D> {
                 .iter()
                 .filter(|(&v, _)| !set.contains(v))
                 .map(|(&v, &g)| (v, g))
-                .filter(|&(_, g)| {
-                    self.thresholds.is_output_dense(score + g, set.len() + 1)
-                })
+                .filter(|&(_, g)| self.thresholds.is_output_dense(score + g, set.len() + 1))
                 .collect();
             if candidates.is_empty() {
                 break;
@@ -142,8 +151,10 @@ impl<D: DensityMeasure> Grasp<D> {
             let best = candidates.iter().map(|&(_, g)| g).fold(f64::MIN, f64::max);
             let worst = candidates.iter().map(|&(_, g)| g).fold(f64::MAX, f64::min);
             let cutoff = best - self.config.alpha * (best - worst);
-            let rcl: Vec<(VertexId, f64)> =
-                candidates.into_iter().filter(|&(_, g)| g >= cutoff).collect();
+            let rcl: Vec<(VertexId, f64)> = candidates
+                .into_iter()
+                .filter(|&(_, g)| g >= cutoff)
+                .collect();
             let (chosen, gain) = rcl[self.rng.gen_range(0..rcl.len())];
             set.insert(chosen);
             score += gain;
@@ -263,7 +274,14 @@ mod tests {
 
     #[test]
     fn finds_a_planted_clique() {
-        let mut grasp = Grasp::new(AvgWeight, 1.0, GraspConfig { n_max: 4, ..Default::default() });
+        let mut grasp = Grasp::new(
+            AvgWeight,
+            1.0,
+            GraspConfig {
+                n_max: 4,
+                ..Default::default()
+            },
+        );
         for u in clique_updates(&[0, 1, 2, 3], 1.5) {
             grasp.apply_update(u);
         }
@@ -275,7 +293,14 @@ mod tests {
     #[test]
     fn precision_is_perfect() {
         // Everything GRASP reports must genuinely be output-dense.
-        let mut grasp = Grasp::new(AvgWeight, 0.9, GraspConfig { n_max: 4, ..Default::default() });
+        let mut grasp = Grasp::new(
+            AvgWeight,
+            0.9,
+            GraspConfig {
+                n_max: 4,
+                ..Default::default()
+            },
+        );
         let mut updates = clique_updates(&[0, 1, 2], 1.2);
         updates.extend(clique_updates(&[3, 4, 5, 6], 0.95));
         updates.push(EdgeUpdate::new(VertexId(2), VertexId(3), 0.4));
@@ -285,7 +310,10 @@ mod tests {
         let fam = ThresholdFamily::with_delta_it_fraction(AvgWeight, 0.9, 4, 0.01);
         for set in grasp.found() {
             let score = grasp.graph().score(set);
-            assert!(fam.is_output_dense(score, set.len()), "false positive {set}");
+            assert!(
+                fam.is_output_dense(score, set.len()),
+                "false positive {set}"
+            );
         }
     }
 
@@ -295,7 +323,12 @@ mod tests {
             let mut grasp = Grasp::new(
                 AvgWeight,
                 0.9,
-                GraspConfig { iterations_per_update: iters, n_max: 4, alpha: 0.5, seed: 11 },
+                GraspConfig {
+                    iterations_per_update: iters,
+                    n_max: 4,
+                    alpha: 0.5,
+                    seed: 11,
+                },
             );
             let mut updates = clique_updates(&[0, 1, 2, 3], 1.0);
             updates.extend(clique_updates(&[2, 4, 5], 1.1));
@@ -314,13 +347,23 @@ mod tests {
             .collect();
         let r1 = sparse_run.recall_against(&truth);
         let r2 = heavy_run.recall_against(&truth);
-        assert!(r2 >= r1, "recall should not degrade with more iterations ({r1} vs {r2})");
+        assert!(
+            r2 >= r1,
+            "recall should not degrade with more iterations ({r1} vs {r2})"
+        );
         assert!(r2 > 0.5);
     }
 
     #[test]
     fn negative_updates_prune_stale_discoveries() {
-        let mut grasp = Grasp::new(AvgWeight, 1.0, GraspConfig { n_max: 3, ..Default::default() });
+        let mut grasp = Grasp::new(
+            AvgWeight,
+            1.0,
+            GraspConfig {
+                n_max: 3,
+                ..Default::default()
+            },
+        );
         for u in clique_updates(&[0, 1, 2], 1.2) {
             grasp.apply_update(u);
         }
@@ -331,7 +374,14 @@ mod tests {
 
     #[test]
     fn offline_search_discovers_subgraphs() {
-        let mut grasp = Grasp::new(AvgWeight, 1.0, GraspConfig { n_max: 4, ..Default::default() });
+        let mut grasp = Grasp::new(
+            AvgWeight,
+            1.0,
+            GraspConfig {
+                n_max: 4,
+                ..Default::default()
+            },
+        );
         // Load the graph without running per-update searches (negative deltas
         // first so apply_update skips the search, then raise them).
         for u in clique_updates(&[0, 1, 2, 3], 1.5) {

@@ -19,9 +19,13 @@ pub fn recompute<D: DensityMeasure>(
     config: DynDensConfig,
     graph: &DynamicGraph,
 ) -> DynDens<D> {
-    let mut engine = DynDens::new(measure, config);
+    // Pre-declare the vertex universe (the paper's fixed-N data model): with
+    // lazy vertex creation, a subgraph that becomes too-dense before some of
+    // its future neighbours exist could not materialise those extensions at
+    // explore-all time.
+    let mut engine = DynDens::with_vertex_capacity(measure, config, graph.vertex_count());
     let mut edges: Vec<(u32, u32, f64)> = graph.edges().map(|(a, b, w)| (a.0, b.0, w)).collect();
-    edges.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+    edges.sort_unstable_by_key(|x| (x.0, x.1));
     for (a, b, w) in edges {
         if w > 0.0 {
             engine.apply_update(EdgeUpdate::new(a.into(), b.into(), w));
@@ -57,10 +61,16 @@ mod tests {
         }
         let rebuilt = recompute(AvgWeight, config, incremental.graph());
 
-        let mut a: Vec<VertexSet> =
-            incremental.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
-        let mut b: Vec<VertexSet> =
-            rebuilt.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+        let mut a: Vec<VertexSet> = incremental
+            .output_dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        let mut b: Vec<VertexSet> = rebuilt
+            .output_dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

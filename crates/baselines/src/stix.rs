@@ -181,16 +181,23 @@ impl StixCliques {
     }
 
     fn contained_in_existing(&self, set: &VertexSet) -> bool {
-        let Some(first) = set.as_slice().first() else { return false };
-        let Some(ids) = self.member_of.get(first) else { return false };
-        ids.iter().any(|id| set.is_subset_of(&self.cliques[id]) && &self.cliques[id] != set)
+        let Some(first) = set.as_slice().first() else {
+            return false;
+        };
+        let Some(ids) = self.member_of.get(first) else {
+            return false;
+        };
+        ids.iter()
+            .any(|id| set.is_subset_of(&self.cliques[id]) && &self.cliques[id] != set)
             || ids.iter().any(|id| &self.cliques[id] == set)
     }
 
     /// `true` if some vertex outside `set` is adjacent to every member of
     /// `set` (i.e. `set` is not maximal).
     fn is_extendable(&self, set: &VertexSet) -> bool {
-        let Some(first) = set.as_slice().first() else { return false };
+        let Some(first) = set.as_slice().first() else {
+            return false;
+        };
         for (cand, _) in self.graph.neighbors(*first) {
             if set.contains(cand) {
                 continue;

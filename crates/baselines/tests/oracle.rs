@@ -89,8 +89,11 @@ fn check_against_oracle<D: DensityMeasure>(engine: &DynDens<D>, context: &str) {
     }
     // Without the implicit representation, the explicit set must be exact.
     if !engine.config().implicit_too_dense {
-        let explicit: std::collections::BTreeSet<VertexSet> =
-            engine.dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+        let explicit: std::collections::BTreeSet<VertexSet> = engine
+            .dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         assert_eq!(
             explicit, truth_sets,
             "{context}: explicit dense set differs from the oracle"
@@ -252,12 +255,12 @@ fn star_lifecycle_regression() {
     let config = DynDensConfig::new(1.0, 4).with_delta_it(0.15);
     let mut engine = DynDens::with_vertex_capacity(AvgWeight, config, 4);
     let updates = [
-        (0u32, 1u32, 4.0),  // {0,1} becomes too-dense immediately
-        (2, 3, 1.0),        // unrelated dense edge
-        (1, 2, 0.5),        // connects the two regions
-        (0, 1, -3.2),       // {0,1} stops being too-dense
-        (1, 2, 0.6),        // strengthens the bridge
-        (0, 1, -0.9),       // {0,1} barely dense / evicted depending on bounds
+        (0u32, 1u32, 4.0), // {0,1} becomes too-dense immediately
+        (2, 3, 1.0),       // unrelated dense edge
+        (1, 2, 0.5),       // connects the two regions
+        (0, 1, -3.2),      // {0,1} stops being too-dense
+        (1, 2, 0.6),       // strengthens the bridge
+        (0, 1, -0.9),      // {0,1} barely dense / evicted depending on bounds
     ];
     for (i, &(a, b, d)) in updates.iter().enumerate() {
         engine.apply_update(EdgeUpdate::new(VertexId(a), VertexId(b), d));

@@ -10,7 +10,11 @@ use dyndens_graph::EdgeUpdate;
 use dyndens_workloads::{SyntheticConfig, SyntheticWorkload};
 
 fn small_unweighted() -> Vec<EdgeUpdate> {
-    unweighted_dataset(&DatasetSpec { n_posts: 4_000, n_background_entities: 150, seed: 2011 })
+    unweighted_dataset(&DatasetSpec {
+        n_posts: 4_000,
+        n_background_entities: 150,
+        seed: 2011,
+    })
 }
 
 fn grasp_vs_dyndens(c: &mut Criterion) {
@@ -19,8 +23,10 @@ fn grasp_vs_dyndens(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("dyndens_exact", |b| {
         b.iter(|| {
-            let mut engine =
-                DynDens::new(AvgWeight, DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5));
+            let mut engine = DynDens::new(
+                AvgWeight,
+                DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5),
+            );
             for u in &updates {
                 engine.apply_update(*u);
             }
@@ -36,7 +42,12 @@ fn grasp_vs_dyndens(c: &mut Criterion) {
                     let mut grasp = Grasp::new(
                         AvgWeight,
                         1.0,
-                        GraspConfig { iterations_per_update: iters, alpha: 0.5, n_max: 5, seed: 42 },
+                        GraspConfig {
+                            iterations_per_update: iters,
+                            alpha: 0.5,
+                            n_max: 5,
+                            seed: 42,
+                        },
                     );
                     for u in &updates {
                         grasp.apply_update(*u);
@@ -64,8 +75,10 @@ fn stix_vs_dyndens(c: &mut Criterion) {
     });
     group.bench_function("dyndens_all_cliques_nmax5", |b| {
         b.iter(|| {
-            let mut engine =
-                DynDens::new(AvgWeight, DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5));
+            let mut engine = DynDens::new(
+                AvgWeight,
+                DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5),
+            );
             for u in &updates {
                 engine.apply_update(*u);
             }
@@ -76,9 +89,11 @@ fn stix_vs_dyndens(c: &mut Criterion) {
 }
 
 fn threshold_adjustment(c: &mut Criterion) {
-    let workload = SyntheticWorkload::generate(SyntheticConfig::edge_preferential(5_000, 15_000, 2));
+    let workload =
+        SyntheticWorkload::generate(SyntheticConfig::edge_preferential(5_000, 15_000, 2));
     let base_config = DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.3);
-    let mut base = DynDens::with_vertex_capacity(AvgWeight, base_config, workload.config().n_vertices);
+    let mut base =
+        DynDens::with_vertex_capacity(AvgWeight, base_config, workload.config().n_vertices);
     for u in workload.updates() {
         base.apply_update(*u);
     }
@@ -112,5 +127,10 @@ fn threshold_adjustment(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, grasp_vs_dyndens, stix_vs_dyndens, threshold_adjustment);
+criterion_group!(
+    benches,
+    grasp_vs_dyndens,
+    stix_vs_dyndens,
+    threshold_adjustment
+);
 criterion_main!(benches);

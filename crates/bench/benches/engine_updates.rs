@@ -9,7 +9,11 @@ use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens};
 use dyndens_graph::EdgeUpdate;
 
 fn spec() -> DatasetSpec {
-    DatasetSpec { n_posts: 6_000, n_background_entities: 200, seed: 2011 }
+    DatasetSpec {
+        n_posts: 6_000,
+        n_background_entities: 200,
+        seed: 2011,
+    }
 }
 
 fn bench_stream<D: DensityMeasure + Copy>(
@@ -23,18 +27,22 @@ fn bench_stream<D: DensityMeasure + Copy>(
     group.throughput(Throughput::Elements(updates.len() as u64));
     group.sample_size(10);
     for &n_max in &[4usize, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("Nmax={n_max}")), &n_max, |b, &n_max| {
-            b.iter(|| {
-                let config = DynDensConfig::new(threshold, n_max).with_delta_it_fraction(0.05);
-                let mut engine = DynDens::new(measure, config);
-                let mut events = Vec::new();
-                for u in updates {
-                    events.clear();
-                    engine.apply_update_into(*u, &mut events);
-                }
-                engine.dense_count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("Nmax={n_max}")),
+            &n_max,
+            |b, &n_max| {
+                b.iter(|| {
+                    let config = DynDensConfig::new(threshold, n_max).with_delta_it_fraction(0.05);
+                    let mut engine = DynDens::new(measure, config);
+                    let mut events = Vec::new();
+                    for u in updates {
+                        events.clear();
+                        engine.apply_update_into(*u, &mut events);
+                    }
+                    engine.dense_count()
+                })
+            },
+        );
     }
     group.finish();
 }

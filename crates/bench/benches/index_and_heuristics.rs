@@ -54,7 +54,12 @@ fn index_operations(c: &mut Criterion) {
 
 fn near_clique_workload(updates: usize) -> SyntheticWorkload {
     let mut config = SyntheticConfig::near_clique(3_000, updates, 73);
-    if let SyntheticStrategy::NearClique { max_pair_weight, groups, .. } = &mut config.strategy {
+    if let SyntheticStrategy::NearClique {
+        max_pair_weight,
+        groups,
+        ..
+    } = &mut config.strategy
+    {
         *max_pair_weight = Some(1.4);
         *groups = 30;
     }
@@ -115,14 +120,18 @@ fn implicit_too_dense_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("implicit_too_dense");
     group.sample_size(10);
     for (name, implicit) in [("with_implicit", true), ("explore_all", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &implicit, |b, &implicit| {
-            b.iter(|| {
-                let config = DynDensConfig::new(0.3, 6)
-                    .with_delta_it_fraction(0.1)
-                    .with_implicit_too_dense(implicit);
-                run_with(config, &workload)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &implicit,
+            |b, &implicit| {
+                b.iter(|| {
+                    let config = DynDensConfig::new(0.3, 6)
+                        .with_delta_it_fraction(0.1)
+                        .with_implicit_too_dense(implicit);
+                    run_with(config, &workload)
+                })
+            },
+        );
     }
     group.finish();
 }

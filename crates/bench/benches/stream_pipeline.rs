@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dyndens_core::DynDensConfig;
 use dyndens_density::AvgWeight;
-use dyndens_stream::{ChiSquareCorrelation, EdgeUpdateGenerator, LogLikelihoodRatio, StoryPipeline};
+use dyndens_stream::{
+    ChiSquareCorrelation, EdgeUpdateGenerator, LogLikelihoodRatio, StoryPipeline,
+};
 use dyndens_workloads::{TweetSimulator, TweetSimulatorConfig};
 
 fn corpus() -> dyndens_workloads::SimulatedCorpus {

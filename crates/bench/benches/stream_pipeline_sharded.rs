@@ -1,0 +1,65 @@
+//! Criterion benchmark for the sharded ingest subsystem: the same synthetic
+//! update stream pushed through `ShardedDynDens` at 1/2/4/8 shards, against
+//! the single-threaded engine as the baseline.
+//!
+//! The stream is partition-aligned (planted near-clique communities drawn
+//! from congruence classes, `ShardFn::Modulo`), so every sharding level
+//! computes the identical output-dense answer and the comparison measures
+//! pure ingest scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dyndens_bench::datasets::shard_aligned_stream;
+use dyndens_core::{DynDens, DynDensConfig};
+use dyndens_density::AvgWeight;
+use dyndens_graph::EdgeUpdate;
+use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens};
+
+fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+fn sharded_vs_single(c: &mut Criterion) {
+    let updates: Vec<EdgeUpdate> = shard_aligned_stream(50_000, 8, 97);
+    let mut group = c.benchmark_group("stream_pipeline_sharded");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(updates.len() as u64));
+
+    group.bench_function("single_engine", |b| {
+        b.iter(|| {
+            let mut engine = DynDens::new(AvgWeight, engine_config());
+            let mut events = Vec::new();
+            for u in &updates {
+                engine.apply_update_into(*u, &mut events);
+                events.clear();
+            }
+            engine.output_dense_count()
+        })
+    });
+
+    for n_shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", n_shards),
+            &n_shards,
+            |b, &n_shards| {
+                b.iter(|| {
+                    let mut sharded = ShardedDynDens::new(
+                        AvgWeight,
+                        engine_config(),
+                        ShardConfig::new(n_shards)
+                            .with_shard_fn(ShardFn::Modulo)
+                            .with_max_batch(128)
+                            .with_channel_capacity(4096),
+                    );
+                    for chunk in updates.chunks(512) {
+                        sharded.apply_batch(chunk);
+                    }
+                    sharded.output_dense_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sharded_vs_single);
+criterion_main!(benches);

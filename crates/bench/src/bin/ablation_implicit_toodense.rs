@@ -36,7 +36,14 @@ fn main() {
 
     let mut table = Table::new(
         "ImplicitTooDense ablation (AvgWeight, weighted dataset)",
-        &["T", "Nmax", "with ImplicitTooDense (ms)", "without (ms)", "stars created", "explore-all calls"],
+        &[
+            "T",
+            "Nmax",
+            "with ImplicitTooDense (ms)",
+            "without (ms)",
+            "stars created",
+            "explore-all calls",
+        ],
     );
     for (t, n_max) in operating_points {
         let with_cfg = DynDensConfig::new(t, n_max).with_delta_it_fraction(0.05);
@@ -44,14 +51,27 @@ fn main() {
         let with = run_updates(AvgWeight, with_cfg, &updates, Some(cap), 1000);
         let without = run_updates(AvgWeight, without_cfg, &updates, Some(cap), 200);
         let (with_ms, stars) = match &with {
-            Some(m) => (format!("{:.1}", m.millis()), format!("{}", m.stats.star_markers_created)),
+            Some(m) => (
+                format!("{:.1}", m.millis()),
+                format!("{}", m.stats.star_markers_created),
+            ),
             None => (">cap".into(), "-".into()),
         };
         let (without_ms, explore_all) = match &without {
-            Some(m) => (format!("{:.1}", m.millis()), format!("{}", m.stats.explore_all_invocations)),
+            Some(m) => (
+                format!("{:.1}", m.millis()),
+                format!("{}", m.stats.explore_all_invocations),
+            ),
             None => (format!(">cap ({}s)", cap.as_secs()), "-".into()),
         };
-        table.row(vec![format!("{t}"), format!("{n_max}"), with_ms, without_ms, stars, explore_all]);
+        table.row(vec![
+            format!("{t}"),
+            format!("{n_max}"),
+            with_ms,
+            without_ms,
+            stars,
+            explore_all,
+        ]);
     }
     table.print();
     println!("\n(The paper reports the variant without ImplicitTooDense exceeding a 20-minute cap while the full DynDens finishes in well under two minutes.)");

@@ -32,12 +32,25 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 4(g): effect of delta_it (AvgWeight, unweighted dataset, Nmax = 10)",
-        &["T", "delta_it / max", "time_ms", "dense at end", "explorations", "max-explore skips"],
+        &[
+            "T",
+            "delta_it / max",
+            "time_ms",
+            "dense at end",
+            "explorations",
+            "max-explore skips",
+        ],
     );
     for &t in &thresholds {
         for &f in &fractions {
             let config = DynDensConfig::new(t, n_max).with_delta_it_fraction(f);
-            match run_updates(AvgWeight, config, &updates, Some(Duration::from_secs(600)), 1000) {
+            match run_updates(
+                AvgWeight,
+                config,
+                &updates,
+                Some(Duration::from_secs(600)),
+                1000,
+            ) {
                 Some(m) => {
                     table.row(vec![
                         format!("{t}"),

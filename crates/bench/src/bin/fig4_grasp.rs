@@ -32,9 +32,15 @@ fn main() {
     let config = DynDensConfig::new(threshold, n_max).with_delta_it_fraction(0.5);
 
     // Reference: DynDens runtime and exact answer.
-    let dyndens_time = run_updates(AvgWeight, config.clone(), &updates, Some(Duration::from_secs(600)), 1000)
-        .expect("DynDens run exceeded the time cap")
-        .elapsed;
+    let dyndens_time = run_updates(
+        AvgWeight,
+        config.clone(),
+        &updates,
+        Some(Duration::from_secs(600)),
+        1000,
+    )
+    .expect("DynDens run exceeded the time cap")
+    .elapsed;
     let mut exact = DynDens::new(AvgWeight, config);
     for u in &updates {
         exact.apply_update(*u);
@@ -58,7 +64,12 @@ fn main() {
         let mut grasp = Grasp::new(
             AvgWeight,
             threshold,
-            GraspConfig { iterations_per_update: iterations, alpha: 0.5, n_max, seed: 42 },
+            GraspConfig {
+                iterations_per_update: iterations,
+                alpha: 0.5,
+                n_max,
+                seed: 42,
+            },
         );
         let start = Instant::now();
         for u in &updates {
@@ -70,7 +81,10 @@ fn main() {
             format!("{iterations}"),
             format!("{recall:.2}"),
             format!("{:.1}", elapsed.as_secs_f64() * 1e3),
-            format!("{:.2}", elapsed.as_secs_f64() / dyndens_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}",
+                elapsed.as_secs_f64() / dyndens_time.as_secs_f64().max(1e-9)
+            ),
             format!("{}", grasp.found().len()),
         ]);
     }

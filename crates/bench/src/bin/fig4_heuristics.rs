@@ -29,7 +29,12 @@ fn main() {
     // Reject updates that would drive a planted pair into the too-dense regime
     // so the ablation isolates the exploration heuristics (as in the paper).
     let mut config = SyntheticConfig::near_clique(n_vertices, n_updates, 73);
-    if let SyntheticStrategy::NearClique { max_pair_weight, groups, .. } = &mut config.strategy {
+    if let SyntheticStrategy::NearClique {
+        max_pair_weight,
+        groups,
+        ..
+    } = &mut config.strategy
+    {
         *max_pair_weight = Some(threshold * 2.0);
         *groups = (n_vertices / 200).max(10);
     }
@@ -75,7 +80,10 @@ fn main() {
                 format!("{:.3}", ms / baseline),
                 format!("{}", m.stats.explorations),
                 format!("{}", m.stats.cheap_explorations),
-                format!("{}", m.stats.max_explore_skips + m.stats.degree_prioritize_skips),
+                format!(
+                    "{}",
+                    m.stats.max_explore_skips + m.stats.degree_prioritize_skips
+                ),
             ]);
         }
         table.print();

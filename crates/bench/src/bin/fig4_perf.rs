@@ -26,12 +26,48 @@ struct FigureSpec {
 const FIGURES: &[FigureSpec] = &[
     // Threshold grids chosen to bracket the paper's operating points for each
     // measure/dataset combination (Fig. 4(a)-(f) / Table 2).
-    FigureSpec { id: "a", measure_name: "AvgWeight", dataset: "weighted", thresholds: &[0.35, 0.41, 0.5, 0.6], n_maxes: &[4, 5, 6, 8] },
-    FigureSpec { id: "b", measure_name: "SqrtDens", dataset: "weighted", thresholds: &[0.5, 0.6, 0.8, 1.0], n_maxes: &[4, 5, 6, 8] },
-    FigureSpec { id: "c", measure_name: "AvgDegree", dataset: "weighted", thresholds: &[0.9, 1.1, 1.7, 2.0], n_maxes: &[4, 5, 6, 8] },
-    FigureSpec { id: "d", measure_name: "AvgWeight", dataset: "unweighted", thresholds: &[0.7, 0.8, 1.0], n_maxes: &[4, 5, 6] },
-    FigureSpec { id: "e", measure_name: "SqrtDens", dataset: "unweighted", thresholds: &[0.8, 0.9, 1.0], n_maxes: &[4, 5, 6] },
-    FigureSpec { id: "f", measure_name: "AvgDegree", dataset: "unweighted", thresholds: &[1.7, 1.9, 2.1], n_maxes: &[4, 5, 6] },
+    FigureSpec {
+        id: "a",
+        measure_name: "AvgWeight",
+        dataset: "weighted",
+        thresholds: &[0.35, 0.41, 0.5, 0.6],
+        n_maxes: &[4, 5, 6, 8],
+    },
+    FigureSpec {
+        id: "b",
+        measure_name: "SqrtDens",
+        dataset: "weighted",
+        thresholds: &[0.5, 0.6, 0.8, 1.0],
+        n_maxes: &[4, 5, 6, 8],
+    },
+    FigureSpec {
+        id: "c",
+        measure_name: "AvgDegree",
+        dataset: "weighted",
+        thresholds: &[0.9, 1.1, 1.7, 2.0],
+        n_maxes: &[4, 5, 6, 8],
+    },
+    FigureSpec {
+        id: "d",
+        measure_name: "AvgWeight",
+        dataset: "unweighted",
+        thresholds: &[0.7, 0.8, 1.0],
+        n_maxes: &[4, 5, 6],
+    },
+    FigureSpec {
+        id: "e",
+        measure_name: "SqrtDens",
+        dataset: "unweighted",
+        thresholds: &[0.8, 0.9, 1.0],
+        n_maxes: &[4, 5, 6],
+    },
+    FigureSpec {
+        id: "f",
+        measure_name: "AvgDegree",
+        dataset: "unweighted",
+        thresholds: &[1.7, 1.9, 2.1],
+        n_maxes: &[4, 5, 6],
+    },
 ];
 
 fn parse_args() -> (String, f64) {
@@ -64,12 +100,25 @@ fn run_figure<D: DensityMeasure + Copy>(spec: &FigureSpec, measure: D, updates: 
             spec.dataset,
             updates.len()
         ),
-        &["T", "Nmax", "time_ms", "avg output-dense", "dense at end", "explorations"],
+        &[
+            "T",
+            "Nmax",
+            "time_ms",
+            "avg output-dense",
+            "dense at end",
+            "explorations",
+        ],
     );
     for &t in spec.thresholds {
         for &n_max in spec.n_maxes {
             let config = DynDensConfig::new(t, n_max).with_delta_it_fraction(0.01);
-            let result = run_updates(measure, config, updates, Some(Duration::from_secs(600)), 1000);
+            let result = run_updates(
+                measure,
+                config,
+                updates,
+                Some(Duration::from_secs(600)),
+                1000,
+            );
             match result {
                 Some(m) => {
                     table.row(vec![
@@ -116,7 +165,11 @@ fn main() {
         if figure != "all" && figure != fig.id {
             continue;
         }
-        let updates = if fig.dataset == "weighted" { &weighted } else { &unweighted };
+        let updates = if fig.dataset == "weighted" {
+            &weighted
+        } else {
+            &unweighted
+        };
         match fig.measure_name {
             "AvgWeight" => run_figure(fig, AvgWeight, updates),
             "SqrtDens" => run_figure(fig, SqrtDens, updates),

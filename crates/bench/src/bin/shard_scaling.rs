@@ -1,0 +1,170 @@
+//! Shard-scaling experiment: ingest throughput of `ShardedDynDens` at
+//! 1/2/4/8 shards versus the single-threaded engine, on the partition-aligned
+//! 50k-update synthetic stream.
+//!
+//! Prints a table and writes a machine-readable `BENCH_shard.json`
+//! (shards vs. throughput in updates/sec) so the perf trajectory can be
+//! tracked across PRs.
+//!
+//! Run with `cargo run --release -p dyndens-bench --bin shard_scaling`.
+
+use std::time::Instant;
+
+use dyndens_bench::{shard_aligned_stream, Table};
+use dyndens_core::{DynDens, DynDensConfig};
+use dyndens_density::AvgWeight;
+use dyndens_graph::EdgeUpdate;
+use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens};
+
+const N_UPDATES: usize = 50_000;
+const ALIGNMENT: usize = 8;
+const SEED: u64 = 97;
+const REPETITIONS: usize = 3;
+
+fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+/// One measured configuration.
+struct Measurement {
+    label: String,
+    shards: usize,
+    best_secs: f64,
+    output_dense: usize,
+}
+
+impl Measurement {
+    fn updates_per_sec(&self) -> f64 {
+        N_UPDATES as f64 / self.best_secs
+    }
+}
+
+fn run_single(updates: &[EdgeUpdate]) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut output_dense = 0;
+    for _ in 0..REPETITIONS {
+        let mut engine = DynDens::new(AvgWeight, engine_config());
+        let mut events = Vec::new();
+        let start = Instant::now();
+        for u in updates {
+            engine.apply_update_into(*u, &mut events);
+            events.clear();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        output_dense = engine.output_dense_count();
+    }
+    Measurement {
+        label: "single_engine".into(),
+        shards: 0,
+        best_secs: best,
+        output_dense,
+    }
+}
+
+fn run_sharded(updates: &[EdgeUpdate], n_shards: usize) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut output_dense = 0;
+    for _ in 0..REPETITIONS {
+        let mut sharded = ShardedDynDens::new(
+            AvgWeight,
+            engine_config(),
+            ShardConfig::new(n_shards)
+                .with_shard_fn(ShardFn::Modulo)
+                .with_max_batch(128)
+                .with_channel_capacity(4096),
+        );
+        let start = Instant::now();
+        for chunk in updates.chunks(512) {
+            sharded.apply_batch(chunk);
+        }
+        sharded.flush();
+        best = best.min(start.elapsed().as_secs_f64());
+        output_dense = sharded.output_dense_count();
+    }
+    Measurement {
+        label: format!("sharded_{n_shards}"),
+        shards: n_shards,
+        best_secs: best,
+        output_dense,
+    }
+}
+
+fn write_json(measurements: &[Measurement], baseline_ups: f64) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"n_updates\": {N_UPDATES},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"repetitions\": {REPETITIONS},\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+    json.push_str("  \"workload\": \"shard_aligned_stream\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 < measurements.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"shards\": {}, \"seconds\": {:.6}, \
+             \"updates_per_sec\": {:.1}, \"speedup_vs_single\": {:.3}, \
+             \"output_dense\": {}}}{sep}\n",
+            m.label,
+            m.shards,
+            m.best_secs,
+            m.updates_per_sec(),
+            m.updates_per_sec() / baseline_ups,
+            m.output_dense,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_shard.json", json)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{cores} CPU core(s) available; sharded speedups require >= shards cores");
+    println!("generating the partition-aligned stream ({N_UPDATES} updates)...");
+    let updates = shard_aligned_stream(N_UPDATES, ALIGNMENT, SEED);
+
+    let mut measurements = vec![run_single(&updates)];
+    for n_shards in [1usize, 2, 4, 8] {
+        measurements.push(run_sharded(&updates, n_shards));
+    }
+    let baseline_ups = measurements[0].updates_per_sec();
+
+    let mut table = Table::new(
+        "Shard scaling (50k partition-aligned updates, best of 3)",
+        &[
+            "config",
+            "shards",
+            "seconds",
+            "updates/s",
+            "speedup",
+            "output-dense",
+        ],
+    );
+    for m in &measurements {
+        table.row(vec![
+            m.label.clone(),
+            m.shards.to_string(),
+            format!("{:.3}", m.best_secs),
+            format!("{:.0}", m.updates_per_sec()),
+            format!("{:.2}x", m.updates_per_sec() / baseline_ups),
+            m.output_dense.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Every configuration must report the identical answer: the stream is
+    // partition-aligned, so sharding is lossless here.
+    let answers: Vec<usize> = measurements.iter().map(|m| m.output_dense).collect();
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "output-dense counts diverged across configurations: {answers:?}"
+    );
+
+    match write_json(&measurements, baseline_ups) {
+        Ok(()) => println!("\nwrote BENCH_shard.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_shard.json: {e}"),
+    }
+}

@@ -42,7 +42,13 @@ fn main() {
 
     let mut table = Table::new(
         "Stix vs DynDens (AvgWeight, T = 1, unweighted dataset)",
-        &["algorithm", "Nmax", "time_ms", "relative to Stix", "subgraphs maintained"],
+        &[
+            "algorithm",
+            "Nmax",
+            "time_ms",
+            "relative to Stix",
+            "subgraphs maintained",
+        ],
     );
     table.row(vec![
         "Stix (maximal cliques)".into(),
@@ -54,13 +60,22 @@ fn main() {
     for n_max in [3usize, 4, 5, 6, 7] {
         // delta_it at half its maximum value, as in the paper's comparison.
         let config = DynDensConfig::new(1.0, n_max).with_delta_it_fraction(0.5);
-        match run_updates(AvgWeight, config, &updates, Some(Duration::from_secs(600)), 1000) {
+        match run_updates(
+            AvgWeight,
+            config,
+            &updates,
+            Some(Duration::from_secs(600)),
+            1000,
+        ) {
             Some(m) => {
                 table.row(vec![
                     "DynDens (all cliques)".into(),
                     format!("{n_max}"),
                     format!("{:.1}", m.millis()),
-                    format!("{:.2}", m.millis() / (stix_time.as_secs_f64() * 1e3).max(1e-9)),
+                    format!(
+                        "{:.2}",
+                        m.millis() / (stix_time.as_secs_f64() * 1e3).max(1e-9)
+                    ),
                     format!("{}", m.dense_at_end),
                 ]);
             }

@@ -22,8 +22,10 @@ use dyndens_workloads::{SimulatedCorpus, TweetSimulator, TweetSimulatorConfig};
 fn top_stories(corpus: &SimulatedCorpus, threshold: f64) -> Vec<(Vec<String>, f64)> {
     // Raw (non-thresholded) log-likelihood ratio weights, no decay.
     let updates = corpus.to_updates(LogLikelihoodRatio::raw(CHI2_CRITICAL_5PCT), None);
-    let mut engine =
-        DynDens::new(AvgDegree, DynDensConfig::new(threshold, 5).with_delta_it_fraction(0.05));
+    let mut engine = DynDens::new(
+        AvgDegree,
+        DynDensConfig::new(threshold, 5).with_delta_it_fraction(0.05),
+    );
     for u in &updates {
         engine.apply_update(*u);
     }
@@ -40,7 +42,11 @@ fn print_block(label: &str, stories: &[(Vec<String>, f64)]) {
         println!("  (no story clears the threshold; lower it with a smaller --scale dataset)");
     }
     for (rank, (entities, density)) in stories.iter().enumerate() {
-        println!("  {}. [density {density:.2}] {}", rank + 1, entities.join(", "));
+        println!(
+            "  {}. [density {density:.2}] {}",
+            rank + 1,
+            entities.join(", ")
+        );
     }
 }
 

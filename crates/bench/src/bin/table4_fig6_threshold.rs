@@ -35,16 +35,34 @@ fn graph_specs(scale: f64) -> Vec<GraphSpec> {
     let small_u = small_n * 3;
     let large_u = large_n * 3;
     vec![
-        GraphSpec { name: "Random-S", config: SyntheticConfig::random(small_n, small_u, 1) },
-        GraphSpec { name: "EdgePref-S", config: SyntheticConfig::edge_preferential(small_n, small_u, 2) },
-        GraphSpec { name: "NodePref-S", config: SyntheticConfig::node_preferential(small_n, small_u, 3) },
+        GraphSpec {
+            name: "Random-S",
+            config: SyntheticConfig::random(small_n, small_u, 1),
+        },
+        GraphSpec {
+            name: "EdgePref-S",
+            config: SyntheticConfig::edge_preferential(small_n, small_u, 2),
+        },
+        GraphSpec {
+            name: "NodePref-S",
+            config: SyntheticConfig::node_preferential(small_n, small_u, 3),
+        },
         GraphSpec {
             name: "NodePrefBool-S",
             config: SyntheticConfig::node_preferential_boolean(small_n, small_u, 4),
         },
-        GraphSpec { name: "Random-L", config: SyntheticConfig::random(large_n, large_u, 5) },
-        GraphSpec { name: "EdgePref-L", config: SyntheticConfig::edge_preferential(large_n, large_u, 6) },
-        GraphSpec { name: "NodePref-L", config: SyntheticConfig::node_preferential(large_n, large_u, 7) },
+        GraphSpec {
+            name: "Random-L",
+            config: SyntheticConfig::random(large_n, large_u, 5),
+        },
+        GraphSpec {
+            name: "EdgePref-L",
+            config: SyntheticConfig::edge_preferential(large_n, large_u, 6),
+        },
+        GraphSpec {
+            name: "NodePref-L",
+            config: SyntheticConfig::node_preferential(large_n, large_u, 7),
+        },
         GraphSpec {
             name: "NodePrefBool-L",
             config: SyntheticConfig::node_preferential_boolean(large_n, large_u, 8),
@@ -79,7 +97,11 @@ fn table4(specs: &[GraphSpec]) {
         let workload = SyntheticWorkload::generate(spec.config.clone());
         for &t in &thresholds {
             let (engine, _) = build_engine(&workload, t);
-            table.row(vec![spec.name.to_string(), format!("{t}"), format!("{}", engine.dense_count())]);
+            table.row(vec![
+                spec.name.to_string(),
+                format!("{t}"),
+                format!("{}", engine.dense_count()),
+            ]);
         }
     }
     table.print();
@@ -93,7 +115,13 @@ fn threshold_change(specs: &[GraphSpec], increase: bool) {
     };
     let mut table = Table::new(
         &format!("Figure 6 threshold {label}: incremental update vs DynDensRecompute"),
-        &["graph", "T_old -> T_new", "update_ms", "recompute_ms", "normalised (update/recompute)"],
+        &[
+            "graph",
+            "T_old -> T_new",
+            "update_ms",
+            "recompute_ms",
+            "normalised (update/recompute)",
+        ],
     );
     for spec in specs {
         let workload = SyntheticWorkload::generate(spec.config.clone());
@@ -125,7 +153,10 @@ fn threshold_change(specs: &[GraphSpec], increase: bool) {
                 format!("{start_t} -> {target}"),
                 format!("{:.1}", update_time.as_secs_f64() * 1e3),
                 format!("{:.1}", recompute_time.as_secs_f64() * 1e3),
-                format!("{:.3}", update_time.as_secs_f64() / recompute_time.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.3}",
+                    update_time.as_secs_f64() / recompute_time.as_secs_f64().max(1e-9)
+                ),
             ]);
         }
     }

@@ -24,6 +24,6 @@ pub mod datasets;
 pub mod report;
 pub mod runner;
 
-pub use datasets::{unweighted_dataset, weighted_dataset, DatasetSpec};
+pub use datasets::{shard_aligned_stream, unweighted_dataset, weighted_dataset, DatasetSpec};
 pub use report::Table;
 pub use runner::{run_updates, RunMeasurement};

@@ -72,7 +72,9 @@ impl<D: DensityMeasure> DynDens<D> {
     /// fixed-universe data model.
     pub fn with_vertex_capacity(measure: D, config: DynDensConfig, n_vertices: usize) -> Self {
         let thresholds = match config.delta_it {
-            DeltaIt::Absolute(v) => ThresholdFamily::new(measure, config.threshold, config.n_max, v),
+            DeltaIt::Absolute(v) => {
+                ThresholdFamily::new(measure, config.threshold, config.n_max, v)
+            }
             DeltaIt::FractionOfMax(f) => {
                 ThresholdFamily::with_delta_it_fraction(measure, config.threshold, config.n_max, f)
             }
@@ -129,7 +131,10 @@ impl<D: DensityMeasure> DynDens<D> {
 
     /// All explicitly maintained dense subgraphs together with their scores.
     pub fn dense_subgraphs(&self) -> Vec<(VertexSet, f64)> {
-        self.index.iter().map(|(_, v, info)| (v, info.score)).collect()
+        self.index
+            .iter()
+            .map(|(_, v, info)| (v, info.score))
+            .collect()
     }
 
     /// All explicitly maintained output-dense subgraphs together with their
@@ -172,13 +177,9 @@ impl<D: DensityMeasure> DynDens<D> {
     /// `true` if the subgraph is covered by a `*` marker (see
     /// [`is_tracked_dense`](Self::is_tracked_dense)).
     pub fn covered_by_star(&self, set: &VertexSet) -> bool {
-        for base in self.index.star_bases() {
-            let base_set = self.index.vertices(base);
-            if base_set.len() < set.len()
-                && base_set.is_subset_of(set)
-                && self
-                    .thresholds
-                    .is_dense(self.index.score(base), set.len())
+        for base in self.index.star_bases_within(set.as_slice()) {
+            if self.index.cardinality(base) < set.len()
+                && self.thresholds.is_dense(self.index.score(base), set.len())
             {
                 return true;
             }
@@ -214,7 +215,10 @@ impl<D: DensityMeasure> DynDens<D> {
 
     /// Convenience: processes a sequence of updates, returning all events in
     /// order.
-    pub fn apply_updates<I: IntoIterator<Item = EdgeUpdate>>(&mut self, updates: I) -> Vec<DenseEvent> {
+    pub fn apply_updates<I: IntoIterator<Item = EdgeUpdate>>(
+        &mut self,
+        updates: I,
+    ) -> Vec<DenseEvent> {
         let mut events = Vec::new();
         for u in updates {
             self.apply_update_into(u, &mut events);
@@ -242,10 +246,28 @@ impl<D: DensityMeasure> DynDens<D> {
             let was_output = self.thresholds.is_output_dense(old_score, card);
             let still_dense = self.thresholds.is_dense(new_score, card);
             let still_output = self.thresholds.is_output_dense(new_score, card);
-            // Handle the ImplicitTooDense demotion before any eviction so the
-            // previously covered extensions that remain dense are materialised.
-            if self.index.has_star(id) && !self.thresholds.is_too_dense(new_score, card) {
-                self.demote_star(id, new_score);
+            // ImplicitTooDense coverage repair, before any demotion or
+            // eviction: a `*` marker on this subgraph covered every superset
+            // of cardinality within the coverage radius determined by the
+            // *old* score. The score drop shrinks that radius (possibly to
+            // nothing); supersets that fall out of coverage but remain dense
+            // through their own additional edges must be materialised, or the
+            // index loses them.
+            if self.index.has_star(id) {
+                let old_radius = self.coverage_radius(old_score, card);
+                let still_starred = still_dense && self.thresholds.is_too_dense(new_score, card);
+                let new_radius = if still_starred {
+                    self.coverage_radius(new_score, card)
+                } else {
+                    card
+                };
+                if new_radius < old_radius {
+                    self.materialise_covered_band(id, new_score, new_radius, old_radius, events);
+                }
+                if still_dense && !still_starred {
+                    self.index.set_star(id, false);
+                    self.stats.star_markers_removed += 1;
+                }
             }
             if still_dense {
                 self.index.add_score(id, delta);
@@ -268,43 +290,117 @@ impl<D: DensityMeasure> DynDens<D> {
         }
     }
 
-    /// Removes the `*` marker from `base` (which is about to stop being
-    /// too-dense, with `new_base_score` as its post-update score) and
-    /// materialises the previously covered one-vertex extensions that are
-    /// still dense, so the index remains complete.
-    fn demote_star(&mut self, base: NodeId, new_base_score: f64) {
-        self.index.set_star(base, false);
-        self.stats.star_markers_removed += 1;
-        let card = self.index.cardinality(base);
-        if card + 1 > self.thresholds.n_max() {
-            return;
+    /// The largest cardinality whose subgraphs are covered by a `*` marker on
+    /// a subgraph of cardinality `card` with the given score: the coverage
+    /// claim of [`covered_by_star`](Self::covered_by_star) is
+    /// `is_dense(base_score, n)` for supersets of cardinality `n`, and the
+    /// dense score bound grows with `n`, so coverage is a contiguous band
+    /// `card + 1 ..= radius`.
+    fn coverage_radius(&self, base_score: f64, card: usize) -> usize {
+        let mut radius = card;
+        for n in card + 1..=self.thresholds.n_max() {
+            if self.thresholds.is_dense(base_score, n) {
+                radius = n;
+            } else {
+                break;
+            }
         }
-        let verts = self.index.vertices(base);
-        let gamma = self.graph.neighborhood_scores(&verts);
-        let mut work: Vec<(VertexSet, f64)> = Vec::new();
-        for (&y, &gamma_y) in &gamma {
-            if verts.contains(y) {
+        radius
+    }
+
+    /// Materialises the dense supersets of `base` whose cardinality lies in
+    /// `new_radius + 1 ..= old_radius`: previously covered by the base's `*`
+    /// marker, no longer covered after its score dropped to `new_base_score`.
+    ///
+    /// Candidates are enumerated by growing the base one neighbouring vertex
+    /// or one disjoint edge at a time through dense intermediates (the same
+    /// reachability structure the too-dense exploration relies on).
+    /// Materialised subgraphs that are output-dense are reported, matching
+    /// the accounting that only explicitly represented subgraphs generate
+    /// events; ones that are themselves too-dense receive their own marker,
+    /// which also bounds how much of the family must be expanded.
+    fn materialise_covered_band(
+        &mut self,
+        base: NodeId,
+        new_base_score: f64,
+        new_radius: usize,
+        old_radius: usize,
+        events: &mut Vec<DenseEvent>,
+    ) {
+        let base_set = self.index.vertices(base);
+        // The graph does not change during the expansion; collect its edge
+        // list once for the disjoint-edge steps below.
+        let all_edges: Vec<(VertexId, VertexId, f64)> = if base_set.len() + 2 <= old_radius {
+            self.graph.edges().collect()
+        } else {
+            Vec::new()
+        };
+        let mut seen: std::collections::BTreeSet<VertexSet> = std::collections::BTreeSet::new();
+        let mut stack: Vec<(VertexSet, f64)> = vec![(base_set, new_base_score)];
+        while let Some((set, score)) = stack.pop() {
+            let card = set.len();
+            if card >= old_radius {
+                // Larger supersets were never covered by the old marker.
                 continue;
             }
-            let ext_score = new_base_score + gamma_y;
-            if self.thresholds.is_dense(ext_score, card + 1) {
-                let ext = verts.with(y);
-                if self.index.find(ext.as_slice()).is_none() {
-                    work.push((ext, ext_score));
+            let gamma = self.graph.neighborhood_scores(&set);
+            let mut candidates: Vec<(VertexSet, f64)> = Vec::new();
+            for (&y, &gamma_y) in &gamma {
+                if !set.contains(y) {
+                    candidates.push((set.with(y), score + gamma_y));
                 }
             }
-        }
-        for (ext, ext_score) in work {
-            let id = self.index.insert(
-                ext.as_slice(),
-                SubgraphInfo { score: ext_score, discovered_epoch: self.epoch, discovered_iteration: 0 },
-            );
-            self.stats.subgraphs_inserted += 1;
-            // A materialised extension may itself be too-dense; keep it marked
-            // so its own extensions stay covered.
-            if self.config.implicit_too_dense && self.thresholds.is_too_dense(ext_score, ext.len()) {
-                self.index.set_star(id, true);
-                self.stats.star_markers_created += 1;
+            if card + 2 <= old_radius {
+                for &(y, z, w) in all_edges
+                    .iter()
+                    .filter(|&&(y, z, _)| !set.contains(y) && !set.contains(z))
+                {
+                    let ext_score = w
+                        + score
+                        + gamma.get(&y).copied().unwrap_or(0.0)
+                        + gamma.get(&z).copied().unwrap_or(0.0);
+                    candidates.push((set.with(y).with(z), ext_score));
+                }
+            }
+            for (ext, ext_score) in candidates {
+                let ext_card = ext.len();
+                if ext_card > old_radius
+                    || !self.thresholds.is_dense(ext_score, ext_card)
+                    || !seen.insert(ext.clone())
+                {
+                    continue;
+                }
+                self.stats.candidates_examined += 1;
+                if ext_card > new_radius && self.index.find(ext.as_slice()).is_none() {
+                    let id = self.index.insert(
+                        ext.as_slice(),
+                        SubgraphInfo {
+                            score: ext_score,
+                            discovered_epoch: self.epoch,
+                            discovered_iteration: 0,
+                        },
+                    );
+                    self.stats.subgraphs_inserted += 1;
+                    if self.thresholds.is_output_dense(ext_score, ext_card) {
+                        events.push(DenseEvent::BecameOutputDense {
+                            vertices: ext.clone(),
+                            density: self.thresholds.measure().density(ext_score, ext_card),
+                        });
+                    }
+                    if self.config.implicit_too_dense
+                        && self.thresholds.is_too_dense(ext_score, ext_card)
+                    {
+                        self.index.set_star(id, true);
+                        self.stats.star_markers_created += 1;
+                        // Its own marker now covers its supersets up to its
+                        // coverage radius; anything beyond old_radius was
+                        // never covered by the original marker.
+                        if self.coverage_radius(ext_score, ext_card) >= old_radius {
+                            continue;
+                        }
+                    }
+                }
+                stack.push((ext, ext_score));
             }
         }
     }
@@ -317,7 +413,14 @@ impl<D: DensityMeasure> DynDens<D> {
         let (a, b, delta) = (update.a, update.b, update.delta);
         let new_weight = self.graph.weight(a, b);
 
-        let bound = if self.config.max_explore {
+        let max_iterations = self.thresholds.exploration_iterations(delta);
+        // The MaxExplore inequalities (Section 7.1) carry a `delta_it` slack
+        // and are derived in the single-iteration regime `delta <= delta_it`;
+        // a large update processed in several exploration iterations can
+        // create newly-dense subgraphs beyond the bound (observed on
+        // recompute-style replays where each edge arrives as one full-weight
+        // update). Fall back to the exact unbounded exploration there.
+        let bound = if self.config.max_explore && max_iterations <= 1 {
             MaxExploreBound::compute(&self.graph, &self.thresholds, a, b, new_weight)
         } else {
             MaxExploreBound::unbounded(self.thresholds.n_max())
@@ -326,7 +429,7 @@ impl<D: DensityMeasure> DynDens<D> {
             a,
             b,
             delta,
-            max_iterations: self.thresholds.exploration_iterations(delta),
+            max_iterations,
             bound,
             epoch: self.epoch,
         };
@@ -334,7 +437,11 @@ impl<D: DensityMeasure> DynDens<D> {
         // Snapshots: subgraphs that were dense before this update and contain a
         // and/or b, and the * markers present before this update.
         let affected = self.index.subgraphs_containing_either(a, b);
-        let stars = if self.config.implicit_too_dense { self.index.star_bases() } else { Vec::new() };
+        let stars = if self.config.implicit_too_dense {
+            self.index.star_bases()
+        } else {
+            Vec::new()
+        };
 
         // Base case of Algorithm 1, line 4: the edge {a, b} itself, if it is
         // newly-dense and not already maintained.
@@ -387,17 +494,40 @@ impl<D: DensityMeasure> DynDens<D> {
 
     /// Cheap exploration (Algorithm 1 line 6): augments a dense subgraph
     /// containing exactly one of the updated endpoints with the other one.
-    fn cheap_explore(&mut self, id: NodeId, contains_a: bool, ctx: &UpdateCtx, events: &mut Vec<DenseEvent>) {
+    fn cheap_explore(
+        &mut self,
+        id: NodeId,
+        contains_a: bool,
+        ctx: &UpdateCtx,
+        events: &mut Vec<DenseEvent>,
+    ) {
         let card = self.index.cardinality(id);
         let score = self.index.score(id);
-        // A subgraph that was too-dense before the update need not be
-        // cheap-explored: its extension by the other endpoint was already dense
-        // (and therefore tracked) before the update. Its score is unchanged by
-        // this update (it contains only one endpoint), so "before" == "now".
-        if self.thresholds.is_too_dense(score, card) {
+        if card + 1 > self.thresholds.n_max() {
             return;
         }
-        if card + 1 > self.thresholds.n_max() {
+        // A subgraph that was too-dense before the update normally need not be
+        // cheap-explored: its extension by the other endpoint was already
+        // dense before the update (its score is unchanged by this update since
+        // it contains only one endpoint, so "before" == "now"), and is tracked
+        // — by the `*` marker in the implicit representation, or explicitly by
+        // explore-all. The exception is the explicit representation with lazy
+        // vertex creation: if `other` did not exist yet when the base became
+        // too-dense, explore-all could not materialise the extension, so
+        // materialise (and explore around) it now that `other` is connected.
+        if self.thresholds.is_too_dense(score, card) {
+            if !self.config.implicit_too_dense {
+                let other = if contains_a { ctx.b } else { ctx.a };
+                let verts = self.index.vertices(id);
+                let ext = verts.with(other);
+                if self.index.find(ext.as_slice()).is_none() {
+                    self.stats.candidates_examined += 1;
+                    let ext_score = score + self.graph.degree_into(other, &verts);
+                    if self.note_candidate(&ext, ext_score, 1, ctx, events) {
+                        self.explore(&ext, ext_score, 2, true, ctx, events);
+                    }
+                }
+            }
             return;
         }
         if self.config.max_explore && !ctx.bound.should_cheap_explore(contains_a, card) {
@@ -467,9 +597,18 @@ impl<D: DensityMeasure> DynDens<D> {
                 let covered = self.thresholds.is_dense(base_score, ext_card);
                 if newly && !covered {
                     self.note_candidate(&ext, score, 1, ctx, events);
+                    // Discovered at iteration 1, explored from iteration 2.
+                    self.explore(&ext, score, 2, false, ctx, events);
+                } else {
+                    // Stable-dense (it was dense before the update, explicitly
+                    // or through the marker): its score contains both updated
+                    // endpoints, so its supergraphs may be newly-dense. It is
+                    // explored like the stable-dense subgraphs of the main
+                    // loop, i.e. starting at iteration 1 — starting at 2
+                    // would fall outside the `ceil(delta / delta_it)` budget
+                    // for single-iteration updates and lose discoveries.
+                    self.explore(&ext, score, 1, false, ctx, events);
                 }
-                // Its own supergraphs may be newly-dense regardless.
-                self.explore(&ext, score, 2, false, ctx, events);
             }
         } else {
             // Exactly one endpoint inside the base: the covered extension
@@ -570,7 +709,14 @@ impl<D: DensityMeasure> DynDens<D> {
                     let ext = verts.with(y);
                     if !self.thresholds.is_dense(ext_score - ctx.delta, ext_card) {
                         if self.note_candidate(&ext, ext_score, iteration, ctx, events) {
-                            self.explore(&ext, ext_score, iteration + 1, use_max_explore, ctx, events);
+                            self.explore(
+                                &ext,
+                                ext_score,
+                                iteration + 1,
+                                use_max_explore,
+                                ctx,
+                                events,
+                            );
                         }
                     } else if contains_both && self.index.find(ext.as_slice()).is_none() {
                         // The extension was already dense before the update but
@@ -604,14 +750,28 @@ impl<D: DensityMeasure> DynDens<D> {
                             continue;
                         }
                         let ext = verts.with(y).with(z);
-                        let before = ext_score
-                            - if ext.contains(ctx.a) && ext.contains(ctx.b) { ctx.delta } else { 0.0 };
+                        let ext_has_both = ext.contains(ctx.a) && ext.contains(ctx.b);
+                        let before = ext_score - if ext_has_both { ctx.delta } else { 0.0 };
                         if self.thresholds.is_dense(before, card + 2) {
-                            // Dense before the update: already tracked.
+                            // Dense before the update: already tracked. If its
+                            // score changed (both endpoints inside) and it is
+                            // only represented implicitly, its supergraphs may
+                            // nevertheless be newly-dense — explore it like
+                            // the explicit stable-dense subgraphs.
+                            if ext_has_both && self.index.find(ext.as_slice()).is_none() {
+                                self.explore(&ext, ext_score, 1, false, ctx, events);
+                            }
                             continue;
                         }
                         if self.note_candidate(&ext, ext_score, iteration, ctx, events) {
-                            self.explore(&ext, ext_score, iteration + 1, use_max_explore, ctx, events);
+                            self.explore(
+                                &ext,
+                                ext_score,
+                                iteration + 1,
+                                use_max_explore,
+                                ctx,
+                                events,
+                            );
                         }
                     }
                 }
@@ -629,7 +789,14 @@ impl<D: DensityMeasure> DynDens<D> {
                     if !self.thresholds.is_dense(ext_score - ctx.delta, ext_card) {
                         let ext = verts.with(y);
                         if self.note_candidate(&ext, ext_score, iteration, ctx, events) {
-                            self.explore(&ext, ext_score, iteration + 1, use_max_explore, ctx, events);
+                            self.explore(
+                                &ext,
+                                ext_score,
+                                iteration + 1,
+                                use_max_explore,
+                                ctx,
+                                events,
+                            );
                         }
                     }
                 }
@@ -641,7 +808,8 @@ impl<D: DensityMeasure> DynDens<D> {
         if iteration > ctx.max_iterations {
             return;
         }
-        if use_max_explore && self.config.max_explore && iteration > ctx.bound.iterations_for(card) {
+        if use_max_explore && self.config.max_explore && iteration > ctx.bound.iterations_for(card)
+        {
             self.stats.max_explore_skips += 1;
             return;
         }
@@ -662,12 +830,26 @@ impl<D: DensityMeasure> DynDens<D> {
             }
             self.stats.candidates_examined += 1;
             let ext_score = score + gamma_y;
-            if self.thresholds.is_dense(ext_score, ext_card)
-                && !self.thresholds.is_dense(ext_score - ctx.delta, ext_card)
-            {
+            if !self.thresholds.is_dense(ext_score, ext_card) {
+                continue;
+            }
+            if !self.thresholds.is_dense(ext_score - ctx.delta, ext_card) {
                 let ext = verts.with(y);
                 if self.note_candidate(&ext, ext_score, iteration, ctx, events) {
                     self.explore(&ext, ext_score, iteration + 1, use_max_explore, ctx, events);
+                }
+            } else if contains_both {
+                // The extension was already dense before the update. It is
+                // normally in the index — and then the affected-subgraph loop
+                // explores it — but it may only be represented implicitly
+                // (covered by a `*` marker below it, or lost to lazy vertex
+                // creation in the explicit mode). Its score changed together
+                // with this subgraph's (both endpoints inside), so its own
+                // supergraphs may be newly-dense: explore it like the
+                // explicit stable-dense subgraphs of the main loop.
+                let ext = verts.with(y);
+                if self.index.find(ext.as_slice()).is_none() {
+                    self.explore(&ext, ext_score, 1, false, ctx, events);
                 }
             }
         }
@@ -716,9 +898,7 @@ impl<D: DensityMeasure> DynDens<D> {
         // covered even when the recursion below is cut short by the iteration
         // bounds; the marker (or the recursion into the too-dense branch of
         // `explore`) takes care of that.
-        if self.config.implicit_too_dense
-            && self.thresholds.is_too_dense(score, verts.len())
-        {
+        if self.config.implicit_too_dense && self.thresholds.is_too_dense(score, verts.len()) {
             self.index.set_star(id, true);
             self.stats.star_markers_created += 1;
         }
@@ -808,7 +988,11 @@ mod tests {
     }
 
     fn dense_sets(engine: &DynDens<AvgWeight>) -> Vec<VertexSet> {
-        let mut v: Vec<VertexSet> = engine.dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+        let mut v: Vec<VertexSet> = engine
+            .dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         v.sort();
         v
     }
@@ -870,12 +1054,18 @@ mod tests {
 
         // {0,1,2} (paper {1,2,3}, density 1.016) and {0,1,2,3} (density 1.0083)
         // become output-dense; {0,1} (0.95) and {0,1,3} (0.983) do not.
-        let mut became: Vec<VertexSet> =
-            events.iter().filter(|e| e.is_became()).map(|e| e.vertices().clone()).collect();
+        let mut became: Vec<VertexSet> = events
+            .iter()
+            .filter(|e| e.is_became())
+            .map(|e| e.vertices().clone())
+            .collect();
         became.sort();
         assert_eq!(
             became,
-            vec![VertexSet::from_ids(&[0, 1, 2]), VertexSet::from_ids(&[0, 1, 2, 3])]
+            vec![
+                VertexSet::from_ids(&[0, 1, 2]),
+                VertexSet::from_ids(&[0, 1, 2, 3])
+            ]
         );
         assert!(events.iter().all(|e| e.is_became()));
     }
@@ -888,8 +1078,11 @@ mod tests {
         // {0,1,2,3} lose density.
         let events = engine.apply_update(update(0, 1, -0.8));
         engine.validate().unwrap();
-        let gone: Vec<VertexSet> =
-            events.iter().filter(|e| !e.is_became()).map(|e| e.vertices().clone()).collect();
+        let gone: Vec<VertexSet> = events
+            .iter()
+            .filter(|e| !e.is_became())
+            .map(|e| e.vertices().clone())
+            .collect();
         // The two previously output-dense subgraphs containing edge (0,1) are
         // reported as lost.
         assert!(gone.contains(&VertexSet::from_ids(&[0, 1, 2])));
@@ -988,6 +1181,50 @@ mod tests {
         }
         assert!(exp.stats().explore_all_invocations > 0);
         assert!(imp.stats().star_markers_created > 0);
+    }
+
+    #[test]
+    fn star_coverage_shrink_and_demotion_keep_tracking_exact() {
+        // T = 1, Nmax = 4, delta_it = 0.15: dense score bounds are 0.8 (card
+        // 2), 2.85 (card 3) and 6.0 (card 4).
+        let config = DynDensConfig::new(1.0, 4).with_delta_it(0.15);
+        let mut engine = DynDens::with_vertex_capacity(AvgWeight, config, 6);
+        engine.apply_update(update(0, 1, 6.5)); // too-dense pair: covers cards 3 and 4
+        engine.apply_update(update(2, 3, 1.2)); // separate output-dense pair
+        engine.validate().unwrap();
+        // Zero-contribution (disconnected) and cross-component supersets are
+        // covered by the marker.
+        assert!(engine.is_tracked_dense(&VertexSet::from_ids(&[0, 1, 4])));
+        assert!(engine.is_tracked_dense(&VertexSet::from_ids(&[0, 1, 2, 3])));
+
+        // Radius shrink (6.5 -> 5.0): card-4 coverage is lost. {0,1,2,3}
+        // stays dense through its own (2,3) edge (5.0 + 1.2 >= 6.0) and must
+        // be materialised; zero-contribution card-4 supersets score exactly
+        // 5.0 < 6.0, i.e. they stop being dense the moment they stop being
+        // covered — nothing is lost.
+        engine.apply_update(update(0, 1, -1.5));
+        engine.validate().unwrap();
+        assert!(engine.index().star_count() >= 1, "base must stay too-dense");
+        assert!(
+            engine
+                .dense_subgraphs()
+                .iter()
+                .any(|(s, _)| s == &VertexSet::from_ids(&[0, 1, 2, 3])),
+            "weighted ext must be explicit after falling out of coverage"
+        );
+        assert!(engine.is_tracked_dense(&VertexSet::from_ids(&[0, 1, 4]))); // card-3 coverage retained
+
+        // Full demotion (5.0 -> 2.0 < 2.85): the marker goes away, and every
+        // previously covered superset is either materialised or no longer
+        // dense.
+        engine.apply_update(update(0, 1, -3.0));
+        engine.validate().unwrap();
+        assert_eq!(engine.index().star_count(), 0);
+        assert!(!engine.is_tracked_dense(&VertexSet::from_ids(&[0, 1, 4])));
+        assert!(engine.is_tracked_dense(&VertexSet::from_ids(&[0, 1])));
+        assert!(engine.is_tracked_dense(&VertexSet::from_ids(&[2, 3])));
+        // {0,1,2,3} lost density (2.0 + 1.2 < 6.0) and must be evicted.
+        assert!(!engine.is_tracked_dense(&VertexSet::from_ids(&[0, 1, 2, 3])));
     }
 
     #[test]

@@ -84,6 +84,52 @@ impl EngineStats {
     pub fn reset(&mut self) {
         *self = EngineStats::default();
     }
+
+    /// Adds `other`'s counters into `self`.
+    ///
+    /// Every counter is a plain sum, so merging the per-shard statistics of a
+    /// partitioned deployment (see the `dyndens-shard` crate) yields exactly
+    /// the work ledger of the fleet as a whole. Destructuring forces this
+    /// method to be revisited whenever a counter is added.
+    pub fn merge(&mut self, other: &EngineStats) {
+        let EngineStats {
+            updates,
+            positive_updates,
+            negative_updates,
+            explorations,
+            cheap_explorations,
+            candidates_examined,
+            subgraphs_inserted,
+            subgraphs_evicted,
+            explore_all_invocations,
+            star_markers_created,
+            star_markers_removed,
+            max_explore_skips,
+            degree_prioritize_skips,
+        } = other;
+        self.updates += updates;
+        self.positive_updates += positive_updates;
+        self.negative_updates += negative_updates;
+        self.explorations += explorations;
+        self.cheap_explorations += cheap_explorations;
+        self.candidates_examined += candidates_examined;
+        self.subgraphs_inserted += subgraphs_inserted;
+        self.subgraphs_evicted += subgraphs_evicted;
+        self.explore_all_invocations += explore_all_invocations;
+        self.star_markers_created += star_markers_created;
+        self.star_markers_removed += star_markers_removed;
+        self.max_explore_skips += max_explore_skips;
+        self.degree_prioritize_skips += degree_prioritize_skips;
+    }
+
+    /// Merges an iterator of statistics into a single ledger.
+    pub fn merged<'a, I: IntoIterator<Item = &'a EngineStats>>(stats: I) -> EngineStats {
+        let mut out = EngineStats::default();
+        for s in stats {
+            out.merge(s);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -93,18 +139,64 @@ mod tests {
     #[test]
     fn event_accessors() {
         let v = VertexSet::from_ids(&[1, 2, 3]);
-        let e = DenseEvent::BecameOutputDense { vertices: v.clone(), density: 1.25 };
+        let e = DenseEvent::BecameOutputDense {
+            vertices: v.clone(),
+            density: 1.25,
+        };
         assert_eq!(e.vertices(), &v);
         assert!(e.is_became());
-        let e = DenseEvent::NoLongerOutputDense { vertices: v.clone(), density: 0.5 };
+        let e = DenseEvent::NoLongerOutputDense {
+            vertices: v.clone(),
+            density: 0.5,
+        };
         assert!(!e.is_became());
         assert_eq!(e.vertices(), &v);
     }
 
     #[test]
     fn stats_reset() {
-        let mut s = EngineStats { updates: 10, explorations: 5, ..Default::default() };
+        let mut s = EngineStats {
+            updates: 10,
+            explorations: 5,
+            ..Default::default()
+        };
         s.reset();
         assert_eq!(s, EngineStats::default());
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = EngineStats {
+            updates: 10,
+            positive_updates: 7,
+            negative_updates: 3,
+            explorations: 20,
+            cheap_explorations: 5,
+            candidates_examined: 100,
+            subgraphs_inserted: 12,
+            subgraphs_evicted: 4,
+            explore_all_invocations: 1,
+            star_markers_created: 2,
+            star_markers_removed: 1,
+            max_explore_skips: 9,
+            degree_prioritize_skips: 8,
+        };
+        let b = EngineStats {
+            updates: 1,
+            candidates_examined: 11,
+            ..Default::default()
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.updates, 11);
+        assert_eq!(merged.candidates_examined, 111);
+        assert_eq!(merged.positive_updates, 7);
+
+        let from_iter = EngineStats::merged([&a, &b]);
+        assert_eq!(from_iter, merged);
+        assert_eq!(
+            EngineStats::merged(std::iter::empty()),
+            EngineStats::default()
+        );
     }
 }

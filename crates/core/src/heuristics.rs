@@ -31,12 +31,21 @@ pub struct MaxExploreBound {
 
 impl MaxExploreBound {
     /// A bound that never prunes anything (used when the heuristic is
-    /// disabled).
-    pub fn unbounded(n_max: usize) -> Self {
+    /// disabled, and for multi-iteration updates where the Section 7.1
+    /// inequalities do not apply).
+    ///
+    /// The sentinel must be effectively infinite rather than `Nmax + 1`: the
+    /// [`iterations_for`](Self::iterations_for) cut compares `iteration`
+    /// against `max_explore - card`, and a large update can legitimately
+    /// discover a chain of newly-dense subgraphs whose exploration depth at
+    /// cardinality `c` reaches `c - 1`, which a `Nmax + 1` sentinel would
+    /// prune (losing dense subgraphs).
+    pub fn unbounded(_n_max: usize) -> Self {
+        const NO_BOUND: usize = usize::MAX / 2;
         MaxExploreBound {
-            max_explore_a: n_max + 1,
-            max_explore_b: n_max + 1,
-            max_explore: n_max + 1,
+            max_explore_a: NO_BOUND,
+            max_explore_b: NO_BOUND,
+            max_explore: NO_BOUND,
         }
     }
 
@@ -62,8 +71,10 @@ impl MaxExploreBound {
         let z = 2.0
             * (thresholds.measure().g(n_max) * thresholds.output_threshold()
                 + thresholds.delta_it() / (n_max as f64 - 1.0));
-        let max_explore_a = Self::one_sided(graph, b, a, new_weight, z, thresholds.delta_it(), n_max);
-        let max_explore_b = Self::one_sided(graph, a, b, new_weight, z, thresholds.delta_it(), n_max);
+        let max_explore_a =
+            Self::one_sided(graph, b, a, new_weight, z, thresholds.delta_it(), n_max);
+        let max_explore_b =
+            Self::one_sided(graph, a, b, new_weight, z, thresholds.delta_it(), n_max);
         MaxExploreBound {
             max_explore_a,
             max_explore_b,
@@ -191,7 +202,11 @@ impl DegreePrioritize {
     /// growing a different, already maintained subgraph and this cheap
     /// exploration is redundant.
     #[inline]
-    pub fn skip_cheap_exploration(card: usize, endpoint_degree_before: f64, score_before: f64) -> bool {
+    pub fn skip_cheap_exploration(
+        card: usize,
+        endpoint_degree_before: f64,
+        score_before: f64,
+    ) -> bool {
         if card < 2 {
             return false;
         }
@@ -219,7 +234,12 @@ mod tests {
     fn unbounded_never_prunes() {
         let b = MaxExploreBound::unbounded(6);
         assert!(!b.no_exploration_needed());
-        assert_eq!(b.iterations_for(2), 5);
+        // The sentinel must not cut any reachable (cardinality, iteration)
+        // combination: deep chains of newly-dense discoveries are legitimate
+        // for multi-iteration updates.
+        for card in 2..=64 {
+            assert!(b.iterations_for(card) > 1_000_000);
+        }
         assert!(b.should_cheap_explore(true, 6));
         assert!(b.should_cheap_explore(false, 6));
     }
@@ -269,14 +289,22 @@ mod tests {
 
     #[test]
     fn cheap_explore_restriction_prefers_larger_bound_side() {
-        let b = MaxExploreBound { max_explore_a: 5, max_explore_b: 3, max_explore: 3 };
+        let b = MaxExploreBound {
+            max_explore_a: 5,
+            max_explore_b: 3,
+            max_explore: 3,
+        };
         // maxExplore_a >= maxExplore_b: all b-only subgraphs are cheap-explored,
         // a-only subgraphs only up to cardinality 4.
         assert!(b.should_cheap_explore(false, 10));
         assert!(b.should_cheap_explore(true, 4));
         assert!(!b.should_cheap_explore(true, 5));
 
-        let b = MaxExploreBound { max_explore_a: 3, max_explore_b: 6, max_explore: 3 };
+        let b = MaxExploreBound {
+            max_explore_a: 3,
+            max_explore_b: 6,
+            max_explore: 3,
+        };
         assert!(b.should_cheap_explore(true, 10));
         assert!(b.should_cheap_explore(false, 5));
         assert!(!b.should_cheap_explore(false, 6));

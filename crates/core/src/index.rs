@@ -53,7 +53,11 @@ impl SubgraphInfo {
     /// Creates the info record for a subgraph discovered outside of any
     /// exploration (epoch and iteration 0).
     pub fn with_score(score: f64) -> Self {
-        SubgraphInfo { score, discovered_epoch: 0, discovered_iteration: 0 }
+        SubgraphInfo {
+            score,
+            discovered_epoch: 0,
+            discovered_iteration: 0,
+        }
     }
 }
 
@@ -219,7 +223,10 @@ impl SubgraphIndex {
     /// Finds the subgraph with exactly these (sorted, duplicate-free)
     /// vertices, returning its node if it is stored in the index.
     pub fn find(&self, vertices: &[VertexId]) -> Option<NodeId> {
-        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "vertices must be sorted");
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "vertices must be sorted"
+        );
         let id = self.find_node(vertices)?;
         self.node(id).info.map(|_| id)
     }
@@ -242,7 +249,10 @@ impl SubgraphIndex {
     /// Returns its node id.
     pub fn insert(&mut self, vertices: &[VertexId], info: SubgraphInfo) -> NodeId {
         debug_assert!(vertices.len() >= 2, "subgraphs have cardinality >= 2");
-        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "vertices must be sorted");
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "vertices must be sorted"
+        );
         let mut cur = NodeId::ROOT;
         for (depth, &v) in vertices.iter().enumerate() {
             cur = match self.child_of(cur, v) {
@@ -280,14 +290,21 @@ impl SubgraphIndex {
         while cur != NodeId::ROOT {
             let (prune, parent, vertex) = {
                 let n = self.node(cur);
-                (n.info.is_none() && n.children.is_empty() && !n.star, n.parent, n.vertex)
+                (
+                    n.info.is_none() && n.children.is_empty() && !n.star,
+                    n.parent,
+                    n.vertex,
+                )
             };
             if !prune {
                 break;
             }
             self.unlink_inverted(cur);
             let parent_node = &mut self.nodes[parent.idx()];
-            if let Ok(pos) = parent_node.children.binary_search_by_key(&vertex, |&(cv, _)| cv) {
+            if let Ok(pos) = parent_node
+                .children
+                .binary_search_by_key(&vertex, |&(cv, _)| cv)
+            {
                 parent_node.children.remove(pos);
             }
             self.nodes[cur.idx()].in_use = false;
@@ -339,12 +356,18 @@ impl SubgraphIndex {
     ///
     /// Panics if `id` is a structural tree node without subgraph info.
     pub fn info(&self, id: NodeId) -> &SubgraphInfo {
-        self.node(id).info.as_ref().expect("node does not store a subgraph")
+        self.node(id)
+            .info
+            .as_ref()
+            .expect("node does not store a subgraph")
     }
 
     /// Mutable access to the info record of the subgraph at `id`.
     pub fn info_mut(&mut self, id: NodeId) -> &mut SubgraphInfo {
-        self.node_mut(id).info.as_mut().expect("node does not store a subgraph")
+        self.node_mut(id)
+            .info
+            .as_mut()
+            .expect("node does not store a subgraph")
     }
 
     /// `true` if `id` currently stores a subgraph.
@@ -397,7 +420,37 @@ impl SubgraphIndex {
         self.star_bases.len()
     }
 
-    fn push_subtree_subgraphs(&self, root: NodeId, stop_at: Option<VertexId>, out: &mut Vec<NodeId>) {
+    /// The star-marked subgraphs whose vertex set is a subset of `set`
+    /// (which must be sorted ascending, as in [`VertexSet::as_slice`]).
+    ///
+    /// Walks the prefix tree restricted to the vertices of `set`, so the cost
+    /// is bounded by the number of subsets of `set` present as tree paths
+    /// (at most `2^|set|` with `|set| <= Nmax`), independent of how many `*`
+    /// markers the index holds — the difference between this and scanning
+    /// [`star_bases`](Self::star_bases) is what makes coverage queries cheap
+    /// on star-heavy workloads.
+    pub fn star_bases_within(&self, set: &[VertexId]) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(NodeId, usize)> = vec![(NodeId::ROOT, 0)];
+        while let Some((node, start)) = stack.pop() {
+            if self.node(node).star {
+                out.push(node);
+            }
+            for (i, &v) in set.iter().enumerate().skip(start) {
+                if let Some(child) = self.child_of(node, v) {
+                    stack.push((child, i + 1));
+                }
+            }
+        }
+        out
+    }
+
+    fn push_subtree_subgraphs(
+        &self,
+        root: NodeId,
+        stop_at: Option<VertexId>,
+        out: &mut Vec<NodeId>,
+    ) {
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             let n = self.node(id);
@@ -495,7 +548,10 @@ impl SubgraphIndex {
             }
         }
         if info_count != self.len {
-            return Err(format!("len {} does not match stored subgraphs {info_count}", self.len));
+            return Err(format!(
+                "len {} does not match stored subgraphs {info_count}",
+                self.len
+            ));
         }
         for id in &self.star_bases {
             if !self.nodes[id.idx()].in_use || !self.nodes[id.idx()].star {
@@ -513,7 +569,10 @@ impl SubgraphIndex {
                     return Err(format!("inverted list of {v} references a freed node"));
                 }
                 if n.vertex != v {
-                    return Err(format!("inverted list of {v} contains a node labelled {}", n.vertex));
+                    return Err(format!(
+                        "inverted list of {v} contains a node labelled {}",
+                        n.vertex
+                    ));
                 }
                 if n.inv_prev != prev {
                     return Err(format!("broken back-link in inverted list of {v}"));
@@ -652,7 +711,11 @@ mod tests {
         let mut sets: Vec<VertexSet> = got.iter().map(|&id| index.vertices(id)).collect();
         sets.sort();
         sets.dedup();
-        assert_eq!(sets.len(), got.len(), "each subgraph must be visited exactly once");
+        assert_eq!(
+            sets.len(),
+            got.len(),
+            "each subgraph must be visited exactly once"
+        );
         assert_eq!(
             sets,
             vec![
@@ -727,12 +790,37 @@ mod tests {
     }
 
     #[test]
+    fn star_bases_within_restricts_to_subsets() {
+        let mut index = figure3_index();
+        let id13 = index.find(&vs(&[1, 3])).unwrap();
+        let id134 = index.find(&vs(&[1, 3, 4])).unwrap();
+        let id45 = index.find(&vs(&[4, 5])).unwrap();
+        index.set_star(id13, true);
+        index.set_star(id134, true);
+        index.set_star(id45, true);
+
+        // {1, 3, 4} admits the subsets {1,3} and {1,3,4} but not {4,5}.
+        let mut within = index.star_bases_within(&vs(&[1, 3, 4]));
+        within.sort_unstable();
+        assert_eq!(within, vec![id13, id134]);
+        // A superset of everything sees all three markers.
+        assert_eq!(index.star_bases_within(&vs(&[1, 3, 4, 5])).len(), 3);
+        // Disjoint and partial sets see none.
+        assert!(index.star_bases_within(&vs(&[2, 6])).is_empty());
+        assert!(index.star_bases_within(&vs(&[3, 4])).is_empty());
+        assert!(index.star_bases_within(&vs(&[])).is_empty());
+    }
+
+    #[test]
     fn iter_and_all_subgraphs() {
         let index = figure3_index();
         let mut via_iter: Vec<VertexSet> = index.iter().map(|(_, v, _)| v).collect();
         via_iter.sort();
-        let mut via_ids: Vec<VertexSet> =
-            index.all_subgraphs().into_iter().map(|id| index.vertices(id)).collect();
+        let mut via_ids: Vec<VertexSet> = index
+            .all_subgraphs()
+            .into_iter()
+            .map(|id| index.vertices(id))
+            .collect();
         via_ids.sort();
         assert_eq!(via_iter, via_ids);
         assert_eq!(via_iter.len(), 5);

@@ -171,7 +171,8 @@ impl<D: DensityMeasure> DynDens<D> {
         }
 
         let gamma = self.graph().neighborhood_scores(verts);
-        let mut candidates: Vec<(VertexId, f64)> = if too_dense && !self.config().implicit_too_dense {
+        let mut candidates: Vec<(VertexId, f64)> = if too_dense && !self.config().implicit_too_dense
+        {
             // Explore-all (Algorithm 4, lines 2-5).
             (0..self.graph().vertex_count() as u32)
                 .map(VertexId)
@@ -208,10 +209,19 @@ impl<D: DensityMeasure> DynDens<D> {
         }
     }
 
-    fn insert_for_threshold(&mut self, verts: &VertexSet, score: f64, events: &mut Vec<DenseEvent>) {
+    fn insert_for_threshold(
+        &mut self,
+        verts: &VertexSet,
+        score: f64,
+        events: &mut Vec<DenseEvent>,
+    ) {
         let id = self.index.insert(
             verts.as_slice(),
-            SubgraphInfo { score, discovered_epoch: self.epoch, discovered_iteration: 0 },
+            SubgraphInfo {
+                score,
+                discovered_epoch: self.epoch,
+                discovered_iteration: 0,
+            },
         );
         if self.thresholds().is_output_dense(score, verts.len()) {
             events.push(DenseEvent::BecameOutputDense {
@@ -250,7 +260,11 @@ impl<D: DensityMeasure> DynDens<D> {
         for (ext, ext_score) in to_insert {
             let id = self.index.insert(
                 ext.as_slice(),
-                SubgraphInfo { score: ext_score, discovered_epoch: self.epoch, discovered_iteration: 0 },
+                SubgraphInfo {
+                    score: ext_score,
+                    discovered_epoch: self.epoch,
+                    discovered_iteration: 0,
+                },
             );
             if self.config().implicit_too_dense
                 && self.thresholds().is_too_dense(ext_score, ext.len())
@@ -317,9 +331,16 @@ mod tests {
         for (u, v, w) in edges {
             reference.apply_update(EdgeUpdate::new(u, v, w));
         }
-        let mut got: Vec<VertexSet> = engine.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
-        let mut want: Vec<VertexSet> =
-            reference.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+        let mut got: Vec<VertexSet> = engine
+            .output_dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        let mut want: Vec<VertexSet> = reference
+            .output_dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         got.sort();
         want.sort();
         assert_eq!(got, want);
@@ -328,14 +349,20 @@ mod tests {
     #[test]
     fn round_trip_returns_to_original_set() {
         let mut engine = sample_engine(0.9);
-        let mut original: Vec<VertexSet> =
-            engine.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+        let mut original: Vec<VertexSet> = engine
+            .output_dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         original.sort();
         engine.set_output_threshold(0.7);
         engine.set_output_threshold(0.9);
         engine.validate().unwrap();
-        let mut after: Vec<VertexSet> =
-            engine.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+        let mut after: Vec<VertexSet> = engine
+            .output_dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         after.sort();
         // Lower-then-raise may leave extra *dense-but-not-output* subgraphs in
         // the index, but the reported output-dense set must be identical.

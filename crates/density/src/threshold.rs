@@ -131,7 +131,12 @@ impl<D: DensityMeasure> ThresholdFamily<D> {
         let g_max = self.measure.g(self.n_max);
         let corr_max = (self.n_max as f64 - 2.0) / (self.n_max as f64 - 1.0);
         let mut score_thresholds = vec![0.0; self.n_max + 2];
-        for (n, slot) in score_thresholds.iter_mut().enumerate().take(self.n_max + 2).skip(2) {
+        for (n, slot) in score_thresholds
+            .iter_mut()
+            .enumerate()
+            .take(self.n_max + 2)
+            .skip(2)
+        {
             let nf = n as f64;
             let corr_n = (nf - 2.0) / (nf - 1.0);
             // T_n * g_n  =  g_Nmax * T + delta_it * (corr_n - corr_max)
@@ -178,7 +183,10 @@ impl<D: DensityMeasure> ThresholdFamily<D> {
     /// The maintenance threshold `T_n` for subgraphs of cardinality `n`
     /// (`2 <= n <= Nmax`). `T_Nmax` equals the output threshold `T`.
     pub fn t(&self, n: usize) -> f64 {
-        assert!((2..=self.n_max + 1).contains(&n), "T_n defined for 2 <= n <= Nmax+1");
+        assert!(
+            (2..=self.n_max + 1).contains(&n),
+            "T_n defined for 2 <= n <= Nmax+1"
+        );
         self.score_thresholds[n] / self.measure.s(n)
     }
 

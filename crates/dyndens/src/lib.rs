@@ -11,6 +11,8 @@
 //! * [`density`] — density measures `S_n` and threshold families `T_n`.
 //! * [`core`] — the [`prelude::DynDens`] engine, dense subgraph index,
 //!   heuristics and dynamic threshold adjustment.
+//! * [`shard`] — the scale-out subsystem: sharded parallel ingest across
+//!   worker threads and non-blocking merged story serving.
 //! * [`stream`] — entity-annotated post streams, association measures and the
 //!   post → edge-weight-update pipeline.
 //! * [`workloads`] — synthetic update generators and the planted-story social
@@ -39,6 +41,7 @@ pub use dyndens_baselines as baselines;
 pub use dyndens_core as core;
 pub use dyndens_density as density;
 pub use dyndens_graph as graph;
+pub use dyndens_shard as shard;
 pub use dyndens_stream as stream;
 pub use dyndens_workloads as workloads;
 
@@ -47,6 +50,7 @@ pub mod prelude {
     pub use dyndens_core::{DenseEvent, DynDens, DynDensConfig, EngineStats};
     pub use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens, ThresholdFamily};
     pub use dyndens_graph::{DynamicGraph, EdgeUpdate, VertexId, VertexSet};
+    pub use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens, StoryView};
 }
 
 #[cfg(test)]

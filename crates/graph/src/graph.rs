@@ -66,9 +66,13 @@ impl DynamicGraph {
 
     /// Ensures the vertex `v` exists, growing the vertex set if needed.
     pub fn ensure_vertex(&mut self, v: VertexId) {
-        assert!(!v.is_star(), "the fictitious * vertex cannot be materialised");
+        assert!(
+            !v.is_star(),
+            "the fictitious * vertex cannot be materialised"
+        );
         if v.index() >= self.adjacency.len() {
-            self.adjacency.resize_with(v.index() + 1, FxHashMap::default);
+            self.adjacency
+                .resize_with(v.index() + 1, FxHashMap::default);
         }
     }
 
@@ -147,7 +151,8 @@ impl DynamicGraph {
             (true, false) => self.edge_count -= 1,
             _ => {}
         }
-        self.total_weight += (if has_edge { weight } else { 0.0 }) - (if had_edge { old } else { 0.0 });
+        self.total_weight +=
+            (if has_edge { weight } else { 0.0 }) - (if had_edge { old } else { 0.0 });
         old
     }
 

@@ -80,6 +80,27 @@ impl Hasher for FxHasher {
 /// `BuildHasher` producing [`FxHasher`] instances.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// Maps a vertex to one of `n_shards` partitions.
+///
+/// This is the shard assignment used by the `dyndens-shard` subsystem: edge
+/// `(u, v)` is owned by `shard_of(min(u, v), n_shards)`, so consecutive
+/// updates to the same edge always land on the same shard (per-edge FIFO is
+/// preserved) and all edges sharing a minimum endpoint are co-located. The
+/// 64-bit Fx hash is spread over the shards with a multiply-shift rather than
+/// a modulo, so every shard receives an (almost) equal slice of the vertex
+/// universe even when `n_shards` is a power of two.
+///
+/// # Panics
+///
+/// Panics if `n_shards` is zero.
+#[inline]
+pub fn shard_of(v: crate::VertexId, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard_of requires at least one shard");
+    let mut h = FxHasher::default();
+    h.write_u32(v.0);
+    ((h.finish() as u128 * n_shards as u128) >> 64) as usize
+}
+
 /// A `HashMap` using the fast [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
@@ -119,6 +140,31 @@ mod tests {
         let mut h2 = FxHasher::default();
         h2.write(b"hello world, this is more than eight bytez");
         assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_balanced() {
+        for n_shards in [1usize, 2, 3, 4, 8] {
+            let mut counts = vec![0usize; n_shards];
+            for i in 0..8_000u32 {
+                let s = shard_of(VertexId(i), n_shards);
+                assert_eq!(s, shard_of(VertexId(i), n_shards));
+                counts[s] += 1;
+            }
+            let expected = 8_000 / n_shards;
+            for (shard, &count) in counts.iter().enumerate() {
+                assert!(
+                    count > expected / 2 && count < expected * 2,
+                    "shard {shard}/{n_shards} holds {count} of 8000 vertices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_of_rejects_zero_shards() {
+        let _ = shard_of(VertexId(0), 0);
     }
 
     #[test]

@@ -31,9 +31,19 @@ pub mod update;
 pub mod vertex_set;
 
 pub use graph::{DynamicGraph, NeighborhoodScores};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hash::{shard_of, FxBuildHasher, FxHashMap, FxHashSet};
 pub use update::EdgeUpdate;
 pub use vertex_set::VertexSet;
+
+// Send/Sync audit for the sharded subsystem: every substrate type crossing a
+// shard-worker thread boundary must be Send + Sync. Enforced at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DynamicGraph>();
+    assert_send_sync::<VertexSet>();
+    assert_send_sync::<EdgeUpdate>();
+    assert_send_sync::<VertexId>();
+};
 
 /// Identifier of a vertex (an entity, in the story identification application).
 ///

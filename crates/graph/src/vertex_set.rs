@@ -198,7 +198,10 @@ mod tests {
         assert!(!s.contains(VertexId(4)));
 
         let t = s.with(VertexId(4));
-        assert_eq!(t.as_slice(), &[VertexId(1), VertexId(3), VertexId(4), VertexId(5)]);
+        assert_eq!(
+            t.as_slice(),
+            &[VertexId(1), VertexId(3), VertexId(4), VertexId(5)]
+        );
         // original untouched
         assert_eq!(s.len(), 3);
         assert_eq!(s.with(VertexId(3)), s);

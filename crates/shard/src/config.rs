@@ -1,0 +1,151 @@
+//! Configuration of the sharded subsystem.
+
+use dyndens_graph::VertexId;
+
+/// The shard-assignment function applied to the minimum endpoint of an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFn {
+    /// Fx-hash the vertex and spread it over the shards with a multiply-shift
+    /// ([`dyndens_graph::shard_of`]). The default: balanced for arbitrary id
+    /// distributions.
+    Hashed,
+    /// `v mod n_shards`. Useful when entity ids are assigned so that related
+    /// entities share a congruence class (making the partitioning invariant
+    /// hold by construction), and in tests that need a predictable layout.
+    Modulo,
+}
+
+impl ShardFn {
+    /// The shard owning vertex `v` out of `n_shards`.
+    #[inline]
+    pub fn shard(self, v: VertexId, n_shards: usize) -> usize {
+        match self {
+            ShardFn::Hashed => dyndens_graph::shard_of(v, n_shards),
+            ShardFn::Modulo => v.index() % n_shards,
+        }
+    }
+}
+
+/// Configuration of a [`ShardedDynDens`](crate::ShardedDynDens) deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shard workers (>= 1).
+    pub n_shards: usize,
+    /// Bound of each worker's MPSC inbox, in messages. Producers block once a
+    /// shard falls this far behind (backpressure).
+    pub channel_capacity: usize,
+    /// Maximum number of queued messages a worker drains per wakeup; updates
+    /// in one drain are applied under a single engine lock and produce one
+    /// snapshot publication.
+    pub max_batch: usize,
+    /// Number of top stories each shard publishes and the merged view serves.
+    pub top_k: usize,
+    /// The shard-assignment function.
+    pub shard_fn: ShardFn,
+}
+
+impl ShardConfig {
+    /// A configuration with the given shard count and the defaults:
+    /// capacity 1024, micro-batches of up to 64, top-16 stories, hashed
+    /// sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn new(n_shards: usize) -> Self {
+        assert!(
+            n_shards > 0,
+            "a sharded deployment needs at least one shard"
+        );
+        ShardConfig {
+            n_shards,
+            channel_capacity: 1024,
+            max_batch: 64,
+            top_k: 16,
+            shard_fn: ShardFn::Hashed,
+        }
+    }
+
+    /// Sets the per-shard channel capacity (clamped to at least 1).
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the micro-batch drain bound (clamped to at least 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the number of stories kept per snapshot.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the shard-assignment function.
+    pub fn with_shard_fn(mut self, shard_fn: ShardFn) -> Self {
+        self.shard_fn = shard_fn;
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    /// One shard per available CPU core (capped at 8), with the standard
+    /// queueing parameters.
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ShardConfig::new(cores.min(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_round_trip() {
+        let c = ShardConfig::new(4)
+            .with_channel_capacity(16)
+            .with_max_batch(8)
+            .with_top_k(5)
+            .with_shard_fn(ShardFn::Modulo);
+        assert_eq!(c.n_shards, 4);
+        assert_eq!(c.channel_capacity, 16);
+        assert_eq!(c.max_batch, 8);
+        assert_eq!(c.top_k, 5);
+        assert_eq!(c.shard_fn, ShardFn::Modulo);
+    }
+
+    #[test]
+    fn clamps_degenerate_values() {
+        let c = ShardConfig::new(1)
+            .with_channel_capacity(0)
+            .with_max_batch(0);
+        assert_eq!(c.channel_capacity, 1);
+        assert_eq!(c.max_batch, 1);
+        assert!(ShardConfig::default().n_shards >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardConfig::new(0);
+    }
+
+    #[test]
+    fn shard_fns_stay_in_range_and_agree_on_determinism() {
+        for n in [1usize, 2, 3, 8] {
+            for v in 0..100u32 {
+                let h = ShardFn::Hashed.shard(VertexId(v), n);
+                let m = ShardFn::Modulo.shard(VertexId(v), n);
+                assert!(h < n && m < n);
+                assert_eq!(m, v as usize % n);
+                assert_eq!(h, ShardFn::Hashed.shard(VertexId(v), n));
+            }
+        }
+    }
+}

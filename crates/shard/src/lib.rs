@@ -1,0 +1,87 @@
+//! # dyndens-shard
+//!
+//! Sharded parallel ingest and story serving for DynDens: the scale-out layer
+//! that turns the single-threaded engine of `dyndens-core` into a
+//! multi-core subsystem with non-blocking reads, in the mould of
+//! partition-parallel streaming-graph systems (S-Graffito; Nasir et al.'s
+//! partitioned top-k densest-subgraph maintenance).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                      ┌────────────────────────────────────────────┐
+//!  EdgeUpdate stream   │ ShardedDynDens                             │
+//!  ────────────────────┤  router: shard_of(min(u, v), N)            │
+//!                      │   │bounded MPSC│bounded MPSC│bounded MPSC  │
+//!                      │   ▼            ▼            ▼              │
+//!                      │ worker 0     worker 1     worker N-1       │
+//!                      │ DynDens_0    DynDens_1    DynDens_N-1      │
+//!                      │   │ publish    │ publish    │ publish      │
+//!                      │   ▼            ▼            ▼              │
+//!                      │ epoch cell   epoch cell   epoch cell       │
+//!                      └───┬────────────┬────────────┬──────────────┘
+//!                          └──── StoryView::snapshot ┘  (readers)
+//! ```
+//!
+//! * **Router** — edge `(u, v)` is owned by `shard_of(min(u, v), N)` (see
+//!   [`dyndens_graph::shard_of`]); every update to a given edge therefore
+//!   lands on the same shard, in submission order.
+//! * **Workers** — each shard worker owns an independent [`DynDens`] engine
+//!   over its slice of the edge stream, fed by a bounded MPSC channel
+//!   (backpressure by blocking the producer), and drains up to
+//!   [`ShardConfig::max_batch`] queued messages per wakeup so channel and
+//!   lock overhead amortise across micro-batches (applied via
+//!   `apply_update_into` into one scratch event buffer).
+//! * **Read path** — after every micro-batch a worker publishes an immutable
+//!   [`ShardSnapshot`] (sequence number, top-k output-dense subgraphs,
+//!   [`DenseEvent`] deltas, merged-ready [`EngineStats`]) into an
+//!   ArcSwap-style [`EpochCell`]. [`StoryView::snapshot`] merges the shard
+//!   snapshots into a sequence-numbered top-k view without ever blocking the
+//!   writers for more than a pointer clone.
+//!
+//! ## The partitioning invariant
+//!
+//! Each shard maintains dense subgraphs over **its slice of the graph**: the
+//! edges whose minimum endpoint hashes to it. The union of the shards'
+//! output-dense sets equals the single-engine answer exactly when no
+//! output-relevant subgraph spans two shards, i.e. when every maintained
+//! subgraph's edges share an owner shard. Two workload properties make this
+//! hold (and are asserted by the equivalence tests):
+//!
+//! 1. **co-location** — each dense community's edges map to one shard (e.g.
+//!    communities drawn from congruence classes under
+//!    [`ShardFn::Modulo`], or any partition-aligned entity id assignment);
+//! 2. **no too-dense escalation** — scores stay below the too-dense bound,
+//!    so no `*`-marker machinery materialises subgraphs through edges that
+//!    are disjoint from the community (the one mechanism that can couple
+//!    otherwise edge-disjoint vertex groups).
+//!
+//! On workloads that violate the invariant the subsystem still runs and is
+//! deterministic per shard, but reports the union of per-shard answers — a
+//! partition approximation of the global answer, the standard trade taken by
+//! partition-parallel dense-subgraph systems. Entity resolution in the story
+//! pipeline can route co-occurring entities to the same congruence class to
+//! keep the invariant in practice.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod sharded;
+pub mod view;
+mod worker;
+
+pub use config::{ShardConfig, ShardFn};
+pub use sharded::ShardedDynDens;
+pub use view::{EpochCell, MergedStories, ShardSnapshot, StoryView};
+
+// Send/Sync audit: the engine and every payload crossing a worker-thread
+// boundary must be shareable. Enforced at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<dyndens_core::DynDens<dyndens_density::AvgWeight>>();
+    assert_send_sync::<dyndens_core::DenseEvent>();
+    assert_send_sync::<dyndens_core::EngineStats>();
+    assert_send_sync::<view::ShardSnapshot>();
+    assert_send_sync::<view::StoryView>();
+};

@@ -1,0 +1,369 @@
+//! The [`ShardedDynDens`] facade: the single-engine API, scaled across
+//! cores.
+
+use std::sync::mpsc::{channel, sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use dyndens_core::{DynDens, DynDensConfig, EngineStats};
+use dyndens_density::DensityMeasure;
+use dyndens_graph::{EdgeUpdate, VertexSet};
+
+use crate::config::ShardConfig;
+use crate::view::{EpochCell, ShardSnapshot, StoryView};
+use crate::worker::{self, WorkerMsg};
+
+/// A DynDens deployment partitioned over `N` shard workers.
+///
+/// The facade mirrors the single-engine API — [`apply_update`],
+/// [`apply_batch`], [`stats`], [`output_dense`] — with one semantic shift:
+/// ingest is **asynchronous**. An accepted update is queued on its owner
+/// shard and applied by that shard's worker thread; [`flush`] drains every
+/// queue, and the authoritative read methods flush implicitly. For
+/// non-blocking reads that tolerate a bounded lag, use the [`StoryView`]
+/// returned by [`view`].
+///
+/// See the crate docs for the partitioning invariant that governs when the
+/// sharded answer is identical to the single-engine answer.
+///
+/// [`apply_update`]: ShardedDynDens::apply_update
+/// [`apply_batch`]: ShardedDynDens::apply_batch
+/// [`stats`]: ShardedDynDens::stats
+/// [`output_dense`]: ShardedDynDens::output_dense
+/// [`flush`]: ShardedDynDens::flush
+/// [`view`]: ShardedDynDens::view
+#[derive(Debug)]
+pub struct ShardedDynDens<D: DensityMeasure> {
+    config: ShardConfig,
+    engine_config: DynDensConfig,
+    senders: Vec<SyncSender<WorkerMsg>>,
+    engines: Vec<Arc<Mutex<DynDens<D>>>>,
+    cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Per-shard scratch buffers reused by [`ShardedDynDens::apply_batch`].
+    route_scratch: Vec<Vec<EdgeUpdate>>,
+}
+
+impl<D: DensityMeasure> ShardedDynDens<D> {
+    /// Spawns `config.n_shards` worker threads, each owning an independent
+    /// `DynDens` engine built from `measure` and `engine_config`.
+    pub fn new(measure: D, engine_config: DynDensConfig, config: ShardConfig) -> Self {
+        let n = config.n_shards;
+        let cells: Arc<Vec<EpochCell<ShardSnapshot>>> =
+            Arc::new((0..n).map(EpochCell::new_empty_snapshot).collect());
+        let mut senders = Vec::with_capacity(n);
+        let mut engines = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for shard in 0..n {
+            let engine = Arc::new(Mutex::new(DynDens::new(
+                measure.clone(),
+                engine_config.clone(),
+            )));
+            let (tx, rx) = sync_channel(config.channel_capacity);
+            let worker_engine = Arc::clone(&engine);
+            let worker_cells = Arc::clone(&cells);
+            let (max_batch, top_k) = (config.max_batch, config.top_k);
+            let handle = std::thread::Builder::new()
+                .name(format!("dyndens-shard-{shard}"))
+                .spawn(move || {
+                    worker::run(shard, rx, worker_engine, worker_cells, max_batch, top_k)
+                })
+                .expect("failed to spawn shard worker");
+            senders.push(tx);
+            engines.push(engine);
+            workers.push(handle);
+        }
+        ShardedDynDens {
+            route_scratch: vec![Vec::new(); n],
+            config,
+            engine_config,
+            senders,
+            engines,
+            cells,
+            workers,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn n_shards(&self) -> usize {
+        self.config.n_shards
+    }
+
+    /// The shard configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// The per-shard engine configuration.
+    pub fn engine_config(&self) -> &DynDensConfig {
+        &self.engine_config
+    }
+
+    /// The shard owning `update` (the shard of its minimum endpoint).
+    #[inline]
+    pub fn shard_of(&self, update: &EdgeUpdate) -> usize {
+        self.config
+            .shard_fn
+            .shard(update.a.min(update.b), self.config.n_shards)
+    }
+
+    /// Routes one update to its owner shard. Blocks only when that shard's
+    /// inbox is full (backpressure).
+    pub fn apply_update(&self, update: EdgeUpdate) {
+        let shard = self.shard_of(&update);
+        self.senders[shard]
+            .send(WorkerMsg::Update(update))
+            .expect("shard worker terminated while the facade is alive");
+    }
+
+    /// Routes a batch of updates, grouping them per owner shard so each shard
+    /// receives one message (per-shard relative order is preserved).
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) {
+        for &update in updates {
+            let shard = self.shard_of(&update);
+            self.route_scratch[shard].push(update);
+        }
+        for (shard, group) in self.route_scratch.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            self.senders[shard]
+                .send(WorkerMsg::Batch(std::mem::take(group)))
+                .expect("shard worker terminated while the facade is alive");
+        }
+    }
+
+    /// Blocks until every update routed so far has been applied and published.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = channel();
+        for sender in &self.senders {
+            sender
+                .send(WorkerMsg::Flush(ack_tx.clone()))
+                .expect("shard worker terminated while the facade is alive");
+        }
+        drop(ack_tx);
+        for _ in 0..self.senders.len() {
+            ack_rx.recv().expect("shard worker dropped a flush ack");
+        }
+    }
+
+    /// A non-blocking read handle over the shards' published snapshots.
+    pub fn view(&self) -> StoryView {
+        StoryView::new(Arc::clone(&self.cells), self.config.top_k)
+    }
+
+    /// The merged cumulative work counters of all shards (flushes first, so
+    /// the ledger covers every routed update).
+    pub fn stats(&self) -> EngineStats {
+        self.flush();
+        let guards: Vec<_> = self
+            .engines
+            .iter()
+            .map(|e| e.lock().expect("shard engine poisoned"))
+            .collect();
+        EngineStats::merged(guards.iter().map(|g| g.stats()))
+    }
+
+    /// The authoritative union of the shards' output-dense subgraphs
+    /// (flushes first). Order is unspecified; sort for comparisons.
+    pub fn output_dense(&self) -> Vec<(VertexSet, f64)> {
+        self.flush();
+        let mut out = Vec::new();
+        for engine in &self.engines {
+            out.extend(
+                engine
+                    .lock()
+                    .expect("shard engine poisoned")
+                    .output_dense_subgraphs(),
+            );
+        }
+        out
+    }
+
+    /// Number of output-dense subgraphs across all shards (flushes first).
+    pub fn output_dense_count(&self) -> usize {
+        self.flush();
+        self.engines
+            .iter()
+            .map(|e| {
+                e.lock()
+                    .expect("shard engine poisoned")
+                    .output_dense_count()
+            })
+            .sum()
+    }
+
+    /// Number of maintained (dense) subgraphs across all shards (flushes
+    /// first).
+    pub fn dense_count(&self) -> usize {
+        self.flush();
+        self.engines
+            .iter()
+            .map(|e| e.lock().expect("shard engine poisoned").dense_count())
+            .sum()
+    }
+
+    /// Runs each shard engine's internal consistency check (flushes first).
+    pub fn validate(&self) -> Result<(), String> {
+        self.flush();
+        for (shard, engine) in self.engines.iter().enumerate() {
+            engine
+                .lock()
+                .expect("shard engine poisoned")
+                .validate()
+                .map_err(|e| format!("shard {shard}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl EpochCell<ShardSnapshot> {
+    fn new_empty_snapshot(shard: usize) -> Self {
+        EpochCell::new(ShardSnapshot::empty(shard))
+    }
+}
+
+impl<D: DensityMeasure> Drop for ShardedDynDens<D> {
+    fn drop(&mut self) {
+        for sender in &self.senders {
+            // A worker that already exited (or panicked) has hung up; that is
+            // fine during teardown.
+            let _ = sender.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShardFn;
+    use dyndens_density::AvgWeight;
+    use dyndens_graph::VertexId;
+
+    fn update(a: u32, b: u32, delta: f64) -> EdgeUpdate {
+        EdgeUpdate::new(VertexId(a), VertexId(b), delta)
+    }
+
+    fn sharded(n: usize) -> ShardedDynDens<AvgWeight> {
+        ShardedDynDens::new(
+            AvgWeight,
+            DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+            ShardConfig::new(n)
+                .with_shard_fn(ShardFn::Modulo)
+                .with_max_batch(4),
+        )
+    }
+
+    #[test]
+    fn single_shard_matches_plain_engine() {
+        let updates = [
+            update(0, 2, 1.0),
+            update(0, 3, 1.0),
+            update(2, 3, 1.0),
+            update(1, 3, 1.0),
+            update(1, 2, 1.1),
+            update(0, 1, 0.95),
+        ];
+        let mut reference = DynDens::new(AvgWeight, DynDensConfig::new(1.0, 4).with_delta_it(0.15));
+        let mut sharded = sharded(1);
+        for u in updates {
+            reference.apply_update(u);
+        }
+        sharded.apply_batch(&updates);
+        sharded.validate().unwrap();
+
+        let mut want: Vec<VertexSet> = reference
+            .output_dense_subgraphs()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        let mut got: Vec<VertexSet> = sharded.output_dense().into_iter().map(|(s, _)| s).collect();
+        want.sort();
+        got.sort();
+        assert_eq!(got, want);
+        assert_eq!(sharded.stats(), reference.stats().clone());
+        assert_eq!(sharded.dense_count(), reference.dense_count());
+    }
+
+    #[test]
+    fn updates_route_to_min_endpoint_shard() {
+        let sharded = sharded(4);
+        assert_eq!(sharded.n_shards(), 4);
+        // Modulo sharding: min endpoint decides.
+        assert_eq!(sharded.shard_of(&update(5, 2, 1.0)), 2);
+        assert_eq!(sharded.shard_of(&update(3, 7, 1.0)), 3);
+        assert_eq!(sharded.shard_of(&update(8, 1, 1.0)), 1);
+        assert_eq!(sharded.shard_of(&update(8, 12, 1.0)), 0);
+    }
+
+    #[test]
+    fn disjoint_communities_are_maintained_per_shard() {
+        // Two 3-cliques on residues 0 and 1 (mod 2): each lives wholly in one
+        // shard, and the union answer covers both.
+        let mut sharded = sharded(2);
+        let cliques: &[&[u32]] = &[&[0, 2, 4], &[1, 3, 5]];
+        let mut updates = Vec::new();
+        for clique in cliques {
+            for (i, &a) in clique.iter().enumerate() {
+                for &b in &clique[i + 1..] {
+                    updates.push(update(a, b, 1.2));
+                }
+            }
+        }
+        sharded.apply_batch(&updates);
+        sharded.validate().unwrap();
+        let got = sharded.output_dense();
+        // Each 3-clique contributes 3 pairs + 1 triangle.
+        assert_eq!(got.len(), 8);
+        assert_eq!(sharded.output_dense_count(), 8);
+        assert!(sharded.dense_count() >= 8);
+        let stats = sharded.stats();
+        assert_eq!(stats.updates, updates.len() as u64);
+
+        // The view serves the same stories, sequence-numbered.
+        let view = sharded.view();
+        let merged = view.snapshot();
+        assert_eq!(merged.seq, updates.len() as u64);
+        assert_eq!(merged.output_dense_total, 8);
+        assert_eq!(merged.stories.len(), 8.min(sharded.config().top_k));
+        let top_density = merged.stories[0].1;
+        assert!((top_density - 1.2).abs() < 1e-9);
+        assert_eq!(view.stats().updates, stats.updates);
+    }
+
+    #[test]
+    fn flush_makes_single_update_path_visible() {
+        let sharded = sharded(2);
+        sharded.apply_update(update(0, 2, 1.5));
+        sharded.apply_update(update(1, 3, 1.5));
+        sharded.flush();
+        let view = sharded.view();
+        let merged = view.snapshot();
+        assert_eq!(merged.seq, 2);
+        assert_eq!(merged.per_shard_seq, vec![1, 1]);
+        assert_eq!(merged.output_dense_total, 2);
+        // Delta events for each shard's last batch are exposed.
+        let snap = view.shard_snapshot(0);
+        assert_eq!(snap.delta_base_seq, 0);
+        assert_eq!(snap.delta_events.len(), 1);
+        assert!(snap.delta_events[0].is_became());
+    }
+
+    #[test]
+    fn negative_updates_and_evictions_propagate() {
+        let mut sharded = sharded(2);
+        sharded.apply_batch(&[update(0, 2, 1.5), update(1, 3, 1.5)]);
+        assert_eq!(sharded.output_dense_count(), 2);
+        sharded.apply_batch(&[update(0, 2, -1.0)]);
+        assert_eq!(sharded.output_dense_count(), 1);
+        let view = sharded.view();
+        let snap = view.shard_snapshot(0);
+        assert!(snap.delta_events.iter().any(|e| !e.is_became()));
+        let stats = sharded.stats();
+        assert_eq!(stats.negative_updates, 1);
+        assert_eq!(stats.subgraphs_evicted, 1);
+    }
+}

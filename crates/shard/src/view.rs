@@ -1,0 +1,214 @@
+//! The non-blocking read path: per-shard epoch cells and the merged story
+//! view.
+
+use std::sync::{Arc, Mutex};
+
+use dyndens_core::{DenseEvent, EngineStats};
+use dyndens_graph::VertexSet;
+
+/// Sorts stories densest first, with ties broken by vertex set so snapshots
+/// are deterministic. Shared by the per-shard publication path and the merged
+/// view so the two orderings can never diverge.
+pub(crate) fn sort_stories(stories: &mut [(VertexSet, f64)]) {
+    stories.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+}
+
+/// An ArcSwap-style epoch pointer: writers publish immutable snapshots by
+/// swapping an `Arc`, readers grab the current `Arc` and then read entirely
+/// lock-free.
+///
+/// The critical section on either side is a single pointer clone/store — a
+/// handful of nanoseconds — so readers never block writers for the duration
+/// of a read, and writers never block readers for the duration of an update.
+/// (A dedicated lock-free `ArcSwap` would remove even that window; this
+/// std-only cell keeps the same API shape so one can be dropped in later.)
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// Creates a cell holding `value` as its first epoch.
+    pub fn new(value: T) -> Self {
+        EpochCell {
+            slot: Mutex::new(Arc::new(value)),
+        }
+    }
+
+    /// Returns the current epoch's snapshot.
+    pub fn load(&self) -> Arc<T> {
+        self.slot.lock().expect("epoch cell poisoned").clone()
+    }
+
+    /// Publishes a new epoch.
+    pub fn store(&self, value: Arc<T>) {
+        *self.slot.lock().expect("epoch cell poisoned") = value;
+    }
+}
+
+/// An immutable, sequence-numbered view of one shard, published by its worker
+/// after every micro-batch.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSnapshot {
+    /// The shard index this snapshot belongs to.
+    pub shard: usize,
+    /// Number of updates this shard has applied so far. Monotone; readers can
+    /// use it to detect progress and to order snapshots of the same shard.
+    pub seq: u64,
+    /// The shard's current output-dense subgraphs, densest first (ties broken
+    /// by vertex set), truncated to the configured `top_k`.
+    pub top_stories: Vec<(VertexSet, f64)>,
+    /// Total number of output-dense subgraphs in the shard (may exceed
+    /// `top_stories.len()`).
+    pub output_dense: usize,
+    /// The shard engine's cumulative work counters.
+    pub stats: EngineStats,
+    /// The shard's `seq` before the micro-batch that produced this snapshot;
+    /// [`ShardSnapshot::delta_events`] covers updates
+    /// `delta_base_seq..seq`.
+    pub delta_base_seq: u64,
+    /// The [`DenseEvent`]s emitted by the micro-batch that produced this
+    /// snapshot (the stream a subscriber would tail for incremental story
+    /// changes).
+    pub delta_events: Vec<DenseEvent>,
+}
+
+impl ShardSnapshot {
+    /// The empty snapshot a shard starts from.
+    pub fn empty(shard: usize) -> Self {
+        ShardSnapshot {
+            shard,
+            ..Default::default()
+        }
+    }
+}
+
+/// The merged, sequence-numbered answer served to readers.
+#[derive(Debug, Clone)]
+pub struct MergedStories {
+    /// Sum of the per-shard sequence numbers: the total number of updates
+    /// reflected in this view. Monotone across snapshots of the same view.
+    pub seq: u64,
+    /// The per-shard sequence numbers backing [`MergedStories::seq`].
+    pub per_shard_seq: Vec<u64>,
+    /// The merged top-k output-dense subgraphs, densest first.
+    pub stories: Vec<(VertexSet, f64)>,
+    /// Total number of output-dense subgraphs across all shards.
+    pub output_dense_total: usize,
+}
+
+/// A cheap, cloneable handle for reading merged story snapshots without
+/// coordinating with the ingest path.
+#[derive(Debug, Clone)]
+pub struct StoryView {
+    cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
+    top_k: usize,
+}
+
+impl StoryView {
+    pub(crate) fn new(cells: Arc<Vec<EpochCell<ShardSnapshot>>>, top_k: usize) -> Self {
+        StoryView { cells, top_k }
+    }
+
+    /// Number of shards feeding this view.
+    pub fn n_shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The latest published snapshot of one shard.
+    pub fn shard_snapshot(&self, shard: usize) -> Arc<ShardSnapshot> {
+        self.cells[shard].load()
+    }
+
+    /// Merges the latest per-shard snapshots into a top-k story view.
+    ///
+    /// Reads are wait-free with respect to ingest up to the epoch-pointer
+    /// clone; the merge itself runs on the reader's thread over immutable
+    /// data. Each call observes each shard's latest published epoch, so `seq`
+    /// is monotone over repeated calls.
+    pub fn snapshot(&self) -> MergedStories {
+        let shards: Vec<Arc<ShardSnapshot>> = self.cells.iter().map(|c| c.load()).collect();
+        let per_shard_seq: Vec<u64> = shards.iter().map(|s| s.seq).collect();
+        let seq = per_shard_seq.iter().sum();
+        let output_dense_total = shards.iter().map(|s| s.output_dense).sum();
+        let mut stories: Vec<(VertexSet, f64)> = shards
+            .iter()
+            .flat_map(|s| s.top_stories.iter().cloned())
+            .collect();
+        sort_stories(&mut stories);
+        stories.truncate(self.top_k);
+        MergedStories {
+            seq,
+            per_shard_seq,
+            stories,
+            output_dense_total,
+        }
+    }
+
+    /// The merged cumulative work counters of all shards, as of their latest
+    /// published snapshots.
+    pub fn stats(&self) -> EngineStats {
+        let shards: Vec<Arc<ShardSnapshot>> = self.cells.iter().map(|c| c.load()).collect();
+        EngineStats::merged(shards.iter().map(|s| &s.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndens_graph::VertexSet;
+
+    fn snap(shard: usize, seq: u64, stories: &[(&[u32], f64)]) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            seq,
+            top_stories: stories
+                .iter()
+                .map(|(ids, d)| (VertexSet::from_ids(ids), *d))
+                .collect(),
+            output_dense: stories.len(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn epoch_cell_swaps_epochs() {
+        let cell = EpochCell::new(1u32);
+        let old = cell.load();
+        cell.store(Arc::new(2));
+        assert_eq!(*old, 1, "readers keep their epoch");
+        assert_eq!(*cell.load(), 2);
+    }
+
+    #[test]
+    fn merged_snapshot_is_sorted_and_truncated() {
+        let cells = Arc::new(vec![
+            EpochCell::new(snap(0, 10, &[(&[0, 4], 1.5), (&[0, 8], 0.9)])),
+            EpochCell::new(snap(1, 5, &[(&[1, 5], 1.2), (&[1, 9], 1.6)])),
+        ]);
+        let view = StoryView::new(cells, 3);
+        assert_eq!(view.n_shards(), 2);
+        let merged = view.snapshot();
+        assert_eq!(merged.seq, 15);
+        assert_eq!(merged.per_shard_seq, vec![10, 5]);
+        assert_eq!(merged.output_dense_total, 4);
+        assert_eq!(merged.stories.len(), 3);
+        let densities: Vec<f64> = merged.stories.iter().map(|(_, d)| *d).collect();
+        assert_eq!(densities, vec![1.6, 1.5, 1.2]);
+        assert_eq!(view.shard_snapshot(1).seq, 5);
+    }
+
+    #[test]
+    fn view_stats_merge_shards() {
+        let mut a = snap(0, 1, &[]);
+        a.stats.updates = 3;
+        let mut b = snap(1, 1, &[]);
+        b.stats.updates = 4;
+        let view = StoryView::new(Arc::new(vec![EpochCell::new(a), EpochCell::new(b)]), 4);
+        assert_eq!(view.stats().updates, 7);
+    }
+}

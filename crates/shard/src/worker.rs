@@ -1,0 +1,114 @@
+//! The shard worker: a thread owning one engine, fed by a bounded channel.
+
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+
+use dyndens_core::{DenseEvent, DynDens};
+use dyndens_density::DensityMeasure;
+use dyndens_graph::{EdgeUpdate, VertexSet};
+
+use crate::view::{EpochCell, ShardSnapshot};
+
+/// Messages a shard worker consumes.
+pub(crate) enum WorkerMsg {
+    /// Apply one update.
+    Update(EdgeUpdate),
+    /// Apply a pre-routed batch of updates.
+    Batch(Vec<EdgeUpdate>),
+    /// Acknowledge once every previously sent update has been applied and its
+    /// snapshot published.
+    Flush(Sender<()>),
+    /// Stop after processing everything drained alongside this message.
+    Shutdown,
+}
+
+/// The worker loop: block on the inbox, drain up to `max_batch` pending
+/// messages, apply the drained updates under a single engine lock, publish a
+/// fresh snapshot, acknowledge flushes, repeat.
+pub(crate) fn run<D: DensityMeasure>(
+    shard: usize,
+    inbox: Receiver<WorkerMsg>,
+    engine: Arc<Mutex<DynDens<D>>>,
+    cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
+    max_batch: usize,
+    top_k: usize,
+) {
+    let mut seq: u64 = 0;
+    // Scratch buffers reused across micro-batches.
+    let mut pending: Vec<EdgeUpdate> = Vec::with_capacity(max_batch);
+    let mut acks: Vec<Sender<()>> = Vec::new();
+    let mut events: Vec<DenseEvent> = Vec::new();
+
+    loop {
+        let first = match inbox.recv() {
+            Ok(msg) => msg,
+            // All senders dropped: the facade is gone, stop quietly.
+            Err(_) => break,
+        };
+        let mut shutdown = absorb(first, &mut pending, &mut acks);
+        // Micro-batching: drain whatever else is already queued, up to the
+        // configured bound, so channel wakeups and engine locking amortise.
+        while !shutdown && pending.len() < max_batch {
+            match inbox.try_recv() {
+                Ok(msg) => shutdown = absorb(msg, &mut pending, &mut acks),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+
+        if !pending.is_empty() {
+            events.clear();
+            let delta_base_seq = seq;
+            let snapshot = {
+                let mut guard = engine.lock().expect("shard engine poisoned");
+                for update in pending.drain(..) {
+                    guard.apply_update_into(update, &mut events);
+                    seq += 1;
+                }
+                build_snapshot(shard, &guard, seq, delta_base_seq, &events, top_k)
+            };
+            cells[shard].store(Arc::new(snapshot));
+        }
+        for ack in acks.drain(..) {
+            // A dropped flush waiter is not an error.
+            let _ = ack.send(());
+        }
+        if shutdown {
+            break;
+        }
+    }
+}
+
+/// Folds one message into the drain buffers; returns `true` on shutdown.
+fn absorb(msg: WorkerMsg, pending: &mut Vec<EdgeUpdate>, acks: &mut Vec<Sender<()>>) -> bool {
+    match msg {
+        WorkerMsg::Update(u) => pending.push(u),
+        WorkerMsg::Batch(batch) => pending.extend(batch),
+        WorkerMsg::Flush(ack) => acks.push(ack),
+        WorkerMsg::Shutdown => return true,
+    }
+    false
+}
+
+/// Renders the engine's current answer into an immutable snapshot.
+fn build_snapshot<D: DensityMeasure>(
+    shard: usize,
+    engine: &DynDens<D>,
+    seq: u64,
+    delta_base_seq: u64,
+    events: &[DenseEvent],
+    top_k: usize,
+) -> ShardSnapshot {
+    let mut stories: Vec<(VertexSet, f64)> = engine.output_dense_subgraphs();
+    let output_dense = stories.len();
+    crate::view::sort_stories(&mut stories);
+    stories.truncate(top_k);
+    ShardSnapshot {
+        shard,
+        seq,
+        top_stories: stories,
+        output_dense,
+        stats: engine.stats().clone(),
+        delta_base_seq,
+        delta_events: events.to_vec(),
+    }
+}

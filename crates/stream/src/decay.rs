@@ -102,7 +102,10 @@ impl CooccurrenceTracker {
         for (i, &a) in entities.iter().enumerate() {
             for &b in &entities[i + 1..] {
                 let key = if a < b { (a, b) } else { (b, a) };
-                self.cooccurrences.entry(key).or_default().add(now, 1.0, life);
+                self.cooccurrences
+                    .entry(key)
+                    .or_default()
+                    .add(now, 1.0, life);
                 self.partners.entry(a).or_default().insert(b);
                 self.partners.entry(b).or_default().insert(a);
             }

@@ -58,7 +58,11 @@ impl EntityRegistry {
     pub fn describe(&self, vertices: impl IntoIterator<Item = VertexId>) -> Vec<String> {
         vertices
             .into_iter()
-            .map(|v| self.name(v).map(str::to_string).unwrap_or_else(|| format!("entity#{v}")))
+            .map(|v| {
+                self.name(v)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("entity#{v}"))
+            })
             .collect()
     }
 }

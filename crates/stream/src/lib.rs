@@ -22,7 +22,9 @@
 //!   of its endpoints is mentioned;
 //! * [`ranking`] — diversity-aware re-ranking of output-dense subgraphs for
 //!   presentation (Section 5.3);
-//! * [`story`] — an end-to-end convenience wrapper (posts in, stories out).
+//! * [`story`] — an end-to-end convenience wrapper (posts in, stories out);
+//! * [`sharded`] — the same wrapper over the `dyndens-shard` scale-out
+//!   subsystem (parallel ingest, non-blocking story reads).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +35,7 @@ pub mod measures;
 pub mod pipeline;
 pub mod post;
 pub mod ranking;
+pub mod sharded;
 pub mod story;
 
 pub use decay::{CooccurrenceTracker, PairStats};
@@ -44,4 +47,5 @@ pub use measures::{
 pub use pipeline::EdgeUpdateGenerator;
 pub use post::Post;
 pub use ranking::rank_with_diversity;
+pub use sharded::ShardedStoryPipeline;
 pub use story::{Story, StoryPipeline};

@@ -91,7 +91,10 @@ pub fn log_likelihood_ratio(stats: &PairStats) -> f64 {
         k * (k / expected).ln()
     };
     let g2 = 2.0
-        * (term(k11, row1, col1) + term(k12, row1, col2) + term(k21, row2, col1) + term(k22, row2, col2));
+        * (term(k11, row1, col1)
+            + term(k12, row1, col2)
+            + term(k21, row2, col1)
+            + term(k22, row2, col2));
     g2.max(0.0)
 }
 
@@ -106,7 +109,9 @@ pub struct ChiSquareCorrelation {
 
 impl Default for ChiSquareCorrelation {
     fn default() -> Self {
-        ChiSquareCorrelation { chi2_critical: CHI2_CRITICAL_5PCT }
+        ChiSquareCorrelation {
+            chi2_critical: CHI2_CRITICAL_5PCT,
+        }
     }
 }
 
@@ -157,7 +162,11 @@ impl LogLikelihoodRatio {
     /// The non-thresholded variant (weights are raw, scaled G² values) at the
     /// given significance level.
     pub fn raw(critical_value: f64) -> Self {
-        LogLikelihoodRatio { min_occurrences: 1.0, critical_value, thresholded: false }
+        LogLikelihoodRatio {
+            min_occurrences: 1.0,
+            critical_value,
+            thresholded: false,
+        }
     }
 }
 
@@ -196,7 +205,12 @@ mod tests {
     use super::*;
 
     fn stats(count_a: f64, count_b: f64, count_ab: f64, total: f64) -> PairStats {
-        PairStats { count_a, count_b, count_ab, total }
+        PairStats {
+            count_a,
+            count_b,
+            count_ab,
+            total,
+        }
     }
 
     #[test]
@@ -280,7 +294,11 @@ mod tests {
 
     #[test]
     fn names_are_reported() {
-        assert!(ChiSquareCorrelation::default().name().contains("chi-square"));
-        assert!(LogLikelihoodRatio::default().name().contains("log-likelihood"));
+        assert!(ChiSquareCorrelation::default()
+            .name()
+            .contains("chi-square"));
+        assert!(LogLikelihoodRatio::default()
+            .name()
+            .contains("log-likelihood"));
     }
 }

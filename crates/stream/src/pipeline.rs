@@ -130,7 +130,10 @@ impl<M: AssociationMeasure> EdgeUpdateGenerator<M> {
     }
 
     /// Consumes a batch of posts, returning all updates in order.
-    pub fn process_posts<'a, I: IntoIterator<Item = &'a Post>>(&mut self, posts: I) -> Vec<EdgeUpdate> {
+    pub fn process_posts<'a, I: IntoIterator<Item = &'a Post>>(
+        &mut self,
+        posts: I,
+    ) -> Vec<EdgeUpdate> {
         let mut out = Vec::new();
         for p in posts {
             self.process_post_into(p, &mut out);
@@ -190,9 +193,13 @@ mod tests {
         let mut updates = Vec::new();
         for i in 0..20 {
             updates.extend(generator.process_post(&post(10_000.0 + i as f64, &[0, 4])));
-            updates.extend(generator.process_post(&post(10_000.0 + i as f64 + 0.25, &[5 + (i % 3)])));
+            updates
+                .extend(generator.process_post(&post(10_000.0 + i as f64 + 0.25, &[5 + (i % 3)])));
         }
-        assert!(updates.iter().any(|u| u.is_negative()), "expected negative updates from decay");
+        assert!(
+            updates.iter().any(|u| u.is_negative()),
+            "expected negative updates from decay"
+        );
         let (_, neg) = generator.update_counts();
         assert!(neg > 0);
     }
@@ -206,7 +213,10 @@ mod tests {
             updates.extend(generator.process_post(&post(i as f64 + 0.5, &[(i % 7) + 2])));
         }
         let w = generator.current_weight(v(0), v(1));
-        assert!((w - 1.0).abs() < 1e-9, "thresholded LLR weight should be 1, got {w}");
+        assert!(
+            (w - 1.0).abs() < 1e-9,
+            "thresholded LLR weight should be 1, got {w}"
+        );
         // All updates for that edge sum to exactly the weight.
         let sum: f64 = updates
             .iter()
@@ -238,18 +248,27 @@ mod tests {
             generator.process_post(&post(i as f64 + 0.5, &[7 + i]));
         }
         let before = generator.current_weight(v(0), v(1));
-        assert!(before > 0.5, "setup should create a strong (0, 1) edge, got {before}");
+        assert!(
+            before > 0.5,
+            "setup should create a strong (0, 1) edge, got {before}"
+        );
         // Entity 0 now appears many times alone: the (0,1) association weakens
         // and the edge must be refreshed downward.
         let mut saw_refresh = false;
         for i in 0..50 {
             let ups = generator.process_post(&post(200.0 + i as f64, &[0]));
-            if ups.iter().any(|u| u.endpoints() == (v(0), v(1)) && u.is_negative()) {
+            if ups
+                .iter()
+                .any(|u| u.endpoints() == (v(0), v(1)) && u.is_negative())
+            {
                 saw_refresh = true;
             }
         }
         let after = generator.current_weight(v(0), v(1));
-        assert!(after < before, "association should weaken ({before} -> {after})");
+        assert!(
+            after < before,
+            "association should weaken ({before} -> {after})"
+        );
         assert!(saw_refresh);
     }
 }

@@ -20,7 +20,10 @@ impl Post {
         assert!(timestamp.is_finite(), "post timestamp must be finite");
         entities.sort_unstable();
         entities.dedup();
-        Post { timestamp, entities }
+        Post {
+            timestamp,
+            entities,
+        }
     }
 
     /// Number of distinct entities mentioned.
@@ -31,9 +34,10 @@ impl Post {
     /// Iterates over all unordered entity pairs mentioned together by this
     /// post (the co-occurrences it induces).
     pub fn entity_pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.entities.iter().enumerate().flat_map(move |(i, &a)| {
-            self.entities[i + 1..].iter().map(move |&b| (a, b))
-        })
+        self.entities
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &a)| self.entities[i + 1..].iter().map(move |&b| (a, b)))
     }
 }
 
@@ -59,7 +63,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "finite")]
-    fn rejects_non_finite_timestamp()    {
+    fn rejects_non_finite_timestamp() {
         let _ = Post::new(f64::NAN, vec![]);
     }
 }

@@ -56,7 +56,11 @@ mod tests {
 
     #[test]
     fn highest_density_is_selected_first() {
-        let candidates = vec![(set(&[0, 1]), 1.0), (set(&[2, 3]), 2.0), (set(&[4, 5]), 1.5)];
+        let candidates = vec![
+            (set(&[0, 1]), 1.0),
+            (set(&[2, 3]), 2.0),
+            (set(&[4, 5]), 1.5),
+        ];
         let ranked = rank_with_diversity(&candidates, 0.8, 3);
         assert_eq!(ranked[0].0, set(&[2, 3]));
         assert_eq!(ranked[1].0, set(&[4, 5]));
@@ -86,7 +90,11 @@ mod tests {
 
     #[test]
     fn zero_penalty_is_pure_density_order() {
-        let candidates = vec![(set(&[0, 1, 2]), 2.0), (set(&[0, 1]), 1.9), (set(&[5, 6]), 1.2)];
+        let candidates = vec![
+            (set(&[0, 1, 2]), 2.0),
+            (set(&[0, 1]), 1.9),
+            (set(&[5, 6]), 1.2),
+        ];
         let ranked = rank_with_diversity(&candidates, 0.0, 3);
         assert_eq!(ranked[1].0, set(&[0, 1]));
     }

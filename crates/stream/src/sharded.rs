@@ -1,0 +1,242 @@
+//! Sharded end-to-end story identification: posts in, ranked stories out,
+//! ingest parallelised across shard workers.
+//!
+//! This is the scale-out counterpart of [`StoryPipeline`](crate::story::StoryPipeline):
+//! the entity registry and the post → edge-weight-update generator run on the
+//! ingest thread (they are cheap and inherently sequential per post), while
+//! the expensive dense-subgraph maintenance is routed through a
+//! [`ShardedDynDens`] fleet. Story reads come either from the authoritative
+//! flushing path ([`ShardedStoryPipeline::top_stories`]) or from the
+//! non-blocking, bounded-lag [`StoryView`] path
+//! ([`ShardedStoryPipeline::top_stories_latest`]).
+
+use crate::entity::EntityRegistry;
+use crate::measures::AssociationMeasure;
+use crate::pipeline::EdgeUpdateGenerator;
+use crate::post::Post;
+use crate::ranking::rank_with_diversity;
+use crate::story::Story;
+use dyndens_core::DynDensConfig;
+use dyndens_density::DensityMeasure;
+use dyndens_graph::EdgeUpdate;
+use dyndens_shard::{MergedStories, ShardConfig, ShardedDynDens, StoryView};
+
+/// The sharded real-time story identification pipeline.
+#[derive(Debug)]
+pub struct ShardedStoryPipeline<M: AssociationMeasure, D: DensityMeasure> {
+    registry: EntityRegistry,
+    generator: EdgeUpdateGenerator<M>,
+    engine: ShardedDynDens<D>,
+    diversity_penalty: f64,
+    /// Scratch buffer reused across posts.
+    updates: Vec<EdgeUpdate>,
+}
+
+impl<M: AssociationMeasure, D: DensityMeasure> ShardedStoryPipeline<M, D> {
+    /// Creates a pipeline with the given association measure, exponential
+    /// decay mean life (seconds), density measure, engine configuration and
+    /// shard configuration.
+    pub fn new(
+        association: M,
+        mean_life: f64,
+        density: D,
+        engine_config: DynDensConfig,
+        shard_config: ShardConfig,
+    ) -> Self {
+        ShardedStoryPipeline {
+            registry: EntityRegistry::new(),
+            generator: EdgeUpdateGenerator::new(association, mean_life),
+            engine: ShardedDynDens::new(density, engine_config, shard_config),
+            diversity_penalty: 0.8,
+            updates: Vec::new(),
+        }
+    }
+
+    /// Sets the diversity penalty used when ranking stories (default 0.8).
+    pub fn with_diversity_penalty(mut self, penalty: f64) -> Self {
+        self.diversity_penalty = penalty;
+        self
+    }
+
+    /// The entity registry (name ↔ vertex mapping).
+    pub fn registry(&self) -> &EntityRegistry {
+        &self.registry
+    }
+
+    /// The sharded engine fleet.
+    pub fn engine(&self) -> &ShardedDynDens<D> {
+        &self.engine
+    }
+
+    /// The update generator, exposing stream statistics.
+    pub fn generator(&self) -> &EdgeUpdateGenerator<M> {
+        &self.generator
+    }
+
+    /// Ingests a post given as `(timestamp, entity names)`. The resulting
+    /// edge updates are routed to their owner shards asynchronously; the
+    /// number of updates routed is returned.
+    pub fn ingest(&mut self, timestamp: f64, entity_names: &[&str]) -> usize {
+        let entities = entity_names
+            .iter()
+            .map(|n| self.registry.intern(n))
+            .collect();
+        let post = Post::new(timestamp, entities);
+        self.ingest_post(&post)
+    }
+
+    /// Ingests an already entity-resolved post, returning the number of edge
+    /// updates routed to the shards.
+    pub fn ingest_post(&mut self, post: &Post) -> usize {
+        self.updates.clear();
+        self.generator.process_post_into(post, &mut self.updates);
+        let routed = self.updates.len();
+        if routed > 0 {
+            let updates = std::mem::take(&mut self.updates);
+            self.engine.apply_batch(&updates);
+            self.updates = updates;
+        }
+        routed
+    }
+
+    /// Blocks until every routed update has been applied by its shard.
+    pub fn flush(&self) {
+        self.engine.flush();
+    }
+
+    /// The current top stories, diversity-ranked. Authoritative: flushes the
+    /// shard queues before reading.
+    pub fn top_stories(&self, limit: usize) -> Vec<Story> {
+        let candidates = self.engine.output_dense();
+        self.rank(&candidates, limit)
+    }
+
+    /// The top stories as of the shards' latest published snapshots:
+    /// non-blocking with respect to ingest, at most one micro-batch stale per
+    /// shard. Candidates are limited to each shard's published top-k.
+    pub fn top_stories_latest(&self, limit: usize) -> Vec<Story> {
+        let MergedStories { stories, .. } = self.engine.view().snapshot();
+        self.rank(&stories, limit)
+    }
+
+    /// A non-blocking read handle that can be handed to serving threads.
+    pub fn view(&self) -> StoryView {
+        self.engine.view()
+    }
+
+    /// Number of stories currently reported (flushes first).
+    pub fn story_count(&self) -> usize {
+        self.engine.output_dense_count()
+    }
+
+    fn rank(&self, candidates: &[(dyndens_graph::VertexSet, f64)], limit: usize) -> Vec<Story> {
+        rank_with_diversity(candidates, self.diversity_penalty, limit)
+            .into_iter()
+            .map(|(vertices, density, adjusted_density)| Story {
+                entities: self.registry.describe(vertices.iter()),
+                vertices,
+                density,
+                adjusted_density,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::ChiSquareCorrelation;
+    use crate::story::StoryPipeline;
+    use dyndens_density::AvgWeight;
+    use dyndens_shard::ShardFn;
+
+    fn sharded_pipeline(n_shards: usize) -> ShardedStoryPipeline<ChiSquareCorrelation, AvgWeight> {
+        ShardedStoryPipeline::new(
+            ChiSquareCorrelation::default(),
+            7200.0,
+            AvgWeight,
+            DynDensConfig::new(0.45, 4).with_delta_it_fraction(0.3),
+            ShardConfig::new(n_shards)
+                .with_shard_fn(ShardFn::Hashed)
+                .with_max_batch(8),
+        )
+    }
+
+    fn feed_raid_story(p: &mut ShardedStoryPipeline<ChiSquareCorrelation, AvgWeight>) {
+        for i in 0..40 {
+            let t = i as f64 * 10.0;
+            p.ingest(t, &["Abbottabad", "Osama bin Laden"]);
+            p.ingest(t + 1.0, &["Barack Obama", "Osama bin Laden"]);
+            p.ingest(
+                t + 2.0,
+                &[match i % 4 {
+                    0 => "Justin Bieber",
+                    1 => "Lady Gaga",
+                    2 => "Royal Wedding",
+                    _ => "PlayStation",
+                }],
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_surfaces_stories() {
+        let mut p = sharded_pipeline(2);
+        feed_raid_story(&mut p);
+        assert!(p.story_count() > 0, "expected at least one story");
+        let stories = p.top_stories(3);
+        assert!(!stories.is_empty());
+        let all_entities: Vec<String> = stories.iter().flat_map(|s| s.entities.clone()).collect();
+        assert!(all_entities.iter().any(|e| e == "Osama bin Laden"));
+        for s in &stories {
+            assert!(s.density > 0.0);
+            assert!(s.adjusted_density <= s.density + 1e-12);
+            assert_eq!(s.entities.len(), s.vertices.len());
+        }
+        // The non-blocking path converges to the same answer once flushed.
+        p.flush();
+        let latest = p.top_stories_latest(3);
+        assert_eq!(
+            latest.iter().map(|s| &s.vertices).collect::<Vec<_>>(),
+            stories.iter().map(|s| &s.vertices).collect::<Vec<_>>(),
+        );
+        let view = p.view();
+        assert!(view.snapshot().seq > 0);
+    }
+
+    #[test]
+    fn single_shard_pipeline_matches_story_pipeline() {
+        // One shard, entity interning in the same order: the sharded pipeline
+        // must report exactly the stories of the sequential pipeline.
+        let mut sharded = sharded_pipeline(1);
+        let mut reference = StoryPipeline::new(
+            ChiSquareCorrelation::default(),
+            7200.0,
+            AvgWeight,
+            DynDensConfig::new(0.45, 4).with_delta_it_fraction(0.3),
+        );
+        for i in 0..40 {
+            let t = i as f64 * 10.0;
+            for (dt, names) in [
+                (0.0, vec!["NATO", "Libya"]),
+                (0.3, vec!["Sony", "PlayStation"]),
+                (0.6, vec!["noise"]),
+            ] {
+                sharded.ingest(t + dt, &names);
+                reference.ingest(t + dt, &names);
+            }
+        }
+        let got: Vec<_> = sharded
+            .top_stories(5)
+            .into_iter()
+            .map(|s| s.vertices)
+            .collect();
+        let want: Vec<_> = reference
+            .top_stories(5)
+            .into_iter()
+            .map(|s| s.vertices)
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(sharded.story_count(), reference.story_count());
+    }
+}

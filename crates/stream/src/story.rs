@@ -83,7 +83,10 @@ impl<M: AssociationMeasure, D: DensityMeasure> StoryPipeline<M, D> {
     /// Ingests a post given as `(timestamp, entity names)`, returning the
     /// changes to the set of output-dense subgraphs it caused.
     pub fn ingest(&mut self, timestamp: f64, entity_names: &[&str]) -> Vec<DenseEvent> {
-        let entities = entity_names.iter().map(|n| self.registry.intern(n)).collect();
+        let entities = entity_names
+            .iter()
+            .map(|n| self.registry.intern(n))
+            .collect();
         let post = Post::new(timestamp, entities);
         self.ingest_post(&post)
     }
@@ -156,18 +159,20 @@ mod tests {
             let t = i as f64 * 10.0;
             p.ingest(t, &["Abbottabad", "Osama bin Laden"]);
             p.ingest(t + 1.0, &["Barack Obama", "Osama bin Laden"]);
-            p.ingest(t + 2.0, &[match i % 4 {
-                0 => "Justin Bieber",
-                1 => "Lady Gaga",
-                2 => "Royal Wedding",
-                _ => "PlayStation",
-            }]);
+            p.ingest(
+                t + 2.0,
+                &[match i % 4 {
+                    0 => "Justin Bieber",
+                    1 => "Lady Gaga",
+                    2 => "Royal Wedding",
+                    _ => "PlayStation",
+                }],
+            );
         }
         assert!(p.story_count() > 0, "expected at least one story");
         let stories = p.top_stories(3);
         assert!(!stories.is_empty());
-        let all_entities: Vec<String> =
-            stories.iter().flat_map(|s| s.entities.clone()).collect();
+        let all_entities: Vec<String> = stories.iter().flat_map(|s| s.entities.clone()).collect();
         assert!(all_entities.iter().any(|e| e == "Osama bin Laden"));
         // Densities are positive and adjusted densities never exceed them.
         for s in &stories {
@@ -191,7 +196,11 @@ mod tests {
         }
         // With the chi-square significance filter nothing should be strongly
         // associated enough to clear a 0.7 average-weight threshold for long.
-        assert!(p.story_count() <= 2, "unexpected stories: {:?}", p.top_stories(5));
+        assert!(
+            p.story_count() <= 2,
+            "unexpected stories: {:?}",
+            p.top_stories(5)
+        );
     }
 
     #[test]

@@ -187,7 +187,9 @@ impl SyntheticWorkload {
                 all.shuffle(&mut rng);
                 hot_nodes = all.into_iter().take(*k).map(VertexId).collect();
             }
-            SyntheticStrategy::NearClique { groups, group_size, .. } => {
+            SyntheticStrategy::NearClique {
+                groups, group_size, ..
+            } => {
                 let mut all: Vec<u32> = (0..n).collect();
                 all.shuffle(&mut rng);
                 for g in 0..*groups {
@@ -195,8 +197,13 @@ impl SyntheticWorkload {
                     if start + group_size > all.len() {
                         break;
                     }
-                    planted_groups
-                        .push(all[start..start + group_size].iter().copied().map(VertexId).collect());
+                    planted_groups.push(
+                        all[start..start + group_size]
+                            .iter()
+                            .copied()
+                            .map(VertexId)
+                            .collect(),
+                    );
                 }
             }
             SyntheticStrategy::Random => {}
@@ -211,7 +218,8 @@ impl SyntheticWorkload {
 
         while updates.len() < config.n_updates && attempts < max_attempts {
             attempts += 1;
-            let (a, b) = Self::pick_edge(&config, &mut rng, &hot_edges, &hot_nodes, &planted_groups);
+            let (a, b) =
+                Self::pick_edge(&config, &mut rng, &hot_edges, &hot_nodes, &planted_groups);
             let key = (a.min(b), a.max(b));
             let current = weights.get(&key).copied().unwrap_or(0.0);
             let negative = rng.gen_bool(config.negative_prob);
@@ -245,7 +253,11 @@ impl SyntheticWorkload {
 
             // Optional rejection of updates that would push a pair into the
             // too-dense regime (Section 7.3).
-            if let SyntheticStrategy::NearClique { max_pair_weight: Some(cap), .. } = &config.strategy {
+            if let SyntheticStrategy::NearClique {
+                max_pair_weight: Some(cap),
+                ..
+            } = &config.strategy
+            {
                 if delta > 0.0 && current + delta >= *cap {
                     continue;
                 }
@@ -260,7 +272,11 @@ impl SyntheticWorkload {
             updates.push(EdgeUpdate::new(key.0, key.1, delta));
         }
 
-        SyntheticWorkload { config, updates, planted_groups }
+        SyntheticWorkload {
+            config,
+            updates,
+            planted_groups,
+        }
     }
 
     fn pick_edge(
@@ -380,7 +396,11 @@ mod tests {
                 g.apply_update(u);
             }
             for (_, _, weight) in g.edges() {
-                assert!(weight >= -1e-12, "negative weight under {:?}", config.strategy);
+                assert!(
+                    weight >= -1e-12,
+                    "negative weight under {:?}",
+                    config.strategy
+                );
             }
         }
     }
@@ -396,7 +416,8 @@ mod tests {
 
     #[test]
     fn boolean_strategy_keeps_weights_binary() {
-        let w = SyntheticWorkload::generate(SyntheticConfig::node_preferential_boolean(50, 1500, 21));
+        let w =
+            SyntheticWorkload::generate(SyntheticConfig::node_preferential_boolean(50, 1500, 21));
         let g = replay(w.updates());
         for (_, _, weight) in g.edges() {
             assert!((weight - 1.0).abs() < 1e-9, "non-binary weight {weight}");
@@ -428,13 +449,19 @@ mod tests {
             .filter(|u| in_group(u.a) && in_group(u.b))
             .count();
         let frac = inside as f64 / w.updates().len() as f64;
-        assert!(frac > 0.8, "only {frac} of updates fall inside planted groups");
+        assert!(
+            frac > 0.8,
+            "only {frac} of updates fall inside planted groups"
+        );
     }
 
     #[test]
     fn near_clique_rejection_caps_pair_weights() {
         let mut config = SyntheticConfig::near_clique(500, 3000, 13);
-        if let SyntheticStrategy::NearClique { max_pair_weight, .. } = &mut config.strategy {
+        if let SyntheticStrategy::NearClique {
+            max_pair_weight, ..
+        } = &mut config.strategy
+        {
             *max_pair_weight = Some(0.25);
         }
         let w = SyntheticWorkload::generate(config);

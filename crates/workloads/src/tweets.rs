@@ -117,7 +117,12 @@ pub fn default_stories() -> Vec<StoryScript> {
     vec![
         StoryScript::new(
             "raid announcement",
-            &["Barack Obama", "Osama bin Laden", "White House", "Abbottabad"],
+            &[
+                "Barack Obama",
+                "Osama bin Laden",
+                "White House",
+                "Abbottabad",
+            ],
             0.30,
         )
         .with_window(0.80 * day, day),
@@ -127,9 +132,17 @@ pub fn default_stories() -> Vec<StoryScript> {
             0.20,
         )
         .with_window(0.82 * day, day),
-        StoryScript::new("libya crisis", &["NATO", "Libya", "Muammar al-Gaddafi"], 0.15),
-        StoryScript::new("royal wedding", &["Royal Wedding", "Prince William", "Kate Middleton"], 0.12)
-            .with_window(0.0, 0.5 * day),
+        StoryScript::new(
+            "libya crisis",
+            &["NATO", "Libya", "Muammar al-Gaddafi"],
+            0.15,
+        ),
+        StoryScript::new(
+            "royal wedding",
+            &["Royal Wedding", "Prince William", "Kate Middleton"],
+            0.12,
+        )
+        .with_window(0.0, 0.5 * day),
         StoryScript::new("psn hack", &["Sony", "PlayStation", "Kazuo Hirai"], 0.12),
         StoryScript::new("pop culture", &["Lady Gaga", "Justin Bieber"], 0.11),
     ]
@@ -240,9 +253,8 @@ impl TweetSimulator {
                 .filter(|(_, s)| t >= s.start && t <= s.end)
                 .map(|(i, _)| i)
                 .collect();
-            let is_story_post = count >= 2
-                && !active.is_empty()
-                && rng.gen_bool((total_intensity.min(1.0)).max(0.05));
+            let is_story_post =
+                count >= 2 && !active.is_empty() && rng.gen_bool(total_intensity.clamp(0.05, 1.0));
             let mut entities: Vec<VertexId> = if is_story_post {
                 // Pick an active story weighted by intensity.
                 let weights: Vec<f64> = active.iter().map(|&i| cfg.stories[i].intensity).collect();
@@ -276,7 +288,11 @@ impl TweetSimulator {
             posts.push(Post::new(t, entities));
         }
 
-        SimulatedCorpus { registry, posts, story_vertices }
+        SimulatedCorpus {
+            registry,
+            posts,
+            story_vertices,
+        }
     }
 
     /// The configuration used by this simulator.
@@ -309,12 +325,32 @@ mod tests {
     #[test]
     fn entity_count_mix_roughly_matches() {
         let corpus = TweetSimulator::new(small_config()).generate();
-        let zero = corpus.posts.iter().filter(|p| p.entity_count() == 0).count() as f64;
-        let one = corpus.posts.iter().filter(|p| p.entity_count() == 1).count() as f64;
-        let two_plus = corpus.posts.iter().filter(|p| p.entity_count() >= 2).count() as f64;
+        let zero = corpus
+            .posts
+            .iter()
+            .filter(|p| p.entity_count() == 0)
+            .count() as f64;
+        let one = corpus
+            .posts
+            .iter()
+            .filter(|p| p.entity_count() == 1)
+            .count() as f64;
+        let two_plus = corpus
+            .posts
+            .iter()
+            .filter(|p| p.entity_count() >= 2)
+            .count() as f64;
         let n = corpus.posts.len() as f64;
-        assert!((zero / n - 0.765).abs() < 0.05, "zero-entity fraction {}", zero / n);
-        assert!((one / n - 0.183).abs() < 0.05, "one-entity fraction {}", one / n);
+        assert!(
+            (zero / n - 0.765).abs() < 0.05,
+            "zero-entity fraction {}",
+            zero / n
+        );
+        assert!(
+            (one / n - 0.183).abs() < 0.05,
+            "one-entity fraction {}",
+            one / n
+        );
         assert!(two_plus / n > 0.02 && two_plus / n < 0.12);
     }
 
@@ -347,7 +383,10 @@ mod tests {
                 }
             }
         }
-        assert!(story_count > 10, "story pair only co-mentioned {story_count} times");
+        assert!(
+            story_count > 10,
+            "story pair only co-mentioned {story_count} times"
+        );
         // Background pairs exist but no single background pair dominates like
         // the story pair does; compare against the average.
         assert!(background_pairs > 0);
@@ -361,7 +400,10 @@ mod tests {
         let corpus = TweetSimulator::new(small_config()).generate();
         let updates = corpus.to_updates(ChiSquareCorrelation::default(), Some(2.0 * 3600.0));
         assert!(!updates.is_empty());
-        let mut engine = DynDens::new(AvgWeight, DynDensConfig::new(0.4, 5).with_delta_it_fraction(0.3));
+        let mut engine = DynDens::new(
+            AvgWeight,
+            DynDensConfig::new(0.4, 5).with_delta_it_fraction(0.3),
+        );
         for u in &updates {
             engine.apply_update(*u);
         }
@@ -369,9 +411,10 @@ mod tests {
         // At the end of the day the late-breaking raid story should be dense:
         // at least one output-dense subgraph contains two of its entities.
         let raid: Vec<VertexId> = corpus.story_vertices[0].clone();
-        let hit = engine.output_dense_subgraphs().iter().any(|(set, _)| {
-            set.iter().filter(|v| raid.contains(v)).count() >= 2
-        });
+        let hit = engine
+            .output_dense_subgraphs()
+            .iter()
+            .any(|(set, _)| set.iter().filter(|v| raid.contains(v)).count() >= 2);
         assert!(hit, "the planted raid story was not surfaced");
     }
 

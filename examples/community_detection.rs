@@ -55,7 +55,10 @@ fn main() {
 
     println!("\nDynDens:");
     println!("    dense groups maintained:   {}", engine.dense_count());
-    println!("    reported communities:      {}", engine.output_dense_count());
+    println!(
+        "    reported communities:      {}",
+        engine.output_dense_count()
+    );
     let mut top = engine.output_dense_subgraphs();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (set, density) in top.iter().take(5) {
@@ -77,16 +80,27 @@ fn main() {
             .planted_groups()
             .iter()
             .filter(|planted| {
-                groups.iter().any(|g| {
-                    planted.iter().filter(|v| g.contains(**v)).count() >= 4
-                })
+                groups
+                    .iter()
+                    .any(|g| planted.iter().filter(|v| g.contains(**v)).count() >= 4)
             })
             .count()
     };
-    let dyndens_groups: Vec<VertexSet> =
-        engine.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+    let dyndens_groups: Vec<VertexSet> = engine
+        .output_dense_subgraphs()
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect();
     let stix_groups = stix.cliques();
     println!("\nplanted communities recovered (>= 4 members together):");
-    println!("    DynDens: {} / {}", recovered_by(&dyndens_groups), workload.planted_groups().len());
-    println!("    Stix:    {} / {}", recovered_by(&stix_groups), workload.planted_groups().len());
+    println!(
+        "    DynDens: {} / {}",
+        recovered_by(&dyndens_groups),
+        workload.planted_groups().len()
+    );
+    println!(
+        "    Stix:    {} / {}",
+        recovered_by(&stix_groups),
+        workload.planted_groups().len()
+    );
 }

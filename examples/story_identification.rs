@@ -74,7 +74,10 @@ fn main() {
 
     let (positive, negative) = pipeline.generator().update_counts();
     println!("stream statistics:");
-    println!("    posts ingested:        {}", pipeline.generator().posts_seen());
+    println!(
+        "    posts ingested:        {}",
+        pipeline.generator().posts_seen()
+    );
     println!("    positive edge updates: {positive}");
     println!("    negative edge updates: {negative}");
     println!("    stories currently reported: {}", pipeline.story_count());

@@ -20,9 +20,14 @@ use dyndens::prelude::*;
 use dyndens::workloads::{SyntheticConfig, SyntheticWorkload};
 
 fn main() {
-    let workload = SyntheticWorkload::generate(SyntheticConfig::edge_preferential(3_000, 40_000, 5));
+    let workload =
+        SyntheticWorkload::generate(SyntheticConfig::edge_preferential(3_000, 40_000, 5));
     let updates = workload.updates();
-    println!("synthetic stream: {} updates over {} vertices\n", updates.len(), workload.config().n_vertices);
+    println!(
+        "synthetic stream: {} updates over {} vertices\n",
+        updates.len(),
+        workload.config().n_vertices
+    );
 
     // Keep the number of reported subgraphs between 50 and 500.
     let (low_watermark, high_watermark) = (50usize, 500usize);
@@ -78,8 +83,14 @@ fn main() {
     let full = start.elapsed();
 
     println!("\nfinal threshold {target:.3}:");
-    println!("    incremental adjustment: {incremental:?} ({} stories)", engine.output_dense_count());
-    println!("    full recomputation:     {full:?} ({} stories)", rebuilt.output_dense_count());
+    println!(
+        "    incremental adjustment: {incremental:?} ({} stories)",
+        engine.output_dense_count()
+    );
+    println!(
+        "    full recomputation:     {full:?} ({} stories)",
+        rebuilt.output_dense_count()
+    );
     if incremental.as_secs_f64() > 0.0 {
         println!(
             "    speedup: {:.1}x",

@@ -1,0 +1,8 @@
+//! Repository-level umbrella package.
+//!
+//! This package exists to anchor the workspace's integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library lives
+//! in the [`dyndens`] facade crate and the `crates/` workspace members it
+//! re-exports.
+
+pub use dyndens;

@@ -73,7 +73,12 @@ fn grasp_recall_is_partial_but_precise() {
     let mut grasp = Grasp::new(
         AvgWeight,
         threshold,
-        GraspConfig { iterations_per_update: 2, alpha: 0.5, n_max, seed: 7 },
+        GraspConfig {
+            iterations_per_update: 2,
+            alpha: 0.5,
+            n_max,
+            seed: 7,
+        },
     );
     for u in workload.updates() {
         engine.apply_update(*u);
@@ -86,13 +91,19 @@ fn grasp_recall_is_partial_but_precise() {
         .into_iter()
         .map(|(s, _)| s)
         .collect();
-    assert!(!truth.is_empty(), "the workload should produce output-dense subgraphs");
+    assert!(
+        !truth.is_empty(),
+        "the workload should produce output-dense subgraphs"
+    );
 
     // Precision: everything GRASP found is genuinely output-dense right now.
     let fam = ThresholdFamily::with_delta_it_fraction(AvgWeight, threshold, n_max, 0.01);
     for set in grasp.found() {
         let score = grasp.graph().score(set);
-        assert!(fam.is_output_dense(score, set.len()), "GRASP false positive {set}");
+        assert!(
+            fam.is_output_dense(score, set.len()),
+            "GRASP false positive {set}"
+        );
     }
 
     // Recall: positive but typically below 1 — GRASP samples the answer.
@@ -123,10 +134,16 @@ fn incremental_engine_matches_recompute_on_synthetic_streams() {
         // The reported set must coincide up to implicit representation: every
         // explicit answer of one engine is tracked by the other.
         for (set, _) in rebuilt.output_dense_subgraphs() {
-            assert!(incremental.is_tracked_dense(&set), "seed {seed}: missing {set}");
+            assert!(
+                incremental.is_tracked_dense(&set),
+                "seed {seed}: missing {set}"
+            );
         }
         for (set, _) in incremental.output_dense_subgraphs() {
-            assert!(rebuilt.is_tracked_dense(&set), "seed {seed}: spurious {set}");
+            assert!(
+                rebuilt.is_tracked_dense(&set),
+                "seed {seed}: spurious {set}"
+            );
         }
     }
 }
@@ -151,10 +168,16 @@ fn threshold_update_agrees_with_recompute_on_synthetic_graphs() {
         .with_delta_it_fraction(0.3)
         .with_implicit_too_dense(false);
     let reference = recompute(AvgWeight, lowered, engine.graph());
-    let mut got: Vec<VertexSet> =
-        engine.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
-    let mut want: Vec<VertexSet> =
-        reference.output_dense_subgraphs().into_iter().map(|(s, _)| s).collect();
+    let mut got: Vec<VertexSet> = engine
+        .output_dense_subgraphs()
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect();
+    let mut want: Vec<VertexSet> = reference
+        .output_dense_subgraphs()
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect();
     got.sort();
     want.sort();
     assert_eq!(got, want);
@@ -162,7 +185,11 @@ fn threshold_update_agrees_with_recompute_on_synthetic_graphs() {
 
 #[test]
 fn goldberg_densest_subgraph_is_at_least_as_dense_as_any_reported_story() {
-    let workload = SyntheticWorkload::generate(SyntheticConfig::near_clique(200, 2_000, 5));
+    // Kept small: the brute-force oracle below enumerates every vertex subset
+    // of cardinality up to Nmax, which is C(n, <=Nmax) subsets — a 200-vertex
+    // graph with Nmax = 6 (the original seed scale) is ~10^10 subsets and
+    // can never finish.
+    let workload = SyntheticWorkload::generate(SyntheticConfig::near_clique(48, 1_200, 5));
     let mut graph = DynamicGraph::new();
     for u in workload.updates() {
         graph.apply_update(u);
@@ -170,7 +197,7 @@ fn goldberg_densest_subgraph_is_at_least_as_dense_as_any_reported_story() {
     let densest = dyndens::baselines::densest_subgraph(&graph, 1e-6).expect("graph has edges");
     // The offline Top-1 answer under S_n = n upper-bounds the AvgDegree
     // density of every subgraph, including anything DynDens would report.
-    let fam = ThresholdFamily::with_delta_it_fraction(AvgDegree, 0.05, 6, 0.2);
+    let fam = ThresholdFamily::with_delta_it_fraction(AvgDegree, 0.05, 4, 0.2);
     let dense = BruteForce::dense_subgraphs(&graph, &fam);
     for (set, score) in dense {
         let avg_degree_density = score / set.len() as f64;

@@ -20,7 +20,10 @@ fn weighted_pipeline_surfaces_planted_stories() {
     let updates = corpus.to_updates(ChiSquareCorrelation::default(), Some(2.0 * 3600.0));
     assert!(!updates.is_empty());
 
-    let mut engine = DynDens::new(AvgWeight, DynDensConfig::new(0.4, 5).with_delta_it_fraction(0.25));
+    let mut engine = DynDens::new(
+        AvgWeight,
+        DynDensConfig::new(0.4, 5).with_delta_it_fraction(0.25),
+    );
     for u in &updates {
         engine.apply_update(*u);
     }
@@ -67,7 +70,10 @@ fn unweighted_pipeline_produces_unit_edges_and_cliques() {
     }
 
     // DynDens over the unweighted stream with T = 1 maintains cliques.
-    let mut engine = DynDens::new(AvgWeight, DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5));
+    let mut engine = DynDens::new(
+        AvgWeight,
+        DynDensConfig::new(1.0, 5).with_delta_it_fraction(0.5),
+    );
     for u in &updates {
         engine.apply_update(*u);
     }

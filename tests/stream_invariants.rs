@@ -24,14 +24,20 @@ fn to_posts(raw: &[Vec<u32>]) -> Vec<Post> {
 fn check_pipeline<M: AssociationMeasure>(measure: M, posts: &[Post]) {
     let mut generator = EdgeUpdateGenerator::new(measure, 2.0 * 3600.0);
     let mut graph = DynamicGraph::new();
-    let mut engine = DynDens::new(AvgWeight, DynDensConfig::new(0.5, 4).with_delta_it_fraction(0.3));
+    let mut engine = DynDens::new(
+        AvgWeight,
+        DynDensConfig::new(0.5, 4).with_delta_it_fraction(0.3),
+    );
     for post in posts {
         for update in generator.process_post(post) {
             // Updates are always well-formed and keep weights non-negative.
             assert!(update.delta.is_finite());
             let (_, new_weight) = graph.apply_update(&update);
             assert!(new_weight >= -1e-9, "weight went negative: {new_weight}");
-            assert!(new_weight <= 1.0 + 1e-6, "association weights are bounded by 1");
+            assert!(
+                new_weight <= 1.0 + 1e-6,
+                "association weights are bounded by 1"
+            );
             engine.apply_update(update);
         }
     }

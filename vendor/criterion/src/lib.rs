@@ -1,0 +1,303 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock harness instead of criterion's statistical machinery.
+//!
+//! Each benchmark is warmed up once, then timed over `sample_size` samples of
+//! an adaptively chosen iteration count. The mean time per iteration (and
+//! derived throughput, when configured) is printed in a criterion-like,
+//! greppable format:
+//!
+//! ```text
+//! group/name              time: 12.345 µs/iter   thrpt: 4.05 Melem/s
+//! ```
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Total time spent inside `iter` routines.
+    elapsed: Duration,
+    /// Total number of iterations executed.
+    iterations: u64,
+    /// Iterations to run per `iter` call (chosen by the harness).
+    batch: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.batch;
+    }
+}
+
+/// Per-target measurement settings, shared by groups and bare functions.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            throughput: None,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+fn run_target<F: FnMut(&mut Bencher)>(label: &str, settings: &Settings, mut routine: F) {
+    // Warm-up / calibration pass: one iteration, to size the batches.
+    let mut bencher = Bencher {
+        batch: 1,
+        ..Default::default()
+    };
+    routine(&mut bencher);
+    if bencher.iterations == 0 {
+        // The routine never called `iter`; nothing to measure.
+        println!("{label:<48} time: <no iterations>");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    let time_budget = settings.measurement_time.as_secs_f64();
+    let total_iters = (time_budget / per_iter.max(1e-9)).clamp(1.0, 1e7) as u64;
+    let batch = (total_iters / settings.sample_size as u64).max(1);
+
+    let mut measured = Bencher {
+        batch,
+        ..Default::default()
+    };
+    for _ in 0..settings.sample_size {
+        routine(&mut measured);
+    }
+    let secs_per_iter = measured.elapsed.as_secs_f64() / measured.iterations.max(1) as f64;
+    let time_str = format_time(secs_per_iter);
+    match settings.throughput {
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / secs_per_iter;
+            println!(
+                "{label:<48} time: {time_str}/iter   thrpt: {}/s",
+                format_count(eps)
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let bps = n as f64 / secs_per_iter;
+            println!(
+                "{label:<48} time: {time_str}/iter   thrpt: {}B/s",
+                format_count(bps)
+            );
+        }
+        None => println!("{label:<48} time: {time_str}/iter"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn format_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.measurement_time = time;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_target(&label, &self.settings, routine);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_target(&label, &self.settings, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let settings = self.settings.clone();
+        run_target(id, &settings, routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &p| {
+            b.iter(|| p * 2)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(black_box(5), 5);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).contains("µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+        assert!(format_count(5e9).contains('G'));
+        assert!(format_count(5e6).contains('M'));
+    }
+}
