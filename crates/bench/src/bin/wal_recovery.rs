@@ -1,0 +1,279 @@
+//! WAL overhead and crash-recovery benchmark: ingest throughput of the
+//! persistent sharded deployment versus the in-memory one, plus the time to
+//! recover a crashed deployment (snapshot load + WAL tail replay), on the
+//! partition-aligned 50k-update synthetic stream.
+//!
+//! Prints a table and writes a machine-readable `BENCH_wal.json` with the
+//! headline `wal_overhead_pct` (the durability tax on ingest throughput with
+//! the default OS-buffered fsync policy) and the recovery timings, so the
+//! durability cost trajectory can be tracked across PRs. CI's
+//! recovery-smoke step parses the JSON and fails if the overhead exceeds
+//! its budget.
+//!
+//! Run with `cargo run --release -p dyndens-bench --bin wal_recovery`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dyndens_bench::{shard_aligned_stream, Table};
+use dyndens_core::DynDensConfig;
+use dyndens_density::AvgWeight;
+use dyndens_graph::EdgeUpdate;
+use dyndens_shard::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn, ShardedDynDens};
+
+const N_UPDATES: usize = 50_000;
+const ALIGNMENT: usize = 8;
+const SEED: u64 = 97;
+const REPETITIONS: usize = 3;
+const N_SHARDS: usize = 2;
+const SNAPSHOT_EVERY: usize = 64;
+
+fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+fn shard_config() -> ShardConfig {
+    ShardConfig::new(N_SHARDS)
+        .with_shard_fn(ShardFn::Modulo)
+        .with_max_batch(128)
+        .with_channel_capacity(4096)
+}
+
+fn persistence(dir: &PathBuf, fsync: FsyncPolicy) -> PersistenceConfig {
+    PersistenceConfig::new(dir)
+        .with_fsync(fsync)
+        .with_snapshot_every_batches(SNAPSHOT_EVERY)
+}
+
+struct Measurement {
+    label: String,
+    best_secs: f64,
+    output_dense: usize,
+}
+
+impl Measurement {
+    fn updates_per_sec(&self) -> f64 {
+        N_UPDATES as f64 / self.best_secs
+    }
+}
+
+fn ingest(deployment: &mut ShardedDynDens<AvgWeight>, updates: &[EdgeUpdate]) -> f64 {
+    let start = Instant::now();
+    for chunk in updates.chunks(512) {
+        deployment.apply_batch(chunk);
+    }
+    deployment.flush();
+    start.elapsed().as_secs_f64()
+}
+
+fn run_baseline(updates: &[EdgeUpdate]) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut output_dense = 0;
+    for _ in 0..REPETITIONS {
+        let mut deployment = ShardedDynDens::new(AvgWeight, engine_config(), shard_config());
+        best = best.min(ingest(&mut deployment, updates));
+        output_dense = deployment.output_dense_count();
+    }
+    Measurement {
+        label: "in_memory".into(),
+        best_secs: best,
+        output_dense,
+    }
+}
+
+fn run_persistent(updates: &[EdgeUpdate], fsync: FsyncPolicy, label: &str) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut output_dense = 0;
+    for rep in 0..REPETITIONS {
+        let dir = std::env::temp_dir().join(format!(
+            "dyndens-walbench-{label}-{}-{rep}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut deployment = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(),
+            persistence(&dir, fsync),
+        )
+        .expect("persistent deployment");
+        best = best.min(ingest(&mut deployment, updates));
+        output_dense = deployment.output_dense_count();
+        drop(deployment);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Measurement {
+        label: label.into(),
+        best_secs: best,
+        output_dense,
+    }
+}
+
+struct Recovery {
+    secs: f64,
+    replayed_updates: u64,
+    snapshot_seq_total: u64,
+    recovered_seq_total: u64,
+    output_dense: usize,
+}
+
+/// Ingest the full stream into a persistent deployment, "crash" it (drop
+/// without a final checkpoint), then measure cold recovery.
+fn run_recovery(updates: &[EdgeUpdate]) -> Recovery {
+    let dir = std::env::temp_dir().join(format!("dyndens-walbench-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut doomed = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(),
+            persistence(&dir, FsyncPolicy::Never),
+        )
+        .expect("persistent deployment");
+        ingest(&mut doomed, updates);
+    }
+    let start = Instant::now();
+    let recovered = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(),
+        persistence(&dir, FsyncPolicy::Never),
+    )
+    .expect("recovery");
+    let secs = start.elapsed().as_secs_f64();
+    let reports = recovered.recovery_reports().to_vec();
+    let output_dense = recovered.output_dense_count();
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    Recovery {
+        secs,
+        replayed_updates: reports.iter().map(|r| r.replayed_updates).sum(),
+        snapshot_seq_total: reports.iter().map(|r| r.snapshot_seq).sum(),
+        recovered_seq_total: reports.iter().map(|r| r.recovered_seq).sum(),
+        output_dense,
+    }
+}
+
+fn write_json(
+    measurements: &[Measurement],
+    overhead_pct: f64,
+    fsync_overhead_pct: f64,
+    recovery: &Recovery,
+) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"n_updates\": {N_UPDATES},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"repetitions\": {REPETITIONS},\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+    json.push_str(&format!("  \"n_shards\": {N_SHARDS},\n"));
+    json.push_str(&format!(
+        "  \"snapshot_every_batches\": {SNAPSHOT_EVERY},\n"
+    ));
+    json.push_str("  \"workload\": \"shard_aligned_stream\",\n");
+    json.push_str(&format!("  \"wal_overhead_pct\": {overhead_pct:.2},\n"));
+    json.push_str(&format!(
+        "  \"wal_fsync_always_overhead_pct\": {fsync_overhead_pct:.2},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 < measurements.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \
+             \"output_dense\": {}}}{sep}\n",
+            m.label,
+            m.best_secs,
+            m.updates_per_sec(),
+            m.output_dense,
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"recovery\": {\n");
+    json.push_str(&format!("    \"seconds\": {:.6},\n", recovery.secs));
+    json.push_str(&format!(
+        "    \"replayed_updates\": {},\n",
+        recovery.replayed_updates
+    ));
+    json.push_str(&format!(
+        "    \"snapshot_seq_total\": {},\n",
+        recovery.snapshot_seq_total
+    ));
+    json.push_str(&format!(
+        "    \"recovered_seq_total\": {},\n",
+        recovery.recovered_seq_total
+    ));
+    json.push_str(&format!(
+        "    \"recovered_updates_per_sec\": {:.1}\n",
+        recovery.recovered_seq_total as f64 / recovery.secs.max(1e-9)
+    ));
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_wal.json", json)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{cores} CPU core(s) available");
+    println!("generating the partition-aligned stream ({N_UPDATES} updates)...");
+    let updates = shard_aligned_stream(N_UPDATES, ALIGNMENT, SEED);
+
+    let baseline = run_baseline(&updates);
+    let wal = run_persistent(&updates, FsyncPolicy::Never, "wal_buffered");
+    let wal_fsync = run_persistent(&updates, FsyncPolicy::Always, "wal_fsync_always");
+    let recovery = run_recovery(&updates);
+
+    // Durability must not change the answer.
+    assert_eq!(
+        baseline.output_dense, wal.output_dense,
+        "WAL deployment diverged from the in-memory answer"
+    );
+    assert_eq!(
+        baseline.output_dense, recovery.output_dense,
+        "recovered deployment diverged from the in-memory answer"
+    );
+    assert_eq!(
+        recovery.recovered_seq_total, N_UPDATES as u64,
+        "recovery lost updates"
+    );
+
+    let overhead =
+        |m: &Measurement| (1.0 - m.updates_per_sec() / baseline.updates_per_sec()) * 100.0;
+    let overhead_pct = overhead(&wal);
+    let fsync_overhead_pct = overhead(&wal_fsync);
+
+    let mut table = Table::new(
+        "WAL overhead & recovery (50k partition-aligned updates, best of 3)",
+        &["config", "seconds", "updates/s", "overhead", "output-dense"],
+    );
+    for m in [&baseline, &wal, &wal_fsync] {
+        table.row(vec![
+            m.label.clone(),
+            format!("{:.3}", m.best_secs),
+            format!("{:.0}", m.updates_per_sec()),
+            format!("{:+.1}%", overhead(m)),
+            m.output_dense.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nrecovery: {:.3}s for {} updates ({} replayed from the WAL tail, \
+         {} covered by snapshots)",
+        recovery.secs,
+        recovery.recovered_seq_total,
+        recovery.replayed_updates,
+        recovery.snapshot_seq_total,
+    );
+
+    match write_json(
+        &[baseline, wal, wal_fsync],
+        overhead_pct,
+        fsync_overhead_pct,
+        &recovery,
+    ) {
+        Ok(()) => println!("wrote BENCH_wal.json"),
+        Err(e) => eprintln!("failed to write BENCH_wal.json: {e}"),
+    }
+}

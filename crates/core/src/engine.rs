@@ -43,12 +43,19 @@ struct UpdateCtx {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DynDens<D: DensityMeasure> {
-    graph: DynamicGraph,
-    thresholds: ThresholdFamily<D>,
-    config: DynDensConfig,
+    pub(crate) graph: DynamicGraph,
+    pub(crate) thresholds: ThresholdFamily<D>,
+    pub(crate) config: DynDensConfig,
     pub(crate) index: SubgraphIndex,
     pub(crate) epoch: u64,
-    stats: EngineStats,
+    pub(crate) stats: EngineStats,
+    /// `true` while WAL replay re-applies updates that were already counted
+    /// before a crash: suppresses [`EngineStats`] accumulation so recovered
+    /// engines do not double-count replayed work (see
+    /// [`set_recovering`](Self::set_recovering)).
+    pub(crate) recovering: bool,
+    /// Scratch buffer reused by `canonical_order` (hot path, per update).
+    pub(crate) order_scratch: Vec<([u32; SubgraphIndex::PATH_KEY_WIDTH], NodeId)>,
 }
 
 impl<D: DensityMeasure> DynDens<D> {
@@ -86,6 +93,8 @@ impl<D: DensityMeasure> DynDens<D> {
             index: SubgraphIndex::new(),
             epoch: 0,
             stats: EngineStats::default(),
+            recovering: false,
+            order_scratch: Vec::new(),
         }
     }
 
@@ -116,6 +125,26 @@ impl<D: DensityMeasure> DynDens<D> {
     /// Resets the cumulative statistics counters.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Marks the engine as replaying already-counted updates (WAL recovery).
+    ///
+    /// While the flag is set, [`apply_update_into`](Self::apply_update_into)
+    /// performs the full maintenance work — the dense subgraph state after
+    /// replay is identical to an uninterrupted run — but leaves every
+    /// [`EngineStats`] counter untouched. Without this, replaying the WAL
+    /// tail after [`restore`](Self::restore) would count the replayed
+    /// updates a second time (the snapshot already carries the counters up
+    /// to its sequence point), inflating the throughput ledgers merged into
+    /// `BENCH_shard.json`.
+    pub fn set_recovering(&mut self, recovering: bool) {
+        self.recovering = recovering;
+    }
+
+    /// `true` while the engine is replaying a WAL tail (stat accumulation
+    /// suppressed).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
     }
 
     /// Read access to the dense subgraph index (for white-box inspection and
@@ -198,6 +227,18 @@ impl<D: DensityMeasure> DynDens<D> {
     /// Processes a single update, appending events to `events` (avoids a fresh
     /// allocation per update in hot loops).
     pub fn apply_update_into(&mut self, update: EdgeUpdate, events: &mut Vec<DenseEvent>) {
+        if self.recovering {
+            // Replayed updates were already counted before the crash; redo
+            // the maintenance work but discard the counter deltas.
+            let saved = self.stats.clone();
+            self.apply_update_inner(update, events);
+            self.stats = saved;
+        } else {
+            self.apply_update_inner(update, events);
+        }
+    }
+
+    fn apply_update_inner(&mut self, update: EdgeUpdate, events: &mut Vec<DenseEvent>) {
         self.stats.updates += 1;
         if update.delta == 0.0 {
             return;
@@ -233,12 +274,18 @@ impl<D: DensityMeasure> DynDens<D> {
     fn process_negative(&mut self, update: EdgeUpdate, events: &mut Vec<DenseEvent>) {
         let (a, b, delta) = (update.a, update.b, update.delta);
         // Only subgraphs containing both endpoints see their score change.
-        let affected: Vec<NodeId> = self
-            .index
-            .subgraphs_containing(a)
-            .into_iter()
-            .filter(|&id| self.index.contains_vertex(id, b))
-            .collect();
+        // Processed in canonical (vertex set) order, not index-arena order:
+        // arena order depends on the full insert/remove history, which a
+        // snapshot-restored engine does not share, and the coverage repairs
+        // below are order-sensitive at the floating-point-bit level. The
+        // canonical order makes replay-after-restore bit-identical.
+        let affected = self.canonical_order(
+            self.index
+                .subgraphs_containing(a)
+                .into_iter()
+                .filter(|&id| self.index.contains_vertex(id, b))
+                .collect(),
+        );
         for id in affected {
             let card = self.index.cardinality(id);
             let old_score = self.index.score(id);
@@ -290,6 +337,45 @@ impl<D: DensityMeasure> DynDens<D> {
         }
     }
 
+    /// Orders index nodes by their vertex sets, making iteration a function
+    /// of the engine's *abstract* state (which subgraphs exist) rather than
+    /// of index-arena history. Exploration and coverage repair visit these
+    /// lists mutably, so the visiting order decides which arithmetic path
+    /// first materialises a candidate; canonical order keeps that path — and
+    /// therefore every stored score bit — reproducible across
+    /// snapshot/restore.
+    /// Runs on every update, hence the allocation-free
+    /// [`SubgraphIndex::path_key`] fast path (stack-array keys built once
+    /// per node into a reused scratch buffer, instead of a `VertexSet`
+    /// allocation each).
+    fn canonical_order(&mut self, mut ids: Vec<NodeId>) -> Vec<NodeId> {
+        if ids.len() <= 1 {
+            return ids;
+        }
+        let mut keyed = std::mem::take(&mut self.order_scratch);
+        keyed.clear();
+        for &id in &ids {
+            match self.index.path_key(id) {
+                Some(key) => keyed.push((key, id)),
+                None => {
+                    // Nmax beyond the key width: materialise the sets.
+                    self.order_scratch = keyed;
+                    let mut slow: Vec<(VertexSet, NodeId)> = ids
+                        .into_iter()
+                        .map(|id| (self.index.vertices(id), id))
+                        .collect();
+                    slow.sort_unstable_by(|x, y| x.0.cmp(&y.0));
+                    return slow.into_iter().map(|(_, id)| id).collect();
+                }
+            }
+        }
+        keyed.sort_unstable_by_key(|x| x.0);
+        ids.clear();
+        ids.extend(keyed.iter().map(|&(_, id)| id));
+        self.order_scratch = keyed;
+        ids
+    }
+
     /// The largest cardinality whose subgraphs are covered by a `*` marker on
     /// a subgraph of cardinality `card` with the given score: the coverage
     /// claim of [`covered_by_star`](Self::covered_by_star) is
@@ -329,9 +415,12 @@ impl<D: DensityMeasure> DynDens<D> {
     ) {
         let base_set = self.index.vertices(base);
         // The graph does not change during the expansion; collect its edge
-        // list once for the disjoint-edge steps below.
+        // list once for the disjoint-edge steps below (sorted: adjacency-map
+        // iteration order is not reproducible across snapshot/restore).
         let all_edges: Vec<(VertexId, VertexId, f64)> = if base_set.len() + 2 <= old_radius {
-            self.graph.edges().collect()
+            let mut edges: Vec<_> = self.graph.edges().collect();
+            edges.sort_unstable_by_key(|&(y, z, _)| (y, z));
+            edges
         } else {
             Vec::new()
         };
@@ -350,6 +439,10 @@ impl<D: DensityMeasure> DynDens<D> {
                     candidates.push((set.with(y), score + gamma_y));
                 }
             }
+            // Canonical expansion order (gamma is a hash map; see
+            // `canonical_order`): which path first reaches a superset decides
+            // the score bits it is stored with.
+            candidates.sort_unstable_by(|x, y| x.0.cmp(&y.0));
             if card + 2 <= old_radius {
                 for &(y, z, w) in all_edges
                     .iter()
@@ -435,10 +528,14 @@ impl<D: DensityMeasure> DynDens<D> {
         };
 
         // Snapshots: subgraphs that were dense before this update and contain a
-        // and/or b, and the * markers present before this update.
-        let affected = self.index.subgraphs_containing_either(a, b);
+        // and/or b, and the * markers present before this update. Both are
+        // visited in canonical (vertex set) order — exploration discoveries
+        // depend on which base reaches a candidate first, so arena order
+        // would make the resulting score bits depend on index history and
+        // break snapshot/replay bit-equivalence.
+        let affected = self.canonical_order(self.index.subgraphs_containing_either(a, b));
         let stars = if self.config.implicit_too_dense {
-            self.index.star_bases()
+            self.canonical_order(self.index.star_bases())
         } else {
             Vec::new()
         };
@@ -735,11 +832,14 @@ impl<D: DensityMeasure> DynDens<D> {
                 // C ∪ {y, z} for an edge (y, z) disjoint from C with
                 // sufficiently high weight.
                 if card + 2 <= self.thresholds.n_max() {
-                    let disjoint: Vec<(VertexId, VertexId, f64)> = self
+                    let mut disjoint: Vec<(VertexId, VertexId, f64)> = self
                         .graph
                         .edges()
                         .filter(|&(y, z, _)| !verts.contains(y) && !verts.contains(z))
                         .collect();
+                    // Canonical order: edges() iterates hash maps, whose
+                    // order is not reproducible across snapshot/restore.
+                    disjoint.sort_unstable_by_key(|&(y, z, _)| (y, z));
                     for (y, z, w) in disjoint {
                         self.stats.candidates_examined += 1;
                         let ext_score = score

@@ -333,6 +333,38 @@ impl SubgraphIndex {
         self.node(id).depth as usize
     }
 
+    /// Width of the fixed-size canonical [`path_key`](Self::path_key).
+    pub const PATH_KEY_WIDTH: usize = 12;
+
+    /// A fixed-width, allocation-free encoding of the node's vertex path,
+    /// zero-padded at the tail. Key order equals lexicographic vertex-set
+    /// order, and distinct paths map to distinct keys: paths are strictly
+    /// ascending vertex sequences, so no real path can continue with
+    /// another `0` once a vertex has been emitted. Returns `None` for paths
+    /// deeper than the key width (callers fall back to materialising the
+    /// vertex sets).
+    ///
+    /// This exists for the engine's canonical processing order: sorting
+    /// affected subgraphs by vertex set on every update is hot-path work,
+    /// and walking the parent chain into a stack array is ~an order of
+    /// magnitude cheaper than building a `VertexSet` per node.
+    pub fn path_key(&self, id: NodeId) -> Option<[u32; Self::PATH_KEY_WIDTH]> {
+        let depth = self.cardinality(id);
+        if depth > Self::PATH_KEY_WIDTH {
+            return None;
+        }
+        let mut key = [0u32; Self::PATH_KEY_WIDTH];
+        let mut cur = id;
+        let mut i = depth;
+        while cur != NodeId::ROOT {
+            let n = self.node(cur);
+            i -= 1;
+            key[i] = n.vertex.0;
+            cur = n.parent;
+        }
+        Some(key)
+    }
+
     /// `true` if the subgraph at `id` contains vertex `v`.
     pub fn contains_vertex(&self, id: NodeId, v: VertexId) -> bool {
         let mut cur = id;

@@ -19,6 +19,8 @@
 //! * [`index`] — the prefix-tree dense subgraph index with embedded inverted
 //!   lists and the `ImplicitTooDense` markers (Section 3.2).
 //! * [`heuristics`] — the MaxExplore and DegreePrioritize prunings (Section 7).
+//! * [`snapshot`] — versioned binary snapshot/restore of the full engine
+//!   state, the substrate of the sharded subsystem's crash recovery.
 //! * [`threshold_update`] — dynamic threshold adjustment (Section 6).
 //! * [`config`], [`events`] — configuration and reporting types.
 //!
@@ -50,6 +52,7 @@ pub mod engine;
 pub mod events;
 pub mod heuristics;
 pub mod index;
+pub mod snapshot;
 pub mod threshold_update;
 
 pub use config::{DeltaIt, DynDensConfig};
@@ -57,6 +60,7 @@ pub use engine::DynDens;
 pub use events::{DenseEvent, EngineStats};
 pub use heuristics::{DegreePrioritize, MaxExploreBound};
 pub use index::{NodeId, SubgraphIndex, SubgraphInfo};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 // Re-export the substrate crates so downstream users only need one dependency.
 pub use dyndens_density as density;

@@ -50,7 +50,10 @@ pub mod prelude {
     pub use dyndens_core::{DenseEvent, DynDens, DynDensConfig, EngineStats};
     pub use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens, ThresholdFamily};
     pub use dyndens_graph::{DynamicGraph, EdgeUpdate, VertexId, VertexSet};
-    pub use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens, StoryView};
+    pub use dyndens_shard::{
+        FsyncPolicy, PersistenceConfig, RecoveryReport, ShardConfig, ShardFn, ShardedDynDens,
+        StoryView,
+    };
 }
 
 #[cfg(test)]

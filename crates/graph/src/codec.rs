@@ -1,0 +1,394 @@
+//! Hand-rolled binary codec for the persistence layer.
+//!
+//! The build environment is fully offline (see `vendor/`), so the write-ahead
+//! log and the engine snapshots use a small, explicit little-endian codec
+//! instead of a serde framework: fixed-width primitives, a table-driven
+//! CRC-32 for integrity framing, and a bounds-checked [`ByteReader`] that
+//! turns every malformed input into a [`CodecError`] instead of a panic.
+//!
+//! Layout conventions shared by every persisted artifact:
+//!
+//! * all integers little-endian; `f64` as its IEEE-754 bit pattern (exact —
+//!   a restored score is bit-identical to the stored one);
+//! * variable-length structures carry explicit counts up front;
+//! * integrity is checked with CRC-32 (IEEE, reflected polynomial
+//!   `0xEDB88320`), computed over the payload it frames.
+
+use crate::{EdgeUpdate, VertexId};
+
+/// An error decoding a persisted artifact. Decoding never panics: truncated,
+/// corrupt or semantically invalid bytes all surface as a `CodecError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the expected structure was complete.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// The bytes decoded to a semantically invalid value.
+    Invalid(&'static str),
+    /// A CRC-32 check failed.
+    CrcMismatch {
+        /// The checksum stored alongside the payload.
+        stored: u32,
+        /// The checksum computed from the payload.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            CodecError::CrcMismatch { stored, computed } => write!(
+                f,
+                "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`, as used by the WAL record framing and the
+/// snapshot trailer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends one length-prefixed, CRC-framed record:
+/// `len u32 | crc32(payload) u32 | payload`. The inverse of
+/// [`scan_frames`]; shared by the shard WAL and the entity-name journal.
+pub fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(buf, payload.len() as u32);
+    put_u32(buf, crc32(payload));
+    buf.extend_from_slice(payload);
+}
+
+/// The result of scanning a stream of [`put_frame`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameScan {
+    /// `true` if the input ended exactly at a record boundary; `false` if a
+    /// truncated, CRC-invalid or semantically rejected suffix follows the
+    /// last valid record (a torn tail, or corruption).
+    pub clean: bool,
+    /// Byte offset of the end of the last valid record — the length to
+    /// truncate to when repairing a torn tail.
+    pub valid_len: u64,
+}
+
+/// Scans length-prefixed CRC-framed records, calling `on_payload` for each
+/// CRC-valid payload in order. `on_payload` returns `false` to reject a
+/// payload that decodes to something semantically invalid — the scan then
+/// stops at that record's boundary, exactly as it does for a truncated or
+/// CRC-invalid suffix. Never panics on arbitrary input.
+pub fn scan_frames<'a>(bytes: &'a [u8], mut on_payload: impl FnMut(&'a [u8]) -> bool) -> FrameScan {
+    let mut pos = 0usize;
+    loop {
+        if pos == bytes.len() {
+            return FrameScan {
+                clean: true,
+                valid_len: pos as u64,
+            };
+        }
+        let dirty = FrameScan {
+            clean: false,
+            valid_len: pos as u64,
+        };
+        if bytes.len() - pos < 8 {
+            return dirty;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let stored = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        if bytes.len() - pos - 8 < len {
+            return dirty;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != stored || !on_payload(payload) {
+            return dirty;
+        }
+        pos += 8 + len;
+    }
+}
+
+/// Validates the standard persistence envelope `payload | crc32(payload)
+/// u32` and returns the payload. Shared by engine snapshots, snapshot
+/// files and the deployment manifest, so the framing lives in one place.
+pub fn verify_crc_trailer(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated {
+            needed: 4,
+            available: bytes.len(),
+        });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(CodecError::CrcMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitive writers
+// ---------------------------------------------------------------------------
+
+/// Appends a `u32` in little-endian byte order.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian byte order.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its little-endian IEEE-754 bit pattern.
+#[inline]
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked reader
+// ---------------------------------------------------------------------------
+
+/// A cursor over a byte slice whose every read is bounds-checked.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// `true` once every byte has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a little-endian `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its little-endian IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EdgeUpdate codec
+// ---------------------------------------------------------------------------
+
+impl EdgeUpdate {
+    /// Encoded size of one update: two `u32` endpoints plus an `f64` delta.
+    pub const ENCODED_LEN: usize = 16;
+
+    /// Appends the canonical 16-byte encoding (`a`, `b`, `delta`, all
+    /// little-endian, with `a < b`).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let (a, b) = if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        };
+        put_u32(buf, a.0);
+        put_u32(buf, b.0);
+        put_f64(buf, self.delta);
+    }
+
+    /// Decodes one update from the reader, validating the invariants
+    /// [`EdgeUpdate::new`] would otherwise enforce by panicking: endpoints in
+    /// strictly ascending order (which also rules out self-loops) and a
+    /// finite delta.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<EdgeUpdate, CodecError> {
+        let a = VertexId(r.u32()?);
+        let b = VertexId(r.u32()?);
+        let delta = r.f64()?;
+        if a >= b {
+            return Err(CodecError::Invalid("edge endpoints not in ascending order"));
+        }
+        if !delta.is_finite() {
+            return Err(CodecError::Invalid("edge update delta is not finite"));
+        }
+        Ok(EdgeUpdate { a, b, delta })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(u: EdgeUpdate) -> EdgeUpdate {
+        let mut buf = Vec::new();
+        u.encode_into(&mut buf);
+        assert_eq!(buf.len(), EdgeUpdate::ENCODED_LEN);
+        let mut r = ByteReader::new(&buf);
+        let back = EdgeUpdate::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        back
+    }
+
+    #[test]
+    fn edge_update_round_trips_exactly() {
+        for (a, b, delta) in [
+            (0u32, 1u32, 1.5f64),
+            (3, 9, -0.25),
+            (7, 8, f64::MIN_POSITIVE),
+            (0, u32::MAX, -1e300),
+            (u32::MAX - 1, u32::MAX, 3.5),
+        ] {
+            let u = EdgeUpdate::new(VertexId(a), VertexId(b), delta);
+            assert_eq!(round_trip(u), u);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_updates() {
+        // Self loop / descending order.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 5);
+        put_u32(&mut buf, 5);
+        put_f64(&mut buf, 1.0);
+        assert!(matches!(
+            EdgeUpdate::decode(&mut ByteReader::new(&buf)),
+            Err(CodecError::Invalid(_))
+        ));
+        // Non-finite delta.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 2);
+        put_f64(&mut buf, f64::NAN);
+        assert!(matches!(
+            EdgeUpdate::decode(&mut ByteReader::new(&buf)),
+            Err(CodecError::Invalid(_))
+        ));
+        // Truncated.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        assert!(matches!(
+            EdgeUpdate::decode(&mut ByteReader::new(&buf)),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn crc_trailer_round_trip_and_rejection() {
+        let mut framed = b"payload".to_vec();
+        put_u32(&mut framed, crc32(b"payload"));
+        assert_eq!(verify_crc_trailer(&framed).unwrap(), b"payload");
+        framed[2] ^= 0x10;
+        assert!(matches!(
+            verify_crc_trailer(&framed),
+            Err(CodecError::CrcMismatch { .. })
+        ));
+        assert!(matches!(
+            verify_crc_trailer(&[1, 2]),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(matches!(r.u32(), Err(CodecError::Truncated { .. })));
+        // A failed read leaves the cursor untouched.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.take(2).unwrap(), &[2, 3]);
+        assert!(r.is_empty());
+    }
+}

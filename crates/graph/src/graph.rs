@@ -108,15 +108,27 @@ impl DynamicGraph {
             .flat_map(|adj| adj.iter().map(|(&v, &w)| (v, w)))
     }
 
+    /// Subgraphs up to this cardinality have their [`degree_into`] computed
+    /// by iterating the (sorted) vertex set rather than the adjacency map.
+    /// Engine subgraphs (`|C| <= Nmax`, small) always take this path, which
+    /// makes the floating-point summation order — and hence every derived
+    /// score bit — independent of adjacency-map history, a prerequisite for
+    /// bit-exact snapshot/restore + WAL replay. Larger sets (brute-force
+    /// baselines) still pick the cheaper side.
+    ///
+    /// [`degree_into`]: Self::degree_into
+    pub const DETERMINISTIC_SET_BOUND: usize = 16;
+
     /// The weighted "degree" of `u` with respect to subgraph `C`:
     /// `D_u = Γ_u · c = Σ_{j ∈ C} w_uj`.
     pub fn degree_into(&self, u: VertexId, set: &VertexSet) -> f64 {
-        // Iterate over the smaller of the two collections.
+        // Iterate the set when it is small (deterministic summation order;
+        // see DETERMINISTIC_SET_BOUND) or smaller than the adjacency map.
         let adj = match self.adjacency.get(u.index()) {
             Some(adj) => adj,
             None => return 0.0,
         };
-        if set.len() < adj.len() {
+        if set.len() <= Self::DETERMINISTIC_SET_BOUND || set.len() < adj.len() {
             set.iter()
                 .filter(|&v| v != u)
                 .map(|v| adj.get(&v).copied().unwrap_or(0.0))

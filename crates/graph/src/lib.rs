@@ -21,15 +21,19 @@
 //! * [`VertexSet`] — a small, sorted vertex subset used to denote subgraphs.
 //! * [`hash`] — a fast, non-cryptographic hasher used for the adjacency maps
 //!   (the keys are small integers; HashDoS resistance is not a concern here).
+//! * [`codec`] — the little-endian binary codec (and CRC-32) shared by the
+//!   persistence layer: WAL records and engine snapshots.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod graph;
 pub mod hash;
 pub mod update;
 pub mod vertex_set;
 
+pub use codec::{ByteReader, CodecError};
 pub use graph::{DynamicGraph, NeighborhoodScores};
 pub use hash::{shard_of, FxBuildHasher, FxHashMap, FxHashSet};
 pub use update::EdgeUpdate;

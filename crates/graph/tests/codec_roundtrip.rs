@@ -1,0 +1,93 @@
+//! Property tests for the `EdgeUpdate` binary codec: encode → decode must be
+//! the identity on every valid update, including negative deltas and
+//! maximum-ID vertices, and decoding must reject anything else without
+//! panicking.
+
+use dyndens_graph::codec::{put_f64, put_u32, ByteReader, CodecError};
+use dyndens_graph::{EdgeUpdate, VertexId};
+use proptest::prelude::*;
+
+/// Arbitrary valid updates: distinct endpoints anywhere in the full `u32`
+/// range (the `*` sentinel `u32::MAX` included — the codec is agnostic) and
+/// finite deltas of either sign over many orders of magnitude.
+fn update_strategy() -> impl Strategy<Value = EdgeUpdate> {
+    (0..=u32::MAX, 0..=u32::MAX, -1e12f64..1e12, 0..4u8).prop_filter_map(
+        "distinct endpoints",
+        |(a, b, delta, scale)| {
+            if a == b {
+                return None;
+            }
+            // Exercise tiny and huge magnitudes, not just the uniform bulk.
+            let delta = match scale {
+                0 => delta,
+                1 => delta * 1e-9,
+                2 => delta * 1e290,
+                _ => delta.trunc(),
+            };
+            Some(EdgeUpdate::new(VertexId(a), VertexId(b), delta))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_is_identity(u in update_strategy()) {
+        let mut buf = Vec::new();
+        u.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), EdgeUpdate::ENCODED_LEN);
+        let mut r = ByteReader::new(&buf);
+        let back = EdgeUpdate::decode(&mut r).expect("valid update must decode");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(back, u);
+        // Bit-exact delta, not just approximate equality.
+        prop_assert_eq!(back.delta.to_bits(), u.delta.to_bits());
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0..=255u8, 0..40)
+    ) {
+        let mut r = ByteReader::new(&bytes);
+        // Decoding either succeeds with the invariants intact or is
+        // rejected cleanly — never a panic.
+        if let Ok(u) = EdgeUpdate::decode(&mut r) {
+            prop_assert!(u.a < u.b);
+            prop_assert!(u.delta.is_finite());
+        }
+    }
+
+    #[test]
+    fn truncated_encodings_are_rejected(u in update_strategy(), cut in 0..16usize) {
+        let mut buf = Vec::new();
+        u.encode_into(&mut buf);
+        buf.truncate(cut);
+        let mut r = ByteReader::new(&buf);
+        prop_assert!(matches!(
+            EdgeUpdate::decode(&mut r),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+}
+
+#[test]
+fn max_id_vertices_round_trip() {
+    let u = EdgeUpdate::new(VertexId(u32::MAX - 1), VertexId(u32::MAX), -42.5);
+    let mut buf = Vec::new();
+    u.encode_into(&mut buf);
+    let back = EdgeUpdate::decode(&mut ByteReader::new(&buf)).unwrap();
+    assert_eq!(back, u);
+}
+
+#[test]
+fn self_loop_bytes_are_rejected_not_panicked() {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, 9);
+    put_u32(&mut buf, 9);
+    put_f64(&mut buf, 0.5);
+    assert!(matches!(
+        EdgeUpdate::decode(&mut ByteReader::new(&buf)),
+        Err(CodecError::Invalid(_))
+    ));
+}

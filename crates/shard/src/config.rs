@@ -1,5 +1,7 @@
 //! Configuration of the sharded subsystem.
 
+use std::path::PathBuf;
+
 use dyndens_graph::VertexId;
 
 /// The shard-assignment function applied to the minimum endpoint of an edge.
@@ -102,6 +104,84 @@ impl Default for ShardConfig {
     }
 }
 
+/// When WAL appends are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record: a committed micro-batch survives even
+    /// an OS/power crash, at the cost of one sync per batch on the ingest
+    /// path.
+    Always,
+    /// Leave flushing to the OS page cache: records survive a process crash
+    /// (the common failure mode for a shard worker) but the tail written in
+    /// the seconds before an OS crash may be lost. The default — recovery
+    /// handles a torn tail either way.
+    Never,
+}
+
+/// Configuration of the per-shard persistence layer (WAL + snapshots), used
+/// by [`ShardedDynDens::with_persistence`](crate::ShardedDynDens::with_persistence).
+///
+/// Layout on disk: `dir/shard-NNNN/` holds each shard's WAL segments
+/// (`wal-XXXXXXXX.log`) and engine snapshots (`snap-<seq>.snap`). Recovery
+/// loads the newest valid snapshot and replays the WAL tail past it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// Root directory of the deployment's persistent state.
+    pub dir: PathBuf,
+    /// A snapshot is written (and the WAL pruned) every this many
+    /// micro-batches per shard. Smaller values bound recovery time tighter;
+    /// larger values cost less on the ingest path.
+    pub snapshot_every_batches: usize,
+    /// When WAL appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Size bound after which a WAL segment is rotated.
+    pub segment_max_bytes: u64,
+    /// How many snapshots to retain per shard (at least 1). Keeping more
+    /// than one lets recovery fall back to an older snapshot if the newest
+    /// one is damaged; the WAL is only pruned up to the *oldest* retained
+    /// snapshot so the fallback can still replay forward.
+    pub retained_snapshots: usize,
+}
+
+impl PersistenceConfig {
+    /// A configuration rooted at `dir` with the defaults: snapshot every 64
+    /// micro-batches, no per-record fsync, 8 MiB segments, 2 retained
+    /// snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistenceConfig {
+            dir: dir.into(),
+            snapshot_every_batches: 64,
+            fsync: FsyncPolicy::Never,
+            segment_max_bytes: 8 << 20,
+            retained_snapshots: 2,
+        }
+    }
+
+    /// Sets the snapshot cadence in micro-batches (clamped to at least 1).
+    pub fn with_snapshot_every_batches(mut self, batches: usize) -> Self {
+        self.snapshot_every_batches = batches.max(1);
+        self
+    }
+
+    /// Sets the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the WAL segment rotation bound (clamped to at least 4 KiB).
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes.max(4 << 10);
+        self
+    }
+
+    /// Sets the number of retained snapshots (clamped to at least 1).
+    pub fn with_retained_snapshots(mut self, n: usize) -> Self {
+        self.retained_snapshots = n.max(1);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +214,22 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardConfig::new(0);
+    }
+
+    #[test]
+    fn persistence_builders_and_clamps() {
+        let p = PersistenceConfig::new("/tmp/x")
+            .with_snapshot_every_batches(0)
+            .with_fsync(FsyncPolicy::Always)
+            .with_segment_max_bytes(1)
+            .with_retained_snapshots(0);
+        assert_eq!(p.snapshot_every_batches, 1);
+        assert_eq!(p.fsync, FsyncPolicy::Always);
+        assert_eq!(p.segment_max_bytes, 4 << 10);
+        assert_eq!(p.retained_snapshots, 1);
+        let d = PersistenceConfig::new("/tmp/y");
+        assert_eq!(d.snapshot_every_batches, 64);
+        assert_eq!(d.fsync, FsyncPolicy::Never);
     }
 
     #[test]

@@ -62,18 +62,35 @@
 //! partition-parallel dense-subgraph systems. Entity resolution in the story
 //! pipeline can route co-occurring entities to the same congruence class to
 //! keep the invariant in practice.
+//!
+//! ## Durability
+//!
+//! [`ShardedDynDens::with_persistence`] makes each shard crash-safe: the
+//! worker appends every micro-batch to a per-shard write-ahead log
+//! ([`wal`]) *before* applying it, and checkpoints its engine with
+//! [`DynDens::snapshot`](dyndens_core::DynDens::snapshot) every
+//! [`PersistenceConfig::snapshot_every_batches`] micro-batches. Recovery
+//! ([`recovery`]) is `newest valid snapshot + WAL tail replay` and rebuilds
+//! a state **bit-identical** to a worker that never crashed, without
+//! double-counting replayed updates into [`EngineStats`]. This is also the
+//! substrate for shard rebalancing: splitting a hot shard is replaying its
+//! WAL slice into two engines.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod recovery;
 pub mod sharded;
 pub mod view;
+pub mod wal;
 mod worker;
 
-pub use config::{ShardConfig, ShardFn};
+pub use config::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn};
+pub use recovery::{RecoveryError, RecoveryReport};
 pub use sharded::ShardedDynDens;
 pub use view::{EpochCell, MergedStories, ShardSnapshot, StoryView};
+pub use wal::{WalRecord, WalWriter};
 
 // Send/Sync audit: the engine and every payload crossing a worker-thread
 // boundary must be shareable. Enforced at compile time.

@@ -9,9 +9,10 @@ use dyndens_core::{DynDens, DynDensConfig, EngineStats};
 use dyndens_density::DensityMeasure;
 use dyndens_graph::{EdgeUpdate, VertexSet};
 
-use crate::config::ShardConfig;
+use crate::config::{PersistenceConfig, ShardConfig};
+use crate::recovery::{self, RecoveryError, RecoveryReport};
 use crate::view::{EpochCell, ShardSnapshot, StoryView};
-use crate::worker::{self, WorkerMsg};
+use crate::worker::{self, WorkerMsg, WorkerPersistence};
 
 /// A DynDens deployment partitioned over `N` shard workers.
 ///
@@ -42,32 +43,152 @@ pub struct ShardedDynDens<D: DensityMeasure> {
     workers: Vec<JoinHandle<()>>,
     /// Per-shard scratch buffers reused by [`ShardedDynDens::apply_batch`].
     route_scratch: Vec<Vec<EdgeUpdate>>,
+    /// What recovery did per shard; empty for non-persistent deployments.
+    recovery: Vec<RecoveryReport>,
+}
+
+/// A shard's initial state handed to its worker thread at spawn time.
+struct ShardSeed<D: DensityMeasure> {
+    engine: DynDens<D>,
+    seq: u64,
+    persist: Option<WorkerPersistence>,
 }
 
 impl<D: DensityMeasure> ShardedDynDens<D> {
     /// Spawns `config.n_shards` worker threads, each owning an independent
-    /// `DynDens` engine built from `measure` and `engine_config`.
+    /// `DynDens` engine built from `measure` and `engine_config`. No state
+    /// is persisted; see [`with_persistence`](Self::with_persistence) for
+    /// the crash-safe variant.
     pub fn new(measure: D, engine_config: DynDensConfig, config: ShardConfig) -> Self {
+        let seeds = (0..config.n_shards)
+            .map(|_| ShardSeed {
+                engine: DynDens::new(measure.clone(), engine_config.clone()),
+                seq: 0,
+                persist: None,
+            })
+            .collect();
+        Self::spawn(engine_config, config, seeds, Vec::new())
+    }
+
+    /// The crash-safe constructor: recovers every shard from
+    /// `persistence.dir` (newest valid snapshot + WAL tail replay — an empty
+    /// directory simply starts fresh), then spawns workers that write each
+    /// micro-batch to their shard's WAL **before** applying it and
+    /// checkpoint their engine every
+    /// [`snapshot_every_batches`](PersistenceConfig::snapshot_every_batches)
+    /// micro-batches.
+    ///
+    /// Recovery replays with the engine's `recovering` flag set, so replayed
+    /// updates do not inflate [`EngineStats`]; the recovered maintenance
+    /// state is bit-identical to a deployment that never crashed. Details of
+    /// what was recovered are available via
+    /// [`recovery_reports`](Self::recovery_reports).
+    pub fn with_persistence(
+        measure: D,
+        engine_config: DynDensConfig,
+        config: ShardConfig,
+        persistence: PersistenceConfig,
+    ) -> Result<Self, RecoveryError> {
+        std::fs::create_dir_all(&persistence.dir)?;
+        // Bind the directory to the deployment's state-affecting parameters
+        // (or verify it was written by an identical deployment): restarting
+        // with a different shard count / shard function / engine config
+        // would silently drop or misroute persisted slices.
+        recovery::bind_manifest(&persistence.dir, measure.name(), &config, &engine_config)?;
+
+        // Shards recover independently (distinct directories, no shared
+        // state), so cold start pays the slowest shard's snapshot load +
+        // WAL tail replay, not the sum over shards.
+        let recovered: Vec<Result<recovery::RecoveredShard<D>, RecoveryError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..config.n_shards)
+                    .map(|shard| {
+                        let measure = measure.clone();
+                        let engine_config = &engine_config;
+                        let persistence = &persistence;
+                        scope.spawn(move || {
+                            let shard_dir = persistence.dir.join(format!("shard-{shard:04}"));
+                            recovery::recover_shard(
+                                measure,
+                                engine_config,
+                                shard,
+                                &shard_dir,
+                                persistence,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard recovery thread panicked"))
+                    .collect()
+            });
+
+        let mut seeds = Vec::with_capacity(config.n_shards);
+        let mut reports = Vec::with_capacity(config.n_shards);
+        for (shard, result) in recovered.into_iter().enumerate() {
+            let recovered = result?;
+            reports.push(recovered.report);
+            seeds.push(ShardSeed {
+                engine: recovered.engine,
+                seq: recovered.seq,
+                persist: Some(WorkerPersistence {
+                    wal: recovered.wal,
+                    dir: persistence.dir.join(format!("shard-{shard:04}")),
+                    snapshot_every: persistence.snapshot_every_batches,
+                    retained: persistence.retained_snapshots,
+                    batches_since_snapshot: 0,
+                }),
+            });
+        }
+        Ok(Self::spawn(engine_config, config, seeds, reports))
+    }
+
+    fn spawn(
+        engine_config: DynDensConfig,
+        config: ShardConfig,
+        seeds: Vec<ShardSeed<D>>,
+        recovery: Vec<RecoveryReport>,
+    ) -> Self {
         let n = config.n_shards;
+        debug_assert_eq!(seeds.len(), n);
         let cells: Arc<Vec<EpochCell<ShardSnapshot>>> =
             Arc::new((0..n).map(EpochCell::new_empty_snapshot).collect());
         let mut senders = Vec::with_capacity(n);
         let mut engines = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
-        for shard in 0..n {
-            let engine = Arc::new(Mutex::new(DynDens::new(
-                measure.clone(),
-                engine_config.clone(),
+        for (shard, seed) in seeds.into_iter().enumerate() {
+            let ShardSeed {
+                engine,
+                seq,
+                persist,
+            } = seed;
+            // Readers see the recovered state immediately, not an empty
+            // snapshot that only fills in after the first post-recovery
+            // micro-batch.
+            cells[shard].store(Arc::new(worker::build_snapshot(
+                shard,
+                &engine,
+                seq,
+                seq,
+                &[],
+                config.top_k,
             )));
+            let engine = Arc::new(Mutex::new(engine));
             let (tx, rx) = sync_channel(config.channel_capacity);
             let worker_engine = Arc::clone(&engine);
             let worker_cells = Arc::clone(&cells);
             let (max_batch, top_k) = (config.max_batch, config.top_k);
+            let setup = worker::WorkerSetup {
+                shard,
+                max_batch,
+                top_k,
+                initial_seq: seq,
+                persist,
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("dyndens-shard-{shard}"))
-                .spawn(move || {
-                    worker::run(shard, rx, worker_engine, worker_cells, max_batch, top_k)
-                })
+                .spawn(move || worker::run(setup, rx, worker_engine, worker_cells))
                 .expect("failed to spawn shard worker");
             senders.push(tx);
             engines.push(engine);
@@ -81,7 +202,16 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             engines,
             cells,
             workers,
+            recovery,
         }
+    }
+
+    /// Per-shard recovery reports of a [`with_persistence`] deployment
+    /// (empty when the deployment is not persistent).
+    ///
+    /// [`with_persistence`]: Self::with_persistence
+    pub fn recovery_reports(&self) -> &[RecoveryReport] {
+        &self.recovery
     }
 
     /// Number of shard workers.
@@ -178,6 +308,46 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             );
         }
         out
+    }
+
+    /// The authoritative union of the shards' maintained (dense) subgraphs
+    /// with their scores (flushes first). Order is unspecified; sort for
+    /// comparisons. This is the full maintained family, a superset of
+    /// [`output_dense`](Self::output_dense) — the quantity the crash
+    /// recovery equivalence tests compare bit-for-bit.
+    pub fn dense_subgraphs(&self) -> Vec<(VertexSet, f64)> {
+        self.flush();
+        let mut out = Vec::new();
+        for engine in &self.engines {
+            out.extend(
+                engine
+                    .lock()
+                    .expect("shard engine poisoned")
+                    .dense_subgraphs(),
+            );
+        }
+        out
+    }
+
+    /// The fleet's vertex universe: the maximum
+    /// [`DynamicGraph::vertex_count`](dyndens_graph::DynamicGraph::vertex_count)
+    /// over all shards (vertex ids are global — each shard's graph grows to
+    /// the highest id it has seen). Flushes first. Used by ingest-side
+    /// recovery to cross-check that its id-assigning state (e.g. the story
+    /// pipeline's entity registry) covers every vertex the engines
+    /// reference.
+    pub fn vertex_universe(&self) -> usize {
+        self.flush();
+        self.engines
+            .iter()
+            .map(|e| {
+                e.lock()
+                    .expect("shard engine poisoned")
+                    .graph()
+                    .vertex_count()
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of output-dense subgraphs across all shards (flushes first).
@@ -350,6 +520,143 @@ mod tests {
         assert_eq!(snap.delta_base_seq, 0);
         assert_eq!(snap.delta_events.len(), 1);
         assert!(snap.delta_events[0].is_became());
+    }
+
+    #[test]
+    fn persistent_facade_recovers_across_restarts() {
+        use crate::config::{FsyncPolicy, PersistenceConfig};
+
+        let dir = std::env::temp_dir().join(format!("dyndens-facade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistence = || {
+            PersistenceConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_snapshot_every_batches(2)
+        };
+        let updates: Vec<EdgeUpdate> = (0..200)
+            .map(|i| {
+                let a = (i % 8) as u32;
+                let b = a + 2 * (1 + (i % 4) as u32);
+                update(a, b, if i % 6 == 5 { -0.3 } else { 0.5 })
+            })
+            .collect();
+
+        // Reference: plain in-memory deployment.
+        let mut reference = sharded(2);
+        reference.apply_batch(&updates);
+        let mut want: Vec<(VertexSet, f64)> = reference.dense_subgraphs();
+        want.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // First persistent run: ingest, flush (WAL is written before apply,
+        // so everything flushed is on disk), then "crash" by dropping.
+        {
+            let mut p = ShardedDynDens::with_persistence(
+                AvgWeight,
+                DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+                ShardConfig::new(2)
+                    .with_shard_fn(ShardFn::Modulo)
+                    .with_max_batch(4),
+                persistence(),
+            )
+            .unwrap();
+            assert!(p
+                .recovery_reports()
+                .iter()
+                .all(|r| r.recovered_seq == 0 && r.replayed_updates == 0));
+            p.apply_batch(&updates);
+            p.flush();
+        }
+
+        // Restart: recovery must rebuild the identical answer with no new
+        // ingest at all.
+        let recovered = ShardedDynDens::with_persistence(
+            AvgWeight,
+            DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+            ShardConfig::new(2)
+                .with_shard_fn(ShardFn::Modulo)
+                .with_max_batch(4),
+            persistence(),
+        )
+        .unwrap();
+        let reports = recovered.recovery_reports().to_vec();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(
+            reports.iter().map(|r| r.recovered_seq).sum::<u64>(),
+            updates.len() as u64
+        );
+        assert!(reports.iter().any(|r| r.replayed_updates > 0));
+        let mut got = recovered.dense_subgraphs();
+        got.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(got.len(), want.len());
+        for ((gs, gd), (ws, wd)) in got.iter().zip(&want) {
+            assert_eq!(gs, ws);
+            assert_eq!(gd.to_bits(), wd.to_bits(), "score bits diverge on {gs}");
+        }
+        // The recovered state is visible through the view without ingest.
+        assert_eq!(recovered.view().snapshot().seq, updates.len() as u64);
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_rejects_parameter_drift_across_restarts() {
+        use crate::config::PersistenceConfig;
+        use crate::recovery::RecoveryError;
+
+        let dir = std::env::temp_dir().join(format!("dyndens-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine_cfg = || DynDensConfig::new(1.0, 4).with_delta_it(0.15);
+        let open = |n_shards: usize, shard_fn: ShardFn, engine: DynDensConfig| {
+            ShardedDynDens::with_persistence(
+                AvgWeight,
+                engine,
+                ShardConfig::new(n_shards).with_shard_fn(shard_fn),
+                PersistenceConfig::new(&dir),
+            )
+        };
+
+        // Bind the directory with a 4-shard modulo deployment.
+        {
+            let d = open(4, ShardFn::Modulo, engine_cfg()).unwrap();
+            d.apply_update(update(0, 1, 1.5));
+            d.flush();
+        }
+        // Identical parameters reopen fine (queueing tunables may differ).
+        {
+            let d = ShardedDynDens::with_persistence(
+                AvgWeight,
+                engine_cfg(),
+                ShardConfig::new(4)
+                    .with_shard_fn(ShardFn::Modulo)
+                    .with_max_batch(7)
+                    .with_top_k(3),
+                PersistenceConfig::new(&dir).with_snapshot_every_batches(5),
+            )
+            .unwrap();
+            assert_eq!(d.output_dense_count(), 1);
+        }
+        // Fewer shards would silently drop slices: hard error.
+        assert!(matches!(
+            open(2, ShardFn::Modulo, engine_cfg()),
+            Err(RecoveryError::ManifestMismatch { field: "n_shards" })
+        ));
+        // Different routing would misassign edges: hard error.
+        assert!(matches!(
+            open(4, ShardFn::Hashed, engine_cfg()),
+            Err(RecoveryError::ManifestMismatch { field: "shard_fn" })
+        ));
+        // Different density semantics: hard error.
+        assert!(matches!(
+            open(
+                4,
+                ShardFn::Modulo,
+                DynDensConfig::new(0.8, 4).with_delta_it(0.15)
+            ),
+            Err(RecoveryError::ManifestMismatch {
+                field: "engine config"
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The shard worker: a thread owning one engine, fed by a bounded channel.
 
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 
@@ -7,7 +8,9 @@ use dyndens_core::{DenseEvent, DynDens};
 use dyndens_density::DensityMeasure;
 use dyndens_graph::{EdgeUpdate, VertexSet};
 
+use crate::recovery;
 use crate::view::{EpochCell, ShardSnapshot};
+use crate::wal::WalWriter;
 
 /// Messages a shard worker consumes.
 pub(crate) enum WorkerMsg {
@@ -22,18 +25,53 @@ pub(crate) enum WorkerMsg {
     Shutdown,
 }
 
+/// The durability half of a worker: its WAL writer and snapshot cadence.
+pub(crate) struct WorkerPersistence {
+    /// The shard's WAL, positioned to append.
+    pub wal: WalWriter,
+    /// The shard's persistence directory (snapshots are written here).
+    pub dir: PathBuf,
+    /// Snapshot every N micro-batches.
+    pub snapshot_every: usize,
+    /// How many snapshots to retain.
+    pub retained: usize,
+    /// Micro-batches applied since the last snapshot.
+    pub batches_since_snapshot: usize,
+}
+
+/// Everything a worker thread is parameterised by at spawn time (beyond its
+/// shared engine/cell handles).
+pub(crate) struct WorkerSetup {
+    /// The shard index.
+    pub shard: usize,
+    /// Micro-batch drain bound.
+    pub max_batch: usize,
+    /// Stories kept per published snapshot.
+    pub top_k: usize,
+    /// The shard's sequence number at spawn (non-zero after recovery).
+    pub initial_seq: u64,
+    /// The durability half, absent for in-memory deployments.
+    pub persist: Option<WorkerPersistence>,
+}
+
 /// The worker loop: block on the inbox, drain up to `max_batch` pending
-/// messages, apply the drained updates under a single engine lock, publish a
-/// fresh snapshot, acknowledge flushes, repeat.
+/// messages, WAL the drained micro-batch (durability first), apply it under
+/// a single engine lock, publish a fresh snapshot, acknowledge flushes,
+/// periodically checkpoint the engine, repeat.
 pub(crate) fn run<D: DensityMeasure>(
-    shard: usize,
+    setup: WorkerSetup,
     inbox: Receiver<WorkerMsg>,
     engine: Arc<Mutex<DynDens<D>>>,
     cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
-    max_batch: usize,
-    top_k: usize,
 ) {
-    let mut seq: u64 = 0;
+    let WorkerSetup {
+        shard,
+        max_batch,
+        top_k,
+        initial_seq,
+        mut persist,
+    } = setup;
+    let mut seq: u64 = initial_seq;
     // Scratch buffers reused across micro-batches.
     let mut pending: Vec<EdgeUpdate> = Vec::with_capacity(max_batch);
     let mut acks: Vec<Sender<()>> = Vec::new();
@@ -56,17 +94,60 @@ pub(crate) fn run<D: DensityMeasure>(
         }
 
         if !pending.is_empty() {
+            // Durability before visibility: the micro-batch is in the WAL
+            // before the engine sees it, so a crash at any later point can
+            // replay it. An append failure is a broken durability contract —
+            // better to kill the worker (and surface the panic on the next
+            // facade call) than to silently continue unlogged.
+            if let Some(p) = persist.as_mut() {
+                p.wal
+                    .append(seq, &pending)
+                    .unwrap_or_else(|e| panic!("shard {shard}: WAL append failed: {e}"));
+            }
             events.clear();
             let delta_base_seq = seq;
-            let snapshot = {
+            let (snapshot, checkpoint) = {
                 let mut guard = engine.lock().expect("shard engine poisoned");
                 for update in pending.drain(..) {
                     guard.apply_update_into(update, &mut events);
                     seq += 1;
                 }
-                build_snapshot(shard, &guard, seq, delta_base_seq, &events, top_k)
+                // Serialise the checkpoint image while the lock guarantees
+                // it corresponds exactly to `seq`; write it to disk after
+                // the lock is released. The cadence counter is only reset
+                // once the write succeeds, so a failed checkpoint (e.g.
+                // disk full) is retried on the next micro-batch instead of
+                // a full cadence later.
+                let checkpoint = match persist.as_mut() {
+                    Some(p) => {
+                        p.batches_since_snapshot += 1;
+                        (p.batches_since_snapshot >= p.snapshot_every).then(|| guard.snapshot())
+                    }
+                    None => None,
+                };
+                (
+                    build_snapshot(shard, &guard, seq, delta_base_seq, &events, top_k),
+                    checkpoint,
+                )
             };
             cells[shard].store(Arc::new(snapshot));
+            if let (Some(bytes), Some(p)) = (checkpoint, persist.as_mut()) {
+                // A failed checkpoint is not fatal: the WAL still covers the
+                // whole history since the last good snapshot.
+                match recovery::write_snapshot(&p.dir, seq, &bytes, p.retained) {
+                    Ok(oldest_retained) => {
+                        p.batches_since_snapshot = 0;
+                        if let Err(e) = p
+                            .wal
+                            .rotate(seq)
+                            .and_then(|()| p.wal.prune_to(oldest_retained))
+                        {
+                            eprintln!("shard {shard}: WAL rotate/prune failed: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("shard {shard}: snapshot write failed: {e}"),
+                }
+            }
         }
         for ack in acks.drain(..) {
             // A dropped flush waiter is not an error.
@@ -90,7 +171,7 @@ fn absorb(msg: WorkerMsg, pending: &mut Vec<EdgeUpdate>, acks: &mut Vec<Sender<(
 }
 
 /// Renders the engine's current answer into an immutable snapshot.
-fn build_snapshot<D: DensityMeasure>(
+pub(crate) fn build_snapshot<D: DensityMeasure>(
     shard: usize,
     engine: &DynDens<D>,
     seq: u64,

@@ -47,5 +47,5 @@ pub use measures::{
 pub use pipeline::EdgeUpdateGenerator;
 pub use post::Post;
 pub use ranking::rank_with_diversity;
-pub use sharded::ShardedStoryPipeline;
+pub use sharded::{PipelineRecoveryError, ShardedStoryPipeline};
 pub use story::{Story, StoryPipeline};

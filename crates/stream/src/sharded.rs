@@ -10,6 +10,9 @@
 //! non-blocking, bounded-lag [`StoryView`] path
 //! ([`ShardedStoryPipeline::top_stories_latest`]).
 
+use std::io::{self, Write};
+use std::path::Path;
+
 use crate::entity::EntityRegistry;
 use crate::measures::AssociationMeasure;
 use crate::pipeline::EdgeUpdateGenerator;
@@ -18,8 +21,128 @@ use crate::ranking::rank_with_diversity;
 use crate::story::Story;
 use dyndens_core::DynDensConfig;
 use dyndens_density::DensityMeasure;
+use dyndens_graph::codec::{put_frame, scan_frames};
 use dyndens_graph::EdgeUpdate;
-use dyndens_shard::{MergedStories, ShardConfig, ShardedDynDens, StoryView};
+use dyndens_shard::{
+    FsyncPolicy, MergedStories, PersistenceConfig, RecoveryError, ShardConfig, ShardedDynDens,
+    StoryView,
+};
+
+/// An error recovering a persistent [`ShardedStoryPipeline`].
+#[derive(Debug)]
+pub enum PipelineRecoveryError {
+    /// The shard fleet failed to recover (WAL/snapshot/manifest problems).
+    Shard(RecoveryError),
+    /// The entity-name journal holds fewer names than the recovered engines
+    /// reference (e.g. mid-file corruption truncated it). Continuing would
+    /// assign recovered vertices' ids to brand-new entities and silently
+    /// merge them, so this is a hard error.
+    RegistryBehindEngine {
+        /// Names recovered from the journal.
+        names: usize,
+        /// Vertices the recovered engines reference.
+        vertices: usize,
+    },
+}
+
+impl From<RecoveryError> for PipelineRecoveryError {
+    fn from(e: RecoveryError) -> Self {
+        PipelineRecoveryError::Shard(e)
+    }
+}
+
+impl From<io::Error> for PipelineRecoveryError {
+    fn from(e: io::Error) -> Self {
+        PipelineRecoveryError::Shard(e.into())
+    }
+}
+
+impl std::fmt::Display for PipelineRecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineRecoveryError::Shard(e) => write!(f, "{e}"),
+            PipelineRecoveryError::RegistryBehindEngine { names, vertices } => write!(
+                f,
+                "entity journal recovered only {names} names but the engines reference \
+                 {vertices} vertices; the journal is damaged beyond its tail"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineRecoveryError {}
+
+/// Append-only journal of interned entity names, in intern (= vertex id)
+/// order, using the same `len | crc | payload` record framing as the shard
+/// WAL ([`put_frame`]/[`scan_frames`]).
+///
+/// The engine slice of a persistent pipeline survives a crash via the
+/// shards' WAL + snapshots, but the name ↔ [`dyndens_graph::VertexId`]
+/// mapping lives on the ingest side: without it, a recovered pipeline would
+/// re-intern fresh names starting at vertex 0 and silently merge new
+/// entities into the recovered graph's old vertices. Journalling each name
+/// *before* its first updates are routed (fsynced under
+/// [`FsyncPolicy::Always`], mirroring the WAL) keeps the mapping durable;
+/// replay is simply re-interning the journalled names in order. A torn tail
+/// (crash mid-append) is truncated away — the affected name had no routed
+/// updates yet. Truncation that *would* lose names the engines still
+/// reference is caught by the [`RegistryBehindEngine`] cross-check after
+/// recovery.
+///
+/// [`RegistryBehindEngine`]: PipelineRecoveryError::RegistryBehindEngine
+#[derive(Debug)]
+struct EntityJournal {
+    file: std::fs::File,
+    fsync: FsyncPolicy,
+}
+
+impl EntityJournal {
+    const FILE_NAME: &'static str = "entities.log";
+
+    /// Opens (or creates) the journal under `dir`, returning the journalled
+    /// names in intern order and repairing a torn tail by truncation.
+    fn open(dir: &Path, fsync: FsyncPolicy) -> io::Result<(Self, Vec<String>)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(Self::FILE_NAME);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut names = Vec::new();
+        let scan = scan_frames(&bytes, |payload| match std::str::from_utf8(payload) {
+            Ok(name) => {
+                names.push(name.to_string());
+                true
+            }
+            Err(_) => false,
+        });
+        if !scan.clean {
+            let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(scan.valid_len)?;
+            f.sync_data()?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok((EntityJournal { file, fsync }, names))
+    }
+
+    /// Appends one newly interned name, honouring the fsync policy (under
+    /// `Always`, the name is durable before any update using its vertex id
+    /// is routed — the same write-ahead ordering the shard WAL gives
+    /// updates).
+    fn append(&mut self, name: &str) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(8 + name.len());
+        put_frame(&mut frame, name.as_bytes());
+        self.file.write_all(&frame)?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
 
 /// The sharded real-time story identification pipeline.
 #[derive(Debug)]
@@ -30,6 +153,8 @@ pub struct ShardedStoryPipeline<M: AssociationMeasure, D: DensityMeasure> {
     diversity_penalty: f64,
     /// Scratch buffer reused across posts.
     updates: Vec<EdgeUpdate>,
+    /// Durable name ↔ vertex mapping of a persistent pipeline.
+    journal: Option<EntityJournal>,
 }
 
 impl<M: AssociationMeasure, D: DensityMeasure> ShardedStoryPipeline<M, D> {
@@ -49,7 +174,59 @@ impl<M: AssociationMeasure, D: DensityMeasure> ShardedStoryPipeline<M, D> {
             engine: ShardedDynDens::new(density, engine_config, shard_config),
             diversity_penalty: 0.8,
             updates: Vec::new(),
+            journal: None,
         }
+    }
+
+    /// The crash-safe variant of [`new`](Self::new): the shard fleet is
+    /// backed by per-shard write-ahead logs and periodic engine snapshots
+    /// under `persistence.dir`, and the entity registry by an append-only
+    /// name journal (`entities.log`) in the same directory. On construction
+    /// both recover together (an empty directory starts fresh), so vertex
+    /// ids keep meaning the same entities across restarts and recovered
+    /// stories describe themselves with the right names.
+    ///
+    /// Remaining durability boundary: the association-measure decay state of
+    /// the update generator is rebuilt fresh — post-recovery association
+    /// deltas restart from the generator's initial statistics, mirroring
+    /// where the paper's maintained state ends and stream preprocessing
+    /// begins.
+    pub fn with_persistence(
+        association: M,
+        mean_life: f64,
+        density: D,
+        engine_config: DynDensConfig,
+        shard_config: ShardConfig,
+        persistence: PersistenceConfig,
+    ) -> Result<Self, PipelineRecoveryError> {
+        let (journal, names) = EntityJournal::open(&persistence.dir, persistence.fsync)?;
+        let mut registry = EntityRegistry::new();
+        for name in &names {
+            registry.intern(name);
+        }
+        let engine =
+            ShardedDynDens::with_persistence(density, engine_config, shard_config, persistence)?;
+        // Cross-check: every vertex the recovered engines reference must
+        // have a recovered name, otherwise new entities would be interned
+        // onto recovered vertices' ids and silently merged into their edge
+        // history. (The registry being *ahead* is fine — a journalled name
+        // whose first updates were lost with a WAL tear simply has no edges
+        // yet.)
+        let vertices = engine.vertex_universe();
+        if registry.len() < vertices {
+            return Err(PipelineRecoveryError::RegistryBehindEngine {
+                names: registry.len(),
+                vertices,
+            });
+        }
+        Ok(ShardedStoryPipeline {
+            registry,
+            generator: EdgeUpdateGenerator::new(association, mean_life),
+            engine,
+            diversity_penalty: 0.8,
+            updates: Vec::new(),
+            journal: Some(journal),
+        })
     }
 
     /// Sets the diversity penalty used when ranking stories (default 0.8).
@@ -79,7 +256,18 @@ impl<M: AssociationMeasure, D: DensityMeasure> ShardedStoryPipeline<M, D> {
     pub fn ingest(&mut self, timestamp: f64, entity_names: &[&str]) -> usize {
         let entities = entity_names
             .iter()
-            .map(|n| self.registry.intern(n))
+            .map(|n| {
+                // Durability before visibility, like the shard WAL: a new
+                // name reaches the journal before any update that uses its
+                // vertex id is routed, so recovery can never see edges whose
+                // entity name is unknown.
+                if let (Some(journal), None) = (self.journal.as_mut(), self.registry.get(n)) {
+                    journal
+                        .append(n)
+                        .unwrap_or_else(|e| panic!("entity journal append failed: {e}"));
+                }
+                self.registry.intern(n)
+            })
             .collect();
         let post = Post::new(timestamp, entities);
         self.ingest_post(&post)
@@ -202,6 +390,116 @@ mod tests {
         );
         let view = p.view();
         assert!(view.snapshot().seq > 0);
+    }
+
+    #[test]
+    fn persistent_pipeline_serves_recovered_stories() {
+        use dyndens_shard::{FsyncPolicy, PersistenceConfig};
+
+        let dir = std::env::temp_dir().join(format!("dyndens-pipe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistence = || {
+            PersistenceConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_snapshot_every_batches(4)
+        };
+        let build = |p: PersistenceConfig| {
+            ShardedStoryPipeline::with_persistence(
+                ChiSquareCorrelation::default(),
+                7200.0,
+                AvgWeight,
+                DynDensConfig::new(0.45, 4).with_delta_it_fraction(0.3),
+                ShardConfig::new(2)
+                    .with_shard_fn(ShardFn::Hashed)
+                    .with_max_batch(8),
+                p,
+            )
+            .expect("persistent pipeline construction")
+        };
+
+        let want = {
+            let mut p = build(persistence());
+            feed_raid_story(&mut p);
+            p.flush();
+            let stories: Vec<_> = p.top_stories(3).into_iter().map(|s| s.vertices).collect();
+            assert!(!stories.is_empty());
+            stories
+            // dropped here: "crash" without a final snapshot
+        };
+
+        // A fresh process recovers the engine slice AND the entity registry
+        // (from the name journal), serving the same stories with the right
+        // names before any new post arrives.
+        let mut p2 = build(persistence());
+        assert!(p2
+            .engine()
+            .recovery_reports()
+            .iter()
+            .any(|r| r.recovered_seq > 0));
+        assert!(p2.registry().len() > 0, "registry must recover");
+        let recovered_stories = p2.top_stories(3);
+        let got: Vec<_> = recovered_stories.iter().map(|s| &s.vertices).collect();
+        assert_eq!(
+            got,
+            want.iter().collect::<Vec<_>>(),
+            "recovered pipeline serves the same stories"
+        );
+        for s in &recovered_stories {
+            for e in &s.entities {
+                assert!(
+                    !e.starts_with("entity#"),
+                    "recovered story lost its entity names: {e}"
+                );
+            }
+        }
+        // New entities after recovery get fresh vertex ids — they must not
+        // be merged into recovered entities' vertices.
+        let next_id = p2.registry().len() as u32;
+        p2.ingest(99_999.0, &["Brand New Entity"]);
+        assert_eq!(
+            p2.registry().get("Brand New Entity"),
+            Some(dyndens_graph::VertexId(next_id))
+        );
+        drop(p2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_entity_journal_is_rejected_not_merged() {
+        use dyndens_shard::{FsyncPolicy, PersistenceConfig};
+
+        let dir = std::env::temp_dir().join(format!("dyndens-entjournal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            ShardedStoryPipeline::with_persistence(
+                ChiSquareCorrelation::default(),
+                7200.0,
+                AvgWeight,
+                DynDensConfig::new(0.45, 4).with_delta_it_fraction(0.3),
+                ShardConfig::new(2).with_max_batch(8),
+                PersistenceConfig::new(&dir).with_fsync(FsyncPolicy::Never),
+            )
+        };
+        {
+            let mut p = build().unwrap();
+            feed_raid_story(&mut p);
+            p.flush();
+        }
+        // Corrupt the FIRST journal record: the scan stops at offset 0, so
+        // the registry would recover no names while the engines reference
+        // many vertices — a silent-merge hazard that must be a hard error.
+        let journal = dir.join("entities.log");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        bytes[10] ^= 0xFF;
+        std::fs::write(&journal, &bytes).unwrap();
+        match build() {
+            Err(PipelineRecoveryError::RegistryBehindEngine { names, vertices }) => {
+                assert!(names < vertices, "{names} vs {vertices}");
+            }
+            Err(other) => panic!("expected RegistryBehindEngine, got {other}"),
+            Ok(_) => panic!("damaged entity journal was accepted"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

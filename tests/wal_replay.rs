@@ -1,0 +1,192 @@
+//! Crash-recovery equivalence: killing a persistent sharded deployment after
+//! an arbitrary batch and recovering it (latest snapshot + WAL tail replay)
+//! must reproduce the **bit-identical** maintenance state of a deployment
+//! that never crashed — for a crash right at the start, in the middle, and
+//! at the very end of the 50k-update partition-aligned stream.
+//!
+//! "Bit-identical" is literal: every maintained subgraph's score and every
+//! served story's density must carry the same `f64` bit pattern, which the
+//! engine guarantees by canonicalising its exploration order and
+//! serialising scores as raw bits (see `dyndens_core::snapshot`).
+
+use std::path::PathBuf;
+
+use dyndens::prelude::*;
+use dyndens_bench::shard_aligned_stream;
+
+const N_UPDATES: usize = 50_000;
+const CHUNK: usize = 256;
+
+fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+fn shard_config() -> ShardConfig {
+    ShardConfig::new(2)
+        .with_shard_fn(ShardFn::Modulo)
+        .with_max_batch(64)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dyndens-walreplay-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn persistence(dir: &PathBuf) -> PersistenceConfig {
+    PersistenceConfig::new(dir)
+        .with_fsync(FsyncPolicy::Never)
+        .with_snapshot_every_batches(8)
+        .with_segment_max_bytes(64 << 10)
+}
+
+/// The two quantities the acceptance criterion compares, with scores as raw
+/// bits so equality is bit-equality.
+struct Answer {
+    dense: Vec<(VertexSet, u64)>,
+    top_stories: Vec<(VertexSet, u64)>,
+}
+
+fn answer(deployment: &ShardedDynDens<AvgWeight>) -> Answer {
+    let mut dense: Vec<(VertexSet, u64)> = deployment
+        .dense_subgraphs()
+        .into_iter()
+        .map(|(s, score)| (s, score.to_bits()))
+        .collect();
+    dense.sort();
+    let top_stories = deployment
+        .view()
+        .snapshot()
+        .stories
+        .into_iter()
+        .map(|(s, d)| (s, d.to_bits()))
+        .collect();
+    Answer { dense, top_stories }
+}
+
+#[test]
+fn crash_at_any_batch_then_recover_equals_never_crashed() {
+    let updates = shard_aligned_stream(N_UPDATES, 8, 2012);
+    let chunks: Vec<&[EdgeUpdate]> = updates.chunks(CHUNK).collect();
+
+    // Ground truth: an uninterrupted (non-persistent) deployment.
+    let mut uninterrupted = ShardedDynDens::new(AvgWeight, engine_config(), shard_config());
+    for chunk in &chunks {
+        uninterrupted.apply_batch(chunk);
+    }
+    uninterrupted.validate().unwrap();
+    let want = answer(&uninterrupted);
+    assert!(
+        want.dense.len() >= 10 && !want.top_stories.is_empty(),
+        "degenerate workload"
+    );
+
+    // Kill points: right after the first batch, mid-stream, and after the
+    // final batch (recovery must also cope with "nothing left to ingest").
+    let kill_points = [1usize, chunks.len() / 2, chunks.len()];
+    for (label, k) in ["first", "middle", "last"].iter().zip(kill_points) {
+        let dir = temp_dir(label);
+
+        // Phase 1: ingest the first k batches, then crash. Dropping the
+        // facade without any shutdown checkpoint leaves exactly what a kill
+        // leaves behind: the WAL (written before each apply) and whatever
+        // snapshots the cadence produced.
+        {
+            let mut doomed = ShardedDynDens::with_persistence(
+                AvgWeight,
+                engine_config(),
+                shard_config(),
+                persistence(&dir),
+            )
+            .expect("fresh persistent deployment");
+            for chunk in &chunks[..k] {
+                doomed.apply_batch(chunk);
+            }
+            doomed.flush();
+        }
+
+        // Phase 2: recover and ingest the rest of the stream.
+        let mut recovered = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(),
+            persistence(&dir),
+        )
+        .unwrap_or_else(|e| panic!("kill at {label} batch: recovery failed: {e}"));
+        let ingested_before_crash: u64 = chunks[..k].iter().map(|c| c.len() as u64).sum();
+        let reports = recovered.recovery_reports().to_vec();
+        assert_eq!(
+            reports.iter().map(|r| r.recovered_seq).sum::<u64>(),
+            ingested_before_crash,
+            "kill at {label}: recovery must account for every pre-crash update"
+        );
+        for chunk in &chunks[k..] {
+            recovered.apply_batch(chunk);
+        }
+        recovered.validate().unwrap();
+
+        // Byte-identical dense subgraphs and top-k stories.
+        let got = answer(&recovered);
+        assert_eq!(
+            got.dense.len(),
+            want.dense.len(),
+            "kill at {label}: dense family size diverged"
+        );
+        for ((gs, gd), (ws, wd)) in got.dense.iter().zip(&want.dense) {
+            assert_eq!(gs, ws, "kill at {label}: dense sets diverge");
+            assert_eq!(
+                gd, wd,
+                "kill at {label}: score bits diverge on {gs} ({:x} vs {:x})",
+                gd, wd
+            );
+        }
+        assert_eq!(
+            got.top_stories, want.top_stories,
+            "kill at {label}: served top-k stories diverge"
+        );
+
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn recovered_stats_do_not_double_count_replayed_updates() {
+    // The BENCH_shard throughput ledgers merge per-shard EngineStats; a
+    // recovered deployment must report the snapshot-time counters plus any
+    // *new* ingest, never the replayed WAL tail a second time.
+    let updates = shard_aligned_stream(5_000, 8, 77);
+    let dir = temp_dir("stats");
+    {
+        let mut doomed = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(),
+            persistence(&dir),
+        )
+        .unwrap();
+        doomed.apply_batch(&updates);
+        doomed.flush();
+    }
+    let recovered = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(),
+        persistence(&dir),
+    )
+    .unwrap();
+    let stats = recovered.stats();
+    let replayed: u64 = recovered
+        .recovery_reports()
+        .iter()
+        .map(|r| r.replayed_updates)
+        .sum();
+    assert!(replayed > 0, "expected a WAL tail past the last snapshot");
+    assert_eq!(
+        stats.updates + replayed,
+        updates.len() as u64,
+        "replayed updates must not re-enter the work ledger"
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
