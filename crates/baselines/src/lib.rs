@@ -6,7 +6,7 @@
 //!
 //! * [`brute_force`] — exhaustive enumeration of dense subgraphs (and of
 //!   maximal cliques); the ground truth for property tests.
-//! * [`recompute`] — `DynDensRecompute`: rebuild a DynDens index from scratch
+//! * [`recompute`](mod@recompute) — `DynDensRecompute`: rebuild a DynDens index from scratch
 //!   by replaying every final edge weight as an update (the reference point of
 //!   the threshold-adjustment experiments, Section 6.2).
 //! * [`stix`] — incremental maintenance of all maximal cliques in a dynamic

@@ -1,0 +1,181 @@
+//! Serving-layer benchmark: request throughput and poll latency of the
+//! `dyndens-serve` TCP server under concurrent clients, while a live ingest
+//! thread streams the partition-aligned 50k-update workload through the
+//! sharded fleet underneath.
+//!
+//! Each client thread runs a delta-following [`Follower`] loop (the realistic
+//! read pattern: `Poll` with a per-shard cursor) and issues a `TopK` read
+//! every 16th request. Poll latencies are recorded per request; the JSON
+//! reports p50/p99 along with requests/sec, so the serving cost trajectory
+//! can be tracked across PRs next to `BENCH_shard.json` and `BENCH_wal.json`.
+//!
+//! Run with `cargo run --release -p dyndens-bench --bin serve_throughput`.
+//! Writes `BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dyndens_bench::{shard_aligned_stream, Table};
+use dyndens_core::DynDensConfig;
+use dyndens_density::AvgWeight;
+use dyndens_serve::{Client, Follower, StoryServer};
+use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens};
+
+const N_UPDATES: usize = 50_000;
+const ALIGNMENT: usize = 8;
+const SEED: u64 = 2012;
+const N_CLIENTS: usize = 4;
+const TOPK_EVERY: usize = 16;
+const INGEST_PASSES: usize = 1;
+
+struct ClientReport {
+    requests: u64,
+    poll_latencies_us: Vec<u64>,
+    events_applied: u64,
+    resyncs: u64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[rank] as f64 / 1000.0
+}
+
+fn client_loop(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> ClientReport {
+    let mut client = Client::connect(addr).expect("client connect");
+    let mut follower = Follower::new();
+    let mut report = ClientReport {
+        requests: 0,
+        poll_latencies_us: Vec::with_capacity(1 << 16),
+        events_applied: 0,
+        resyncs: 0,
+    };
+    while !stop.load(Ordering::Relaxed) {
+        if report.requests % TOPK_EVERY as u64 == TOPK_EVERY as u64 - 1 {
+            client.top_k(8).expect("topk request");
+        } else {
+            let start = Instant::now();
+            follower.poll(&mut client).expect("poll request");
+            report
+                .poll_latencies_us
+                .push(start.elapsed().as_micros() as u64);
+        }
+        report.requests += 1;
+    }
+    report.events_applied = follower.events_applied();
+    report.resyncs = follower.resyncs();
+    report
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{cores} CPU core(s) available");
+    println!("generating the partition-aligned stream ({N_UPDATES} updates)...");
+    let updates = shard_aligned_stream(N_UPDATES, ALIGNMENT, SEED);
+    let n_shards = 2;
+
+    let mut fleet = ShardedDynDens::new(
+        AvgWeight,
+        DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+        ShardConfig::new(n_shards)
+            .with_shard_fn(ShardFn::Modulo)
+            .with_max_batch(128)
+            .with_channel_capacity(4096),
+    );
+    let server = StoryServer::bind("127.0.0.1:0", fleet.view()).expect("server bind");
+    let addr = server.local_addr();
+    println!("story server on {addr}, {N_CLIENTS} concurrent clients, live ingest underneath");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..N_CLIENTS)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || client_loop(addr, stop))
+        })
+        .collect();
+
+    // The live stream: the full workload, INGEST_PASSES times, while the
+    // clients hammer the server. (Weights accumulate across passes; only
+    // serving cost is measured here, ingest throughput has its own bench.)
+    let bench_start = Instant::now();
+    for _ in 0..INGEST_PASSES {
+        for chunk in updates.chunks(512) {
+            fleet.apply_batch(chunk);
+        }
+    }
+    fleet.flush();
+    let ingest_secs = bench_start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let reports: Vec<ClientReport> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let duration_secs = bench_start.elapsed().as_secs_f64();
+
+    let requests_total: u64 = reports.iter().map(|r| r.requests).sum();
+    let events_applied: u64 = reports.iter().map(|r| r.events_applied).sum();
+    let resyncs: u64 = reports.iter().map(|r| r.resyncs).sum();
+    let mut poll_us: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.poll_latencies_us.iter().copied())
+        .collect();
+    poll_us.sort_unstable();
+    let polls_total = poll_us.len() as u64;
+    let p50 = percentile(&poll_us, 0.50);
+    let p99 = percentile(&poll_us, 0.99);
+    let requests_per_sec = requests_total as f64 / duration_secs;
+
+    let mut table = Table::new(
+        "serve throughput (live 50k-update stream, concurrent clients)",
+        &["metric", "value"],
+    );
+    table.row(vec!["clients".into(), N_CLIENTS.to_string()]);
+    table.row(vec!["duration s".into(), format!("{duration_secs:.3}")]);
+    table.row(vec!["requests".into(), requests_total.to_string()]);
+    table.row(vec!["requests/s".into(), format!("{requests_per_sec:.0}")]);
+    table.row(vec!["poll p50 ms".into(), format!("{p50:.3}")]);
+    table.row(vec!["poll p99 ms".into(), format!("{p99:.3}")]);
+    table.row(vec![
+        "delta events applied".into(),
+        events_applied.to_string(),
+    ]);
+    table.row(vec!["resyncs".into(), resyncs.to_string()]);
+    table.print();
+
+    let served_seq: u64 = fleet.view().per_shard_seq().iter().sum();
+    assert_eq!(
+        served_seq,
+        (N_UPDATES * INGEST_PASSES) as u64,
+        "the served view must reflect every ingested update"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"n_updates\": {},\n",
+        N_UPDATES * INGEST_PASSES
+    ));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+    json.push_str(&format!("  \"n_shards\": {n_shards},\n"));
+    json.push_str(&format!("  \"n_clients\": {N_CLIENTS},\n"));
+    json.push_str("  \"workload\": \"shard_aligned_stream\",\n");
+    json.push_str(&format!("  \"duration_secs\": {duration_secs:.6},\n"));
+    json.push_str(&format!("  \"ingest_secs\": {ingest_secs:.6},\n"));
+    json.push_str(&format!("  \"requests_total\": {requests_total},\n"));
+    json.push_str(&format!("  \"requests_per_sec\": {requests_per_sec:.1},\n"));
+    json.push_str(&format!("  \"polls_total\": {polls_total},\n"));
+    json.push_str(&format!("  \"poll_p50_ms\": {p50:.4},\n"));
+    json.push_str(&format!("  \"poll_p99_ms\": {p99:.4},\n"));
+    json.push_str(&format!("  \"delta_events_applied\": {events_applied},\n"));
+    json.push_str(&format!("  \"resyncs\": {resyncs}\n"));
+    json.push_str("}\n");
+    match std::fs::write("BENCH_serve.json", json) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("failed to write BENCH_serve.json: {e}"),
+    }
+}

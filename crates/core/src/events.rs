@@ -1,5 +1,6 @@
 //! Events reported by the engine and cumulative processing statistics.
 
+use dyndens_graph::codec::{put_f64, put_u64, put_u8, ByteReader, CodecError};
 use dyndens_graph::VertexSet;
 
 /// A change in the reported set of output-dense subgraphs, produced while
@@ -40,6 +41,38 @@ impl DenseEvent {
     /// `true` for [`DenseEvent::BecameOutputDense`].
     pub fn is_became(&self) -> bool {
         matches!(self, DenseEvent::BecameOutputDense { .. })
+    }
+
+    /// The subgraph's density after the update that produced the event.
+    pub fn density(&self) -> f64 {
+        match self {
+            DenseEvent::BecameOutputDense { density, .. }
+            | DenseEvent::NoLongerOutputDense { density, .. } => *density,
+        }
+    }
+
+    /// Appends the canonical wire encoding used by the serving protocol:
+    /// `kind u8 (0 = became, 1 = no-longer) | vertex set | density f64`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, if self.is_became() { 0 } else { 1 });
+        self.vertices().encode_into(buf);
+        put_f64(buf, self.density());
+    }
+
+    /// Decodes one event, rejecting unknown kinds, non-canonical vertex sets
+    /// and non-finite densities (engine densities are always finite).
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<DenseEvent, CodecError> {
+        let kind = r.u8()?;
+        let vertices = VertexSet::decode(r)?;
+        let density = r.f64()?;
+        if !density.is_finite() {
+            return Err(CodecError::Invalid("dense event density is not finite"));
+        }
+        match kind {
+            0 => Ok(DenseEvent::BecameOutputDense { vertices, density }),
+            1 => Ok(DenseEvent::NoLongerOutputDense { vertices, density }),
+            _ => Err(CodecError::Invalid("unknown dense event kind")),
+        }
     }
 }
 
@@ -130,6 +163,74 @@ impl EngineStats {
         }
         out
     }
+
+    /// Number of counters in the wire encoding of this protocol revision.
+    /// Adding a counter to [`EngineStats`] is a wire-format change: bump the
+    /// serving protocol version alongside this constant (the destructuring
+    /// in [`EngineStats::encode_into`] forces the revisit).
+    pub const WIRE_COUNTERS: u8 = 13;
+
+    /// Appends the canonical wire encoding used by the serving protocol:
+    /// `n u8 (= 13) | n × counter u64`, counters in declaration order.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let EngineStats {
+            updates,
+            positive_updates,
+            negative_updates,
+            explorations,
+            cheap_explorations,
+            candidates_examined,
+            subgraphs_inserted,
+            subgraphs_evicted,
+            explore_all_invocations,
+            star_markers_created,
+            star_markers_removed,
+            max_explore_skips,
+            degree_prioritize_skips,
+        } = self;
+        put_u8(buf, Self::WIRE_COUNTERS);
+        for counter in [
+            updates,
+            positive_updates,
+            negative_updates,
+            explorations,
+            cheap_explorations,
+            candidates_examined,
+            subgraphs_inserted,
+            subgraphs_evicted,
+            explore_all_invocations,
+            star_markers_created,
+            star_markers_removed,
+            max_explore_skips,
+            degree_prioritize_skips,
+        ] {
+            put_u64(buf, *counter);
+        }
+    }
+
+    /// Decodes a statistics ledger, rejecting a counter count other than
+    /// [`EngineStats::WIRE_COUNTERS`] (a count mismatch means the peer speaks
+    /// a different protocol revision).
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<EngineStats, CodecError> {
+        if r.u8()? != Self::WIRE_COUNTERS {
+            return Err(CodecError::Invalid("engine stats counter count mismatch"));
+        }
+        Ok(EngineStats {
+            updates: r.u64()?,
+            positive_updates: r.u64()?,
+            negative_updates: r.u64()?,
+            explorations: r.u64()?,
+            cheap_explorations: r.u64()?,
+            candidates_examined: r.u64()?,
+            subgraphs_inserted: r.u64()?,
+            subgraphs_evicted: r.u64()?,
+            explore_all_invocations: r.u64()?,
+            star_markers_created: r.u64()?,
+            star_markers_removed: r.u64()?,
+            max_explore_skips: r.u64()?,
+            degree_prioritize_skips: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +252,76 @@ mod tests {
         };
         assert!(!e.is_became());
         assert_eq!(e.vertices(), &v);
+    }
+
+    #[test]
+    fn dense_event_wire_round_trip() {
+        for event in [
+            DenseEvent::BecameOutputDense {
+                vertices: VertexSet::from_ids(&[0, 5, 9]),
+                density: 1.25,
+            },
+            DenseEvent::NoLongerOutputDense {
+                vertices: VertexSet::from_ids(&[2]),
+                density: -0.5,
+            },
+        ] {
+            let mut buf = Vec::new();
+            event.encode_into(&mut buf);
+            let mut r = ByteReader::new(&buf);
+            let back = DenseEvent::decode(&mut r).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(back, event);
+        }
+        // Unknown kind byte.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        VertexSet::from_ids(&[1]).encode_into(&mut buf);
+        put_f64(&mut buf, 1.0);
+        assert!(matches!(
+            DenseEvent::decode(&mut ByteReader::new(&buf)),
+            Err(CodecError::Invalid(_))
+        ));
+        // Non-finite density.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0);
+        VertexSet::from_ids(&[1]).encode_into(&mut buf);
+        put_f64(&mut buf, f64::NAN);
+        assert!(matches!(
+            DenseEvent::decode(&mut ByteReader::new(&buf)),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn stats_wire_round_trip() {
+        let stats = EngineStats {
+            updates: 10,
+            positive_updates: 7,
+            negative_updates: 3,
+            explorations: 20,
+            cheap_explorations: 5,
+            candidates_examined: 100,
+            subgraphs_inserted: 12,
+            subgraphs_evicted: 4,
+            explore_all_invocations: 1,
+            star_markers_created: 2,
+            star_markers_removed: 1,
+            max_explore_skips: 9,
+            degree_prioritize_skips: 8,
+        };
+        let mut buf = Vec::new();
+        stats.encode_into(&mut buf);
+        assert_eq!(buf.len(), 1 + 13 * 8);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(EngineStats::decode(&mut r).unwrap(), stats);
+        assert!(r.is_empty());
+        // A different counter count is a protocol-revision mismatch.
+        buf[0] = 12;
+        assert!(matches!(
+            EngineStats::decode(&mut ByteReader::new(&buf)),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

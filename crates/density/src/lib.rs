@@ -12,12 +12,12 @@
 //!
 //! * the [`DensityMeasure`] trait together with the three instantiations used
 //!   throughout the paper's evaluation —
-//!   [`AvgWeight`](measure::AvgWeight) (`S_n = n(n-1)/2`, average edge weight),
-//!   [`AvgDegree`](measure::AvgDegree) (`S_n = n`, generalised average degree)
-//!   and [`SqrtDens`](measure::SqrtDens) (`S_n = sqrt(n(n-1))`); plus a
-//!   [`PowerMean`](measure::PowerMean) family covering the whole admissible
+//!   [`AvgWeight`] (`S_n = n(n-1)/2`, average edge weight),
+//!   [`AvgDegree`] (`S_n = n`, generalised average degree)
+//!   and [`SqrtDens`] (`S_n = sqrt(n(n-1))`); plus a
+//!   [`PowerMean`] family covering the whole admissible
 //!   spectrum;
-//! * the threshold family [`ThresholdFamily`](threshold::ThresholdFamily)
+//! * the threshold family [`ThresholdFamily`]
 //!   `T_n` of Eq. (8), parameterised by the output threshold `T`, the maximum
 //!   cardinality `Nmax` and the exploration granularity `delta_it`, together
 //!   with the classification of subgraphs into *sparse*, *dense*,

@@ -13,6 +13,8 @@
 //!   heuristics and dynamic threshold adjustment.
 //! * [`shard`] — the scale-out subsystem: sharded parallel ingest across
 //!   worker threads and non-blocking merged story serving.
+//! * [`serve`] — the network serving layer: the versioned wire protocol, the
+//!   TCP story server over a `StoryView`, and the polling client/follower.
 //! * [`stream`] — entity-annotated post streams, association measures and the
 //!   post → edge-weight-update pipeline.
 //! * [`workloads`] — synthetic update generators and the planted-story social
@@ -41,6 +43,7 @@ pub use dyndens_baselines as baselines;
 pub use dyndens_core as core;
 pub use dyndens_density as density;
 pub use dyndens_graph as graph;
+pub use dyndens_serve as serve;
 pub use dyndens_shard as shard;
 pub use dyndens_stream as stream;
 pub use dyndens_workloads as workloads;

@@ -14,7 +14,7 @@
 //! * integrity is checked with CRC-32 (IEEE, reflected polynomial
 //!   `0xEDB88320`), computed over the payload it frames.
 
-use crate::{EdgeUpdate, VertexId};
+use crate::{EdgeUpdate, VertexId, VertexSet};
 
 /// An error decoding a persisted artifact. Decoding never panics: truncated,
 /// corrupt or semantically invalid bytes all surface as a `CodecError`.
@@ -175,6 +175,12 @@ pub fn verify_crc_trailer(bytes: &[u8]) -> Result<&[u8], CodecError> {
 // Little-endian primitive writers
 // ---------------------------------------------------------------------------
 
+/// Appends a single byte.
+#[inline]
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
 /// Appends a `u32` in little-endian byte order.
 #[inline]
 pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -191,6 +197,14 @@ pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
 #[inline]
 pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string: `len u32 | bytes`. The inverse of
+/// [`ByteReader::str`]. Used by the serving wire protocol for entity names
+/// and error messages.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +271,60 @@ impl<'a> ByteReader<'a> {
     /// Reads an `f64` from its little-endian IEEE-754 bit pattern.
     pub fn f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by [`put_str`]. The
+    /// length prefix is validated against the remaining input *before*
+    /// anything is materialised, so a corrupt huge length cannot drive an
+    /// allocation.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| CodecError::Invalid("string is not valid UTF-8"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VertexSet codec
+// ---------------------------------------------------------------------------
+
+impl VertexSet {
+    /// Appends the canonical encoding: `count u32 | count × vertex u32`, in
+    /// the set's ascending order.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.len() as u32);
+        for v in self.iter() {
+            put_u32(buf, v.0);
+        }
+    }
+
+    /// Decodes a vertex set, validating the canonical-form invariant: the
+    /// vertices must be strictly ascending (sorted and duplicate-free), so
+    /// that decoding is exactly inverse to [`VertexSet::encode_into`] and a
+    /// decoded set compares byte-identically to the encoded one.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<VertexSet, CodecError> {
+        let count = r.u32()? as usize;
+        // Bounds before allocation: a corrupt count cannot reserve memory
+        // the input could never back. Saturating: `count * 4` must not wrap
+        // on 32-bit targets (this decoder is reachable from network bytes).
+        let needed = count.saturating_mul(4);
+        if r.remaining() < needed {
+            return Err(CodecError::Truncated {
+                needed,
+                available: r.remaining(),
+            });
+        }
+        let mut vertices = Vec::with_capacity(count);
+        let mut prev: Option<u32> = None;
+        for _ in 0..count {
+            let v = r.u32()?;
+            if prev.is_some_and(|p| p >= v) {
+                return Err(CodecError::Invalid("vertex set not strictly ascending"));
+            }
+            prev = Some(v);
+            vertices.push(VertexId(v));
+        }
+        Ok(VertexSet::from_vertices(vertices))
     }
 }
 
@@ -376,6 +444,61 @@ mod tests {
         ));
         assert!(matches!(
             verify_crc_trailer(&[1, 2]),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn str_round_trip_and_rejection() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "Osama bin Laden");
+        put_str(&mut buf, "");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.str().unwrap(), "Osama bin Laden");
+        assert_eq!(r.str().unwrap(), "");
+        assert!(r.is_empty());
+        // Invalid UTF-8.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            ByteReader::new(&buf).str(),
+            Err(CodecError::Invalid(_))
+        ));
+        // A huge corrupt length is rejected before any allocation.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(matches!(
+            ByteReader::new(&buf).str(),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn vertex_set_round_trip_and_rejection() {
+        for ids in [&[][..], &[7][..], &[0, 3, 9, u32::MAX][..]] {
+            let set = VertexSet::from_ids(ids);
+            let mut buf = Vec::new();
+            set.encode_into(&mut buf);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(VertexSet::decode(&mut r).unwrap(), set);
+            assert!(r.is_empty());
+        }
+        // Not strictly ascending (duplicate).
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        put_u32(&mut buf, 5);
+        put_u32(&mut buf, 5);
+        assert!(matches!(
+            VertexSet::decode(&mut ByteReader::new(&buf)),
+            Err(CodecError::Invalid(_))
+        ));
+        // Count larger than the input can back.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1_000_000);
+        put_u32(&mut buf, 1);
+        assert!(matches!(
+            VertexSet::decode(&mut ByteReader::new(&buf)),
             Err(CodecError::Truncated { .. })
         ));
     }

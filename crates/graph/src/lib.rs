@@ -24,7 +24,7 @@
 //! * [`codec`] — the little-endian binary codec (and CRC-32) shared by the
 //!   persistence layer: WAL records and engine snapshots.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod codec;

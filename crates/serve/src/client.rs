@@ -1,0 +1,250 @@
+//! The blocking client: framed request/response over one TCP connection,
+//! plus [`Follower`], the delta-applying mirror of a remote story set.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dyndens_core::{DenseEvent, EngineStats};
+use dyndens_graph::VertexSet;
+
+use crate::net::{read_frame, write_frame};
+use crate::protocol::{
+    frame_message, DecodeFailure, ErrorCode, Request, Response, ShardPoll, ShardStat, WireStory,
+};
+
+/// An error talking to a story server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or desynchronised (includes CRC mismatches).
+    Io(io::Error),
+    /// The server's reply frame did not decode.
+    Decode(DecodeFailure),
+    /// The server answered with an [`ErrorCode`].
+    Server {
+        /// The error code.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server's reply type does not match the request, or a reply
+    /// invariant the client relies on was violated.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Decode(e) => write!(f, "undecodable reply: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeFailure> for ClientError {
+    fn from(e: DecodeFailure) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking connection to a story server. One in-flight request at a time;
+/// open one client per thread for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a story server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its reply.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(
+            &mut self.writer,
+            &frame_message(|buf| request.encode_into(buf)),
+        )?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up before replying",
+            ))
+        })?;
+        let response = Response::decode(&payload)?;
+        if let Response::Error { code, message } = response {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(response)
+    }
+
+    /// The merged current top-`k` stories and the per-shard sequence numbers
+    /// they reflect.
+    pub fn top_k(&mut self, k: u32) -> Result<(Vec<u64>, Vec<WireStory>), ClientError> {
+        match self.call(&Request::TopK { k })? {
+            Response::Stories {
+                per_shard_seq,
+                stories,
+            } => Ok((per_shard_seq, stories)),
+            _ => Err(ClientError::Protocol("expected a Stories reply to TopK")),
+        }
+    }
+
+    /// One incremental read: the shard count and, for every shard that
+    /// advanced past `since`, its delta suffix or resync snapshot. An empty
+    /// `since` is the bootstrap cursor.
+    pub fn poll(&mut self, since: &[u64]) -> Result<(u32, Vec<ShardPoll>), ClientError> {
+        let request = Request::Poll {
+            since: since.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::Poll { n_shards, entries } => Ok((n_shards, entries)),
+            _ => Err(ClientError::Protocol("expected a Poll reply to Poll")),
+        }
+    }
+
+    /// The fleet's merged work counters and per-shard serving health.
+    pub fn stats(&mut self) -> Result<(EngineStats, Vec<ShardStat>), ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats, shards } => Ok((stats, shards)),
+            _ => Err(ClientError::Protocol("expected a Stats reply to Stats")),
+        }
+    }
+}
+
+/// A client-side mirror of the served story sets, maintained purely from
+/// `Poll` replies: resync snapshots rebase a shard, delta suffixes advance
+/// it event by event.
+///
+/// After any poll, [`story_sets`](Follower::story_sets) is exactly the union
+/// of the per-shard story sets at the cursor's sequence numbers — the same
+/// sets an in-process [`StoryView`](dyndens_shard::StoryView) reader at
+/// those sequence numbers would observe (provided the server's `top_k` covers
+/// each shard's full output-dense set, so resync snapshots are complete).
+/// Densities are as-of each story's last event; a story whose density drifts
+/// *without* crossing the output threshold emits no event, so only the set
+/// membership (not every score) is guaranteed current between resyncs.
+#[derive(Debug, Default)]
+pub struct Follower {
+    since: Vec<u64>,
+    shards: Vec<BTreeMap<VertexSet, f64>>,
+    events_applied: u64,
+    resyncs: u64,
+}
+
+impl Follower {
+    /// A follower at the bootstrap cursor: its first poll resynchronises (or
+    /// replays from sequence zero, when retention still covers it).
+    pub fn new() -> Follower {
+        Follower::default()
+    }
+
+    /// The per-shard cursor: the sequence numbers the mirror is current to.
+    /// Empty until the first poll learns the server's shard count.
+    pub fn cursor(&self) -> &[u64] {
+        &self.since
+    }
+
+    /// Total [`DenseEvent`]s applied through delta suffixes so far.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Number of resync rebases performed so far (each one means the
+    /// follower had fallen behind a shard's delta retention).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Polls `client` once and applies the reply. Returns `true` if any
+    /// shard advanced.
+    pub fn poll(&mut self, client: &mut Client) -> Result<bool, ClientError> {
+        let (n_shards, entries) = client.poll(&self.since)?;
+        if self.since.is_empty() {
+            self.since = vec![0; n_shards as usize];
+            self.shards = (0..n_shards).map(|_| BTreeMap::new()).collect();
+        } else if self.since.len() != n_shards as usize {
+            return Err(ClientError::Protocol("server shard count changed"));
+        }
+        let advanced = !entries.is_empty();
+        for entry in entries {
+            let shard = entry.shard() as usize;
+            if shard >= self.shards.len() {
+                return Err(ClientError::Protocol("poll entry for unknown shard"));
+            }
+            match entry {
+                ShardPoll::Resync {
+                    seq, stories: set, ..
+                } => {
+                    self.shards[shard] = set.into_iter().collect();
+                    self.since[shard] = seq;
+                    self.resyncs += 1;
+                }
+                ShardPoll::Deltas {
+                    from_seq,
+                    to_seq,
+                    events,
+                    ..
+                } => {
+                    if from_seq != self.since[shard] {
+                        return Err(ClientError::Protocol(
+                            "delta suffix does not start at the cursor",
+                        ));
+                    }
+                    self.events_applied += events.len() as u64;
+                    for event in events {
+                        apply_event(&mut self.shards[shard], &event);
+                    }
+                    self.since[shard] = to_seq;
+                }
+            }
+        }
+        Ok(advanced)
+    }
+
+    /// The mirrored story sets, union over shards, ordered by vertex set.
+    pub fn story_sets(&self) -> Vec<(VertexSet, f64)> {
+        let mut out: Vec<(VertexSet, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|m| m.iter().map(|(s, d)| (s.clone(), *d)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The mirrored vertex sets only, ordered.
+    pub fn vertex_sets(&self) -> Vec<VertexSet> {
+        self.story_sets().into_iter().map(|(s, _)| s).collect()
+    }
+}
+
+fn apply_event(set: &mut BTreeMap<VertexSet, f64>, event: &DenseEvent) {
+    match event {
+        DenseEvent::BecameOutputDense { vertices, density } => {
+            set.insert(vertices.clone(), *density);
+        }
+        DenseEvent::NoLongerOutputDense { vertices, .. } => {
+            set.remove(vertices);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! # dyndens-serve
+//!
+//! Network serving for DynDens stories: a hand-rolled, std-only wire
+//! protocol (the build environment has no crates.io access) that exposes the
+//! sharded subsystem's [`StoryView`](dyndens_shard::StoryView) to
+//! out-of-process readers, completing
+//! the paper's pipeline — *real-time story identification served to
+//! readers* — beyond the maintenance-only scope of related dynamic-density
+//! systems.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   ingest process                         serving clients
+//!  ┌───────────────────────────────┐      ┌───────────────────┐
+//!  │ ShardedStoryPipeline          │      │ serve::Client     │
+//!  │   shard workers ──► epoch     │ TCP  │   TopK / Poll /   │
+//!  │   cells + delta rings         ├──────┤   Stats           │
+//!  │ serve::StoryServer            │      │ serve::Follower   │
+//!  │   (reads StoryView, never     │      │   (delta-applied  │
+//!  │    blocks ingest)             │      │    story mirror)  │
+//!  └───────────────────────────────┘      └───────────────────┘
+//! ```
+//!
+//! Three request types, chosen around what the epoch-pointer design makes
+//! cheap:
+//!
+//! * [`Request::TopK`] — the merged current stories, densest first, with
+//!   entity names when the server has a [`NameTable`].
+//! * [`Request::Poll`] — the incremental read: the client sends its
+//!   per-shard sequence cursor; the server answers — after one atomic load
+//!   per shard — with entries only for shards that advanced, each carrying
+//!   the exact [`DenseEvent`](dyndens_core::DenseEvent) suffix since the
+//!   cursor (or a resync snapshot once the client fell behind the shard's
+//!   delta retention). No long-polling, no per-client server state.
+//! * [`Request::Stats`] — the merged
+//!   [`EngineStats`](dyndens_core::EngineStats) work ledger plus per-shard
+//!   seq/retention health.
+//!
+//! Framing reuses the WAL's `len | crc32 | payload` records
+//! ([`dyndens_graph::codec::put_frame`]); message payloads are versioned.
+//! The normative byte-level specification is `docs/PROTOCOL.md` at the
+//! repository root; `ARCHITECTURE.md` places this crate among the other
+//! subsystems.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dyndens_core::DynDensConfig;
+//! use dyndens_density::AvgWeight;
+//! use dyndens_graph::{EdgeUpdate, VertexId};
+//! use dyndens_shard::{ShardConfig, ShardedDynDens};
+//! use dyndens_serve::{Client, Follower, StoryServer};
+//!
+//! let mut fleet = ShardedDynDens::new(AvgWeight, DynDensConfig::new(1.0, 4), ShardConfig::new(2));
+//! let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
+//!
+//! fleet.apply_update(EdgeUpdate::new(VertexId(0), VertexId(1), 1.5));
+//! fleet.flush();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let mut follower = Follower::new();
+//! follower.poll(&mut client).unwrap();
+//! assert_eq!(follower.vertex_sets().len(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, Follower};
+pub use protocol::{
+    DecodeFailure, ErrorCode, Request, Response, ShardPoll, ShardStat, WireStory, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+pub use server::{NameTable, StoryServer};
+
+// Send/Sync audit: server state is shared across the accept and connection
+// threads, and clients are handed to worker threads in the benchmarks.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StoryServer>();
+    assert_send_sync::<NameTable>();
+    const fn assert_send<T: Send>() {}
+    assert_send::<Client>();
+    assert_send::<Follower>();
+};

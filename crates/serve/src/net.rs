@@ -1,0 +1,113 @@
+//! Framed message I/O over byte streams.
+//!
+//! The wire carries the same `len u32 | crc32(payload) u32 | payload` records
+//! as the shard WAL ([`dyndens_graph::codec::put_frame`]); this module reads
+//! and writes them incrementally over sockets. A CRC mismatch or a mid-frame
+//! EOF desynchronises the stream, so both are surfaced as I/O errors and the
+//! connection is torn down rather than resynchronised.
+
+use std::io::{self, Read, Write};
+
+use dyndens_graph::codec::crc32;
+
+use crate::protocol::MAX_FRAME_LEN;
+
+/// Writes one framed payload and flushes.
+pub fn write_frame(w: &mut impl Write, framed: &[u8]) -> io::Result<()> {
+    w.write_all(framed)?;
+    w.flush()
+}
+
+/// Reads one framed payload. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between messages); EOF inside a frame, a
+/// length above [`MAX_FRAME_LEN`] and a CRC mismatch are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    // Distinguish "no more messages" from "message cut off": only a zero-byte
+    // read before the first header byte is a clean end of stream.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != stored_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame CRC mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndens_graph::codec::put_frame;
+
+    #[test]
+    fn frame_round_trip_over_a_stream() {
+        let mut wire = Vec::new();
+        put_frame(&mut wire, b"first");
+        put_frame(&mut wire, b"");
+        put_frame(&mut wire, b"third message");
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"third message");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_io_errors() {
+        let mut wire = Vec::new();
+        put_frame(&mut wire, b"payload");
+        // EOF inside the header.
+        let mut cursor = io::Cursor::new(&wire[..5]);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // EOF inside the payload.
+        let mut cursor = io::Cursor::new(&wire[..10]);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Flipped payload byte: CRC mismatch.
+        let mut corrupt = wire.clone();
+        *corrupt.last_mut().unwrap() ^= 0x01;
+        let mut cursor = io::Cursor::new(corrupt);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Hostile length prefix: rejected before allocation.
+        let mut hostile = wire;
+        hostile[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(hostile);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

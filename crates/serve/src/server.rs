@@ -1,0 +1,341 @@
+//! The story server: a std-only TCP front-end over a [`StoryView`].
+//!
+//! One accept thread plus one thread per connection — the right shape for a
+//! serving tier whose fan-in is a bounded set of edge caches or API
+//! processes, and the simplest thing that exercises the protocol end to end.
+//! All request handling is read-only over the shards' published epochs, so a
+//! server never blocks ingest for more than an epoch-pointer clone.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use dyndens_shard::{DeltaCatchUp, StoryView};
+
+use crate::net::{read_frame, write_frame};
+use crate::protocol::{
+    frame_message, DecodeFailure, ErrorCode, Request, Response, ShardPoll, ShardStat, WireStory,
+};
+
+/// A shared, swappable vertex → entity-name table.
+///
+/// The ingest process owns the entity registry and its growth; a serving
+/// thread only ever needs a recent snapshot of it. `publish` swaps in a new
+/// snapshot (cheap: one `Arc` store), `load` grabs the current one. A server
+/// with an empty table serves unnamed, vertex-level stories.
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    names: Arc<Mutex<Arc<Vec<String>>>>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Swaps in a new snapshot of names, indexed by vertex id.
+    pub fn publish(&self, names: Vec<String>) {
+        *self.names.lock().expect("name table poisoned") = Arc::new(names);
+    }
+
+    /// The current snapshot.
+    pub fn load(&self) -> Arc<Vec<String>> {
+        self.names.lock().expect("name table poisoned").clone()
+    }
+}
+
+/// State shared between the accept thread, connection threads and the facade.
+#[derive(Debug)]
+struct Shared {
+    view: StoryView,
+    names: NameTable,
+    shutdown: AtomicBool,
+    /// Clones of live connection sockets, slot-allocated so shutdown can
+    /// sever blocked readers. A connection clears its slot when it ends
+    /// (and the slot is reused), so the table — and the duplicated file
+    /// descriptors it holds — stays bounded by the number of *live*
+    /// connections, not the number ever accepted.
+    conns: Mutex<Vec<Option<TcpStream>>>,
+    requests_served: AtomicU64,
+}
+
+impl Shared {
+    /// Registers a live connection's socket clone, returning its slot.
+    fn register(&self, conn: TcpStream) -> usize {
+        let mut conns = self.conns.lock().expect("conn table poisoned");
+        match conns.iter_mut().position(|slot| slot.is_none()) {
+            Some(slot) => {
+                conns[slot] = Some(conn);
+                slot
+            }
+            None => {
+                conns.push(Some(conn));
+                conns.len() - 1
+            }
+        }
+    }
+
+    /// Releases a finished connection's slot (closing the clone).
+    fn unregister(&self, slot: usize) {
+        self.conns.lock().expect("conn table poisoned")[slot] = None;
+    }
+}
+
+/// A running story server. Dropping it stops the accept loop, severs open
+/// connections and joins every serving thread before returning.
+#[derive(Debug)]
+pub struct StoryServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    /// Handles of spawned connection threads; finished ones are swept on
+    /// each accept, so this too is bounded by live connections.
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl StoryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `view`. The returned server's [`names`](StoryServer::names) table
+    /// starts empty; publish the ingest side's entity names into it to serve
+    /// named stories.
+    pub fn bind(addr: impl ToSocketAddrs, view: StoryView) -> io::Result<StoryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            view,
+            names: NameTable::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            requests_served: AtomicU64::new(0),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_threads = Arc::clone(&conn_threads);
+        let accept = std::thread::Builder::new()
+            .name("dyndens-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_threads))?;
+        Ok(StoryServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            conn_threads,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's entity-name table. Publish the ingest side's names into
+    /// it (periodically, or whenever new entities are interned) to serve
+    /// named stories.
+    pub fn names(&self) -> NameTable {
+        self.shared.names.clone()
+    }
+
+    /// Number of requests answered since the server started (all request
+    /// types, including error replies).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests_served.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for StoryServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Sever live connections (readers blocked on a socket fail fast),
+        // then join their threads: after drop, no serving thread touches
+        // the view or the name table again.
+        for conn in self
+            .shared
+            .conns
+            .lock()
+            .expect("conn table poisoned")
+            .iter()
+            .flatten()
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for handle in self
+            .conn_threads
+            .lock()
+            .expect("thread list poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let slot = match stream.try_clone() {
+            Ok(clone) => Some(shared.register(clone)),
+            Err(_) => None,
+        };
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("dyndens-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &conn_shared);
+                if let Some(slot) = slot {
+                    conn_shared.unregister(slot);
+                }
+            });
+        if let Ok(handle) = handle {
+            let mut threads = conn_threads.lock().expect("thread list poisoned");
+            // Sweep finished threads so the handle list (like the socket
+            // table) is bounded by live connections.
+            threads.retain(|t| !t.is_finished());
+            threads.push(handle);
+        }
+    }
+}
+
+/// Reads framed requests until the peer hangs up, the stream desynchronises
+/// (CRC/framing error) or the server shuts down.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let response = match Request::decode(&payload) {
+            Ok(request) => handle_request(&request, shared),
+            // An intact frame with an undecodable payload: the stream is
+            // still synchronised, so report the problem and keep serving.
+            Err(failure) => error_response(&failure),
+        };
+        shared.requests_served.fetch_add(1, Ordering::Relaxed);
+        write_frame(&mut writer, &frame_message(|buf| response.encode_into(buf)))?;
+    }
+    Ok(())
+}
+
+fn error_response(failure: &DecodeFailure) -> Response {
+    let code = match failure {
+        DecodeFailure::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+        DecodeFailure::UnknownTag(_) => ErrorCode::UnknownTag,
+        DecodeFailure::Malformed(_) => ErrorCode::Malformed,
+    };
+    Response::Error {
+        code,
+        message: failure.to_string(),
+    }
+}
+
+/// Answers one request against the view's current epochs.
+fn handle_request(request: &Request, shared: &Shared) -> Response {
+    let view = &shared.view;
+    match request {
+        Request::TopK { k } => {
+            let merged = view.snapshot();
+            let names = shared.names.load();
+            let stories = merged
+                .stories
+                .into_iter()
+                .take(*k as usize)
+                .map(|(vertices, density)| {
+                    let entities = if names.is_empty() {
+                        Vec::new()
+                    } else {
+                        vertices
+                            .iter()
+                            .map(|v| {
+                                names
+                                    .get(v.index())
+                                    .cloned()
+                                    .unwrap_or_else(|| format!("entity#{v}"))
+                            })
+                            .collect()
+                    };
+                    WireStory {
+                        vertices,
+                        density,
+                        entities,
+                    }
+                })
+                .collect();
+            Response::Stories {
+                per_shard_seq: merged.per_shard_seq,
+                stories,
+            }
+        }
+        Request::Poll { since } => {
+            let n_shards = view.n_shards();
+            if !since.is_empty() && since.len() != n_shards {
+                return Response::Error {
+                    code: ErrorCode::BadCursor,
+                    message: format!(
+                        "poll cursor has {} entries, server has {n_shards} shards",
+                        since.len()
+                    ),
+                };
+            }
+            let mut entries = Vec::new();
+            for shard in 0..n_shards {
+                let since_seq = since.get(shard).copied().unwrap_or(0);
+                // The cheap path: one atomic load decides whether the shard
+                // has anything at all for this client.
+                if view.shard_seq(shard) <= since_seq {
+                    continue;
+                }
+                match view.deltas_since(shard, since_seq) {
+                    DeltaCatchUp::Current => {}
+                    DeltaCatchUp::Events { to_seq, events } => entries.push(ShardPoll::Deltas {
+                        shard: shard as u32,
+                        from_seq: since_seq,
+                        to_seq,
+                        events,
+                    }),
+                    DeltaCatchUp::Resync => {
+                        let snapshot = view.shard_snapshot(shard);
+                        entries.push(ShardPoll::Resync {
+                            shard: shard as u32,
+                            seq: snapshot.seq,
+                            stories: snapshot.top_stories.clone(),
+                        });
+                    }
+                }
+            }
+            Response::Poll {
+                n_shards: n_shards as u32,
+                entries,
+            }
+        }
+        Request::Stats => {
+            let stats = view.stats();
+            let shards = (0..view.n_shards())
+                .map(|shard| {
+                    let snapshot = view.shard_snapshot(shard);
+                    ShardStat {
+                        shard: shard as u32,
+                        seq: snapshot.seq,
+                        output_dense: snapshot.output_dense as u64,
+                        delta_coverage_from: view.delta_coverage_from(shard),
+                    }
+                })
+                .collect();
+            Response::Stats { stats, shards }
+        }
+    }
+}

@@ -42,14 +42,21 @@ pub struct ShardConfig {
     pub max_batch: usize,
     /// Number of top stories each shard publishes and the merged view serves.
     pub top_k: usize,
+    /// Number of published micro-batches of [`DenseEvent`] deltas each shard
+    /// retains in its [`DeltaRing`], bounding how far a polling reader may
+    /// fall behind before it must resynchronise from a full snapshot.
+    ///
+    /// [`DenseEvent`]: dyndens_core::DenseEvent
+    /// [`DeltaRing`]: crate::view::DeltaRing
+    pub delta_retention: usize,
     /// The shard-assignment function.
     pub shard_fn: ShardFn,
 }
 
 impl ShardConfig {
     /// A configuration with the given shard count and the defaults:
-    /// capacity 1024, micro-batches of up to 64, top-16 stories, hashed
-    /// sharding.
+    /// capacity 1024, micro-batches of up to 64, top-16 stories, 256 retained
+    /// delta batches, hashed sharding.
     ///
     /// # Panics
     ///
@@ -64,6 +71,7 @@ impl ShardConfig {
             channel_capacity: 1024,
             max_batch: 64,
             top_k: 16,
+            delta_retention: 256,
             shard_fn: ShardFn::Hashed,
         }
     }
@@ -83,6 +91,13 @@ impl ShardConfig {
     /// Sets the number of stories kept per snapshot.
     pub fn with_top_k(mut self, top_k: usize) -> Self {
         self.top_k = top_k;
+        self
+    }
+
+    /// Sets the per-shard delta retention bound, in micro-batches (clamped to
+    /// at least 1).
+    pub fn with_delta_retention(mut self, batches: usize) -> Self {
+        self.delta_retention = batches.max(1);
         self
     }
 

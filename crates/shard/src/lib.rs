@@ -26,7 +26,7 @@
 //! * **Router** — edge `(u, v)` is owned by `shard_of(min(u, v), N)` (see
 //!   [`dyndens_graph::shard_of`]); every update to a given edge therefore
 //!   lands on the same shard, in submission order.
-//! * **Workers** — each shard worker owns an independent [`DynDens`] engine
+//! * **Workers** — each shard worker owns an independent [`DynDens`](dyndens_core::DynDens) engine
 //!   over its slice of the edge stream, fed by a bounded MPSC channel
 //!   (backpressure by blocking the producer), and drains up to
 //!   [`ShardConfig::max_batch`] queued messages per wakeup so channel and
@@ -34,10 +34,18 @@
 //!   `apply_update_into` into one scratch event buffer).
 //! * **Read path** — after every micro-batch a worker publishes an immutable
 //!   [`ShardSnapshot`] (sequence number, top-k output-dense subgraphs,
-//!   [`DenseEvent`] deltas, merged-ready [`EngineStats`]) into an
+//!   [`DenseEvent`](dyndens_core::DenseEvent) deltas, merged-ready [`EngineStats`](dyndens_core::EngineStats)) into an
 //!   ArcSwap-style [`EpochCell`]. [`StoryView::snapshot`] merges the shard
 //!   snapshots into a sequence-numbered top-k view without ever blocking the
 //!   writers for more than a pointer clone.
+//! * **Poll path** — each publication also stamps the cell's atomic sequence
+//!   number ([`EpochCell::seq`], one relaxed load to check for progress) and
+//!   appends the micro-batch's events to a bounded per-shard [`DeltaRing`].
+//!   [`StoryView::deltas_since`] turns the two into a cheap incremental read:
+//!   a reader that last saw sequence `s` gets back either *nothing changed*,
+//!   the exact contiguous event suffix after `s`, or a *resync* directive
+//!   once it falls behind the retention bound. This is the substrate the
+//!   `dyndens-serve` wire protocol's `Poll` request is built on.
 //!
 //! ## The partitioning invariant
 //!
@@ -72,7 +80,7 @@
 //! [`PersistenceConfig::snapshot_every_batches`] micro-batches. Recovery
 //! ([`recovery`]) is `newest valid snapshot + WAL tail replay` and rebuilds
 //! a state **bit-identical** to a worker that never crashed, without
-//! double-counting replayed updates into [`EngineStats`]. This is also the
+//! double-counting replayed updates into [`EngineStats`](dyndens_core::EngineStats). This is also the
 //! substrate for shard rebalancing: splitting a hot shard is replaying its
 //! WAL slice into two engines.
 
@@ -89,7 +97,9 @@ mod worker;
 pub use config::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn};
 pub use recovery::{RecoveryError, RecoveryReport};
 pub use sharded::ShardedDynDens;
-pub use view::{EpochCell, MergedStories, ShardSnapshot, StoryView};
+pub use view::{
+    DeltaBatch, DeltaCatchUp, DeltaRing, EpochCell, MergedStories, ShardSnapshot, StoryView,
+};
 pub use wal::{WalRecord, WalWriter};
 
 // Send/Sync audit: the engine and every payload crossing a worker-thread

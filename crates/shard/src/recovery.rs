@@ -13,7 +13,7 @@
 //! the newest snapshot that parses (falling back to older retained ones),
 //! then replay every WAL record past the snapshot's sequence number with the
 //! engine's `recovering` flag set, so the replayed work rebuilds the exact
-//! maintenance state without double-counting into [`EngineStats`]. Because
+//! maintenance state without double-counting into [`EngineStats`](dyndens_core::EngineStats). Because
 //! the engine's update processing is canonicalised (see
 //! `dyndens_core::snapshot`), the recovered state is **bit-identical** to an
 //! engine that never crashed.

@@ -11,7 +11,7 @@ use dyndens_graph::{EdgeUpdate, VertexSet};
 
 use crate::config::{PersistenceConfig, ShardConfig};
 use crate::recovery::{self, RecoveryError, RecoveryReport};
-use crate::view::{EpochCell, ShardSnapshot, StoryView};
+use crate::view::{DeltaRing, EpochCell, ShardSnapshot, StoryView};
 use crate::worker::{self, WorkerMsg, WorkerPersistence};
 
 /// A DynDens deployment partitioned over `N` shard workers.
@@ -40,6 +40,7 @@ pub struct ShardedDynDens<D: DensityMeasure> {
     senders: Vec<SyncSender<WorkerMsg>>,
     engines: Vec<Arc<Mutex<DynDens<D>>>>,
     cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
+    rings: Arc<Vec<DeltaRing>>,
     workers: Vec<JoinHandle<()>>,
     /// Per-shard scratch buffers reused by [`ShardedDynDens::apply_batch`].
     route_scratch: Vec<Vec<EdgeUpdate>>,
@@ -154,6 +155,11 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         debug_assert_eq!(seeds.len(), n);
         let cells: Arc<Vec<EpochCell<ShardSnapshot>>> =
             Arc::new((0..n).map(EpochCell::new_empty_snapshot).collect());
+        let rings: Arc<Vec<DeltaRing>> = Arc::new(
+            (0..n)
+                .map(|_| DeltaRing::new(config.delta_retention))
+                .collect(),
+        );
         let mut senders = Vec::with_capacity(n);
         let mut engines = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
@@ -165,19 +171,25 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             } = seed;
             // Readers see the recovered state immediately, not an empty
             // snapshot that only fills in after the first post-recovery
-            // micro-batch.
-            cells[shard].store(Arc::new(worker::build_snapshot(
-                shard,
-                &engine,
+            // micro-batch. The delta ring deliberately starts empty: a
+            // recovered deployment has no pre-crash event stream, so pollers
+            // resync from this snapshot.
+            cells[shard].store_with_seq(
+                Arc::new(worker::build_snapshot(
+                    shard,
+                    &engine,
+                    seq,
+                    seq,
+                    &[],
+                    config.top_k,
+                )),
                 seq,
-                seq,
-                &[],
-                config.top_k,
-            )));
+            );
             let engine = Arc::new(Mutex::new(engine));
             let (tx, rx) = sync_channel(config.channel_capacity);
             let worker_engine = Arc::clone(&engine);
             let worker_cells = Arc::clone(&cells);
+            let worker_rings = Arc::clone(&rings);
             let (max_batch, top_k) = (config.max_batch, config.top_k);
             let setup = worker::WorkerSetup {
                 shard,
@@ -188,7 +200,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             };
             let handle = std::thread::Builder::new()
                 .name(format!("dyndens-shard-{shard}"))
-                .spawn(move || worker::run(setup, rx, worker_engine, worker_cells))
+                .spawn(move || worker::run(setup, rx, worker_engine, worker_cells, worker_rings))
                 .expect("failed to spawn shard worker");
             senders.push(tx);
             engines.push(engine);
@@ -201,6 +213,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             senders,
             engines,
             cells,
+            rings,
             workers,
             recovery,
         }
@@ -277,9 +290,14 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         }
     }
 
-    /// A non-blocking read handle over the shards' published snapshots.
+    /// A non-blocking read handle over the shards' published snapshots and
+    /// delta retention rings.
     pub fn view(&self) -> StoryView {
-        StoryView::new(Arc::clone(&self.cells), self.config.top_k)
+        StoryView::new(
+            Arc::clone(&self.cells),
+            Arc::clone(&self.rings),
+            self.config.top_k,
+        )
     }
 
     /// The merged cumulative work counters of all shards (flushes first, so

@@ -1,6 +1,8 @@
-//! The non-blocking read path: per-shard epoch cells and the merged story
-//! view.
+//! The non-blocking read path: per-shard epoch cells, the bounded delta
+//! retention ring, and the merged story view.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dyndens_core::{DenseEvent, EngineStats};
@@ -29,13 +31,20 @@ pub(crate) fn sort_stories(stories: &mut [(VertexSet, f64)]) {
 #[derive(Debug)]
 pub struct EpochCell<T> {
     slot: Mutex<Arc<T>>,
+    /// The publication sequence number of the current epoch, readable
+    /// without touching the slot's lock. This is what makes network `Poll`
+    /// requests cheap: a server answering "has shard `i` advanced past seq
+    /// `s`?" performs one relaxed atomic load per shard and touches the
+    /// snapshot itself only for shards that actually advanced.
+    seq: AtomicU64,
 }
 
 impl<T> EpochCell<T> {
-    /// Creates a cell holding `value` as its first epoch.
+    /// Creates a cell holding `value` as its first epoch, at sequence 0.
     pub fn new(value: T) -> Self {
         EpochCell {
             slot: Mutex::new(Arc::new(value)),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -44,10 +53,123 @@ impl<T> EpochCell<T> {
         self.slot.lock().expect("epoch cell poisoned").clone()
     }
 
-    /// Publishes a new epoch.
+    /// Publishes a new epoch, leaving the sequence number unchanged.
     pub fn store(&self, value: Arc<T>) {
         *self.slot.lock().expect("epoch cell poisoned") = value;
     }
+
+    /// Publishes a new epoch stamped with its publication sequence number.
+    pub fn store_with_seq(&self, value: Arc<T>, seq: u64) {
+        *self.slot.lock().expect("epoch cell poisoned") = value;
+        self.seq.store(seq, Ordering::Release);
+    }
+
+    /// The sequence number of the latest published epoch, without locking.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+}
+
+/// One published micro-batch of [`DenseEvent`]s, retained by a shard's
+/// [`DeltaRing`]. Covers updates `base_seq..seq` of its shard; consecutive
+/// retained batches are contiguous (`batch[i].seq == batch[i + 1].base_seq`).
+#[derive(Debug, Clone)]
+pub struct DeltaBatch {
+    /// The shard's sequence number before the micro-batch.
+    pub base_seq: u64,
+    /// The shard's sequence number after the micro-batch.
+    pub seq: u64,
+    /// The events the micro-batch emitted (often empty — retention is cheap).
+    pub events: Arc<[DenseEvent]>,
+}
+
+/// A bounded ring of the most recent [`DeltaBatch`]es published by one shard.
+///
+/// This is what turns the per-micro-batch delta stream into something a
+/// remote reader can *poll*: a client that last saw sequence `s` asks for
+/// everything after `s`, and as long as `s` is still covered by the ring the
+/// answer is the exact event suffix — no long-polling, no subscription state
+/// on the server. A client that fell further behind than the retention bound
+/// is told to resynchronise from the full snapshot instead
+/// ([`DeltaCatchUp::Resync`]).
+#[derive(Debug)]
+pub struct DeltaRing {
+    batches: Mutex<VecDeque<DeltaBatch>>,
+    capacity: usize,
+}
+
+impl DeltaRing {
+    /// Creates an empty ring retaining up to `capacity` micro-batches.
+    pub fn new(capacity: usize) -> Self {
+        DeltaRing {
+            batches: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends one published micro-batch, evicting the oldest batch once the
+    /// retention bound is reached.
+    pub fn push(&self, batch: DeltaBatch) {
+        let mut batches = self.batches.lock().expect("delta ring poisoned");
+        if batches.len() == self.capacity {
+            batches.pop_front();
+        }
+        batches.push_back(batch);
+    }
+
+    /// The earliest sequence number a [`catch_up`](DeltaRing::catch_up) from
+    /// this ring can serve deltas for, or `None` while the ring is empty
+    /// (nothing published yet, or a deployment freshly recovered — its
+    /// pre-crash event stream is gone by design).
+    pub fn coverage_from(&self) -> Option<u64> {
+        self.batches
+            .lock()
+            .expect("delta ring poisoned")
+            .front()
+            .map(|b| b.base_seq)
+    }
+
+    /// The events after `since_seq`, if the ring still covers it.
+    pub fn catch_up(&self, since_seq: u64) -> DeltaCatchUp {
+        let batches = self.batches.lock().expect("delta ring poisoned");
+        let Some(newest) = batches.back() else {
+            return DeltaCatchUp::Resync;
+        };
+        if since_seq >= newest.seq {
+            return DeltaCatchUp::Current;
+        }
+        if batches.front().expect("non-empty ring").base_seq > since_seq {
+            return DeltaCatchUp::Resync;
+        }
+        let to_seq = newest.seq;
+        let events = batches
+            .iter()
+            .filter(|b| b.seq > since_seq)
+            .flat_map(|b| b.events.iter().cloned())
+            .collect();
+        DeltaCatchUp::Events { to_seq, events }
+    }
+}
+
+/// The answer to "what changed in this shard after sequence `s`?".
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaCatchUp {
+    /// Nothing: the shard has not advanced past the asked-for sequence.
+    Current,
+    /// The exact [`DenseEvent`] suffix covering `since_seq..to_seq`. Applying
+    /// the events in order to the story set the reader held at `since_seq`
+    /// yields the story set at `to_seq`.
+    Events {
+        /// The shard sequence number the events catch the reader up to.
+        to_seq: u64,
+        /// The events, in publication order.
+        events: Vec<DenseEvent>,
+    },
+    /// The reader is further behind than the retention bound (or the shard
+    /// just recovered from a crash and the pre-crash event stream is gone):
+    /// it must rebase on the shard's full published snapshot.
+    Resync,
 }
 
 /// An immutable, sequence-numbered view of one shard, published by its worker
@@ -73,8 +195,9 @@ pub struct ShardSnapshot {
     pub delta_base_seq: u64,
     /// The [`DenseEvent`]s emitted by the micro-batch that produced this
     /// snapshot (the stream a subscriber would tail for incremental story
-    /// changes).
-    pub delta_events: Vec<DenseEvent>,
+    /// changes). Shared with the shard's [`DeltaRing`] batch, so publication
+    /// materialises the event list once.
+    pub delta_events: Arc<[DenseEvent]>,
 }
 
 impl ShardSnapshot {
@@ -106,12 +229,21 @@ pub struct MergedStories {
 #[derive(Debug, Clone)]
 pub struct StoryView {
     cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
+    rings: Arc<Vec<DeltaRing>>,
     top_k: usize,
 }
 
 impl StoryView {
-    pub(crate) fn new(cells: Arc<Vec<EpochCell<ShardSnapshot>>>, top_k: usize) -> Self {
-        StoryView { cells, top_k }
+    pub(crate) fn new(
+        cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
+        rings: Arc<Vec<DeltaRing>>,
+        top_k: usize,
+    ) -> Self {
+        StoryView {
+            cells,
+            rings,
+            top_k,
+        }
     }
 
     /// Number of shards feeding this view.
@@ -122,6 +254,37 @@ impl StoryView {
     /// The latest published snapshot of one shard.
     pub fn shard_snapshot(&self, shard: usize) -> Arc<ShardSnapshot> {
         self.cells[shard].load()
+    }
+
+    /// The latest published sequence number of one shard: a single atomic
+    /// load, no locks, no snapshot traffic. The primitive a polling server
+    /// uses to decide whether a shard has anything new for a client.
+    #[inline]
+    pub fn shard_seq(&self, shard: usize) -> u64 {
+        self.cells[shard].seq()
+    }
+
+    /// The latest published sequence numbers of all shards (one atomic load
+    /// each).
+    pub fn per_shard_seq(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.seq()).collect()
+    }
+
+    /// The [`DenseEvent`]s of `shard` after `since_seq`, served from the
+    /// shard's bounded [`DeltaRing`]: [`DeltaCatchUp::Current`] if the shard
+    /// has not advanced, the exact contiguous event suffix if retention still
+    /// covers `since_seq`, and [`DeltaCatchUp::Resync`] if the reader fell
+    /// behind the retention bound and must rebase on
+    /// [`shard_snapshot`](StoryView::shard_snapshot).
+    pub fn deltas_since(&self, shard: usize, since_seq: u64) -> DeltaCatchUp {
+        self.rings[shard].catch_up(since_seq)
+    }
+
+    /// The earliest sequence number [`deltas_since`](StoryView::deltas_since)
+    /// can serve deltas for on `shard`, or `None` while nothing has been
+    /// published since construction (or recovery).
+    pub fn delta_coverage_from(&self, shard: usize) -> Option<u64> {
+        self.rings[shard].coverage_from()
     }
 
     /// Merges the latest per-shard snapshots into a top-k story view.
@@ -175,6 +338,10 @@ mod tests {
         }
     }
 
+    fn rings(n: usize) -> Arc<Vec<DeltaRing>> {
+        Arc::new((0..n).map(|_| DeltaRing::new(8)).collect())
+    }
+
     #[test]
     fn epoch_cell_swaps_epochs() {
         let cell = EpochCell::new(1u32);
@@ -182,6 +349,10 @@ mod tests {
         cell.store(Arc::new(2));
         assert_eq!(*old, 1, "readers keep their epoch");
         assert_eq!(*cell.load(), 2);
+        assert_eq!(cell.seq(), 0, "plain store leaves the seq untouched");
+        cell.store_with_seq(Arc::new(3), 17);
+        assert_eq!(cell.seq(), 17);
+        assert_eq!(*cell.load(), 3);
     }
 
     #[test]
@@ -190,7 +361,9 @@ mod tests {
             EpochCell::new(snap(0, 10, &[(&[0, 4], 1.5), (&[0, 8], 0.9)])),
             EpochCell::new(snap(1, 5, &[(&[1, 5], 1.2), (&[1, 9], 1.6)])),
         ]);
-        let view = StoryView::new(cells, 3);
+        cells[0].store_with_seq(cells[0].load(), 10);
+        cells[1].store_with_seq(cells[1].load(), 5);
+        let view = StoryView::new(cells, rings(2), 3);
         assert_eq!(view.n_shards(), 2);
         let merged = view.snapshot();
         assert_eq!(merged.seq, 15);
@@ -200,6 +373,8 @@ mod tests {
         let densities: Vec<f64> = merged.stories.iter().map(|(_, d)| *d).collect();
         assert_eq!(densities, vec![1.6, 1.5, 1.2]);
         assert_eq!(view.shard_snapshot(1).seq, 5);
+        assert_eq!(view.shard_seq(0), 10);
+        assert_eq!(view.per_shard_seq(), vec![10, 5]);
     }
 
     #[test]
@@ -208,7 +383,51 @@ mod tests {
         a.stats.updates = 3;
         let mut b = snap(1, 1, &[]);
         b.stats.updates = 4;
-        let view = StoryView::new(Arc::new(vec![EpochCell::new(a), EpochCell::new(b)]), 4);
+        let view = StoryView::new(
+            Arc::new(vec![EpochCell::new(a), EpochCell::new(b)]),
+            rings(2),
+            4,
+        );
         assert_eq!(view.stats().updates, 7);
+    }
+
+    fn became(ids: &[u32]) -> DenseEvent {
+        DenseEvent::BecameOutputDense {
+            vertices: VertexSet::from_ids(ids),
+            density: 1.0,
+        }
+    }
+
+    #[test]
+    fn delta_ring_serves_contiguous_suffixes() {
+        let ring = DeltaRing::new(3);
+        assert_eq!(ring.catch_up(0), DeltaCatchUp::Resync, "empty ring");
+        assert_eq!(ring.coverage_from(), None);
+        for (base, seq, ids) in [(0u64, 2u64, &[0u32][..]), (2, 5, &[1]), (5, 6, &[2])] {
+            ring.push(DeltaBatch {
+                base_seq: base,
+                seq,
+                events: vec![became(ids)].into(),
+            });
+        }
+        assert_eq!(ring.coverage_from(), Some(0));
+        assert_eq!(ring.catch_up(6), DeltaCatchUp::Current);
+        assert_eq!(ring.catch_up(9), DeltaCatchUp::Current, "reader ahead");
+        match ring.catch_up(2) {
+            DeltaCatchUp::Events { to_seq, events } => {
+                assert_eq!(to_seq, 6);
+                assert_eq!(events, vec![became(&[1]), became(&[2])]);
+            }
+            other => panic!("expected events, got {other:?}"),
+        }
+        // A fourth batch evicts the oldest: seq 0 is no longer covered.
+        ring.push(DeltaBatch {
+            base_seq: 6,
+            seq: 9,
+            events: Vec::new().into(),
+        });
+        assert_eq!(ring.coverage_from(), Some(2));
+        assert_eq!(ring.catch_up(0), DeltaCatchUp::Resync);
+        assert!(matches!(ring.catch_up(2), DeltaCatchUp::Events { .. }));
     }
 }

@@ -9,7 +9,7 @@ use dyndens_density::DensityMeasure;
 use dyndens_graph::{EdgeUpdate, VertexSet};
 
 use crate::recovery;
-use crate::view::{EpochCell, ShardSnapshot};
+use crate::view::{DeltaBatch, DeltaRing, EpochCell, ShardSnapshot};
 use crate::wal::WalWriter;
 
 /// Messages a shard worker consumes.
@@ -63,6 +63,7 @@ pub(crate) fn run<D: DensityMeasure>(
     inbox: Receiver<WorkerMsg>,
     engine: Arc<Mutex<DynDens<D>>>,
     cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
+    rings: Arc<Vec<DeltaRing>>,
 ) {
     let WorkerSetup {
         shard,
@@ -130,7 +131,15 @@ pub(crate) fn run<D: DensityMeasure>(
                     checkpoint,
                 )
             };
-            cells[shard].store(Arc::new(snapshot));
+            // Retention before visibility: the ring covers the new seq before
+            // the epoch pointer announces it, so a poller that observes the
+            // new seq can always fetch its deltas.
+            rings[shard].push(DeltaBatch {
+                base_seq: delta_base_seq,
+                seq,
+                events: Arc::clone(&snapshot.delta_events),
+            });
+            cells[shard].store_with_seq(Arc::new(snapshot), seq);
             if let (Some(bytes), Some(p)) = (checkpoint, persist.as_mut()) {
                 // A failed checkpoint is not fatal: the WAL still covers the
                 // whole history since the last good snapshot.
@@ -190,6 +199,6 @@ pub(crate) fn build_snapshot<D: DensityMeasure>(
         output_dense,
         stats: engine.stats().clone(),
         delta_base_seq,
-        delta_events: events.to_vec(),
+        delta_events: events.into(),
     }
 }

@@ -43,6 +43,13 @@ impl EntityRegistry {
         self.names.get(id.index()).map(String::as_str)
     }
 
+    /// All registered names, in intern (= vertex id) order: `names()[i]` is
+    /// the name of `VertexId(i)`. A serving process snapshots this slice into
+    /// its name table so wire-level stories carry human-readable entities.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
     /// Number of registered entities.
     pub fn len(&self) -> usize {
         self.names.len()

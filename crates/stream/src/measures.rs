@@ -14,7 +14,7 @@
 //!   significant (p < 1%), weight 0 otherwise.
 //!
 //! Both are computed from the 2×2 contingency table of decayed counts provided
-//! by [`PairStats`](crate::decay::PairStats).
+//! by [`PairStats`].
 
 use crate::decay::PairStats;
 

@@ -312,6 +312,26 @@ impl<M: AssociationMeasure, D: DensityMeasure> ShardedStoryPipeline<M, D> {
         self.engine.view()
     }
 
+    /// The shards' latest published sequence numbers (one atomic load per
+    /// shard, no flush): the cursor a serving process compares a client's
+    /// `Poll` cursor against.
+    pub fn per_shard_seq(&self) -> Vec<u64> {
+        self.engine.view().per_shard_seq()
+    }
+
+    /// The [`DenseEvent`](dyndens_core::DenseEvent)s of one shard after
+    /// `since_seq`, served from the shard's bounded delta retention ring.
+    /// See [`StoryView::deltas_since`] for the catch-up semantics.
+    pub fn deltas_since(&self, shard: usize, since_seq: u64) -> dyndens_shard::DeltaCatchUp {
+        self.engine.view().deltas_since(shard, since_seq)
+    }
+
+    /// A snapshot of the registry's names in intern (= vertex id) order, for
+    /// a serving process's name table (`names[i]` names `VertexId(i)`).
+    pub fn entity_names(&self) -> Vec<String> {
+        self.registry.names().to_vec()
+    }
+
     /// Number of stories currently reported (flushes first).
     pub fn story_count(&self) -> usize {
         self.engine.output_dense_count()

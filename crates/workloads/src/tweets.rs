@@ -17,7 +17,7 @@
 //!   the structure DynDens is designed to surface.
 //!
 //! The simulator produces [`Post`]s; feeding them through
-//! [`EdgeUpdateGenerator`](dyndens_stream::EdgeUpdateGenerator) yields the
+//! [`EdgeUpdateGenerator`] yields the
 //! weighted or unweighted edge update streams used across the benchmark
 //! harness.
 

@@ -1,0 +1,78 @@
+//! A remote story reader: connects to a running `story_server` example,
+//! mirrors its story sets by following `Poll` deltas, and periodically
+//! prints the merged top stories with entity names.
+//!
+//! Run (while `story_server` is up):
+//!
+//! ```bash
+//! cargo run --release --example story_client                      # 127.0.0.1:7171
+//! cargo run --release --example story_client -- 127.0.0.1:9000 10
+//! ```
+//!
+//! Arguments: `[server_addr] [watch_seconds]` (defaults `127.0.0.1:7171`,
+//! 10 seconds). This is the out-of-process counterpart of holding a
+//! `StoryView`: the follower's mirror advances through exact per-shard
+//! `DenseEvent` suffixes, falling back to a resync snapshot only if it lags
+//! behind the server's delta retention.
+
+use std::time::{Duration, Instant};
+
+use dyndens::serve::{Client, Follower};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let watch_secs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            eprintln!("start the server first: cargo run --release --example story_server");
+            std::process::exit(1);
+        }
+    };
+    let (stats, shards) = client.stats().expect("stats request");
+    println!(
+        "connected to {addr}: {} shards, {} updates ingested so far",
+        shards.len(),
+        stats.updates
+    );
+
+    let mut follower = Follower::new();
+    let start = Instant::now();
+    let mut next_report = Duration::ZERO;
+    while start.elapsed() < Duration::from_secs(watch_secs) {
+        follower.poll(&mut client).expect("poll request");
+        if start.elapsed() >= next_report {
+            next_report += Duration::from_secs(2);
+            let seq: u64 = follower.cursor().iter().sum();
+            println!(
+                "\nt+{:>4.1}s  cursor seq {seq}  mirrored stories {}  (events {}, resyncs {})",
+                start.elapsed().as_secs_f64(),
+                follower.story_sets().len(),
+                follower.events_applied(),
+                follower.resyncs(),
+            );
+            let (_, stories) = client.top_k(3).expect("topk request");
+            for story in &stories {
+                let label = if story.entities.is_empty() {
+                    story.vertices.to_string()
+                } else {
+                    story.entities.join(" + ")
+                };
+                println!("  top: {label:<60} density {:.3}", story.density);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let seq: u64 = follower.cursor().iter().sum();
+    println!(
+        "\nwatched {watch_secs}s: mirror at seq {seq} with {} stories \
+         ({} delta events applied, {} resyncs)",
+        follower.story_sets().len(),
+        follower.events_applied(),
+        follower.resyncs(),
+    );
+}

@@ -1,0 +1,161 @@
+//! End-to-end serving equivalence: a TCP client that follows `Poll` deltas
+//! must reconstruct story sets **byte-identical** to what an in-process
+//! [`StoryView`] reader observes, on the same 50k-update partition-aligned
+//! stream the sharded-equivalence suite uses — both when polling continuously
+//! during ingest (the delta path) and when joining late (the resync path).
+
+use dyndens::prelude::*;
+use dyndens::serve::{Client, Follower, ShardPoll, StoryServer};
+use dyndens_bench::shard_aligned_stream;
+
+fn sorted_sets(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, f64)> {
+    sets.sort_by(|a, b| a.0.cmp(&b.0));
+    sets
+}
+
+#[test]
+fn polling_client_reconstructs_story_sets_on_50k_stream() {
+    let updates = shard_aligned_stream(50_000, 8, 2012);
+    let mut fleet = ShardedDynDens::new(
+        AvgWeight,
+        DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+        ShardConfig::new(2)
+            .with_shard_fn(ShardFn::Modulo)
+            .with_max_batch(64)
+            // Publish the *full* story set per shard (no top-k truncation),
+            // so resync snapshots are complete and the reconstruction claim
+            // is exact. Retention far below the stream's ~98 publications
+            // per shard makes a late joiner genuinely exercise the resync
+            // path below, while a continuously-polling follower (one poll
+            // per 512-update chunk) stays comfortably covered.
+            .with_top_k(usize::MAX)
+            .with_delta_retention(16),
+    );
+    let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
+    let addr = server.local_addr();
+
+    // Follower A polls concurrently with ingest: it advances almost entirely
+    // through contiguous delta suffixes.
+    let mut client = Client::connect(addr).unwrap();
+    let mut follower = Follower::new();
+    for chunk in updates.chunks(512) {
+        fleet.apply_batch(chunk);
+        follower.poll(&mut client).unwrap();
+    }
+    fleet.flush();
+    while follower.poll(&mut client).unwrap() {}
+    assert!(
+        follower.events_applied() > 0,
+        "an actively-following cursor should advance through delta suffixes"
+    );
+
+    // Precondition of exact delta-reconstruction (same as the sharded
+    // equivalence suite): the workload stays below the too-dense regime, so
+    // every output-dense subgraph is explicitly materialised and evented.
+    let stats = fleet.stats();
+    assert_eq!(stats.star_markers_created, 0);
+    assert_eq!(stats.updates, updates.len() as u64);
+
+    // Ground truth: the in-process view (untruncated top_k ⇒ the full sets).
+    let view = fleet.view();
+    let merged = view.snapshot();
+    assert_eq!(merged.seq, updates.len() as u64);
+    let want = sorted_sets(merged.stories.clone());
+    assert!(
+        want.len() >= 10,
+        "degenerate workload: {} stories",
+        want.len()
+    );
+
+    // The delta-following mirror reconstructs the identical story sets.
+    let got = follower.story_sets();
+    assert_eq!(
+        follower.vertex_sets(),
+        want.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>(),
+        "delta-followed story sets diverge from the in-process view"
+    );
+    assert_eq!(got.len(), want.len());
+    assert_eq!(follower.cursor().iter().sum::<u64>(), updates.len() as u64);
+
+    // A late joiner is told to resync (its cursor predates retention), and
+    // lands on the same sets — including byte-identical densities, since a
+    // resync snapshot carries the engine's current scores.
+    let (_, entries) = client.poll(&[0, 0]).unwrap();
+    assert!(
+        entries
+            .iter()
+            .any(|e| matches!(e, ShardPoll::Resync { .. })),
+        "a cursor behind the retention bound must be resynced"
+    );
+    let mut late = Follower::new();
+    while late.poll(&mut client).unwrap() {}
+    let late_sets = late.story_sets();
+    assert_eq!(late_sets.len(), want.len());
+    for ((gs, gd), (ws, wd)) in late_sets.iter().zip(&want) {
+        assert_eq!(gs, ws);
+        assert_eq!(gd.to_bits(), wd.to_bits(), "score bits diverge on {gs}");
+    }
+
+    // The TopK path serves the merged view byte-identically.
+    let (per_shard_seq, stories) = client.top_k(u32::MAX).unwrap();
+    assert_eq!(per_shard_seq, merged.per_shard_seq);
+    assert_eq!(stories.len(), merged.stories.len());
+    for (wire, (set, density)) in stories.iter().zip(&merged.stories) {
+        assert_eq!(&wire.vertices, set);
+        assert_eq!(wire.density.to_bits(), density.to_bits());
+        assert!(wire.entities.is_empty(), "no name table was published");
+    }
+
+    // And the stats path reports the merged work ledger.
+    let (wire_stats, shard_stats) = client.stats().unwrap();
+    assert_eq!(wire_stats, view.stats());
+    assert_eq!(shard_stats.len(), 2);
+    assert_eq!(
+        shard_stats.iter().map(|s| s.seq).sum::<u64>(),
+        updates.len() as u64
+    );
+    for s in &shard_stats {
+        let from = s.delta_coverage_from.expect("shards have published");
+        assert!(from > 0, "retention should have evicted early batches");
+        assert!(from < s.seq);
+    }
+}
+
+#[test]
+fn named_stories_and_error_replies() {
+    let mut fleet = ShardedDynDens::new(
+        AvgWeight,
+        DynDensConfig::new(1.0, 4),
+        ShardConfig::new(2).with_shard_fn(ShardFn::Modulo),
+    );
+    let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
+    server
+        .names()
+        .publish(vec!["NATO".into(), "Libya".into(), "Sony".into()]);
+    fleet.apply_batch(&[
+        EdgeUpdate::new(VertexId(0), VertexId(2), 1.5),
+        EdgeUpdate::new(VertexId(1), VertexId(3), 1.5),
+    ]);
+    fleet.flush();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let (_, stories) = client.top_k(10).unwrap();
+    assert_eq!(stories.len(), 2);
+    let all_entities: Vec<String> = stories.iter().flat_map(|s| s.entities.clone()).collect();
+    assert!(all_entities.contains(&"NATO".to_string()));
+    assert!(
+        all_entities.contains(&"entity#3".to_string()),
+        "vertices beyond the published table fall back to ids: {all_entities:?}"
+    );
+
+    // A cursor of the wrong length is a BadCursor error — and the
+    // connection survives to serve the corrected request.
+    match client.poll(&[0, 0, 0]) {
+        Err(dyndens::serve::ClientError::Server { code, .. }) => {
+            assert_eq!(code, dyndens::serve::ErrorCode::BadCursor);
+        }
+        other => panic!("expected a BadCursor error, got {other:?}"),
+    }
+    let (n_shards, _) = client.poll(&[0, 0]).unwrap();
+    assert_eq!(n_shards, 2);
+}

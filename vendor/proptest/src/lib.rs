@@ -1,8 +1,9 @@
 //! Offline, API-compatible subset of the `proptest` crate.
 //!
 //! The build environment has no crates.io access, so this vendored crate
-//! implements the slice of proptest this workspace uses: the [`Strategy`]
-//! trait implemented for ranges and tuples, `prop::collection::vec`,
+//! implements the slice of proptest this workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait implemented for ranges and tuples,
+//! `prop::collection::vec`,
 //! `prop_filter_map`/`prop_map` combinators, the [`proptest!`] macro with an
 //! optional `#![proptest_config(...)]` attribute, and the `prop_assert*`
 //! macros.
