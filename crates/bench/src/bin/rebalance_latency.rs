@@ -1,0 +1,241 @@
+//! Rebalance latency experiment: how long a live shard split pauses the
+//! split shard, and how ingest throughput recovers once the fleet has grown,
+//! on the partition-aligned 50k-update synthetic stream.
+//!
+//! Each trial runs a persistent 2-shard deployment, ingests a pre-split
+//! window (timed), performs four online splits at fixed stream milestones —
+//! slots 0, 1, 2, 3 in turn, which keeps every route-trie leaf within the
+//! community-aligned depth so the final answer stays exact — and ingests a
+//! post-split window (timed). The pause sample for one split is the wall
+//! time of `split_shard`: the window during which updates routed to the
+//! split shard park while every other shard keeps ingesting.
+//!
+//! Prints a table and writes a machine-readable `BENCH_rebalance.json`
+//! (pause percentiles, pre/post-split throughput, recovery ratio) so the
+//! rebalancing cost trajectory can be tracked across PRs. CI's
+//! rebalance-smoke step parses the JSON and gates the p99 split pause.
+//!
+//! Run with `cargo run --release -p dyndens-bench --bin rebalance_latency`.
+
+use std::time::Instant;
+
+use dyndens_bench::{percentile, shard_aligned_stream, Table};
+use dyndens_core::DynDensConfig;
+use dyndens_density::AvgWeight;
+use dyndens_graph::EdgeUpdate;
+use dyndens_shard::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn, ShardedDynDens};
+
+const N_UPDATES: usize = 50_000;
+const ALIGNMENT: usize = 8;
+const SEED: u64 = 97;
+const TRIALS: usize = 3;
+const N_SHARDS: usize = 2;
+/// Split slots 0, 1, 2, 3 in turn: one split per base slot, then one per
+/// first-generation child — every leaf stays within depth 2, the
+/// community-aligned bound for alignment 8 over 2 base slots.
+const SPLIT_SLOTS: [usize; 4] = [0, 1, 2, 3];
+/// Stream positions (updates ingested) at which the splits fire.
+const SPLIT_AT: [usize; 4] = [16_000, 22_000, 28_000, 34_000];
+const CHUNK: usize = 512;
+
+fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+fn shard_config() -> ShardConfig {
+    ShardConfig::new(N_SHARDS)
+        .with_shard_fn(ShardFn::Modulo)
+        .with_max_batch(128)
+        .with_channel_capacity(4096)
+}
+
+struct Trial {
+    pause_ms: Vec<f64>,
+    pre_ups: f64,
+    post_ups: f64,
+    output_dense: usize,
+    final_workers: usize,
+}
+
+fn ingest_window(fleet: &mut ShardedDynDens<AvgWeight>, updates: &[EdgeUpdate]) -> f64 {
+    let start = Instant::now();
+    for chunk in updates.chunks(CHUNK) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.flush();
+    start.elapsed().as_secs_f64()
+}
+
+fn run_trial(updates: &[EdgeUpdate], trial: usize) -> Trial {
+    let dir = std::env::temp_dir().join(format!(
+        "dyndens-rebalance-bench-{}-{trial}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut fleet = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(),
+        PersistenceConfig::new(&dir).with_fsync(FsyncPolicy::Never),
+    )
+    .expect("persistent deployment");
+
+    // Pre-split window: the first milestone's worth of the stream.
+    let pre_secs = ingest_window(&mut fleet, &updates[..SPLIT_AT[0]]);
+    let pre_ups = SPLIT_AT[0] as f64 / pre_secs;
+
+    // Splits at fixed milestones, ingesting between them.
+    let mut pause_ms = Vec::with_capacity(SPLIT_SLOTS.len());
+    let mut ingested = SPLIT_AT[0];
+    for (i, &slot) in SPLIT_SLOTS.iter().enumerate() {
+        let start = Instant::now();
+        fleet.split_shard(slot).expect("split failed");
+        pause_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let until = SPLIT_AT.get(i + 1).copied().unwrap_or(ingested);
+        if until > ingested {
+            ingest_window(&mut fleet, &updates[ingested..until]);
+            ingested = until;
+        }
+    }
+
+    // Post-split window: the rest of the stream, same-size comparison slice.
+    let post_window = &updates[ingested..];
+    let post_secs = ingest_window(&mut fleet, post_window);
+    let post_ups = post_window.len() as f64 / post_secs;
+
+    let output_dense = fleet.output_dense_count();
+    let final_workers = fleet.n_shards();
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+    Trial {
+        pause_ms,
+        pre_ups,
+        post_ups,
+        output_dense,
+        final_workers,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    pauses: &[f64],
+    p50: f64,
+    p99: f64,
+    pre_ups: f64,
+    post_ups: f64,
+    output_dense: usize,
+    reference_dense: usize,
+    final_workers: usize,
+) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"n_updates\": {N_UPDATES},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+    json.push_str("  \"workload\": \"shard_aligned_stream\",\n");
+    json.push_str(&format!("  \"n_shards_initial\": {N_SHARDS},\n"));
+    json.push_str(&format!("  \"trials\": {TRIALS},\n"));
+    json.push_str(&format!("  \"splits_per_trial\": {},\n", SPLIT_SLOTS.len()));
+    json.push_str(&format!("  \"final_workers\": {final_workers},\n"));
+    let samples: Vec<String> = pauses.iter().map(|ms| format!("{ms:.3}")).collect();
+    json.push_str(&format!(
+        "  \"split_pause_ms\": [{}],\n",
+        samples.join(", ")
+    ));
+    json.push_str(&format!("  \"split_pause_ms_p50\": {p50:.3},\n"));
+    json.push_str(&format!("  \"split_pause_ms_p99\": {p99:.3},\n"));
+    json.push_str(&format!(
+        "  \"split_pause_ms_max\": {:.3},\n",
+        pauses.iter().cloned().fold(0.0f64, f64::max)
+    ));
+    json.push_str(&format!("  \"pre_split_updates_per_sec\": {pre_ups:.1},\n"));
+    json.push_str(&format!(
+        "  \"post_split_updates_per_sec\": {post_ups:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"throughput_recovery_ratio\": {:.3},\n",
+        post_ups / pre_ups
+    ));
+    json.push_str(&format!("  \"output_dense\": {output_dense},\n"));
+    json.push_str(&format!(
+        "  \"output_dense_never_split\": {reference_dense}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_rebalance.json", json)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{cores} CPU core(s) available");
+    println!("generating the partition-aligned stream ({N_UPDATES} updates)...");
+    let updates = shard_aligned_stream(N_UPDATES, ALIGNMENT, SEED);
+
+    // Never-split reference answer: the splits must not change it.
+    let reference_dense = {
+        let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config());
+        for chunk in updates.chunks(CHUNK) {
+            reference.apply_batch(chunk);
+        }
+        reference.output_dense_count()
+    };
+
+    let trials: Vec<Trial> = (0..TRIALS).map(|t| run_trial(&updates, t)).collect();
+    let mut pauses: Vec<f64> = trials.iter().flat_map(|t| t.pause_ms.clone()).collect();
+    let p50 = percentile(&mut pauses, 50.0);
+    let p99 = percentile(&mut pauses, 99.0);
+    let pre_ups = trials.iter().map(|t| t.pre_ups).fold(0.0f64, f64::max);
+    let post_ups = trials.iter().map(|t| t.post_ups).fold(0.0f64, f64::max);
+
+    let mut table = Table::new(
+        "Rebalance latency (50k partition-aligned updates, splits 2 -> 6 workers)",
+        &["trial", "pauses (ms)", "pre upd/s", "post upd/s", "workers"],
+    );
+    for (i, t) in trials.iter().enumerate() {
+        table.row(vec![
+            i.to_string(),
+            t.pause_ms
+                .iter()
+                .map(|ms| format!("{ms:.1}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            format!("{:.0}", t.pre_ups),
+            format!("{:.0}", t.post_ups),
+            t.final_workers.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nsplit pause: p50 {p50:.1}ms, p99 {p99:.1}ms over {} samples; \
+         throughput recovery {:.2}x",
+        pauses.len(),
+        post_ups / pre_ups
+    );
+
+    // The splits are community-aligned: the answer must be the never-split
+    // one, in every trial.
+    for (i, t) in trials.iter().enumerate() {
+        assert_eq!(
+            t.output_dense, reference_dense,
+            "trial {i}: split run diverged from the never-split answer"
+        );
+        assert_eq!(t.final_workers, N_SHARDS + SPLIT_SLOTS.len());
+    }
+
+    match write_json(
+        &pauses,
+        p50,
+        p99,
+        pre_ups,
+        post_ups,
+        trials[0].output_dense,
+        reference_dense,
+        trials[0].final_workers,
+    ) {
+        Ok(()) => println!("wrote BENCH_rebalance.json"),
+        Err(e) => eprintln!("failed to write BENCH_rebalance.json: {e}"),
+    }
+}

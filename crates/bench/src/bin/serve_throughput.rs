@@ -36,14 +36,6 @@ struct ClientReport {
     resyncs: u64,
 }
 
-fn percentile(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[rank] as f64 / 1000.0
-}
-
 fn client_loop(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> ClientReport {
     let mut client = Client::connect(addr).expect("client connect");
     let mut follower = Follower::new();
@@ -126,8 +118,9 @@ fn main() {
         .collect();
     poll_us.sort_unstable();
     let polls_total = poll_us.len() as u64;
-    let p50 = percentile(&poll_us, 0.50);
-    let p99 = percentile(&poll_us, 0.99);
+    let mut poll_ms: Vec<f64> = poll_us.iter().map(|&us| us as f64 / 1000.0).collect();
+    let p50 = dyndens_bench::percentile(&mut poll_ms, 50.0);
+    let p99 = dyndens_bench::percentile(&mut poll_ms, 99.0);
     let requests_per_sec = requests_total as f64 / duration_secs;
 
     let mut table = Table::new(

@@ -25,5 +25,5 @@ pub mod report;
 pub mod runner;
 
 pub use datasets::{shard_aligned_stream, unweighted_dataset, weighted_dataset, DatasetSpec};
-pub use report::Table;
+pub use report::{percentile, Table};
 pub use runner::{run_updates, RunMeasurement};

@@ -127,6 +127,70 @@ impl<D: DensityMeasure> DynDens<D> {
         self.stats.reset();
     }
 
+    /// Replaces the cumulative statistics wholesale.
+    ///
+    /// Used by shard rebalancing: a split rebuilds two child engines by
+    /// filtered replay (with [`set_recovering`](Self::set_recovering) set, so
+    /// the children count nothing), then hands the parent's live counters to
+    /// the child that keeps the parent's worker slot. The fleet-merged work
+    /// ledger stays exactly the sum of all work ever counted — no update is
+    /// counted twice or dropped by a split.
+    pub fn adopt_stats(&mut self, stats: EngineStats) {
+        self.stats = stats;
+    }
+
+    /// Partitions the engine's maintenance state into two engines by a
+    /// vertex predicate: edge `(a, b)` and subgraph `S` land in the first
+    /// engine when `keep` holds for their **minimum** vertex (the same
+    /// endpoint shard routing uses), in the second otherwise.
+    ///
+    /// This is the engine half of a shard split. Both children inherit the
+    /// configuration, the *current* (possibly adjusted) threshold-family
+    /// parameters, the update epoch and the parent's vertex universe; stored
+    /// scores and discovery metadata are copied bit-for-bit, and `*` markers
+    /// travel with their subgraph. Statistics start at zero — the caller
+    /// decides how to attribute the parent's ledger (see
+    /// [`adopt_stats`](Self::adopt_stats)).
+    ///
+    /// When no maintained subgraph spans the two sides (the partitioning
+    /// invariant of `dyndens-shard`), the children's union is exactly the
+    /// parent's state and each child is bit-identical to an engine that only
+    /// ever saw its own slice of the update stream. A spanning subgraph is
+    /// assigned by its minimum vertex — the union answer is still preserved
+    /// at the split point, but the two sides' future evolution becomes the
+    /// same partition approximation hash-sharding already accepts.
+    pub fn partition_by(&self, mut keep: impl FnMut(VertexId) -> bool) -> (Self, Self) {
+        let child = || DynDens {
+            graph: DynamicGraph::with_vertices(self.graph.vertex_count()),
+            thresholds: ThresholdFamily::new(
+                self.thresholds.measure().clone(),
+                self.thresholds.output_threshold(),
+                self.config.n_max,
+                self.thresholds.delta_it(),
+            ),
+            config: self.config.clone(),
+            index: SubgraphIndex::new(),
+            epoch: self.epoch,
+            stats: EngineStats::default(),
+            recovering: false,
+            order_scratch: Vec::new(),
+        };
+        let (mut zero, mut one) = (child(), child());
+        for (a, b, w) in self.graph.edges() {
+            let side = if keep(a) { &mut zero } else { &mut one };
+            side.graph.set_weight(a, b, w);
+        }
+        for (id, verts, info) in self.index.iter() {
+            let min = verts.as_slice()[0];
+            let side = if keep(min) { &mut zero } else { &mut one };
+            let new_id = side.index.insert(verts.as_slice(), *info);
+            if self.index.has_star(id) {
+                side.index.set_star(new_id, true);
+            }
+        }
+        (zero, one)
+    }
+
     /// Marks the engine as replaying already-counted updates (WAL recovery).
     ///
     /// While the flag is set, [`apply_update_into`](Self::apply_update_into)

@@ -512,6 +512,77 @@ mod tests {
     }
 
     #[test]
+    fn partition_preserves_union_and_future_evolution() {
+        // Two vertex-disjoint cliques, one on even ids, one on odd ids: the
+        // partition by id parity must reproduce, bit for bit, the engines
+        // that only ever saw their own clique's updates.
+        let config = DynDensConfig::new(1.0, 4).with_delta_it(0.15);
+        let even = [
+            update(0, 2, 1.1),
+            update(0, 4, 1.2),
+            update(2, 4, 1.05),
+            update(0, 2, -0.2),
+        ];
+        let odd = [update(1, 3, 1.3), update(1, 5, 0.9), update(3, 5, 1.0)];
+        let mut parent = DynDens::new(AvgWeight, config.clone());
+        // Interleave the two communities the way a shared shard would see them.
+        for pair in even.iter().zip(odd.iter()) {
+            parent.apply_update(*pair.0);
+            parent.apply_update(*pair.1);
+        }
+        parent.apply_update(even[3]);
+
+        let (mut zero, one) = parent.partition_by(|v| v.0 % 2 == 0);
+        zero.validate().unwrap();
+        one.validate().unwrap();
+
+        // The split point: the union of the children equals the parent.
+        let mut union: Vec<(VertexSet, u64)> = zero
+            .dense_subgraphs()
+            .into_iter()
+            .chain(one.dense_subgraphs())
+            .map(|(s, d)| (s, d.to_bits()))
+            .collect();
+        union.sort();
+        let mut want: Vec<(VertexSet, u64)> = parent
+            .dense_subgraphs()
+            .into_iter()
+            .map(|(s, d)| (s, d.to_bits()))
+            .collect();
+        want.sort();
+        assert_eq!(union, want);
+        assert_eq!(zero.epoch, parent.epoch);
+        assert_eq!(one.epoch, parent.epoch);
+        assert_eq!(
+            zero.stats().updates,
+            0,
+            "children start with a clean ledger"
+        );
+
+        // Future evolution: each child continues exactly like a reference
+        // engine that only ever ingested its own slice.
+        let mut ref_even = DynDens::new(AvgWeight, config.clone());
+        for u in even {
+            ref_even.apply_update(u);
+        }
+        let tail = [update(2, 4, -0.3), update(0, 6, 1.4), update(4, 6, 1.15)];
+        for u in tail {
+            zero.apply_update(u);
+            ref_even.apply_update(u);
+        }
+        let key = |e: &DynDens<AvgWeight>| {
+            let mut v: Vec<(VertexSet, u64)> = e
+                .dense_subgraphs()
+                .into_iter()
+                .map(|(s, d)| (s, d.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&zero), key(&ref_even));
+    }
+
+    #[test]
     fn snapshot_survives_threshold_adjustment() {
         let mut engine = busy_engine();
         // Dynamic threshold adjustment drifts the family away from config.

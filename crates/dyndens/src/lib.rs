@@ -54,8 +54,8 @@ pub mod prelude {
     pub use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens, ThresholdFamily};
     pub use dyndens_graph::{DynamicGraph, EdgeUpdate, VertexId, VertexSet};
     pub use dyndens_shard::{
-        FsyncPolicy, PersistenceConfig, RecoveryReport, ShardConfig, ShardFn, ShardedDynDens,
-        StoryView,
+        FsyncPolicy, IngestHandle, PersistenceConfig, RebalancePolicy, Rebalancer, RecoveryReport,
+        ShardConfig, ShardFn, ShardedDynDens, SplitPhase, SplitReport, StoryView,
     };
 }
 

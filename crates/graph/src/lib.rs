@@ -23,6 +23,10 @@
 //!   (the keys are small integers; HashDoS resistance is not a concern here).
 //! * [`codec`] — the little-endian binary codec (and CRC-32) shared by the
 //!   persistence layer: WAL records and engine snapshots.
+//! * [`shard_map`] — the generational shard routing table ([`ShardMap`]): the
+//!   base shard-assignment functions ([`ShardFn`]) plus the split-refinement
+//!   trie and its manifest codec, used by `dyndens-shard` for live
+//!   rebalancing.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,12 +34,14 @@
 pub mod codec;
 pub mod graph;
 pub mod hash;
+pub mod shard_map;
 pub mod update;
 pub mod vertex_set;
 
 pub use codec::{ByteReader, CodecError};
 pub use graph::{DynamicGraph, NeighborhoodScores};
 pub use hash::{shard_of, FxBuildHasher, FxHashMap, FxHashSet};
+pub use shard_map::{ShardFn, ShardMap, SplitSpec};
 pub use update::EdgeUpdate;
 pub use vertex_set::VertexSet;
 

@@ -183,7 +183,14 @@ impl Follower {
             self.since = vec![0; n_shards as usize];
             self.shards = (0..n_shards).map(|_| BTreeMap::new()).collect();
         } else if self.since.len() != n_shards as usize {
-            return Err(ClientError::Protocol("server shard count changed"));
+            // The server's topology changed under us (a shard split, or a
+            // recovery into a differently-sized fleet). The server already
+            // treated our stale cursor as a bootstrap cursor, so the entries
+            // in this very reply rebase every slot: drop the old mirror and
+            // apply them against a fresh one.
+            self.since = vec![0; n_shards as usize];
+            self.shards = (0..n_shards).map(|_| BTreeMap::new()).collect();
+            self.resyncs += 1;
         }
         let advanced = !entries.is_empty();
         for entry in entries {

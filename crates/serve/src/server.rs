@@ -282,15 +282,17 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
         }
         Request::Poll { since } => {
             let n_shards = view.n_shards();
-            if !since.is_empty() && since.len() != n_shards {
-                return Response::Error {
-                    code: ErrorCode::BadCursor,
-                    message: format!(
-                        "poll cursor has {} entries, server has {n_shards} shards",
-                        since.len()
-                    ),
-                };
-            }
+            // A cursor whose length disagrees with the current topology is a
+            // reader from before a shard split (or from another deployment):
+            // treat it as the bootstrap cursor. The reply's `n_shards` tells
+            // the client the new topology and its per-shard entries rebase
+            // every slot — the clean-resync path pollers take after a split,
+            // with no error round-trip.
+            let since = if since.len() == n_shards {
+                since.as_slice()
+            } else {
+                &[]
+            };
             let mut entries = Vec::new();
             for shard in 0..n_shards {
                 let since_seq = since.get(shard).copied().unwrap_or(0);

@@ -2,36 +2,19 @@
 
 use std::path::PathBuf;
 
-use dyndens_graph::VertexId;
-
-/// The shard-assignment function applied to the minimum endpoint of an edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShardFn {
-    /// Fx-hash the vertex and spread it over the shards with a multiply-shift
-    /// ([`dyndens_graph::shard_of`]). The default: balanced for arbitrary id
-    /// distributions.
-    Hashed,
-    /// `v mod n_shards`. Useful when entity ids are assigned so that related
-    /// entities share a congruence class (making the partitioning invariant
-    /// hold by construction), and in tests that need a predictable layout.
-    Modulo,
-}
-
-impl ShardFn {
-    /// The shard owning vertex `v` out of `n_shards`.
-    #[inline]
-    pub fn shard(self, v: VertexId, n_shards: usize) -> usize {
-        match self {
-            ShardFn::Hashed => dyndens_graph::shard_of(v, n_shards),
-            ShardFn::Modulo => v.index() % n_shards,
-        }
-    }
-}
+/// The base shard-assignment function, re-exported from
+/// [`dyndens_graph::shard_map`] where it now lives alongside the
+/// generational [`ShardMap`](dyndens_graph::ShardMap) routing table that
+/// refines it during live rebalancing (see [`crate::rebalance`]).
+pub use dyndens_graph::ShardFn;
 
 /// Configuration of a [`ShardedDynDens`](crate::ShardedDynDens) deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardConfig {
-    /// Number of shard workers (>= 1).
+    /// Number of **base** shard workers (>= 1). This is generation zero of
+    /// the deployment's routing table; live rebalancing
+    /// ([`ShardedDynDens::split_shard`](crate::ShardedDynDens::split_shard))
+    /// can grow the worker count beyond it without changing this value.
     pub n_shards: usize,
     /// Bound of each worker's MPSC inbox, in messages. Producers block once a
     /// shard falls this far behind (backpressure).
@@ -200,6 +183,7 @@ impl PersistenceConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dyndens_graph::VertexId;
 
     #[test]
     fn builders_round_trip() {

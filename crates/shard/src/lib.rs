@@ -80,14 +80,28 @@
 //! [`PersistenceConfig::snapshot_every_batches`] micro-batches. Recovery
 //! ([`recovery`]) is `newest valid snapshot + WAL tail replay` and rebuilds
 //! a state **bit-identical** to a worker that never crashed, without
-//! double-counting replayed updates into [`EngineStats`](dyndens_core::EngineStats). This is also the
-//! substrate for shard rebalancing: splitting a hot shard is replaying its
-//! WAL slice into two engines.
+//! double-counting replayed updates into [`EngineStats`](dyndens_core::EngineStats).
+//!
+//! ## Live rebalancing
+//!
+//! Routing is a level of indirection, not a fixed function: updates flow
+//! through a **generational shard map** ([`dyndens_graph::ShardMap`], a
+//! route trie refined one split at a time and persisted in the deployment
+//! `MANIFEST`). [`ShardedDynDens::split_shard`] splits a hot shard online —
+//! quiesce that one worker, rebuild two children from its newest checkpoint
+//! plus its WAL slice filtered through the refined map, commit atomically —
+//! while ingest on every other shard continues and readers resynchronise
+//! through the ordinary [`StoryView`] plumbing. The [`rebalance`] module
+//! documents the protocol, the equivalence guarantee (split-mid-stream ==
+//! never-split, bit for bit, under the partitioning invariant) and the
+//! failure semantics; [`rebalance::Rebalancer`] turns the fleet's queue
+//! depth and skew signals into split decisions.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod rebalance;
 pub mod recovery;
 pub mod sharded;
 pub mod view;
@@ -95,8 +109,9 @@ pub mod wal;
 mod worker;
 
 pub use config::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn};
+pub use rebalance::{RebalanceError, RebalancePolicy, Rebalancer, SplitPhase, SplitReport};
 pub use recovery::{RecoveryError, RecoveryReport};
-pub use sharded::ShardedDynDens;
+pub use sharded::{IngestHandle, ShardedDynDens};
 pub use view::{
     DeltaBatch, DeltaCatchUp, DeltaRing, EpochCell, MergedStories, ShardSnapshot, StoryView,
 };

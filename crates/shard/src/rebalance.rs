@@ -1,0 +1,1008 @@
+//! Live shard rebalancing: splitting a hot shard by snapshot + WAL-slice
+//! replay, while the rest of the fleet keeps ingesting.
+//!
+//! A fixed shard count means one hot entity partition caps whole-pipeline
+//! throughput forever. This module removes the cap with an **online split**:
+//!
+//! ```text
+//!  1. park     routing[slot] := Parked        (other slots: untouched)
+//!  2. quiesce  flush + stop the slot's worker → its WAL is complete to S
+//!  3. rebuild  newest snapshot ──partition──► child₀ │ child₁
+//!              WAL slice [S₀..S) ──filter through the refined map──► replay
+//!  4. persist  child dirs (snapshot @ S, fresh WAL) + MANIFEST rewrite
+//!  5. commit   publish grown roster; spawn children; drain parked updates
+//!              through the refined map; routing[slot] := child₀, new slot
+//!              := child₁
+//! ```
+//!
+//! Only the split shard pauses (updates routed to it park in an unbounded
+//! queue and are re-routed, in order, at commit); ingest on every other
+//! shard never stops. Readers need no coordination either: the
+//! [`StoryView`](crate::StoryView) roster grows at commit, the split slot's
+//! delta ring restarts empty — pollers resynchronise from its snapshot,
+//! exactly as after crash recovery — and the new slot appears at the split
+//! point's sequence number.
+//!
+//! ## Equivalence
+//!
+//! The children are rebuilt by *filtered replay*: the parent's newest
+//! checkpoint is partitioned by the refined routing
+//! ([`DynDens::partition_by`]), then the WAL slice past it is replayed with
+//! each update routed to the child that now owns its minimum endpoint.
+//! Under the partitioning invariant (no maintained subgraph spans the two
+//! children — see the crate docs) each child is **bit-identical** to an
+//! engine that only ever saw its own slice, so splitting mid-stream yields
+//! exactly the story sets of a never-split run
+//! (`tests/rebalance_equivalence.rs`). The work ledger is preserved too:
+//! rebuild replay counts nothing and child 0 adopts the parent's live
+//! counters.
+//!
+//! ## Crash safety
+//!
+//! The manifest rewrite is the commit point. The children's snapshots and
+//! WALs are durable *before* it; the parent directory is retired *after* it.
+//! A crash before the rewrite recovers the parent (orphan child directories
+//! are overwritten by the next split attempt — engine ids are persisted in
+//! the manifest and never reused); a crash after recovers the children.
+//!
+//! ## Failure containment
+//!
+//! If rebuilding fails (damaged snapshot, torn WAL, disk errors), the split
+//! **resurrects the parent**: its on-disk state is complete up to the
+//! quiesce point, so the standard recovery path rebuilds it, parked updates
+//! are drained to it unchanged, and the fleet continues un-split with the
+//! error reported to the caller.
+
+use std::io;
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+
+use dyndens_core::{DynDens, DynDensConfig, EngineStats};
+use dyndens_density::DensityMeasure;
+use dyndens_graph::{ShardMap, VertexId};
+
+use crate::config::PersistenceConfig;
+use crate::recovery::{self, RecoveryError};
+use crate::sharded::{spawn_worker, ShardTx, ShardedDynDens};
+use crate::view::{DeltaRing, EpochCell, ShardRoster, ShardSnapshot};
+use crate::wal::{self, WalWriter};
+use crate::worker::{self, WorkerMsg, WorkerPersistence};
+
+/// An error splitting a shard. The fleet is left routing exactly as before
+/// the attempt (the parent is resurrected from its own persistent state)
+/// unless resurrection itself fails — a double fault — in which case the
+/// slot stays parked: updates routed to it are still accepted and accumulate
+/// in memory (never applied or logged, so they are lost on restart), every
+/// other shard keeps working, and the deployment should be restarted so
+/// recovery rebuilds the parent from disk.
+#[derive(Debug)]
+pub enum RebalanceError {
+    /// Filesystem failure while rebuilding or persisting the children.
+    Io(io::Error),
+    /// The parent's persisted state could not be read back (damaged
+    /// snapshot, corrupt WAL segment, …).
+    Recovery(RecoveryError),
+    /// The slot does not name a live worker (or its route-trie leaf already
+    /// sits at the maximum split depth).
+    UnknownShard(usize),
+    /// The parent's snapshot + WAL slice did not reach the quiesce point:
+    /// replay rebuilt state up to `found` but the worker had applied
+    /// `expected` updates. Indicates missing WAL records.
+    HistoryGap {
+        /// The parent's sequence number at quiesce.
+        expected: u64,
+        /// The sequence number filtered replay actually reached.
+        found: u64,
+    },
+}
+
+impl From<io::Error> for RebalanceError {
+    fn from(e: io::Error) -> Self {
+        RebalanceError::Io(e)
+    }
+}
+
+impl From<RecoveryError> for RebalanceError {
+    fn from(e: RecoveryError) -> Self {
+        RebalanceError::Recovery(e)
+    }
+}
+
+impl std::fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceError::Io(e) => write!(f, "rebalance I/O failure: {e}"),
+            RebalanceError::Recovery(e) => write!(f, "rebalance could not read shard state: {e}"),
+            RebalanceError::UnknownShard(slot) => {
+                write!(f, "shard {slot} is not a splittable worker slot")
+            }
+            RebalanceError::HistoryGap { expected, found } => write!(
+                f,
+                "split replay reached sequence {found} but the shard had applied {expected}; \
+                 WAL records are missing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RebalanceError {}
+
+/// The milestones of one split, reported to the observer callback of
+/// [`ShardedDynDens::split_shard_with`]. Operational monitoring can hang off
+/// these; the equivalence tests use [`Parked`](SplitPhase::Parked) to ingest
+/// concurrently and prove that untouched shards keep applying updates while
+/// the split shard is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitPhase {
+    /// The slot's worker is quiesced and stopped; updates routed to the slot
+    /// are parking. Every other shard is ingesting normally.
+    Parked,
+    /// Both children are rebuilt (and, for persistent deployments, durable
+    /// on disk with the manifest rewritten — the split is now the committed
+    /// topology even across a crash).
+    Rebuilt,
+    /// Routing serves the refined map; parked updates have been re-routed;
+    /// the children's workers are live.
+    Committed,
+}
+
+/// What a completed split did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitReport {
+    /// The worker slot that was split (now serving the bit-0 child).
+    pub slot: usize,
+    /// The new worker slot serving the bit-1 child.
+    pub new_slot: usize,
+    /// The retired parent's engine id.
+    pub parent_engine: u64,
+    /// The children's fresh engine ids (bit 0, bit 1).
+    pub child_engines: (u64, u64),
+    /// The parent's sequence number at quiesce — both children start here.
+    pub parent_seq: u64,
+    /// Sequence number of the checkpoint the rebuild started from (0 when
+    /// the rebuild partitioned live in-memory state or started fresh).
+    pub snapshot_seq: u64,
+    /// WAL updates replayed (filtered) past the checkpoint.
+    pub replayed_updates: u64,
+    /// Updates that parked during the split and were re-routed at commit.
+    pub parked_updates: u64,
+    /// The routing-table generation after the split.
+    pub generation: u64,
+}
+
+/// Thresholds deciding when a shard is hot enough to split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalancePolicy {
+    /// Split when a slot's ingest queue depth (updates routed but not yet
+    /// applied) reaches this many updates — the shard is falling behind its
+    /// stream.
+    pub min_queue_depth: u64,
+    /// Split when a slot applied more than this fraction of the fleet's
+    /// updates **since the previous check** (skew signal; only meaningful
+    /// once [`min_total_updates`](RebalancePolicy::min_total_updates) is met
+    /// within the window).
+    pub min_share: f64,
+    /// Minimum fleet-wide updates applied within the check window before
+    /// the share signal fires (avoids splitting on startup or idle noise).
+    pub min_total_updates: u64,
+}
+
+impl Default for RebalancePolicy {
+    /// Queue depth 4096, share 60% of a ≥50k-update window.
+    fn default() -> Self {
+        RebalancePolicy {
+            min_queue_depth: 4096,
+            min_share: 0.6,
+            min_total_updates: 50_000,
+        }
+    }
+}
+
+/// Detects hot shards from the fleet's live signals and drives splits.
+///
+/// The two signals are the ones the facade already maintains: per-slot
+/// **ingest queue depth** ([`ShardedDynDens::queue_depths`], routed minus
+/// applied — the backpressure measure) and the per-slot share of updates
+/// applied **since the previous check**, derived from the published
+/// [`ShardSnapshot`] stats (the skew measure). The share signal is a *rate*,
+/// not a lifetime counter, for two reasons: a slot that was hot an hour ago
+/// but is balanced now must not be split, and the child that adopts the
+/// parent's cumulative ledger after a split must not look eternally hot.
+/// That makes the rebalancer stateful: the first [`pick`](Rebalancer::pick)
+/// after construction (or after a topology change) only establishes the
+/// baseline window. Drive it from an operations loop:
+///
+/// ```no_run
+/// use dyndens_shard::{rebalance::Rebalancer, ShardConfig, ShardedDynDens};
+/// use dyndens_core::DynDensConfig;
+/// use dyndens_density::AvgWeight;
+///
+/// let mut fleet = ShardedDynDens::new(
+///     AvgWeight,
+///     DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+///     ShardConfig::new(2),
+/// );
+/// let mut rebalancer = Rebalancer::default();
+/// loop {
+///     // ... ingest for a while ...
+///     if let Some(result) = rebalancer.maybe_split(&mut fleet) {
+///         let report = result.expect("split failed");
+///         eprintln!("split shard {} -> +{}", report.slot, report.new_slot);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rebalancer {
+    policy: RebalancePolicy,
+    /// Per-slot applied-update counters at the previous [`pick`], the base
+    /// of the share window. Reset whenever the slot count changes.
+    ///
+    /// [`pick`]: Rebalancer::pick
+    baseline: Vec<u64>,
+}
+
+impl Rebalancer {
+    /// A rebalancer with the given thresholds.
+    pub fn new(policy: RebalancePolicy) -> Self {
+        Rebalancer {
+            policy,
+            baseline: Vec::new(),
+        }
+    }
+
+    /// The thresholds in effect.
+    pub fn policy(&self) -> &RebalancePolicy {
+        &self.policy
+    }
+
+    /// The hottest splittable slot, or `None` while no slot crosses the
+    /// policy thresholds. Queue depth dominates (a shard actively falling
+    /// behind); the applied-share skew signal backs it up, computed over the
+    /// window since the previous `pick` (the first call after construction
+    /// or a topology change only establishes the window).
+    pub fn pick<D: DensityMeasure>(&mut self, fleet: &ShardedDynDens<D>) -> Option<usize> {
+        let view = fleet.view();
+        let applied: Vec<u64> = (0..view.n_shards())
+            .map(|s| view.shard_snapshot(s).stats.updates)
+            .collect();
+        let window_valid = self.baseline.len() == applied.len();
+        let deltas: Vec<u64> = if window_valid {
+            applied
+                .iter()
+                .zip(&self.baseline)
+                .map(|(now, base)| now.saturating_sub(*base))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.baseline = applied;
+
+        let depths = fleet.queue_depths();
+        if let Some((slot, &depth)) = depths.iter().enumerate().max_by_key(|&(_, &depth)| depth) {
+            if depth >= self.policy.min_queue_depth {
+                return Some(slot);
+            }
+        }
+        if !window_valid || deltas.len() < 2 {
+            return None;
+        }
+        let total: u64 = deltas.iter().sum();
+        if total < self.policy.min_total_updates {
+            return None;
+        }
+        let (slot, &most) = deltas.iter().enumerate().max_by_key(|&(_, &n)| n)?;
+        (most as f64 > self.policy.min_share * total as f64).then_some(slot)
+    }
+
+    /// Splits the hottest shard if any slot crosses the thresholds. Returns
+    /// `None` when the fleet is balanced (or while the share window is still
+    /// being established).
+    pub fn maybe_split<D: DensityMeasure>(
+        &mut self,
+        fleet: &mut ShardedDynDens<D>,
+    ) -> Option<Result<SplitReport, RebalanceError>> {
+        let slot = self.pick(fleet)?;
+        Some(fleet.split_shard(slot))
+    }
+}
+
+/// What the disk rebuild measured, folded into the [`SplitReport`].
+struct RebuildDetail {
+    snapshot_seq: u64,
+    replayed: u64,
+}
+
+impl<D: DensityMeasure> ShardedDynDens<D> {
+    /// Splits worker `slot` into two shards: the bit-0 child keeps `slot`,
+    /// the bit-1 child takes a new slot, and the routing table advances one
+    /// generation. Equivalent to
+    /// [`split_shard_with`](Self::split_shard_with) with a no-op observer.
+    pub fn split_shard(&mut self, slot: usize) -> Result<SplitReport, RebalanceError> {
+        self.split_shard_with(slot, |_| {})
+    }
+
+    /// Splits worker `slot`, invoking `observer` at each [`SplitPhase`].
+    ///
+    /// Only the split shard pauses: updates routed to it during the split
+    /// park (unbounded) and are re-routed through the refined map at commit;
+    /// every other shard — and every [`IngestHandle`](crate::IngestHandle)
+    /// and [`StoryView`](crate::StoryView) — keeps working throughout,
+    /// including from other threads. Pollers of the split slot resynchronise
+    /// from its post-split snapshot (its delta ring restarts empty, exactly
+    /// like after crash recovery).
+    ///
+    /// For persistent deployments the children are rebuilt from the parent's
+    /// newest checkpoint plus its WAL slice, both filtered through the
+    /// refined routing, and the split commits durably via a manifest
+    /// rewrite. In-memory deployments partition the live engine instead.
+    /// See the [module docs](crate::rebalance) for the full protocol,
+    /// equivalence guarantees and failure semantics.
+    pub fn split_shard_with(
+        &mut self,
+        slot: usize,
+        mut observer: impl FnMut(SplitPhase),
+    ) -> Result<SplitReport, RebalanceError> {
+        // Refine the map first: it also validates the slot.
+        let mut new_map = {
+            let routing = self.routing.read().expect("routing poisoned");
+            routing.map.clone()
+        };
+        let spec = new_map
+            .split(slot)
+            .ok_or(RebalanceError::UnknownShard(slot))?;
+
+        // 1. Park the slot: new ingest for it accumulates unconsumed.
+        let (park_tx, park_rx) = channel();
+        let old_tx = {
+            let mut routing = self.routing.write().expect("routing poisoned");
+            match std::mem::replace(&mut routing.senders[slot], ShardTx::Parked(park_tx)) {
+                ShardTx::Live(tx) => tx,
+                parked @ ShardTx::Parked(_) => {
+                    // Defensive: a slot can only be parked by a split, and
+                    // splits are serialised by `&mut self`. Restore and bail.
+                    routing.senders[slot] = parked;
+                    return Err(RebalanceError::UnknownShard(slot));
+                }
+            }
+        };
+
+        // 2. Quiesce the parent: everything routed before the park is
+        // applied (and, when persistent, in the WAL), then the worker stops.
+        let (ack_tx, ack_rx) = channel();
+        let _ = old_tx.send(WorkerMsg::Flush(ack_tx));
+        let _ = ack_rx.recv();
+        let _ = old_tx.send(WorkerMsg::Shutdown);
+        drop(old_tx);
+        if let Some(handle) = self.workers[slot].take() {
+            let _ = handle.join();
+        }
+        let roster = self.roster.load();
+        let parent_seq = roster.cells[slot].seq();
+        observer(SplitPhase::Parked);
+
+        // 3. Rebuild the children; on failure, resurrect the parent.
+        let keep = |v: VertexId| new_map.route(v) == slot;
+        let built = self.build_children(&keep, slot, parent_seq, &spec, &new_map);
+        let (child_zero, child_one, persist, detail) = match built {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.resurrect_parent(slot, parent_seq, park_rx);
+                return Err(e);
+            }
+        };
+        observer(SplitPhase::Rebuilt);
+
+        // 4. Publish the grown roster in ONE epoch store, so readers switch
+        // from "parent owns the slot" to "both children exist" atomically —
+        // no interleaving can observe child zero without child one (which
+        // would transiently lose the moved slice's stories). Both children
+        // get *fresh* cells initialised at the split point: the split slot's
+        // sequence numbers stay monotone (its old cell sat at `parent_seq`
+        // too, holding the parent's final snapshot until the swap), and both
+        // delta rings start empty, so pollers resync exactly as after crash
+        // recovery.
+        let (persist_zero, persist_one) = persist;
+        let fresh_cell = |shard: usize, engine: &DynDens<D>| {
+            let cell = Arc::new(EpochCell::new(ShardSnapshot::empty(shard)));
+            cell.store_with_seq(
+                Arc::new(worker::build_snapshot(
+                    shard,
+                    engine,
+                    parent_seq,
+                    parent_seq,
+                    &[],
+                    self.config.top_k,
+                )),
+                parent_seq,
+            );
+            cell
+        };
+        let mut cells = roster.cells.clone();
+        let mut rings = roster.rings.clone();
+        cells[slot] = fresh_cell(slot, &child_zero);
+        rings[slot] = Arc::new(DeltaRing::new(self.config.delta_retention));
+        cells.push(fresh_cell(spec.new_slot, &child_one));
+        rings.push(Arc::new(DeltaRing::new(self.config.delta_retention)));
+        let engine_zero = Arc::new(Mutex::new(child_zero));
+        let engine_one = Arc::new(Mutex::new(child_one));
+        let (tx_zero, handle_zero) = spawn_worker(
+            slot,
+            &self.config,
+            parent_seq,
+            persist_zero,
+            &engine_zero,
+            &cells[slot],
+            &rings[slot],
+        );
+        let (tx_one, handle_one) = spawn_worker(
+            spec.new_slot,
+            &self.config,
+            parent_seq,
+            persist_one,
+            &engine_one,
+            &cells[spec.new_slot],
+            &rings[spec.new_slot],
+        );
+        self.engines[slot] = engine_zero;
+        self.engines.push(engine_one);
+        self.workers[slot] = Some(handle_zero);
+        self.workers.push(Some(handle_one));
+        self.roster.store(Arc::new(ShardRoster { cells, rings }));
+
+        // 5. Commit routing: install the refined map and drain the parked
+        // backlog through it, in arrival order. Holding the write lock here
+        // guarantees no sender is mid-send, so the drain is complete.
+        let parked_updates = {
+            let mut routing = self.routing.write().expect("routing poisoned");
+            let (mut to_zero, mut to_one) = (0u64, 0u64);
+            let route_one = |u: &dyndens_graph::EdgeUpdate| new_map.route(u.a.min(u.b)) != slot;
+            while let Ok(msg) = park_rx.try_recv() {
+                match msg {
+                    WorkerMsg::Update(u) => {
+                        if route_one(&u) {
+                            to_one += 1;
+                            let _ = tx_one.send(WorkerMsg::Update(u));
+                        } else {
+                            to_zero += 1;
+                            let _ = tx_zero.send(WorkerMsg::Update(u));
+                        }
+                    }
+                    WorkerMsg::Batch(batch) => {
+                        let (mut zero, mut one) = (Vec::new(), Vec::new());
+                        for u in batch {
+                            if route_one(&u) {
+                                one.push(u);
+                            } else {
+                                zero.push(u);
+                            }
+                        }
+                        to_zero += zero.len() as u64;
+                        to_one += one.len() as u64;
+                        if !zero.is_empty() {
+                            let _ = tx_zero.send(WorkerMsg::Batch(zero));
+                        }
+                        if !one.is_empty() {
+                            let _ = tx_one.send(WorkerMsg::Batch(one));
+                        }
+                    }
+                    // A flush parked mid-split must cover both children.
+                    WorkerMsg::Flush(ack) => {
+                        let _ = tx_zero.send(WorkerMsg::Flush(ack.clone()));
+                        let _ = tx_one.send(WorkerMsg::Flush(ack));
+                    }
+                    WorkerMsg::Shutdown => {
+                        let _ = tx_zero.send(WorkerMsg::Shutdown);
+                        let _ = tx_one.send(WorkerMsg::Shutdown);
+                    }
+                }
+            }
+            routing.senders[slot] = ShardTx::Live(tx_zero);
+            routing.senders.push(ShardTx::Live(tx_one));
+            routing.routed[slot] = Arc::new(AtomicU64::new(parent_seq + to_zero));
+            routing
+                .routed
+                .push(Arc::new(AtomicU64::new(parent_seq + to_one)));
+            routing.map = new_map.clone();
+            to_zero + to_one
+        };
+
+        // 6. Retire the parent's directory (the manifest no longer
+        // references it; best-effort — an orphan is harmless).
+        if let Some(p) = &self.persistence {
+            let _ = std::fs::remove_dir_all(recovery::shard_dir(&p.dir, spec.parent_engine));
+        }
+        observer(SplitPhase::Committed);
+
+        Ok(SplitReport {
+            slot,
+            new_slot: spec.new_slot,
+            parent_engine: spec.parent_engine,
+            child_engines: (spec.child_zero_engine, spec.child_one_engine),
+            parent_seq,
+            snapshot_seq: detail.snapshot_seq,
+            replayed_updates: detail.replayed,
+            parked_updates,
+            generation: new_map.generation(),
+        })
+    }
+
+    /// Rebuilds the two child engines (disk path for persistent deployments,
+    /// live partition otherwise), persists them and commits the manifest.
+    #[allow(clippy::type_complexity)]
+    fn build_children(
+        &self,
+        keep: &impl Fn(VertexId) -> bool,
+        slot: usize,
+        parent_seq: u64,
+        spec: &dyndens_graph::SplitSpec,
+        new_map: &ShardMap,
+    ) -> Result<
+        (
+            DynDens<D>,
+            DynDens<D>,
+            (Option<WorkerPersistence>, Option<WorkerPersistence>),
+            RebuildDetail,
+        ),
+        RebalanceError,
+    > {
+        let live_stats = self.engines[slot]
+            .lock()
+            .expect("shard engine poisoned")
+            .stats()
+            .clone();
+        let (mut child_zero, mut child_one, detail) = match &self.persistence {
+            Some(p) => {
+                let dir = recovery::shard_dir(&p.dir, spec.parent_engine);
+                rebuild_from_disk(&self.measure, &self.engine_config, &dir, parent_seq, keep)?
+            }
+            None => {
+                let parent = self.engines[slot].lock().expect("shard engine poisoned");
+                let (zero, one) = parent.partition_by(keep);
+                (
+                    zero,
+                    one,
+                    RebuildDetail {
+                        snapshot_seq: 0,
+                        replayed: 0,
+                    },
+                )
+            }
+        };
+        // The ledger survives the split exactly: replay counted nothing, the
+        // slot-keeping child adopts the parent's counters wholesale.
+        child_zero.adopt_stats(live_stats);
+        child_one.adopt_stats(EngineStats::default());
+
+        let persist = match &self.persistence {
+            Some(p) => {
+                let zero = persist_child(p, spec.child_zero_engine, parent_seq, &child_zero)?;
+                let one = persist_child(p, spec.child_one_engine, parent_seq, &child_one)?;
+                // The commit point: from here, recovery reopens the refined
+                // topology.
+                recovery::rewrite_manifest(
+                    &p.dir,
+                    self.measure.name(),
+                    &self.engine_config,
+                    new_map,
+                )?;
+                (Some(zero), Some(one))
+            }
+            None => (None, None),
+        };
+        Ok((child_zero, child_one, persist, detail))
+    }
+
+    /// Brings the parked slot back to life on the parent engine after a
+    /// failed rebuild: respawn a worker (recovering the engine and WAL
+    /// writer from disk for persistent deployments — the parent's state is
+    /// complete up to the quiesce point) and hand it the parked backlog
+    /// unchanged.
+    fn resurrect_parent(
+        &mut self,
+        slot: usize,
+        parent_seq: u64,
+        park_rx: std::sync::mpsc::Receiver<WorkerMsg>,
+    ) {
+        let roster = self.roster.load();
+        let persist = match &self.persistence {
+            Some(p) => {
+                let engine_id = {
+                    let routing = self.routing.read().expect("routing poisoned");
+                    routing.map.engine_of(slot).unwrap_or(slot as u64)
+                };
+                let dir = recovery::shard_dir(&p.dir, engine_id);
+                match recovery::recover_shard(
+                    self.measure.clone(),
+                    &self.engine_config,
+                    slot,
+                    &dir,
+                    p,
+                ) {
+                    Ok(rec) => {
+                        debug_assert_eq!(rec.seq, parent_seq);
+                        self.engines[slot] = Arc::new(Mutex::new(rec.engine));
+                        Some(WorkerPersistence {
+                            wal: rec.wal,
+                            dir,
+                            snapshot_every: p.snapshot_every_batches,
+                            retained: p.retained_snapshots,
+                            batches_since_snapshot: 0,
+                        })
+                    }
+                    Err(e) => {
+                        // Double fault: the slot stays parked until a
+                        // process restart recovers it. Keep the receiver
+                        // alive so the slot's parked sender stays open —
+                        // ingest routed here keeps parking in memory rather
+                        // than panicking the sending thread. The parked
+                        // backlog is unrecoverable in-process (never applied
+                        // or logged) and is lost on restart.
+                        eprintln!(
+                            "shard {slot}: parent resurrection failed after aborted split: {e}"
+                        );
+                        self.dead_parked.push(Mutex::new(park_rx));
+                        return;
+                    }
+                }
+            }
+            None => None,
+        };
+        let (tx, handle) = spawn_worker(
+            slot,
+            &self.config,
+            parent_seq,
+            persist,
+            &self.engines[slot],
+            &roster.cells[slot],
+            &roster.rings[slot],
+        );
+        self.workers[slot] = Some(handle);
+        let mut routing = self.routing.write().expect("routing poisoned");
+        while let Ok(msg) = park_rx.try_recv() {
+            let _ = tx.send(msg);
+        }
+        routing.senders[slot] = ShardTx::Live(tx);
+    }
+}
+
+/// Restores the parent's newest checkpoint, partitions it by `keep`, then
+/// replays the WAL slice past it with every update filtered to its owning
+/// child. Mirrors `recovery::recover_shard`, with the same torn-tail /
+/// mid-log-corruption discipline — except that after a clean quiesce a torn
+/// tail is genuine corruption, so any dirty segment is a hard error.
+fn rebuild_from_disk<D: DensityMeasure>(
+    measure: &D,
+    engine_config: &DynDensConfig,
+    dir: &std::path::Path,
+    target_seq: u64,
+    keep: &impl Fn(VertexId) -> bool,
+) -> Result<(DynDens<D>, DynDens<D>, RebuildDetail), RebalanceError> {
+    // Newest parseable snapshot, falling back to older retained ones.
+    let mut base: Option<DynDens<D>> = None;
+    let mut snapshot_seq = 0u64;
+    let mut last_snapshot_error: Option<RecoveryError> = None;
+    for (_, path) in recovery::list_snapshots(dir)?.into_iter().rev() {
+        match recovery::read_snapshot(&path).and_then(|(s, bytes)| {
+            match DynDens::restore(measure.clone(), &bytes) {
+                Ok(e) => Ok((s, e)),
+                Err(e) => Err(RecoveryError::Snapshot(e)),
+            }
+        }) {
+            Ok((s, e)) => {
+                base = Some(e);
+                snapshot_seq = s;
+                break;
+            }
+            Err(e) => last_snapshot_error = Some(e),
+        }
+    }
+    let base = match base {
+        Some(e) => e,
+        None => DynDens::new(measure.clone(), engine_config.clone()),
+    };
+    let (mut zero, mut one) = base.partition_by(keep);
+    let mut seq = snapshot_seq;
+    let mut replayed = 0u64;
+    zero.set_recovering(true);
+    one.set_recovering(true);
+    let mut events = Vec::new();
+    for (no, path) in wal::list_segments(dir)? {
+        let scan = wal::scan_segment(&path)?;
+        if !scan.clean {
+            return Err(RecoveryError::CorruptWal { segment: no }.into());
+        }
+        for record in scan.records {
+            if record.first_seq > seq {
+                if let Some(e) = last_snapshot_error.take() {
+                    return Err(e.into());
+                }
+                return Err(RecoveryError::SequenceGap {
+                    expected: seq,
+                    found: record.first_seq,
+                }
+                .into());
+            }
+            let skip = (seq - record.first_seq) as usize;
+            if skip >= record.updates.len() {
+                continue;
+            }
+            for u in &record.updates[skip..] {
+                let side = if keep(u.a.min(u.b)) {
+                    &mut zero
+                } else {
+                    &mut one
+                };
+                side.apply_update_into(*u, &mut events);
+                events.clear();
+                seq += 1;
+                replayed += 1;
+            }
+        }
+    }
+    zero.set_recovering(false);
+    one.set_recovering(false);
+    if seq != target_seq {
+        return Err(RebalanceError::HistoryGap {
+            expected: target_seq,
+            found: seq,
+        });
+    }
+    Ok((
+        zero,
+        one,
+        RebuildDetail {
+            snapshot_seq,
+            replayed,
+        },
+    ))
+}
+
+/// Writes one child's initial state: its directory (clobbering an orphan
+/// from a previously crashed, uncommitted split — engine ids are only
+/// consumed by the manifest rewrite), a snapshot at the split point, and a
+/// fresh WAL positioned to append from it.
+fn persist_child<D: DensityMeasure>(
+    p: &PersistenceConfig,
+    engine_id: u64,
+    seq: u64,
+    child: &DynDens<D>,
+) -> Result<WorkerPersistence, RebalanceError> {
+    let dir = recovery::shard_dir(&p.dir, engine_id);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    recovery::write_snapshot(&dir, seq, &child.snapshot(), p.retained_snapshots)?;
+    let wal = WalWriter::open(&dir, seq, Vec::new(), p.fsync, p.segment_max_bytes)?;
+    Ok(WorkerPersistence {
+        wal,
+        dir,
+        snapshot_every: p.snapshot_every_batches,
+        retained: p.retained_snapshots,
+        batches_since_snapshot: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FsyncPolicy, ShardConfig, ShardFn};
+    use dyndens_density::AvgWeight;
+    use dyndens_graph::{EdgeUpdate, VertexSet};
+
+    fn update(a: u32, b: u32, delta: f64) -> EdgeUpdate {
+        EdgeUpdate::new(VertexId(a), VertexId(b), delta)
+    }
+
+    fn engine_config() -> DynDensConfig {
+        DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+    }
+
+    fn shard_config(n: usize) -> ShardConfig {
+        ShardConfig::new(n)
+            .with_shard_fn(ShardFn::Modulo)
+            .with_max_batch(4)
+    }
+
+    /// A stream of two communities both owned by base slot 0 of a 2-slot
+    /// modulo map (residues 0 and 2 mod 4), plus one on slot 1: splitting
+    /// slot 0 separates the two co-resident communities.
+    fn skewed_updates() -> Vec<EdgeUpdate> {
+        let mut updates = Vec::new();
+        let communities: &[&[u32]] = &[&[0, 4, 8], &[2, 6, 10], &[1, 5, 9]];
+        for round in 0..6 {
+            for community in communities {
+                for (i, &a) in community.iter().enumerate() {
+                    for &b in &community[i + 1..] {
+                        let delta = if round == 5 && i == 0 { -0.1 } else { 0.23 };
+                        updates.push(update(a, b, delta));
+                    }
+                }
+            }
+        }
+        updates
+    }
+
+    fn sorted_bits(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, u64)> {
+        sets.sort_by(|a, b| a.0.cmp(&b.0));
+        sets.into_iter().map(|(s, d)| (s, d.to_bits())).collect()
+    }
+
+    #[test]
+    fn in_memory_split_preserves_the_answer_and_the_ledger() {
+        let updates = skewed_updates();
+        let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        let (head, tail) = updates.split_at(updates.len() / 2);
+        reference.apply_batch(&updates);
+        let want = sorted_bits(reference.dense_subgraphs());
+
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        fleet.apply_batch(head);
+        let mut phases = Vec::new();
+        let report = fleet.split_shard_with(0, |p| phases.push(p)).unwrap();
+        assert_eq!(
+            phases,
+            vec![
+                SplitPhase::Parked,
+                SplitPhase::Rebuilt,
+                SplitPhase::Committed
+            ]
+        );
+        assert_eq!(report.slot, 0);
+        assert_eq!(report.new_slot, 2);
+        assert_eq!(report.generation, 1);
+        assert_eq!(fleet.n_shards(), 3);
+        fleet.apply_batch(tail);
+        fleet.validate().unwrap();
+        assert_eq!(sorted_bits(fleet.dense_subgraphs()), want);
+        // The ledger counts every update exactly once across the split.
+        assert_eq!(fleet.stats().updates, updates.len() as u64);
+        // Both children own part of the split slot's slice.
+        let per_shard = fleet.view().per_shard_seq();
+        assert_eq!(per_shard.len(), 3);
+        assert!(per_shard[2] > report.parent_seq);
+    }
+
+    #[test]
+    fn updates_parked_during_split_are_rerouted() {
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        fleet.apply_batch(&[update(0, 4, 1.1), update(2, 6, 1.2), update(1, 5, 1.3)]);
+        fleet.flush();
+        let handle = fleet.ingest_handle();
+        let view = fleet.view();
+        let report = fleet
+            .split_shard_with(0, |phase| {
+                if phase == SplitPhase::Parked {
+                    // Routed to the parked slot: must wait for the commit.
+                    handle.apply_update(update(0, 8, 0.9));
+                    handle.apply_update(update(2, 10, 0.8));
+                    // Routed to the untouched slot: applied while the split
+                    // shard is down.
+                    let before = view.shard_seq(1);
+                    handle.apply_update(update(1, 9, 0.7));
+                    while view.shard_seq(1) == before {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(report.parked_updates, 2);
+        fleet.flush();
+        // Both children start at the parent's quiesce point (2 updates) and
+        // each applied one parked update; the untouched slot applied three.
+        assert_eq!(fleet.view().per_shard_seq(), vec![3, 2, 3]);
+        fleet.validate().unwrap();
+        // The parked updates landed on their new owners: residue 0 mod 4
+        // stayed on slot 0, residue 2 mod 4 moved to slot 2.
+        assert_eq!(fleet.shard_of(&update(0, 8, 0.0)), 0);
+        assert_eq!(fleet.shard_of(&update(2, 10, 0.0)), 2);
+    }
+
+    #[test]
+    fn persistent_split_rebuilds_from_snapshot_and_wal_slice() {
+        let dir = std::env::temp_dir().join(format!("dyndens-reb-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistence = || {
+            PersistenceConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_snapshot_every_batches(3)
+        };
+        let updates = skewed_updates();
+        let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        reference.apply_batch(&updates);
+        let want = sorted_bits(reference.dense_subgraphs());
+
+        let mut fleet = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(2),
+            persistence(),
+        )
+        .unwrap();
+        let (head, tail) = updates.split_at(2 * updates.len() / 3);
+        // Flush per chunk so each chunk is its own micro-batch and the
+        // checkpoint cadence (every 3 micro-batches) actually fires.
+        for chunk in head.chunks(4) {
+            fleet.apply_batch(chunk);
+            fleet.flush();
+        }
+        let report = fleet.split_shard(0).unwrap();
+        // The rebuild really was checkpoint + WAL slice: a checkpoint existed
+        // (cadence 3) and the tail past it was replayed.
+        assert!(report.snapshot_seq > 0, "expected a checkpoint base");
+        assert_eq!(
+            report.snapshot_seq + report.replayed_updates,
+            report.parent_seq
+        );
+        fleet.apply_batch(tail);
+        assert_eq!(sorted_bits(fleet.dense_subgraphs()), want);
+        assert_eq!(fleet.stats().updates, updates.len() as u64);
+        // The parent's directory is retired; the children's exist.
+        assert!(!recovery::shard_dir(&dir, report.parent_engine).exists());
+        assert!(recovery::shard_dir(&dir, report.child_engines.0).exists());
+        assert!(recovery::shard_dir(&dir, report.child_engines.1).exists());
+
+        // Crash + reopen: the manifest's refined topology recovers all three
+        // shards and the identical answer.
+        drop(fleet);
+        let reopened = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(2),
+            persistence(),
+        )
+        .unwrap();
+        assert_eq!(reopened.n_shards(), 3);
+        assert_eq!(reopened.recovery_reports().len(), 3);
+        assert_eq!(sorted_bits(reopened.dense_subgraphs()), want);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn split_rejects_unknown_slots() {
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        assert!(matches!(
+            fleet.split_shard(7),
+            Err(RebalanceError::UnknownShard(7))
+        ));
+        assert_eq!(fleet.n_shards(), 2);
+    }
+
+    #[test]
+    fn rebalancer_picks_the_skewed_shard_by_rate() {
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        let mut relaxed = Rebalancer::new(RebalancePolicy {
+            min_queue_depth: u64::MAX,
+            min_share: 0.9,
+            min_total_updates: 10,
+        });
+        // The first pick only establishes the share window.
+        assert_eq!(relaxed.pick(&fleet), None, "no window yet");
+
+        // Everything in this window lands on slot 0.
+        let updates: Vec<EdgeUpdate> = (0..40).map(|i| update(0, 2 + 2 * (i % 5), 0.1)).collect();
+        fleet.apply_batch(&updates);
+        fleet.flush();
+        let mut strict = Rebalancer::default();
+        strict.pick(&fleet); // establish the strict window too
+        assert_eq!(strict.pick(&fleet), None, "below the default thresholds");
+        let report = relaxed.maybe_split(&mut fleet).unwrap().unwrap();
+        assert_eq!(report.slot, 0);
+        assert_eq!(fleet.n_shards(), 3);
+
+        // The split invalidated the window (slot count changed) and child
+        // zero adopted the parent's cumulative ledger: the rate-based signal
+        // must NOT keep splitting the historically-hot slot while the fleet
+        // is now idle.
+        assert_eq!(relaxed.pick(&fleet), None, "topology change resets window");
+        assert_eq!(relaxed.pick(&fleet), None, "idle fleet stays un-split");
+
+        // But fresh skew inside a new window fires again.
+        let more: Vec<EdgeUpdate> = (0..40).map(|i| update(1, 3 + 2 * (i % 5), 0.1)).collect();
+        fleet.apply_batch(&more);
+        fleet.flush();
+        assert_eq!(relaxed.pick(&fleet), Some(1));
+    }
+}

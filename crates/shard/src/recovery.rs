@@ -30,9 +30,10 @@ use std::path::{Path, PathBuf};
 use dyndens_core::{DeltaIt, DynDens, DynDensConfig, SnapshotError};
 use dyndens_density::DensityMeasure;
 
-use crate::config::{PersistenceConfig, ShardConfig, ShardFn};
+use crate::config::{PersistenceConfig, ShardConfig};
 use crate::wal::{self, WalWriter};
 use dyndens_graph::codec::{crc32, put_f64, put_u32, put_u64, ByteReader};
+use dyndens_graph::ShardMap;
 
 const SNAP_PREFIX: &str = "snap-";
 const SNAP_SUFFIX: &str = ".snap";
@@ -44,7 +45,10 @@ const SNAP_FILE_VERSION: u32 = 1;
 /// Name of the deployment manifest at the persistence root.
 const MANIFEST_NAME: &str = "MANIFEST";
 const MANIFEST_MAGIC: &[u8; 4] = b"DDMF";
-const MANIFEST_VERSION: u32 = 1;
+/// Version 2: the static parameter block is followed by the **generational
+/// shard map** ([`ShardMap`]), so a deployment refined by live splits
+/// recovers its refined topology instead of the construction-time one.
+const MANIFEST_VERSION: u32 = 2;
 
 /// An error recovering a shard from its persistence directory.
 #[derive(Debug)]
@@ -114,6 +118,13 @@ impl std::error::Error for RecoveryError {}
 
 fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("{SNAP_PREFIX}{seq:020}{SNAP_SUFFIX}"))
+}
+
+/// The persistence directory of engine `engine_id` under the deployment
+/// root. Engine ids are allocated by the [`ShardMap`] and never reused, so a
+/// retired parent's directory can never be mistaken for a live child's.
+pub(crate) fn shard_dir(root: &Path, engine_id: u64) -> PathBuf {
+    root.join(format!("shard-{engine_id:04}"))
 }
 
 /// Lists the snapshot files in `dir` as `(seq, path)`, ascending by `seq`.
@@ -205,28 +216,16 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u8>), RecoveryError> {
 // Deployment manifest
 // ---------------------------------------------------------------------------
 
-/// Serialises the state-affecting deployment parameters: shard count and
-/// shard function (they decide which shard owns which edges — changing them
-/// would silently drop or misroute persisted slices) and the engine
-/// configuration (it decides what "dense" means — changing it would mix
-/// recovered and fresh shards with different semantics). Queueing tunables
-/// (`channel_capacity`, `max_batch`, `top_k`) and persistence knobs are
-/// deliberately excluded: they may vary freely across restarts.
-fn encode_manifest(
-    measure_name: &str,
-    shard_config: &ShardConfig,
-    engine_config: &DynDensConfig,
-) -> Vec<u8> {
+/// Serialises the static state-affecting deployment parameters — the density
+/// measure (it decides what every persisted score means) and the engine
+/// configuration (it decides what "dense" means) — without framing.
+/// Queueing tunables (`channel_capacity`, `max_batch`, `top_k`) and
+/// persistence knobs are deliberately excluded: they may vary freely across
+/// restarts. The routing topology (base shard count, shard function, split
+/// refinements) lives in the [`ShardMap`] section that follows this block in
+/// the manifest.
+fn encode_static_section(measure_name: &str, engine_config: &DynDensConfig) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
-    buf.extend_from_slice(MANIFEST_MAGIC);
-    put_u32(&mut buf, MANIFEST_VERSION);
-    put_u64(&mut buf, shard_config.n_shards as u64);
-    buf.push(match shard_config.shard_fn {
-        ShardFn::Hashed => 0,
-        ShardFn::Modulo => 1,
-    });
-    // The density measure decides what every persisted score means; a
-    // restart under a different measure would serve mixed-semantics sets.
     put_u32(&mut buf, measure_name.len() as u32);
     buf.extend_from_slice(measure_name.as_bytes());
     put_f64(&mut buf, engine_config.threshold);
@@ -246,72 +245,105 @@ fn encode_manifest(
             | (engine_config.max_explore as u8) << 1
             | (engine_config.degree_prioritize as u8) << 2,
     );
+    buf
+}
+
+/// Serialises the full manifest: magic, version, static section, shard map,
+/// CRC trailer.
+fn encode_manifest(measure_name: &str, engine_config: &DynDensConfig, map: &ShardMap) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    put_u32(&mut buf, MANIFEST_VERSION);
+    buf.extend_from_slice(&encode_static_section(measure_name, engine_config));
+    map.encode_into(&mut buf);
     let crc = crc32(&buf);
     put_u32(&mut buf, crc);
     buf
 }
 
+/// Atomically writes `bytes` as the manifest (temp file + rename + directory
+/// fsync).
+fn write_manifest_atomic(root: &Path, bytes: &[u8]) -> io::Result<()> {
+    let path = root.join(MANIFEST_NAME);
+    let tmp = root.join(format!("{MANIFEST_NAME}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    wal::sync_dir(root)?;
+    Ok(())
+}
+
+/// Rewrites the manifest with a refined shard map. Called by a shard split
+/// **after** the children's snapshots and WALs are durably on disk and
+/// **before** the parent directory is retired: a crash on either side of the
+/// rewrite leaves the directory consistent with whichever topology the
+/// manifest names (the parent's state is complete until the rewrite, the
+/// children's from the moment it lands).
+pub(crate) fn rewrite_manifest(
+    root: &Path,
+    measure_name: &str,
+    engine_config: &DynDensConfig,
+    map: &ShardMap,
+) -> io::Result<()> {
+    write_manifest_atomic(root, &encode_manifest(measure_name, engine_config, map))
+}
+
 /// On first use, binds the persistence root to the deployment parameters by
-/// writing a manifest; on reuse, verifies the caller's parameters against
-/// it. A mismatch on any state-affecting parameter is a hard
+/// writing a manifest carrying the generation-zero shard map; on reuse,
+/// verifies the caller's parameters against the manifest's static section
+/// and returns the **persisted** shard map — which may be generations ahead
+/// of the caller's `ShardConfig` if the deployment was split while it ran.
+///
+/// A mismatch on any state-affecting parameter is a hard
 /// [`RecoveryError::ManifestMismatch`] — restarting with, say, a different
-/// shard count would otherwise silently lose the extra shards' slices and
-/// route their vertices into unrelated engines. An unreadable or corrupt
-/// manifest is reported likewise (the directory's provenance is unknown).
+/// base shard count would otherwise silently lose shard slices and route
+/// their vertices into unrelated engines. An unreadable or corrupt manifest
+/// is reported likewise (the directory's provenance is unknown).
 pub(crate) fn bind_manifest(
     root: &Path,
     measure_name: &str,
     shard_config: &ShardConfig,
     engine_config: &DynDensConfig,
-) -> Result<(), RecoveryError> {
+) -> Result<ShardMap, RecoveryError> {
     let path = root.join(MANIFEST_NAME);
-    let expected = encode_manifest(measure_name, shard_config, engine_config);
     match fs::read(&path) {
         Ok(existing) => {
-            if existing == expected {
-                return Ok(());
-            }
-            // Pin down the first disagreeing parameter for the error.
-            let field = match decode_manifest(&existing) {
-                Err(()) => "manifest (unreadable/corrupt)",
-                Ok(m) => {
-                    if m.n_shards != shard_config.n_shards as u64 {
-                        "n_shards"
-                    } else if m.shard_fn_tag
-                        != match shard_config.shard_fn {
-                            ShardFn::Hashed => 0,
-                            ShardFn::Modulo => 1,
-                        }
-                    {
-                        "shard_fn"
-                    } else if m.measure_name != measure_name {
-                        "density measure"
-                    } else {
-                        "engine config"
-                    }
-                }
+            let mismatch = |field| Err(RecoveryError::ManifestMismatch { field });
+            let Ok(m) = decode_manifest(&existing) else {
+                return mismatch("manifest (unreadable/corrupt)");
             };
-            Err(RecoveryError::ManifestMismatch { field })
+            if m.map.n_base() != shard_config.n_shards {
+                return mismatch("n_shards");
+            }
+            if m.map.base_fn() != shard_config.shard_fn {
+                return mismatch("shard_fn");
+            }
+            if m.measure_name != measure_name {
+                return mismatch("density measure");
+            }
+            if m.static_section != encode_static_section(measure_name, engine_config) {
+                return mismatch("engine config");
+            }
+            Ok(m.map)
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            let tmp = root.join(format!("{MANIFEST_NAME}.tmp"));
-            {
-                let mut f = File::create(&tmp)?;
-                f.write_all(&expected)?;
-                f.sync_data()?;
-            }
-            fs::rename(&tmp, &path)?;
-            wal::sync_dir(root)?;
-            Ok(())
+            let map = ShardMap::new(shard_config.shard_fn, shard_config.n_shards);
+            write_manifest_atomic(root, &encode_manifest(measure_name, engine_config, &map))?;
+            Ok(map)
         }
         Err(e) => Err(e.into()),
     }
 }
 
 struct ManifestView {
-    n_shards: u64,
-    shard_fn_tag: u8,
     measure_name: String,
+    /// The raw static section bytes, compared wholesale against the caller's
+    /// encoding (field-exact, including every engine-config flag).
+    static_section: Vec<u8>,
+    map: ShardMap,
 }
 
 fn decode_manifest(bytes: &[u8]) -> Result<ManifestView, ()> {
@@ -321,15 +353,21 @@ fn decode_manifest(bytes: &[u8]) -> Result<ManifestView, ()> {
     {
         return Err(());
     }
-    let n_shards = r.u64().map_err(|_| ())?;
-    let shard_fn_tag = r.u8().map_err(|_| ())?;
+    let static_start = payload.len() - r.remaining();
     let name_len = r.u32().map_err(|_| ())? as usize;
     let measure_name =
         String::from_utf8(r.take(name_len).map_err(|_| ())?.to_vec()).map_err(|_| ())?;
+    // threshold f64 | n_max u64 | delta_it tag + f64 | flags u8
+    r.take(8 + 8 + 1 + 8 + 1).map_err(|_| ())?;
+    let static_section = payload[static_start..payload.len() - r.remaining()].to_vec();
+    let map = ShardMap::decode(&mut r).map_err(|_| ())?;
+    if !r.is_empty() {
+        return Err(());
+    }
     Ok(ManifestView {
-        n_shards,
-        shard_fn_tag,
         measure_name,
+        static_section,
+        map,
     })
 }
 

@@ -1,20 +1,122 @@
 //! The [`ShardedDynDens`] facade: the single-engine API, scaled across
-//! cores.
+//! cores, with a generational routing table that supports live shard splits.
 
-use std::sync::mpsc::{channel, sync_channel, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use dyndens_core::{DynDens, DynDensConfig, EngineStats};
 use dyndens_density::DensityMeasure;
-use dyndens_graph::{EdgeUpdate, VertexSet};
+use dyndens_graph::{EdgeUpdate, ShardMap, VertexSet};
 
 use crate::config::{PersistenceConfig, ShardConfig};
 use crate::recovery::{self, RecoveryError, RecoveryReport};
-use crate::view::{DeltaRing, EpochCell, ShardSnapshot, StoryView};
+use crate::view::{DeltaRing, EpochCell, ShardRoster, ShardSnapshot, StoryView};
 use crate::worker::{self, WorkerMsg, WorkerPersistence};
 
-/// A DynDens deployment partitioned over `N` shard workers.
+/// The send side of one worker slot's inbox.
+///
+/// A slot is normally [`Live`](ShardTx::Live): a bounded channel consumed by
+/// the slot's worker thread (backpressure by blocking the producer). While
+/// the slot is being **split**, it is temporarily [`Parked`](ShardTx::Parked):
+/// an unbounded channel nobody consumes — updates routed to the slot simply
+/// accumulate until the split commits and re-routes them, in order, through
+/// the refined shard map. Parking is unbounded deliberately: a bounded
+/// parking queue could block an ingest thread that holds the routing read
+/// lock while the split needs the write lock to drain it.
+#[derive(Debug)]
+pub(crate) enum ShardTx {
+    /// A worker thread is consuming this slot's inbox.
+    Live(SyncSender<WorkerMsg>),
+    /// The slot is mid-split; messages park until the split commits.
+    Parked(Sender<WorkerMsg>),
+}
+
+impl ShardTx {
+    /// Sends one message, blocking only on a full live inbox. Send failures
+    /// mean the receiving side is gone, which the caller treats as fatal for
+    /// live slots and ignores during teardown.
+    pub(crate) fn send(&self, msg: WorkerMsg) -> Result<(), ()> {
+        match self {
+            ShardTx::Live(tx) => tx.send(msg).map_err(|_| ()),
+            ShardTx::Parked(tx) => tx.send(msg).map_err(|_| ()),
+        }
+    }
+}
+
+/// The routing state every ingest path consults: the generational shard map
+/// plus the per-slot senders and routed-update counters. Guarded by an
+/// `RwLock` — ingest takes it for read (many concurrent routers), a split
+/// takes it for write twice (park the slot, commit the refined map).
+#[derive(Debug)]
+pub(crate) struct RouteState {
+    /// The generational routing table (vertex → worker slot).
+    pub(crate) map: ShardMap,
+    /// Per-slot inbox senders, indexed by worker slot.
+    pub(crate) senders: Vec<ShardTx>,
+    /// Per-slot count of updates routed so far. Together with the slot's
+    /// published sequence number this yields the **ingest queue depth**
+    /// (routed − applied), the primary hot-shard signal used by
+    /// [`Rebalancer`](crate::rebalance::Rebalancer).
+    pub(crate) routed: Vec<Arc<AtomicU64>>,
+}
+
+impl RouteState {
+    /// Routes one update to its owner slot (the slot of its minimum
+    /// endpoint) and bumps the slot's routed counter.
+    fn route(&self, update: &EdgeUpdate) -> usize {
+        let slot = self.map.route(update.a.min(update.b));
+        self.routed[slot].fetch_add(1, Ordering::Relaxed);
+        slot
+    }
+}
+
+/// A cloneable, thread-safe ingest handle over a [`ShardedDynDens`]'s
+/// routing table: the write-side counterpart of [`StoryView`].
+///
+/// Handles route through the same generational shard map as the facade, so
+/// they follow splits transparently — including during a split, when updates
+/// for the splitting slot park and everything else flows undisturbed. This
+/// is what lets ingest continue from other threads while the owning thread
+/// drives [`ShardedDynDens::split_shard`].
+#[derive(Debug, Clone)]
+pub struct IngestHandle {
+    routing: Arc<RwLock<RouteState>>,
+}
+
+impl IngestHandle {
+    /// Routes one update to its owner shard. Blocks only when that shard's
+    /// live inbox is full (backpressure).
+    pub fn apply_update(&self, update: EdgeUpdate) {
+        let routing = self.routing.read().expect("routing poisoned");
+        let slot = routing.route(&update);
+        routing.senders[slot]
+            .send(WorkerMsg::Update(update))
+            .expect("shard worker terminated while the facade is alive");
+    }
+
+    /// Routes a batch of updates under one routing-lock acquisition,
+    /// grouping them per owner slot (per-slot relative order is preserved).
+    pub fn apply_batch(&self, updates: &[EdgeUpdate]) {
+        let routing = self.routing.read().expect("routing poisoned");
+        let mut groups: Vec<Vec<EdgeUpdate>> = vec![Vec::new(); routing.senders.len()];
+        for &update in updates {
+            groups[routing.route(&update)].push(update);
+        }
+        for (slot, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            routing.senders[slot]
+                .send(WorkerMsg::Batch(group))
+                .expect("shard worker terminated while the facade is alive");
+        }
+    }
+}
+
+/// A DynDens deployment partitioned over worker slots by a generational
+/// routing table.
 ///
 /// The facade mirrors the single-engine API — [`apply_update`],
 /// [`apply_batch`], [`stats`], [`output_dense`] — with one semantic shift:
@@ -23,6 +125,11 @@ use crate::worker::{self, WorkerMsg, WorkerPersistence};
 /// queue, and the authoritative read methods flush implicitly. For
 /// non-blocking reads that tolerate a bounded lag, use the [`StoryView`]
 /// returned by [`view`].
+///
+/// The worker count starts at [`ShardConfig::n_shards`] and can grow at
+/// runtime: [`split_shard`] rebuilds a hot shard's state into two fresh
+/// engines (snapshot + WAL-slice replay filtered through the refined shard
+/// map) while every other shard keeps ingesting. See [`crate::rebalance`].
 ///
 /// See the crate docs for the partitioning invariant that governs when the
 /// sharded answer is identical to the single-engine answer.
@@ -33,26 +140,66 @@ use crate::worker::{self, WorkerMsg, WorkerPersistence};
 /// [`output_dense`]: ShardedDynDens::output_dense
 /// [`flush`]: ShardedDynDens::flush
 /// [`view`]: ShardedDynDens::view
+/// [`split_shard`]: ShardedDynDens::split_shard
 #[derive(Debug)]
 pub struct ShardedDynDens<D: DensityMeasure> {
-    config: ShardConfig,
-    engine_config: DynDensConfig,
-    senders: Vec<SyncSender<WorkerMsg>>,
-    engines: Vec<Arc<Mutex<DynDens<D>>>>,
-    cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
-    rings: Arc<Vec<DeltaRing>>,
-    workers: Vec<JoinHandle<()>>,
-    /// Per-shard scratch buffers reused by [`ShardedDynDens::apply_batch`].
+    pub(crate) config: ShardConfig,
+    pub(crate) engine_config: DynDensConfig,
+    pub(crate) measure: D,
+    pub(crate) routing: Arc<RwLock<RouteState>>,
+    pub(crate) engines: Vec<Arc<Mutex<DynDens<D>>>>,
+    pub(crate) roster: Arc<EpochCell<ShardRoster>>,
+    pub(crate) workers: Vec<Option<JoinHandle<()>>>,
+    /// Per-slot scratch buffers reused by [`ShardedDynDens::apply_batch`].
     route_scratch: Vec<Vec<EdgeUpdate>>,
     /// What recovery did per shard; empty for non-persistent deployments.
     recovery: Vec<RecoveryReport>,
+    /// The persistence configuration, kept for splits (children need new
+    /// directories, WALs and a manifest rewrite). `None` for in-memory
+    /// deployments.
+    pub(crate) persistence: Option<PersistenceConfig>,
+    /// Receivers of slots whose split aborted *and* whose parent could not
+    /// be resurrected (a double fault). Keeping the receiver alive keeps the
+    /// slot's parked sender open, so ingest routed to the slot continues to
+    /// park in memory instead of panicking; the backlog is unrecoverable
+    /// in-process (it was never applied or logged) and is dropped on
+    /// restart. Mutex-wrapped only so the facade stays `Sync`.
+    pub(crate) dead_parked: Vec<Mutex<std::sync::mpsc::Receiver<WorkerMsg>>>,
 }
 
 /// A shard's initial state handed to its worker thread at spawn time.
-struct ShardSeed<D: DensityMeasure> {
-    engine: DynDens<D>,
+pub(crate) struct ShardSeed<D: DensityMeasure> {
+    pub(crate) engine: DynDens<D>,
+    pub(crate) seq: u64,
+    pub(crate) persist: Option<WorkerPersistence>,
+}
+
+/// Spawns one worker thread for `slot`, publishing into `cell`/`ring`.
+pub(crate) fn spawn_worker<D: DensityMeasure>(
+    slot: usize,
+    config: &ShardConfig,
     seq: u64,
     persist: Option<WorkerPersistence>,
+    engine: &Arc<Mutex<DynDens<D>>>,
+    cell: &Arc<EpochCell<ShardSnapshot>>,
+    ring: &Arc<DeltaRing>,
+) -> (SyncSender<WorkerMsg>, JoinHandle<()>) {
+    let (tx, rx) = sync_channel(config.channel_capacity);
+    let setup = worker::WorkerSetup {
+        shard: slot,
+        max_batch: config.max_batch,
+        top_k: config.top_k,
+        initial_seq: seq,
+        persist,
+    };
+    let engine = Arc::clone(engine);
+    let cell = Arc::clone(cell);
+    let ring = Arc::clone(ring);
+    let handle = std::thread::Builder::new()
+        .name(format!("dyndens-shard-{slot}"))
+        .spawn(move || worker::run(setup, rx, engine, cell, ring))
+        .expect("failed to spawn shard worker");
+    (tx, handle)
 }
 
 impl<D: DensityMeasure> ShardedDynDens<D> {
@@ -61,6 +208,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     /// is persisted; see [`with_persistence`](Self::with_persistence) for
     /// the crash-safe variant.
     pub fn new(measure: D, engine_config: DynDensConfig, config: ShardConfig) -> Self {
+        let map = ShardMap::new(config.shard_fn, config.n_shards);
         let seeds = (0..config.n_shards)
             .map(|_| ShardSeed {
                 engine: DynDens::new(measure.clone(), engine_config.clone()),
@@ -68,7 +216,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                 persist: None,
             })
             .collect();
-        Self::spawn(engine_config, config, seeds, Vec::new())
+        Self::spawn(measure, engine_config, config, map, seeds, Vec::new(), None)
     }
 
     /// The crash-safe constructor: recovers every shard from
@@ -78,6 +226,13 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     /// checkpoint their engine every
     /// [`snapshot_every_batches`](PersistenceConfig::snapshot_every_batches)
     /// micro-batches.
+    ///
+    /// The deployment `MANIFEST` carries the **generational shard map**: a
+    /// directory refined by live splits reopens with the refined topology
+    /// (more workers than `config.n_shards`), each slot recovering from the
+    /// directory its current engine id names. The caller's `config` must
+    /// still match the manifest's *base* parameters — see
+    /// [`RecoveryError::ManifestMismatch`].
     ///
     /// Recovery replays with the engine's `recovering` flag set, so replayed
     /// updates do not inflate [`EngineStats`]; the recovered maintenance
@@ -92,27 +247,32 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     ) -> Result<Self, RecoveryError> {
         std::fs::create_dir_all(&persistence.dir)?;
         // Bind the directory to the deployment's state-affecting parameters
-        // (or verify it was written by an identical deployment): restarting
-        // with a different shard count / shard function / engine config
-        // would silently drop or misroute persisted slices.
-        recovery::bind_manifest(&persistence.dir, measure.name(), &config, &engine_config)?;
+        // (or verify it was written by an identical deployment) and load the
+        // current routing topology: restarting with a different base shard
+        // count / shard function / engine config would silently drop or
+        // misroute persisted slices.
+        let map =
+            recovery::bind_manifest(&persistence.dir, measure.name(), &config, &engine_config)?;
+        let engine_ids = map.worker_engines();
 
         // Shards recover independently (distinct directories, no shared
         // state), so cold start pays the slowest shard's snapshot load +
         // WAL tail replay, not the sum over shards.
         let recovered: Vec<Result<recovery::RecoveredShard<D>, RecoveryError>> =
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..config.n_shards)
-                    .map(|shard| {
+                let handles: Vec<_> = engine_ids
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &engine_id)| {
                         let measure = measure.clone();
                         let engine_config = &engine_config;
                         let persistence = &persistence;
                         scope.spawn(move || {
-                            let shard_dir = persistence.dir.join(format!("shard-{shard:04}"));
+                            let shard_dir = recovery::shard_dir(&persistence.dir, engine_id);
                             recovery::recover_shard(
                                 measure,
                                 engine_config,
-                                shard,
+                                slot,
                                 &shard_dir,
                                 persistence,
                             )
@@ -125,9 +285,9 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                     .collect()
             });
 
-        let mut seeds = Vec::with_capacity(config.n_shards);
-        let mut reports = Vec::with_capacity(config.n_shards);
-        for (shard, result) in recovered.into_iter().enumerate() {
+        let mut seeds = Vec::with_capacity(engine_ids.len());
+        let mut reports = Vec::with_capacity(engine_ids.len());
+        for (slot, result) in recovered.into_iter().enumerate() {
             let recovered = result?;
             reports.push(recovered.report);
             seeds.push(ShardSeed {
@@ -135,35 +295,42 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                 seq: recovered.seq,
                 persist: Some(WorkerPersistence {
                     wal: recovered.wal,
-                    dir: persistence.dir.join(format!("shard-{shard:04}")),
+                    dir: recovery::shard_dir(&persistence.dir, engine_ids[slot]),
                     snapshot_every: persistence.snapshot_every_batches,
                     retained: persistence.retained_snapshots,
                     batches_since_snapshot: 0,
                 }),
             });
         }
-        Ok(Self::spawn(engine_config, config, seeds, reports))
+        Ok(Self::spawn(
+            measure,
+            engine_config,
+            config,
+            map,
+            seeds,
+            reports,
+            Some(persistence),
+        ))
     }
 
     fn spawn(
+        measure: D,
         engine_config: DynDensConfig,
         config: ShardConfig,
+        map: ShardMap,
         seeds: Vec<ShardSeed<D>>,
         recovery: Vec<RecoveryReport>,
+        persistence: Option<PersistenceConfig>,
     ) -> Self {
-        let n = config.n_shards;
+        let n = map.n_workers();
         debug_assert_eq!(seeds.len(), n);
-        let cells: Arc<Vec<EpochCell<ShardSnapshot>>> =
-            Arc::new((0..n).map(EpochCell::new_empty_snapshot).collect());
-        let rings: Arc<Vec<DeltaRing>> = Arc::new(
-            (0..n)
-                .map(|_| DeltaRing::new(config.delta_retention))
-                .collect(),
-        );
+        let mut cells = Vec::with_capacity(n);
+        let mut rings = Vec::with_capacity(n);
         let mut senders = Vec::with_capacity(n);
+        let mut routed = Vec::with_capacity(n);
         let mut engines = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
-        for (shard, seed) in seeds.into_iter().enumerate() {
+        for (slot, seed) in seeds.into_iter().enumerate() {
             let ShardSeed {
                 engine,
                 seq,
@@ -174,9 +341,10 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             // micro-batch. The delta ring deliberately starts empty: a
             // recovered deployment has no pre-crash event stream, so pollers
             // resync from this snapshot.
-            cells[shard].store_with_seq(
+            let cell = Arc::new(EpochCell::new(ShardSnapshot::empty(slot)));
+            cell.store_with_seq(
                 Arc::new(worker::build_snapshot(
-                    shard,
+                    slot,
                     &engine,
                     seq,
                     seq,
@@ -185,37 +353,32 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                 )),
                 seq,
             );
+            let ring = Arc::new(DeltaRing::new(config.delta_retention));
             let engine = Arc::new(Mutex::new(engine));
-            let (tx, rx) = sync_channel(config.channel_capacity);
-            let worker_engine = Arc::clone(&engine);
-            let worker_cells = Arc::clone(&cells);
-            let worker_rings = Arc::clone(&rings);
-            let (max_batch, top_k) = (config.max_batch, config.top_k);
-            let setup = worker::WorkerSetup {
-                shard,
-                max_batch,
-                top_k,
-                initial_seq: seq,
-                persist,
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("dyndens-shard-{shard}"))
-                .spawn(move || worker::run(setup, rx, worker_engine, worker_cells, worker_rings))
-                .expect("failed to spawn shard worker");
-            senders.push(tx);
+            let (tx, handle) = spawn_worker(slot, &config, seq, persist, &engine, &cell, &ring);
+            cells.push(cell);
+            rings.push(ring);
+            senders.push(ShardTx::Live(tx));
+            routed.push(Arc::new(AtomicU64::new(seq)));
             engines.push(engine);
-            workers.push(handle);
+            workers.push(Some(handle));
         }
         ShardedDynDens {
             route_scratch: vec![Vec::new(); n],
             config,
             engine_config,
-            senders,
+            measure,
+            routing: Arc::new(RwLock::new(RouteState {
+                map,
+                senders,
+                routed,
+            })),
             engines,
-            cells,
-            rings,
+            roster: Arc::new(EpochCell::new(ShardRoster { cells, rings })),
             workers,
             recovery,
+            persistence,
+            dead_parked: Vec::new(),
         }
     }
 
@@ -227,12 +390,19 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         &self.recovery
     }
 
-    /// Number of shard workers.
+    /// Number of live shard workers. Starts at [`ShardConfig::n_shards`] and
+    /// grows by one per [`split_shard`](Self::split_shard).
     pub fn n_shards(&self) -> usize {
-        self.config.n_shards
+        self.routing
+            .read()
+            .expect("routing poisoned")
+            .map
+            .n_workers()
     }
 
-    /// The shard configuration.
+    /// The shard configuration (its `n_shards` is the **base** slot count of
+    /// the routing table, not the current worker count — see
+    /// [`n_shards`](Self::n_shards)).
     pub fn config(&self) -> &ShardConfig {
         &self.config
     }
@@ -242,19 +412,52 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         &self.engine_config
     }
 
-    /// The shard owning `update` (the shard of its minimum endpoint).
+    /// A clone of the current generational routing table.
+    pub fn shard_map(&self) -> ShardMap {
+        self.routing.read().expect("routing poisoned").map.clone()
+    }
+
+    /// The shard owning `update` (the routing-table slot of its minimum
+    /// endpoint).
     #[inline]
     pub fn shard_of(&self, update: &EdgeUpdate) -> usize {
-        self.config
-            .shard_fn
-            .shard(update.a.min(update.b), self.config.n_shards)
+        self.routing
+            .read()
+            .expect("routing poisoned")
+            .map
+            .route(update.a.min(update.b))
+    }
+
+    /// Per-slot ingest queue depths: updates routed but not yet applied and
+    /// published. The primary hot-shard signal consumed by
+    /// [`Rebalancer`](crate::rebalance::Rebalancer).
+    pub fn queue_depths(&self) -> Vec<u64> {
+        let routing = self.routing.read().expect("routing poisoned");
+        let roster = self.roster.load();
+        routing
+            .routed
+            .iter()
+            .zip(roster.cells.iter())
+            .map(|(routed, cell)| routed.load(Ordering::Relaxed).saturating_sub(cell.seq()))
+            .collect()
+    }
+
+    /// A cloneable, thread-safe ingest handle sharing this deployment's
+    /// routing table — the write-side counterpart of [`view`](Self::view).
+    /// Handles keep working across splits (updates for a slot that is
+    /// mid-split park and are re-routed when the split commits).
+    pub fn ingest_handle(&self) -> IngestHandle {
+        IngestHandle {
+            routing: Arc::clone(&self.routing),
+        }
     }
 
     /// Routes one update to its owner shard. Blocks only when that shard's
     /// inbox is full (backpressure).
     pub fn apply_update(&self, update: EdgeUpdate) {
-        let shard = self.shard_of(&update);
-        self.senders[shard]
+        let routing = self.routing.read().expect("routing poisoned");
+        let slot = routing.route(&update);
+        routing.senders[slot]
             .send(WorkerMsg::Update(update))
             .expect("shard worker terminated while the facade is alive");
     }
@@ -262,46 +465,56 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     /// Routes a batch of updates, grouping them per owner shard so each shard
     /// receives one message (per-shard relative order is preserved).
     pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) {
-        for &update in updates {
-            let shard = self.shard_of(&update);
-            self.route_scratch[shard].push(update);
+        let routing = self.routing.read().expect("routing poisoned");
+        if self.route_scratch.len() < routing.senders.len() {
+            self.route_scratch
+                .resize_with(routing.senders.len(), Vec::new);
         }
-        for (shard, group) in self.route_scratch.iter_mut().enumerate() {
+        for &update in updates {
+            self.route_scratch[routing.route(&update)].push(update);
+        }
+        for (slot, group) in self.route_scratch.iter_mut().enumerate() {
             if group.is_empty() {
                 continue;
             }
-            self.senders[shard]
+            routing.senders[slot]
                 .send(WorkerMsg::Batch(std::mem::take(group)))
                 .expect("shard worker terminated while the facade is alive");
         }
     }
 
-    /// Blocks until every update routed so far has been applied and published.
+    /// Blocks until every update routed so far has been applied and
+    /// published. A flush issued while a shard is mid-split completes once
+    /// the split has committed and the parked updates have been applied by
+    /// the children.
     pub fn flush(&self) {
         let (ack_tx, ack_rx) = channel();
-        for sender in &self.senders {
-            sender
-                .send(WorkerMsg::Flush(ack_tx.clone()))
-                .expect("shard worker terminated while the facade is alive");
-        }
+        let expected = {
+            let routing = self.routing.read().expect("routing poisoned");
+            for sender in &routing.senders {
+                sender
+                    .send(WorkerMsg::Flush(ack_tx.clone()))
+                    .expect("shard worker terminated while the facade is alive");
+            }
+            routing.senders.len()
+        };
         drop(ack_tx);
-        for _ in 0..self.senders.len() {
+        for _ in 0..expected {
             ack_rx.recv().expect("shard worker dropped a flush ack");
         }
     }
 
     /// A non-blocking read handle over the shards' published snapshots and
-    /// delta retention rings.
+    /// delta retention rings. Views observe splits: their shard count grows
+    /// when one commits.
     pub fn view(&self) -> StoryView {
-        StoryView::new(
-            Arc::clone(&self.cells),
-            Arc::clone(&self.rings),
-            self.config.top_k,
-        )
+        StoryView::new(Arc::clone(&self.roster), self.config.top_k)
     }
 
     /// The merged cumulative work counters of all shards (flushes first, so
-    /// the ledger covers every routed update).
+    /// the ledger covers every routed update). The ledger is preserved
+    /// exactly across splits: the child that keeps the parent's slot adopts
+    /// the parent's counters and rebuild replay counts nothing.
     pub fn stats(&self) -> EngineStats {
         self.flush();
         let guards: Vec<_> = self
@@ -332,7 +545,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     /// with their scores (flushes first). Order is unspecified; sort for
     /// comparisons. This is the full maintained family, a superset of
     /// [`output_dense`](Self::output_dense) — the quantity the crash
-    /// recovery equivalence tests compare bit-for-bit.
+    /// recovery and split equivalence tests compare bit-for-bit.
     pub fn dense_subgraphs(&self) -> Vec<(VertexSet, f64)> {
         self.flush();
         let mut out = Vec::new();
@@ -405,20 +618,17 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     }
 }
 
-impl EpochCell<ShardSnapshot> {
-    fn new_empty_snapshot(shard: usize) -> Self {
-        EpochCell::new(ShardSnapshot::empty(shard))
-    }
-}
-
 impl<D: DensityMeasure> Drop for ShardedDynDens<D> {
     fn drop(&mut self) {
-        for sender in &self.senders {
-            // A worker that already exited (or panicked) has hung up; that is
-            // fine during teardown.
-            let _ = sender.send(WorkerMsg::Shutdown);
+        {
+            let routing = self.routing.read().expect("routing poisoned");
+            for sender in &routing.senders {
+                // A worker that already exited (or panicked) has hung up;
+                // that is fine during teardown. Parked slots have no worker.
+                let _ = sender.send(WorkerMsg::Shutdown);
+            }
         }
-        for handle in self.workers.drain(..) {
+        for handle in self.workers.drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -485,6 +695,19 @@ mod tests {
         assert_eq!(sharded.shard_of(&update(3, 7, 1.0)), 3);
         assert_eq!(sharded.shard_of(&update(8, 1, 1.0)), 1);
         assert_eq!(sharded.shard_of(&update(8, 12, 1.0)), 0);
+    }
+
+    #[test]
+    fn ingest_handle_routes_like_the_facade() {
+        let sharded = sharded(2);
+        let handle = sharded.ingest_handle();
+        handle.apply_update(update(0, 2, 1.5));
+        handle.apply_batch(&[update(1, 3, 1.5), update(2, 4, 1.2)]);
+        sharded.flush();
+        let view = sharded.view();
+        assert_eq!(view.snapshot().seq, 3);
+        assert_eq!(view.per_shard_seq(), vec![2, 1]);
+        assert_eq!(sharded.queue_depths(), vec![0, 0]);
     }
 
     #[test]

@@ -224,50 +224,60 @@ pub struct MergedStories {
     pub output_dense_total: usize,
 }
 
+/// The current worker roster: one epoch cell and one delta ring per live
+/// worker slot. The roster itself is published through an [`EpochCell`] so
+/// that a shard split (which grows the fleet) is observed by every
+/// [`StoryView`] clone on its next read — cells and rings are individually
+/// `Arc`-shared, so untouched shards keep publishing into the same objects
+/// across roster generations.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardRoster {
+    pub(crate) cells: Vec<Arc<EpochCell<ShardSnapshot>>>,
+    pub(crate) rings: Vec<Arc<DeltaRing>>,
+}
+
 /// A cheap, cloneable handle for reading merged story snapshots without
 /// coordinating with the ingest path.
+///
+/// The view always reflects the **current topology**: after a shard split,
+/// [`n_shards`](StoryView::n_shards) grows, the split slot's delta ring
+/// starts empty (pollers resynchronise from its snapshot, exactly as after
+/// crash recovery) and the new slot appears with the split point's sequence
+/// number.
 #[derive(Debug, Clone)]
 pub struct StoryView {
-    cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
-    rings: Arc<Vec<DeltaRing>>,
+    roster: Arc<EpochCell<ShardRoster>>,
     top_k: usize,
 }
 
 impl StoryView {
-    pub(crate) fn new(
-        cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
-        rings: Arc<Vec<DeltaRing>>,
-        top_k: usize,
-    ) -> Self {
-        StoryView {
-            cells,
-            rings,
-            top_k,
-        }
+    pub(crate) fn new(roster: Arc<EpochCell<ShardRoster>>, top_k: usize) -> Self {
+        StoryView { roster, top_k }
     }
 
-    /// Number of shards feeding this view.
+    /// Number of shards feeding this view (grows across splits).
     pub fn n_shards(&self) -> usize {
-        self.cells.len()
+        self.roster.load().cells.len()
     }
 
     /// The latest published snapshot of one shard.
     pub fn shard_snapshot(&self, shard: usize) -> Arc<ShardSnapshot> {
-        self.cells[shard].load()
+        self.roster.load().cells[shard].load()
     }
 
     /// The latest published sequence number of one shard: a single atomic
-    /// load, no locks, no snapshot traffic. The primitive a polling server
-    /// uses to decide whether a shard has anything new for a client.
+    /// load past the roster pointer, no locks, no snapshot traffic. The
+    /// primitive a polling server uses to decide whether a shard has
+    /// anything new for a client.
     #[inline]
     pub fn shard_seq(&self, shard: usize) -> u64 {
-        self.cells[shard].seq()
+        self.roster.load().cells[shard].seq()
     }
 
     /// The latest published sequence numbers of all shards (one atomic load
     /// each).
     pub fn per_shard_seq(&self) -> Vec<u64> {
-        self.cells.iter().map(|c| c.seq()).collect()
+        self.roster.load().cells.iter().map(|c| c.seq()).collect()
     }
 
     /// The [`DenseEvent`]s of `shard` after `since_seq`, served from the
@@ -277,24 +287,26 @@ impl StoryView {
     /// behind the retention bound and must rebase on
     /// [`shard_snapshot`](StoryView::shard_snapshot).
     pub fn deltas_since(&self, shard: usize, since_seq: u64) -> DeltaCatchUp {
-        self.rings[shard].catch_up(since_seq)
+        self.roster.load().rings[shard].catch_up(since_seq)
     }
 
     /// The earliest sequence number [`deltas_since`](StoryView::deltas_since)
     /// can serve deltas for on `shard`, or `None` while nothing has been
-    /// published since construction (or recovery).
+    /// published since construction (or recovery, or a split of this shard).
     pub fn delta_coverage_from(&self, shard: usize) -> Option<u64> {
-        self.rings[shard].coverage_from()
+        self.roster.load().rings[shard].coverage_from()
     }
 
     /// Merges the latest per-shard snapshots into a top-k story view.
     ///
     /// Reads are wait-free with respect to ingest up to the epoch-pointer
-    /// clone; the merge itself runs on the reader's thread over immutable
-    /// data. Each call observes each shard's latest published epoch, so `seq`
-    /// is monotone over repeated calls.
+    /// clones; the merge itself runs on the reader's thread over immutable
+    /// data. Each call observes each shard's latest published epoch, so
+    /// per-shard sequence numbers are monotone over repeated calls (the
+    /// *number* of shards can grow between calls when a split commits).
     pub fn snapshot(&self) -> MergedStories {
-        let shards: Vec<Arc<ShardSnapshot>> = self.cells.iter().map(|c| c.load()).collect();
+        let roster = self.roster.load();
+        let shards: Vec<Arc<ShardSnapshot>> = roster.cells.iter().map(|c| c.load()).collect();
         let per_shard_seq: Vec<u64> = shards.iter().map(|s| s.seq).collect();
         let seq = per_shard_seq.iter().sum();
         let output_dense_total = shards.iter().map(|s| s.output_dense).sum();
@@ -315,7 +327,8 @@ impl StoryView {
     /// The merged cumulative work counters of all shards, as of their latest
     /// published snapshots.
     pub fn stats(&self) -> EngineStats {
-        let shards: Vec<Arc<ShardSnapshot>> = self.cells.iter().map(|c| c.load()).collect();
+        let roster = self.roster.load();
+        let shards: Vec<Arc<ShardSnapshot>> = roster.cells.iter().map(|c| c.load()).collect();
         EngineStats::merged(shards.iter().map(|s| &s.stats))
     }
 }
@@ -338,8 +351,13 @@ mod tests {
         }
     }
 
-    fn rings(n: usize) -> Arc<Vec<DeltaRing>> {
-        Arc::new((0..n).map(|_| DeltaRing::new(8)).collect())
+    fn view_of(cells: Vec<EpochCell<ShardSnapshot>>, top_k: usize) -> StoryView {
+        let n = cells.len();
+        let roster = ShardRoster {
+            cells: cells.into_iter().map(Arc::new).collect(),
+            rings: (0..n).map(|_| Arc::new(DeltaRing::new(8))).collect(),
+        };
+        StoryView::new(Arc::new(EpochCell::new(roster)), top_k)
     }
 
     #[test]
@@ -357,13 +375,13 @@ mod tests {
 
     #[test]
     fn merged_snapshot_is_sorted_and_truncated() {
-        let cells = Arc::new(vec![
+        let cells = vec![
             EpochCell::new(snap(0, 10, &[(&[0, 4], 1.5), (&[0, 8], 0.9)])),
             EpochCell::new(snap(1, 5, &[(&[1, 5], 1.2), (&[1, 9], 1.6)])),
-        ]);
+        ];
         cells[0].store_with_seq(cells[0].load(), 10);
         cells[1].store_with_seq(cells[1].load(), 5);
-        let view = StoryView::new(cells, rings(2), 3);
+        let view = view_of(cells, 3);
         assert_eq!(view.n_shards(), 2);
         let merged = view.snapshot();
         assert_eq!(merged.seq, 15);
@@ -383,12 +401,41 @@ mod tests {
         a.stats.updates = 3;
         let mut b = snap(1, 1, &[]);
         b.stats.updates = 4;
-        let view = StoryView::new(
-            Arc::new(vec![EpochCell::new(a), EpochCell::new(b)]),
-            rings(2),
-            4,
-        );
+        let view = view_of(vec![EpochCell::new(a), EpochCell::new(b)], 4);
         assert_eq!(view.stats().updates, 7);
+    }
+
+    #[test]
+    fn view_observes_roster_growth() {
+        // A split publishes a grown roster through the same epoch cell the
+        // view already holds: existing view clones see the new shard (and
+        // the reused slot's cleared ring) on their next read.
+        let roster_cell = Arc::new(EpochCell::new(ShardRoster {
+            cells: vec![Arc::new(EpochCell::new(snap(0, 7, &[(&[0, 2], 1.0)])))],
+            rings: vec![Arc::new(DeltaRing::new(4))],
+        }));
+        let view = StoryView::new(Arc::clone(&roster_cell), 4);
+        let clone = view.clone();
+        assert_eq!(view.n_shards(), 1);
+
+        let old = roster_cell.load();
+        let grown = ShardRoster {
+            cells: vec![
+                Arc::clone(&old.cells[0]),
+                Arc::new(EpochCell::new(snap(1, 7, &[(&[1, 3], 1.4)]))),
+            ],
+            rings: vec![Arc::new(DeltaRing::new(4)), Arc::new(DeltaRing::new(4))],
+        };
+        roster_cell.store(Arc::new(grown));
+        assert_eq!(clone.n_shards(), 2, "pre-split clones observe the growth");
+        assert_eq!(clone.snapshot().stories.len(), 2);
+        // The reused slot's fresh ring is empty: pollers resync, like after
+        // crash recovery.
+        assert_eq!(clone.deltas_since(0, 3), DeltaCatchUp::Resync);
+        // The untouched cell object is shared: a publication through the old
+        // roster's cell is visible through the new roster.
+        old.cells[0].store_with_seq(Arc::new(snap(0, 9, &[])), 9);
+        assert_eq!(clone.shard_seq(0), 9);
     }
 
     fn became(ids: &[u32]) -> DenseEvent {
@@ -429,5 +476,112 @@ mod tests {
         assert_eq!(ring.coverage_from(), Some(2));
         assert_eq!(ring.catch_up(0), DeltaCatchUp::Resync);
         assert!(matches!(ring.catch_up(2), DeltaCatchUp::Events { .. }));
+    }
+
+    #[test]
+    fn delta_ring_with_retention_one_keeps_only_the_newest_batch() {
+        let ring = DeltaRing::new(1);
+        // The constructor clamps a degenerate capacity to one.
+        let clamped = DeltaRing::new(0);
+        for r in [&ring, &clamped] {
+            r.push(DeltaBatch {
+                base_seq: 0,
+                seq: 3,
+                events: vec![became(&[0])].into(),
+            });
+            r.push(DeltaBatch {
+                base_seq: 3,
+                seq: 5,
+                events: vec![became(&[1])].into(),
+            });
+            assert_eq!(r.coverage_from(), Some(3), "only the newest batch lives");
+            // A reader at the surviving batch's base gets exactly it.
+            match r.catch_up(3) {
+                DeltaCatchUp::Events { to_seq, events } => {
+                    assert_eq!(to_seq, 5);
+                    assert_eq!(events, vec![became(&[1])]);
+                }
+                other => panic!("expected events, got {other:?}"),
+            }
+            // One batch further back is already out of retention.
+            assert_eq!(r.catch_up(0), DeltaCatchUp::Resync);
+            assert_eq!(r.catch_up(5), DeltaCatchUp::Current);
+        }
+    }
+
+    #[test]
+    fn delta_ring_poll_exactly_at_wrap_boundary() {
+        // Capacity 3; the fourth push evicts the first batch. A reader whose
+        // cursor sits exactly on the evicted/retained boundary must get the
+        // full retained suffix, one update past it must resync.
+        let ring = DeltaRing::new(3);
+        for (base, seq) in [(0u64, 10u64), (10, 20), (20, 30), (30, 40)] {
+            ring.push(DeltaBatch {
+                base_seq: base,
+                seq,
+                events: vec![became(&[(base / 10) as u32])].into(),
+            });
+        }
+        assert_eq!(ring.coverage_from(), Some(10));
+        // Exactly at the oldest retained batch's base: full suffix.
+        match ring.catch_up(10) {
+            DeltaCatchUp::Events { to_seq, events } => {
+                assert_eq!(to_seq, 40);
+                assert_eq!(events, vec![became(&[1]), became(&[2]), became(&[3])]);
+            }
+            other => panic!("expected events, got {other:?}"),
+        }
+        // One update older than the boundary: the suffix would be incomplete.
+        assert_eq!(ring.catch_up(9), DeltaCatchUp::Resync);
+        // Exactly at the newest published seq: current, not an empty suffix.
+        assert_eq!(ring.catch_up(40), DeltaCatchUp::Current);
+        // On an interior batch boundary: the suffix starts right there.
+        match ring.catch_up(30) {
+            DeltaCatchUp::Events { to_seq, events } => {
+                assert_eq!(to_seq, 40);
+                assert_eq!(events, vec![became(&[3])]);
+            }
+            other => panic!("expected events, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deltas_since_across_a_seq_reset() {
+        // A split (like crash recovery) replaces a shard's ring with an empty
+        // one whose coverage restarts at the split point S, while readers
+        // still hold cursors from the old regime. Every stale cursor must be
+        // told to resync; post-reset publications serve normally.
+        let ring = DeltaRing::new(4);
+        ring.push(DeltaBatch {
+            base_seq: 90,
+            seq: 100,
+            events: vec![became(&[7])].into(),
+        });
+        let fresh = DeltaRing::new(4); // the ring after the reset, empty at S = 100
+        for cursor in [0, 42, 99, 100] {
+            assert_eq!(
+                fresh.catch_up(cursor),
+                DeltaCatchUp::Resync,
+                "cursor {cursor} must rebase on the snapshot"
+            );
+        }
+        assert_eq!(fresh.coverage_from(), None);
+        // First post-reset publication continues the sequence numbers.
+        fresh.push(DeltaBatch {
+            base_seq: 100,
+            seq: 104,
+            events: vec![became(&[8])].into(),
+        });
+        assert_eq!(fresh.coverage_from(), Some(100));
+        // A reader current to the split point follows deltas seamlessly...
+        match fresh.catch_up(100) {
+            DeltaCatchUp::Events { to_seq, events } => {
+                assert_eq!(to_seq, 104);
+                assert_eq!(events, vec![became(&[8])]);
+            }
+            other => panic!("expected events, got {other:?}"),
+        }
+        // ...while pre-reset cursors still resync (their suffix is gone).
+        assert_eq!(fresh.catch_up(95), DeltaCatchUp::Resync);
     }
 }

@@ -62,8 +62,8 @@ pub(crate) fn run<D: DensityMeasure>(
     setup: WorkerSetup,
     inbox: Receiver<WorkerMsg>,
     engine: Arc<Mutex<DynDens<D>>>,
-    cells: Arc<Vec<EpochCell<ShardSnapshot>>>,
-    rings: Arc<Vec<DeltaRing>>,
+    cell: Arc<EpochCell<ShardSnapshot>>,
+    ring: Arc<DeltaRing>,
 ) {
     let WorkerSetup {
         shard,
@@ -134,12 +134,12 @@ pub(crate) fn run<D: DensityMeasure>(
             // Retention before visibility: the ring covers the new seq before
             // the epoch pointer announces it, so a poller that observes the
             // new seq can always fetch its deltas.
-            rings[shard].push(DeltaBatch {
+            ring.push(DeltaBatch {
                 base_seq: delta_base_seq,
                 seq,
                 events: Arc::clone(&snapshot.delta_events),
             });
-            cells[shard].store_with_seq(Arc::new(snapshot), seq);
+            cell.store_with_seq(Arc::new(snapshot), seq);
             if let (Some(bytes), Some(p)) = (checkpoint, persist.as_mut()) {
                 // A failed checkpoint is not fatal: the WAL still covers the
                 // whole history since the last good snapshot.

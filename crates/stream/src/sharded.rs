@@ -245,6 +245,27 @@ impl<M: AssociationMeasure, D: DensityMeasure> ShardedStoryPipeline<M, D> {
         &self.engine
     }
 
+    /// Mutable access to the fleet, for operations that reshape it (driving
+    /// a [`Rebalancer`](dyndens_shard::Rebalancer) loop, explicit splits).
+    pub fn engine_mut(&mut self) -> &mut ShardedDynDens<D> {
+        &mut self.engine
+    }
+
+    /// Splits shard `slot` of the fleet online (see
+    /// [`ShardedDynDens::split_shard`]). The pipeline needs no coordination
+    /// beyond passing the call through: the entity registry lives on the
+    /// ingest side and assigns **global** vertex ids, so the name ↔ vertex
+    /// mapping — and the entity-name journal of a persistent pipeline — is
+    /// untouched by any change of which worker owns which vertex. Stories
+    /// served before and after the split describe the same entities with the
+    /// same names.
+    pub fn split_shard(
+        &mut self,
+        slot: usize,
+    ) -> Result<dyndens_shard::SplitReport, dyndens_shard::RebalanceError> {
+        self.engine.split_shard(slot)
+    }
+
     /// The update generator, exposing stream statistics.
     pub fn generator(&self) -> &EdgeUpdateGenerator<M> {
         &self.generator
@@ -520,6 +541,43 @@ mod tests {
             Ok(_) => panic!("damaged entity journal was accepted"),
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn split_keeps_registry_and_stories_stable() {
+        // A split moves engine slices between workers but never touches the
+        // ingest-side entity registry: vertex ids are global, so the story
+        // set (and its names) at the split point is identical before and
+        // after, and post-split ingest keeps resolving the same entities.
+        let mut p = sharded_pipeline(2);
+        feed_raid_story(&mut p);
+        p.flush();
+        let registry_before: Vec<String> = p.entity_names();
+        let before: Vec<_> = p.top_stories(5);
+        assert!(!before.is_empty());
+
+        let report = p.split_shard(0).expect("split");
+        assert_eq!(p.engine().n_shards(), 3);
+        assert_eq!(report.new_slot, 2);
+        assert_eq!(p.entity_names(), registry_before, "registry untouched");
+        let after = p.top_stories(5);
+        assert_eq!(
+            after.iter().map(|s| &s.vertices).collect::<Vec<_>>(),
+            before.iter().map(|s| &s.vertices).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            after.iter().map(|s| &s.entities).collect::<Vec<_>>(),
+            before.iter().map(|s| &s.entities).collect::<Vec<_>>(),
+            "stories describe the same entities with the same names"
+        );
+
+        // Post-split ingest still resolves existing names to their original
+        // vertices and serves stories through the grown fleet.
+        p.ingest(401.0, &["Abbottabad", "Osama bin Laden"]);
+        p.flush();
+        assert_eq!(p.entity_names().len(), registry_before.len());
+        assert!(p.story_count() > 0);
+        assert_eq!(p.view().n_shards(), 3);
     }
 
     #[test]

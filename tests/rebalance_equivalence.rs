@@ -1,0 +1,276 @@
+//! Live shard rebalancing equivalence: splitting a hot shard **mid-stream**
+//! must yield story sets bit-identical to a deployment that never split,
+//! while ingest on untouched shards keeps flowing during the split.
+//!
+//! The workload is the partition-aligned 50k-update stream of
+//! `tests/sharded_equivalence.rs` (communities drawn from congruence classes
+//! mod 8, weights below the too-dense regime). Under `ShardFn::Modulo` with
+//! 2 base shards, the routing bits consulted by splits are the binary digits
+//! of `v / 2`, so communities stay aligned through two levels of splitting —
+//! the partitioning invariant holds before *and* after every split, which is
+//! what makes the comparison exact down to the score bits.
+
+use dyndens::prelude::*;
+use dyndens::shard::DeltaCatchUp;
+use dyndens_bench::shard_aligned_stream;
+
+fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+fn shard_config(n: usize) -> ShardConfig {
+    ShardConfig::new(n)
+        .with_shard_fn(ShardFn::Modulo)
+        .with_max_batch(64)
+}
+
+fn sorted_bits(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, u64)> {
+    sets.sort_by(|a, b| a.0.cmp(&b.0));
+    sets.into_iter().map(|(s, d)| (s, d.to_bits())).collect()
+}
+
+/// The headline acceptance test: a persistent 2-shard deployment ingests the
+/// 50k stream; mid-stream, the hot shard is split (checkpoint + WAL-slice
+/// replay) while an [`IngestHandle`] concurrently feeds the fleet — updates
+/// for the splitting shard park, updates for the untouched shard are applied
+/// *during* the split (asserted deterministically from inside the split's
+/// `Parked` phase). The final maintained family must match a never-split run
+/// bit for bit, the work ledger must count every update exactly once, and a
+/// crash + reopen must recover the refined topology with the same answer.
+#[test]
+fn split_mid_stream_matches_never_split_bit_identically() {
+    let updates = shard_aligned_stream(50_000, 8, 2012);
+
+    // Never-split reference.
+    let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+    for chunk in updates.chunks(256) {
+        reference.apply_batch(chunk);
+    }
+    let want = sorted_bits(reference.dense_subgraphs());
+    assert!(want.len() >= 10, "degenerate workload");
+    assert_eq!(reference.stats().updates, updates.len() as u64);
+    drop(reference);
+
+    let dir = std::env::temp_dir().join(format!("dyndens-rebeq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let persistence = || {
+        PersistenceConfig::new(&dir)
+            .with_fsync(FsyncPolicy::Never)
+            .with_snapshot_every_batches(16)
+    };
+
+    let mut fleet = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(2),
+        persistence(),
+    )
+    .unwrap();
+    let (head, rest) = updates.split_at(20_000);
+    let (mid, tail) = rest.split_at(10_000);
+    for chunk in head.chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.flush();
+
+    // Split shard 0 while the mid tranche flows in through an IngestHandle.
+    // The observer runs inside the split, after the parent is quiesced and
+    // before the refined routing commits — the deterministic window in which
+    // slot-0 updates park and slot-1 updates must still be applied.
+    let handle = fleet.ingest_handle();
+    let view = fleet.view();
+    let seq0_at_park = std::cell::Cell::new(0u64);
+    let concurrent_applied = std::cell::Cell::new(0u64);
+    let report = fleet
+        .split_shard_with(0, |phase| {
+            if phase == SplitPhase::Parked {
+                seq0_at_park.set(view.shard_seq(0));
+                let untouched_before = view.shard_seq(1);
+                for chunk in mid.chunks(128) {
+                    handle.apply_batch(chunk);
+                }
+                // The untouched shard must make progress while the split
+                // shard is down: wait for its worker to apply something.
+                while view.shard_seq(1) == untouched_before {
+                    std::thread::yield_now();
+                }
+                concurrent_applied.set(view.shard_seq(1) - untouched_before);
+                // The split shard itself is quiescent: everything routed to
+                // it is parking, nothing is applied.
+                assert_eq!(view.shard_seq(0), seq0_at_park.get());
+            }
+        })
+        .unwrap();
+    assert!(
+        concurrent_applied.get() > 0,
+        "untouched shard applied no batches during the split"
+    );
+    assert!(
+        report.parked_updates > 0,
+        "the mid tranche must have parked updates for the split shard"
+    );
+    assert_eq!(report.slot, 0);
+    assert_eq!(report.new_slot, 2);
+    assert_eq!(
+        report.snapshot_seq + report.replayed_updates,
+        report.parent_seq,
+        "children = checkpoint + filtered WAL slice up to the quiesce point"
+    );
+    assert_eq!(fleet.n_shards(), 3);
+    assert_eq!(view.n_shards(), 3, "pre-split views observe the growth");
+    // Pollers of the split slot resync: the slot's ring restarted empty at
+    // the split point, so every pre-split cursor (strictly below it) finds
+    // its suffix gone — exactly the post-crash-recovery behaviour.
+    assert_eq!(
+        fleet
+            .view()
+            .deltas_since(0, seq0_at_park.get().saturating_sub(1)),
+        DeltaCatchUp::Resync
+    );
+    assert!(fleet
+        .view()
+        .delta_coverage_from(0)
+        .is_none_or(|from| from >= seq0_at_park.get()));
+
+    for chunk in tail.chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.validate().unwrap();
+    let got = sorted_bits(fleet.dense_subgraphs());
+    assert_eq!(got.len(), want.len());
+    for ((gs, gd), (ws, wd)) in got.iter().zip(&want) {
+        assert_eq!(gs, ws, "maintained sets diverge after the split");
+        assert_eq!(*gd, *wd, "score bits diverge on {gs}");
+    }
+    // The ledger counts every update exactly once across the split: rebuild
+    // replay counts nothing, the slot-keeping child adopts the parent's
+    // counters, parked updates are applied (and counted) by the children.
+    assert_eq!(fleet.stats().updates, updates.len() as u64);
+
+    // Crash + reopen: the generational manifest recovers all three shards
+    // and the identical answer, still under the base ShardConfig::new(2).
+    drop(fleet);
+    let reopened = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(2),
+        persistence(),
+    )
+    .unwrap();
+    assert_eq!(reopened.n_shards(), 3);
+    assert_eq!(reopened.recovery_reports().len(), 3);
+    assert_eq!(reopened.shard_map().generation(), 1);
+    assert_eq!(sorted_bits(reopened.dense_subgraphs()), want);
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Two successive splits of the same base slot exercise depth-2 routing bits
+/// (still community-aligned at alignment 8 over 2 base shards) on the
+/// in-memory partition path.
+#[test]
+fn repeated_in_memory_splits_stay_exact() {
+    let updates = shard_aligned_stream(20_000, 8, 77);
+    let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+    for chunk in updates.chunks(256) {
+        reference.apply_batch(chunk);
+    }
+    let want = sorted_bits(reference.dense_subgraphs());
+    drop(reference);
+
+    let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+    let thirds = updates.len() / 3;
+    for chunk in updates[..thirds].chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    let first = fleet.split_shard(0).unwrap();
+    assert_eq!(first.generation, 1);
+    for chunk in updates[thirds..2 * thirds].chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    // Split slot 0 again: its route-trie leaf now sits at depth 1, so the
+    // second split consults routing bit 1.
+    let second = fleet.split_shard(0).unwrap();
+    assert_eq!(second.generation, 2);
+    assert_eq!(fleet.n_shards(), 4);
+    for chunk in updates[2 * thirds..].chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.validate().unwrap();
+    assert_eq!(sorted_bits(fleet.dense_subgraphs()), want);
+    assert_eq!(fleet.stats().updates, updates.len() as u64);
+    // Four live workers, every one of them owning real work by now.
+    let per_shard = fleet.view().per_shard_seq();
+    assert_eq!(per_shard.len(), 4);
+    assert!(per_shard.iter().all(|&s| s > 0), "{per_shard:?}");
+}
+
+/// A serving-layer follower spanning a split: its stale cursor is rebased by
+/// the server (no error round-trip) and the mirrored story sets stay
+/// byte-identical to the in-process view.
+#[test]
+fn follower_resyncs_cleanly_across_a_split() {
+    use dyndens::serve::{Client, Follower, StoryServer};
+
+    let updates = shard_aligned_stream(8_000, 8, 5);
+    // Untruncated top_k: resync snapshots carry the full per-shard story
+    // sets. Small retention: fresh cursors genuinely exercise the resync
+    // path rather than replaying the event stream from sequence zero.
+    let mut fleet = ShardedDynDens::new(
+        AvgWeight,
+        engine_config(),
+        shard_config(2)
+            .with_top_k(usize::MAX)
+            .with_delta_retention(16),
+    );
+    let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut follower = Follower::new();
+
+    let (head, tail) = updates.split_at(4_000);
+    for chunk in head.chunks(128) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.flush();
+    follower.poll(&mut client).unwrap();
+    assert_eq!(follower.cursor().len(), 2);
+
+    let report = fleet.split_shard(0).unwrap();
+    assert_eq!(report.new_slot, 2);
+    for chunk in tail.chunks(128) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.flush();
+
+    // The next poll carries a 2-entry cursor against a 3-shard server: the
+    // reply rebases the follower onto the new topology.
+    let resyncs_before = follower.resyncs();
+    follower.poll(&mut client).unwrap();
+    assert_eq!(follower.cursor().len(), 3);
+    assert!(follower.resyncs() > resyncs_before);
+
+    // The rebased mirror tracks the in-process story sets across the new
+    // topology (densities delivered by deltas may lag until the next resync,
+    // as on any delta-followed shard — set membership is exact).
+    let view = fleet.view();
+    let mut expect: Vec<(VertexSet, f64)> = (0..view.n_shards())
+        .flat_map(|s| view.shard_snapshot(s).top_stories.clone())
+        .collect();
+    expect.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(
+        follower.vertex_sets(),
+        expect.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>()
+    );
+
+    // A fresh follower bootstraps against the post-split topology purely via
+    // resync snapshots: byte-identical sets *and* densities.
+    let mut late = Follower::new();
+    while late.poll(&mut client).unwrap() {}
+    let got = late.story_sets();
+    assert_eq!(late.cursor().len(), 3);
+    assert_eq!(got.len(), expect.len());
+    for ((gs, gd), (ws, wd)) in got.iter().zip(&expect) {
+        assert_eq!(gs, ws);
+        assert_eq!(gd.to_bits(), wd.to_bits());
+    }
+}
