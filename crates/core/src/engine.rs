@@ -191,6 +191,53 @@ impl<D: DensityMeasure> DynDens<D> {
         (zero, one)
     }
 
+    /// Folds another engine's maintenance state into this one — the inverse
+    /// of [`partition_by`](Self::partition_by), used by a shard **merge** to
+    /// coarsen two sibling engines back into one.
+    ///
+    /// Both engines must have the same configuration and current
+    /// threshold-family parameters, and their maintained states must be
+    /// edge- and subgraph-disjoint (always true for siblings produced by a
+    /// split, whose slices are separated by a routing bit). Edge weights and
+    /// stored subgraph scores are copied bit-for-bit, `*` markers travel
+    /// with their subgraph, the vertex universe grows to the union, the
+    /// epoch becomes the maximum of the two (each side's epoch counts only
+    /// its own slice's updates) and the work ledgers are summed — so the
+    /// merged engine answers exactly like the union of the two children,
+    /// down to the score bits.
+    pub fn absorb(&mut self, other: Self) {
+        debug_assert_eq!(
+            self.thresholds.output_threshold().to_bits(),
+            other.thresholds.output_threshold().to_bits(),
+            "absorb requires identical threshold families"
+        );
+        debug_assert_eq!(
+            self.thresholds.delta_it().to_bits(),
+            other.thresholds.delta_it().to_bits(),
+            "absorb requires identical threshold families"
+        );
+        if other.graph.vertex_count() > self.graph.vertex_count() {
+            self.graph
+                .ensure_vertex(VertexId((other.graph.vertex_count() - 1) as u32));
+        }
+        for (a, b, w) in other.graph.edges() {
+            debug_assert_eq!(
+                self.graph.weight(a, b),
+                0.0,
+                "absorb requires edge-disjoint engines"
+            );
+            self.graph.set_weight(a, b, w);
+        }
+        for (id, verts, info) in other.index.iter() {
+            let new_id = self.index.insert(verts.as_slice(), *info);
+            if other.index.has_star(id) {
+                self.index.set_star(new_id, true);
+            }
+        }
+        self.epoch = self.epoch.max(other.epoch);
+        self.stats.merge(&other.stats);
+    }
+
     /// Marks the engine as replaying already-counted updates (WAL recovery).
     ///
     /// While the flag is set, [`apply_update_into`](Self::apply_update_into)
@@ -1389,6 +1436,66 @@ mod tests {
         assert!(engine.is_tracked_dense(&VertexSet::from_ids(&[2, 3])));
         // {0,1,2,3} lost density (2.0 + 1.2 < 6.0) and must be evicted.
         assert!(!engine.is_tracked_dense(&VertexSet::from_ids(&[0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn partition_then_absorb_round_trips_the_answer() {
+        // Two communities separated by the parity of the vertex id, so a
+        // `keep = even` partition is subgraph-disjoint.
+        let config = DynDensConfig::new(1.0, 4).with_delta_it(0.15);
+        let mut engine = DynDens::new(AvgWeight, config);
+        for (a, b) in [(0, 2), (0, 4), (2, 4), (1, 3), (1, 5), (3, 5)] {
+            engine.apply_update(update(a, b, 1.25));
+        }
+        engine.apply_update(update(0, 2, 10.0)); // a `*` marker on one side
+        engine.validate().unwrap();
+        let mut want: Vec<(VertexSet, u64)> = engine
+            .dense_subgraphs()
+            .into_iter()
+            .map(|(s, d)| (s, d.to_bits()))
+            .collect();
+        want.sort_by(|a, b| a.0.cmp(&b.0));
+        let stars = engine.index().star_count();
+        let want_stats = engine.stats().clone();
+
+        let (mut zero, one) = engine.partition_by(|v| v.index() % 2 == 0);
+        zero.adopt_stats(want_stats.clone());
+        zero.absorb(one);
+        zero.validate().unwrap();
+        let mut got: Vec<(VertexSet, u64)> = zero
+            .dense_subgraphs()
+            .into_iter()
+            .map(|(s, d)| (s, d.to_bits()))
+            .collect();
+        got.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(got, want);
+        assert_eq!(zero.index().star_count(), stars);
+        assert_eq!(zero.stats(), &want_stats);
+
+        // The merged engine keeps evolving exactly like the original.
+        for u in [update(0, 1, 1.5), update(2, 3, 0.75)] {
+            engine.apply_update(u);
+            zero.apply_update(u);
+        }
+        let left: Vec<(VertexSet, u64)> = {
+            let mut v: Vec<_> = engine
+                .dense_subgraphs()
+                .into_iter()
+                .map(|(s, d)| (s, d.to_bits()))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let right: Vec<(VertexSet, u64)> = {
+            let mut v: Vec<_> = zero
+                .dense_subgraphs()
+                .into_iter()
+                .map(|(s, d)| (s, d.to_bits()))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        assert_eq!(left, right);
     }
 
     #[test]

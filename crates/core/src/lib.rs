@@ -22,6 +22,8 @@
 //! * [`snapshot`] — versioned binary snapshot/restore of the full engine
 //!   state, the substrate of the sharded subsystem's crash recovery.
 //! * [`threshold_update`] — dynamic threshold adjustment (Section 6).
+//! * [`evict`] — decay-driven eviction of fully-decayed edges and orphaned
+//!   vertices, the engine half of memory-bounded forever-runs.
 //! * [`config`], [`events`] — configuration and reporting types.
 //!
 //! ## Quick start
@@ -44,12 +46,13 @@
 //! assert!(engine.output_dense_count() >= 4); // the triangle and its edges
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
 pub mod engine;
 pub mod events;
+pub mod evict;
 pub mod heuristics;
 pub mod index;
 pub mod snapshot;
@@ -58,6 +61,7 @@ pub mod threshold_update;
 pub use config::{DeltaIt, DynDensConfig};
 pub use engine::DynDens;
 pub use events::{DenseEvent, EngineStats};
+pub use evict::EvictionReport;
 pub use heuristics::{DegreePrioritize, MaxExploreBound};
 pub use index::{NodeId, SubgraphIndex, SubgraphInfo};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -54,8 +54,9 @@ pub mod prelude {
     pub use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens, ThresholdFamily};
     pub use dyndens_graph::{DynamicGraph, EdgeUpdate, VertexId, VertexSet};
     pub use dyndens_shard::{
-        FsyncPolicy, IngestHandle, PersistenceConfig, RebalancePolicy, Rebalancer, RecoveryReport,
-        ShardConfig, ShardFn, ShardedDynDens, SplitPhase, SplitReport, StoryView,
+        FsyncPolicy, IngestHandle, MergePhase, MergeReport, PersistenceConfig, RebalanceError,
+        RebalancePolicy, Rebalancer, RecoveryReport, ShardConfig, ShardFn, ShardedDynDens,
+        SplitPhase, SplitReport, StoryView,
     };
 }
 

@@ -214,6 +214,29 @@ impl DynamicGraph {
         })
     }
 
+    /// Releases the heap capacity held by the adjacency maps of isolated
+    /// vertices (degree zero), returning how many vertices are currently
+    /// isolated.
+    ///
+    /// The vertex array itself never shrinks — vertex ids are global and the
+    /// snapshot format records `vertex_count` — but a map that grew while its
+    /// vertex was connected keeps its buckets allocated after decay empties
+    /// it. On a forever-run with eviction this capacity is the dominant
+    /// memory leak; swapping each empty map for a fresh default map returns
+    /// it to the allocator without any observable state change.
+    pub fn reclaim_isolated(&mut self) -> usize {
+        let mut isolated = 0;
+        for adj in &mut self.adjacency {
+            if adj.is_empty() {
+                isolated += 1;
+                if adj.capacity() > 0 {
+                    *adj = FxHashMap::default();
+                }
+            }
+        }
+        isolated
+    }
+
     /// Returns whether the subgraph induced by `set` is connected (considering
     /// only edges with non-zero weight). Singleton and empty sets are
     /// considered connected.
@@ -338,6 +361,24 @@ mod tests {
         assert!(!g.is_connected(&VertexSet::from_ids(&[0, 1, 3])));
         assert!(g.is_connected(&VertexSet::from_ids(&[3])));
         assert!(g.is_connected(&VertexSet::new()));
+    }
+
+    #[test]
+    fn reclaim_isolated_counts_and_releases() {
+        let mut g = sample_graph();
+        // Vertices 0..5 all connected except none isolated yet.
+        assert_eq!(g.reclaim_isolated(), 0);
+        // Remove vertex 3/4's only edge: both become isolated.
+        g.set_weight(VertexId(3), VertexId(4), 0.0);
+        assert_eq!(g.reclaim_isolated(), 2);
+        // Reclaim is observationally inert: weights and counts are unchanged.
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.weight(VertexId(0), VertexId(1)), 1.0);
+        assert_eq!(g.vertex_count(), 5, "the vertex array never shrinks");
+        // The vertex can be reconnected afterwards.
+        g.set_weight(VertexId(3), VertexId(0), 0.5);
+        assert_eq!(g.reclaim_isolated(), 1);
+        assert_eq!(g.degree(VertexId(3)), 1);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod vertex_set;
 pub use codec::{ByteReader, CodecError};
 pub use graph::{DynamicGraph, NeighborhoodScores};
 pub use hash::{shard_of, FxBuildHasher, FxHashMap, FxHashSet};
-pub use shard_map::{ShardFn, ShardMap, SplitSpec};
+pub use shard_map::{MergeSpec, ShardFn, ShardMap, SplitSpec};
 pub use update::EdgeUpdate;
 pub use vertex_set::VertexSet;
 

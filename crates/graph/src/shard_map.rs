@@ -25,10 +25,16 @@
 //!   parent's worker slot, the other takes a brand-new slot, and both get
 //!   fresh engine ids. Vertices owned by every other leaf route exactly as
 //!   before — a split never reshuffles the rest of the fleet.
-//! * The **generation** counter increments per split; the map (including
-//!   `next_engine`) is serialised into the deployment `MANIFEST` via
-//!   [`ShardMap::encode_into`] / [`ShardMap::decode`], so a restart recovers
-//!   the refined topology rather than the construction-time one.
+//! * **Merging** is the exact inverse: a `Split` node whose children are
+//!   both leaves collapses back into one leaf (fresh engine id, served by
+//!   the smaller of the two slots), and the previous last worker slot is
+//!   renumbered into the freed one so slot numbering stays dense — the
+//!   invariant the codec validates. See [`ShardMap::merge`] /
+//!   [`ShardMap::merge_candidates`].
+//! * The **generation** counter increments per split or merge; the map
+//!   (including `next_engine`) is serialised into the deployment `MANIFEST`
+//!   via [`ShardMap::encode_into`] / [`ShardMap::decode`], so a restart
+//!   recovers the refined topology rather than the construction-time one.
 //!
 //! Under [`ShardFn::Modulo`] the routing bits are the binary digits of
 //! `v / n_base`: a workload whose communities are aligned to congruence
@@ -135,8 +141,37 @@ pub struct SplitSpec {
     pub child_one_engine: u64,
 }
 
+/// What [`ShardMap::merge`] decided: the slots and engine ids involved in one
+/// merge, needed by the caller to rebuild, persist and register the merged
+/// shard — and to renumber the worker displaced by the freed slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSpec {
+    /// The worker slot the merged shard keeps serving (the smaller of the
+    /// pair).
+    pub slot: usize,
+    /// The worker slot the merge frees (the larger of the pair).
+    pub freed_slot: usize,
+    /// The former slot of the worker renumbered into
+    /// [`freed_slot`](MergeSpec::freed_slot) to keep slot numbering dense
+    /// (always the previous last slot), or `None` when the freed slot *was*
+    /// the last slot and nothing moved.
+    pub moved_slot: Option<usize>,
+    /// The worker slot that served the routing-bit-0 child (one of `slot` /
+    /// `freed_slot`).
+    pub zero_slot: usize,
+    /// The worker slot that served the routing-bit-1 child (the other one).
+    pub one_slot: usize,
+    /// The retired bit-0 child's engine id.
+    pub zero_engine: u64,
+    /// The retired bit-1 child's engine id.
+    pub one_engine: u64,
+    /// The merged shard's fresh engine id.
+    pub merged_engine: u64,
+}
+
 /// The generational shard routing table. See the [module docs](self) for the
-/// design; constructed by [`ShardMap::new`], refined by [`ShardMap::split`],
+/// design; constructed by [`ShardMap::new`], refined by [`ShardMap::split`]
+/// and coarsened by [`ShardMap::merge`],
 /// persisted with [`ShardMap::encode_into`] / [`ShardMap::decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
@@ -189,13 +224,14 @@ impl ShardMap {
         self.n_workers
     }
 
-    /// How many splits this map has absorbed.
+    /// How many topology changes (splits and merges) this map has absorbed.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
-    /// The next engine id a split would allocate (persisted so ids stay
-    /// unique across restarts even when a split crashed before committing).
+    /// The next engine id a split or merge would allocate (persisted so ids
+    /// stay unique across restarts even when a topology change crashed before
+    /// committing).
     pub fn next_engine(&self) -> u64 {
         self.next_engine
     }
@@ -317,6 +353,123 @@ impl ShardMap {
                 if spec.is_none() {
                     Self::split_in(one, depth + 1, slot, new_slot, c0, c1, spec);
                 }
+            }
+        }
+    }
+
+    /// The mergeable sibling pairs: worker slots whose leaves hang off the
+    /// same `Split` node, returned as `(bit-0 worker, bit-1 worker)`. Merging
+    /// any listed pair is the exact inverse of the split that created it.
+    pub fn merge_candidates(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for root in &self.slots {
+            Self::candidates_in(root, &mut out);
+        }
+        out
+    }
+
+    fn candidates_in(node: &RouteNode, out: &mut Vec<(usize, usize)>) {
+        if let RouteNode::Split { zero, one } = node {
+            if let (RouteNode::Leaf { worker: w0, .. }, RouteNode::Leaf { worker: w1, .. }) =
+                (&**zero, &**one)
+            {
+                out.push((*w0 as usize, *w1 as usize));
+            } else {
+                Self::candidates_in(zero, out);
+                Self::candidates_in(one, out);
+            }
+        }
+    }
+
+    /// Merges sibling worker slots `a` and `b` (in either order) back into
+    /// one: their parent `Split` node collapses to a leaf served by the
+    /// smaller slot with a fresh engine id, the larger slot is freed, and —
+    /// to keep worker numbering dense, as the codec requires — the previous
+    /// last slot is renumbered into the freed one (see
+    /// [`MergeSpec::moved_slot`]). The generation advances. Returns `None`
+    /// unless the pair is listed by
+    /// [`merge_candidates`](Self::merge_candidates).
+    pub fn merge(&mut self, a: usize, b: usize) -> Option<MergeSpec> {
+        if a == b || a >= self.n_workers || b >= self.n_workers {
+            return None;
+        }
+        let (kept, freed) = (a.min(b) as u32, a.max(b) as u32);
+        let merged_engine = self.next_engine;
+        let mut spec = None;
+        for root in &mut self.slots {
+            if spec.is_some() {
+                break;
+            }
+            Self::merge_in(root, kept, freed, merged_engine, &mut spec);
+        }
+        let mut spec = spec?;
+        let last = self.n_workers - 1;
+        if spec.freed_slot != last {
+            for root in &mut self.slots {
+                Self::renumber(root, last as u32, freed);
+            }
+            spec.moved_slot = Some(last);
+        }
+        self.next_engine += 1;
+        self.n_workers -= 1;
+        self.generation += 1;
+        Some(spec)
+    }
+
+    fn merge_in(
+        node: &mut RouteNode,
+        kept: u32,
+        freed: u32,
+        merged_engine: u64,
+        spec: &mut Option<MergeSpec>,
+    ) {
+        if let RouteNode::Split { zero, one } = node {
+            if let (
+                RouteNode::Leaf {
+                    worker: w0,
+                    engine: e0,
+                },
+                RouteNode::Leaf {
+                    worker: w1,
+                    engine: e1,
+                },
+            ) = (&**zero, &**one)
+            {
+                if (w0.min(w1), w0.max(w1)) == (&kept, &freed) {
+                    *spec = Some(MergeSpec {
+                        slot: kept as usize,
+                        freed_slot: freed as usize,
+                        moved_slot: None,
+                        zero_slot: *w0 as usize,
+                        one_slot: *w1 as usize,
+                        zero_engine: *e0,
+                        one_engine: *e1,
+                        merged_engine,
+                    });
+                    *node = RouteNode::Leaf {
+                        worker: kept,
+                        engine: merged_engine,
+                    };
+                    return;
+                }
+            }
+            Self::merge_in(zero, kept, freed, merged_engine, spec);
+            if spec.is_none() {
+                Self::merge_in(one, kept, freed, merged_engine, spec);
+            }
+        }
+    }
+
+    fn renumber(node: &mut RouteNode, from: u32, to: u32) {
+        match node {
+            RouteNode::Leaf { worker, .. } => {
+                if *worker == from {
+                    *worker = to;
+                }
+            }
+            RouteNode::Split { zero, one } => {
+                Self::renumber(zero, from, to);
+                Self::renumber(one, from, to);
             }
         }
     }
@@ -514,6 +667,81 @@ mod tests {
         assert!(map.split(2).is_none());
         assert_eq!(map.generation(), 0);
         assert_eq!(map.next_engine(), 2);
+    }
+
+    #[test]
+    fn merge_is_the_exact_inverse_of_split() {
+        let mut map = ShardMap::new(ShardFn::Modulo, 2);
+        let routes_before: Vec<usize> = (0..1000).map(|id| map.route(v(id))).collect();
+        map.split(0).unwrap();
+        assert_eq!(map.merge_candidates(), vec![(0, 2)]);
+        let spec = map.merge(2, 0).unwrap();
+        assert_eq!(spec.slot, 0);
+        assert_eq!(spec.freed_slot, 2);
+        assert_eq!(spec.moved_slot, None, "freed slot was the last slot");
+        assert_eq!((spec.zero_slot, spec.one_slot), (0, 2));
+        assert_eq!((spec.zero_engine, spec.one_engine), (2, 3));
+        assert_eq!(spec.merged_engine, 4, "merged shard gets a fresh id");
+        assert_eq!(map.n_workers(), 2);
+        assert_eq!(map.generation(), 2);
+        assert!(map.merge_candidates().is_empty());
+        let routes_after: Vec<usize> = (0..1000).map(|id| map.route(v(id))).collect();
+        assert_eq!(routes_after, routes_before, "routing reverts exactly");
+        assert_eq!(map.worker_engines(), vec![4, 1]);
+    }
+
+    #[test]
+    fn merge_renumbers_the_last_slot_into_a_freed_middle_slot() {
+        // Split both base slots: workers 0..=3, with sibling pairs (0, 2)
+        // and (1, 3). Merging (0, 2) frees the middle slot 2, so worker 3
+        // must be renumbered into it to keep numbering dense.
+        let mut map = ShardMap::new(ShardFn::Modulo, 2);
+        map.split(0).unwrap();
+        map.split(1).unwrap();
+        let owner_before: Vec<usize> = (0..1000).map(|id| map.route(v(id))).collect();
+        let engine_of_3 = map.engine_of(3).unwrap();
+        let mut candidates = map.merge_candidates();
+        candidates.sort_unstable();
+        assert_eq!(candidates, vec![(0, 2), (1, 3)]);
+
+        let spec = map.merge(0, 2).unwrap();
+        assert_eq!(spec.moved_slot, Some(3));
+        assert_eq!(map.n_workers(), 3);
+        // Worker 3's slice now routes to slot 2, with its engine unchanged.
+        assert_eq!(map.engine_of(2), Some(engine_of_3));
+        for id in 0..1000u32 {
+            let expect = match owner_before[id as usize] {
+                0 | 2 => 0,
+                3 => 2,
+                other => other,
+            };
+            assert_eq!(map.route(v(id)), expect, "vertex {id}");
+        }
+        // The surviving sibling pair follows the renumbering.
+        assert_eq!(map.merge_candidates(), vec![(1, 2)]);
+
+        // The renumbered map still round-trips the codec (the dense-slot
+        // validation in decode passes).
+        let mut buf = Vec::new();
+        map.encode_into(&mut buf);
+        assert_eq!(ShardMap::decode(&mut ByteReader::new(&buf)).unwrap(), map);
+    }
+
+    #[test]
+    fn merge_rejects_non_siblings() {
+        let mut map = ShardMap::new(ShardFn::Modulo, 4);
+        // Base slots are not siblings (there is no Split node at all).
+        assert!(map.merge(0, 1).is_none());
+        map.split(0).unwrap();
+        // (0, 4) are siblings; (0, 1) and (1, 4) are not. Self and
+        // out-of-range pairs are rejected outright.
+        assert!(map.merge(0, 1).is_none());
+        assert!(map.merge(1, 4).is_none());
+        assert!(map.merge(2, 2).is_none());
+        assert!(map.merge(0, 9).is_none());
+        assert_eq!(map.generation(), 1);
+        assert_eq!(map.next_engine(), 6);
+        assert!(map.merge(0, 4).is_some());
     }
 
     #[test]

@@ -91,11 +91,26 @@
 //! quiesce that one worker, rebuild two children from its newest checkpoint
 //! plus its WAL slice filtered through the refined map, commit atomically —
 //! while ingest on every other shard continues and readers resynchronise
-//! through the ordinary [`StoryView`] plumbing. The [`rebalance`] module
-//! documents the protocol, the equivalence guarantee (split-mid-stream ==
-//! never-split, bit for bit, under the partitioning invariant) and the
-//! failure semantics; [`rebalance::Rebalancer`] turns the fleet's queue
-//! depth and skew signals into split decisions.
+//! through the ordinary [`StoryView`] plumbing.
+//! [`ShardedDynDens::merge_shards`] is the exact inverse: two cold sibling
+//! slots quiesce, recover from their own durable state, are absorbed into
+//! one merged engine and committed through the same manifest rewrite. The
+//! [`rebalance`] module documents both protocols, the equivalence guarantee
+//! (split-or-merge-mid-stream == never-refined, bit for bit, under the
+//! partitioning invariant) and the failure semantics;
+//! [`rebalance::Rebalancer`] turns the fleet's queue depth and skew signals
+//! into split decisions and its cold-slot signals into merge decisions.
+//!
+//! ## Bounded state
+//!
+//! On decaying workloads, [`ShardedDynDens::compact_below`] reclaims what
+//! decay has abandoned: each worker evicts fully-decayed edges through the
+//! ordinary WAL-logged update path
+//! ([`DynDens::evict_below`](dyndens_core::DynDens::evict_below)), then
+//! checkpoints and prunes the WAL segments wholly behind the checkpoint.
+//! Together with shard merging this keeps a forever-run's memory and disk
+//! footprint proportional to the *live* story set, not the stream's history
+//! — see `docs/RETENTION.md` for the operational model.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -109,7 +124,9 @@ pub mod wal;
 mod worker;
 
 pub use config::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn};
-pub use rebalance::{RebalanceError, RebalancePolicy, Rebalancer, SplitPhase, SplitReport};
+pub use rebalance::{
+    MergePhase, MergeReport, RebalanceError, RebalancePolicy, Rebalancer, SplitPhase, SplitReport,
+};
 pub use recovery::{RecoveryError, RecoveryReport};
 pub use sharded::{IngestHandle, ShardedDynDens};
 pub use view::{

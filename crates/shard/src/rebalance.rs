@@ -1,5 +1,9 @@
 //! Live shard rebalancing: splitting a hot shard by snapshot + WAL-slice
-//! replay, while the rest of the fleet keeps ingesting.
+//! replay — and merging cold siblings back together — while the rest of the
+//! fleet keeps ingesting. Split and merge are one generational-map
+//! mechanism: both refine the routing trie, quiesce only the affected
+//! slots, rebuild from durable state, and commit via the same atomic
+//! `MANIFEST` rewrite.
 //!
 //! A fixed shard count means one hot entity partition caps whole-pipeline
 //! throughput forever. This module removes the cap with an **online split**:
@@ -52,15 +56,41 @@
 //! quiesce point, so the standard recovery path rebuilds it, parked updates
 //! are drained to it unchanged, and the fleet continues un-split with the
 //! error reported to the caller.
+//!
+//! ## Merge: the split's inverse
+//!
+//! On decaying workloads, slices go cold: their stories decay out, their
+//! traffic dries up, and a fleet split for a long-gone hot spot pays the
+//! per-shard overhead forever. [`ShardedDynDens::merge_shards`] coarsens two
+//! **sibling** slots (leaves of one `Split` trie node — see
+//! [`ShardMap::merge_candidates`]) back into one:
+//!
+//! ```text
+//!  1. park     routing[a] := routing[b] := Parked   (one shared queue)
+//!  2. quiesce  flush + stop both workers → both WALs complete
+//!  3. rebuild  child₀ (recovered) ──absorb──► merged ◄── child₁ (recovered)
+//!  4. persist  merged dir (snapshot @ Sₐ+S_b, fresh WAL) + MANIFEST rewrite
+//!  5. commit   publish shrunk roster (last slot renumbered into the freed
+//!              one, its worker *not* respawned); drain the parked backlog
+//!              to the merged worker; routing serves the coarsened map
+//! ```
+//!
+//! The merged engine is the children's union ([`DynDens::absorb`]), so a
+//! merge mid-stream yields bit-identical story sets to a fleet that never
+//! split at all (`tests/rebalance_equivalence.rs`). Failure containment
+//! mirrors the split: a failed rebuild resurrects **both** children from
+//! their intact per-child state. [`Rebalancer::maybe_merge`] drives merges
+//! from a cold-slot policy, the mirror image of the hot-slot split policy.
 
 use std::io;
-use std::sync::atomic::AtomicU64;
-use std::sync::mpsc::channel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, SyncSender};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 use dyndens_core::{DynDens, DynDensConfig, EngineStats};
 use dyndens_density::DensityMeasure;
-use dyndens_graph::{ShardMap, VertexId};
+use dyndens_graph::{MergeSpec, ShardMap, VertexId};
 
 use crate::config::PersistenceConfig;
 use crate::recovery::{self, RecoveryError};
@@ -86,6 +116,10 @@ pub enum RebalanceError {
     /// The slot does not name a live worker (or its route-trie leaf already
     /// sits at the maximum split depth).
     UnknownShard(usize),
+    /// The two slots handed to a merge are not sibling leaves of the routing
+    /// trie (only pairs produced by one split — see
+    /// [`ShardMap::merge_candidates`] — can be merged).
+    NotSiblings(usize, usize),
     /// The parent's snapshot + WAL slice did not reach the quiesce point:
     /// replay rebuilt state up to `found` but the worker had applied
     /// `expected` updates. Indicates missing WAL records.
@@ -116,6 +150,9 @@ impl std::fmt::Display for RebalanceError {
             RebalanceError::Recovery(e) => write!(f, "rebalance could not read shard state: {e}"),
             RebalanceError::UnknownShard(slot) => {
                 write!(f, "shard {slot} is not a splittable worker slot")
+            }
+            RebalanceError::NotSiblings(a, b) => {
+                write!(f, "shards {a} and {b} are not sibling slots of one split")
             }
             RebalanceError::HistoryGap { expected, found } => write!(
                 f,
@@ -171,6 +208,48 @@ pub struct SplitReport {
     pub generation: u64,
 }
 
+/// The milestones of one merge, reported to the observer callback of
+/// [`ShardedDynDens::merge_shards_with`]. The mirror image of
+/// [`SplitPhase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePhase {
+    /// Both sibling slots' workers are quiesced and stopped; updates routed
+    /// to either slot are parking. Every other shard is ingesting normally.
+    Parked,
+    /// The merged shard is rebuilt (and, for persistent deployments, durable
+    /// on disk with the manifest rewritten — the coarsened map is now the
+    /// committed topology even across a crash).
+    Rebuilt,
+    /// Routing serves the coarsened map; parked updates have been drained to
+    /// the merged worker; the displaced last slot (if any) is renumbered.
+    Committed,
+}
+
+/// What a completed merge did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeReport {
+    /// The worker slot the merged shard serves (the smaller of the pair).
+    pub slot: usize,
+    /// The worker slot the merge freed (the larger of the pair).
+    pub freed_slot: usize,
+    /// The former slot of the worker renumbered into
+    /// [`freed_slot`](MergeReport::freed_slot) (always the previous last
+    /// slot), or `None` when the freed slot was the last one.
+    pub moved_slot: Option<usize>,
+    /// The retired children's engine ids (routing bit 0, bit 1).
+    pub child_engines: (u64, u64),
+    /// The merged shard's fresh engine id.
+    pub merged_engine: u64,
+    /// The children's sequence numbers at quiesce (bit 0, bit 1).
+    pub child_seqs: (u64, u64),
+    /// The merged shard's starting sequence number (the children's sum).
+    pub merged_seq: u64,
+    /// Updates that parked during the merge and were drained at commit.
+    pub parked_updates: u64,
+    /// The routing-table generation after the merge.
+    pub generation: u64,
+}
+
 /// Thresholds deciding when a shard is hot enough to split.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RebalancePolicy {
@@ -185,16 +264,30 @@ pub struct RebalancePolicy {
     pub min_share: f64,
     /// Minimum fleet-wide updates applied within the check window before
     /// the share signal fires (avoids splitting on startup or idle noise).
+    /// Also gates the **merge** signal: an idle fleet is indistinguishable
+    /// from a cold one, so nothing merges until the window carries at least
+    /// this much traffic.
     pub min_total_updates: u64,
+    /// Merge a sibling pair back together only while **both** slots' ingest
+    /// queue depths are at or below this bound (neither is falling behind).
+    pub merge_max_queue_depth: u64,
+    /// ... and each of the pair applied at most this fraction of the fleet's
+    /// updates within the check window (both slices have gone cold — e.g.
+    /// their stories decayed out).
+    pub merge_max_share: f64,
 }
 
 impl Default for RebalancePolicy {
-    /// Queue depth 4096, share 60% of a ≥50k-update window.
+    /// Split on queue depth 4096 or a 60% share of a ≥50k-update window;
+    /// merge sibling slots whose queues are ≤16 deep and whose window shares
+    /// are each ≤5%.
     fn default() -> Self {
         RebalancePolicy {
             min_queue_depth: 4096,
             min_share: 0.6,
             min_total_updates: 50_000,
+            merge_max_queue_depth: 16,
+            merge_max_share: 0.05,
         }
     }
 }
@@ -240,6 +333,10 @@ pub struct Rebalancer {
     ///
     /// [`pick`]: Rebalancer::pick
     baseline: Vec<u64>,
+    /// The cold-slot window base for [`pick_merge`](Rebalancer::pick_merge),
+    /// kept separate from the split baseline so an operations loop can drive
+    /// both signals without the two consuming each other's windows.
+    merge_baseline: Vec<u64>,
 }
 
 impl Rebalancer {
@@ -248,6 +345,7 @@ impl Rebalancer {
         Rebalancer {
             policy,
             baseline: Vec::new(),
+            merge_baseline: Vec::new(),
         }
     }
 
@@ -304,6 +402,68 @@ impl Rebalancer {
     ) -> Option<Result<SplitReport, RebalanceError>> {
         let slot = self.pick(fleet)?;
         Some(fleet.split_shard(slot))
+    }
+
+    /// The coldest mergeable sibling pair, or `None` while no pair qualifies.
+    /// A pair qualifies when both slots' ingest queues are at or below
+    /// [`merge_max_queue_depth`](RebalancePolicy::merge_max_queue_depth) and
+    /// each applied at most
+    /// [`merge_max_share`](RebalancePolicy::merge_max_share) of a window
+    /// carrying at least
+    /// [`min_total_updates`](RebalancePolicy::min_total_updates) fleet-wide
+    /// — cold slices inside an otherwise active fleet. The idle-fleet guard
+    /// is deliberate: with no traffic at all, "cold" carries no information,
+    /// and merging would churn topology for nothing. Like
+    /// [`pick`](Rebalancer::pick), the first call after construction or a
+    /// topology change only establishes the window.
+    pub fn pick_merge<D: DensityMeasure>(
+        &mut self,
+        fleet: &ShardedDynDens<D>,
+    ) -> Option<(usize, usize)> {
+        let view = fleet.view();
+        let applied: Vec<u64> = (0..view.n_shards())
+            .map(|s| view.shard_snapshot(s).stats.updates)
+            .collect();
+        let window_valid = self.merge_baseline.len() == applied.len();
+        let deltas: Vec<u64> = if window_valid {
+            applied
+                .iter()
+                .zip(&self.merge_baseline)
+                .map(|(now, base)| now.saturating_sub(*base))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.merge_baseline = applied;
+        if !window_valid {
+            return None;
+        }
+        let total: u64 = deltas.iter().sum();
+        if total < self.policy.min_total_updates {
+            return None;
+        }
+        let depths = fleet.queue_depths();
+        let cold = |slot: usize| {
+            depths[slot] <= self.policy.merge_max_queue_depth
+                && deltas[slot] as f64 <= self.policy.merge_max_share * total as f64
+        };
+        fleet
+            .shard_map()
+            .merge_candidates()
+            .into_iter()
+            .filter(|&(a, b)| cold(a) && cold(b))
+            .min_by_key(|&(a, b)| deltas[a] + deltas[b])
+    }
+
+    /// Merges the coldest sibling pair if one qualifies. Returns `None` when
+    /// no pair crosses the cold thresholds (or while the window is still
+    /// being established).
+    pub fn maybe_merge<D: DensityMeasure>(
+        &mut self,
+        fleet: &mut ShardedDynDens<D>,
+    ) -> Option<Result<MergeReport, RebalanceError>> {
+        let (a, b) = self.pick_merge(fleet)?;
+        Some(fleet.merge_shards(a, b))
     }
 }
 
@@ -426,7 +586,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         rings.push(Arc::new(DeltaRing::new(self.config.delta_retention)));
         let engine_zero = Arc::new(Mutex::new(child_zero));
         let engine_one = Arc::new(Mutex::new(child_one));
-        let (tx_zero, handle_zero) = spawn_worker(
+        let (tx_zero, handle_zero, slot_zero) = spawn_worker(
             slot,
             &self.config,
             parent_seq,
@@ -435,7 +595,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             &cells[slot],
             &rings[slot],
         );
-        let (tx_one, handle_one) = spawn_worker(
+        let (tx_one, handle_one, slot_one) = spawn_worker(
             spec.new_slot,
             &self.config,
             parent_seq,
@@ -448,6 +608,8 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         self.engines.push(engine_one);
         self.workers[slot] = Some(handle_zero);
         self.workers.push(Some(handle_one));
+        self.slots[slot] = slot_zero;
+        self.slots.push(slot_one);
         self.roster.store(Arc::new(ShardRoster { cells, rings }));
 
         // 5. Commit routing: install the refined map and drain the parked
@@ -491,6 +653,15 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                         let _ = tx_zero.send(WorkerMsg::Flush(ack.clone()));
                         let _ = tx_one.send(WorkerMsg::Flush(ack));
                     }
+                    // So must a compaction pass; the waiter's sum simply
+                    // receives two acknowledgements for the parked slot.
+                    WorkerMsg::Compact { min_weight, ack } => {
+                        let _ = tx_zero.send(WorkerMsg::Compact {
+                            min_weight,
+                            ack: ack.clone(),
+                        });
+                        let _ = tx_one.send(WorkerMsg::Compact { min_weight, ack });
+                    }
                     WorkerMsg::Shutdown => {
                         let _ = tx_zero.send(WorkerMsg::Shutdown);
                         let _ = tx_one.send(WorkerMsg::Shutdown);
@@ -525,6 +696,452 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             parked_updates,
             generation: new_map.generation(),
         })
+    }
+
+    /// Merges sibling worker slots `a` and `b` back into one shard.
+    /// Equivalent to [`merge_shards_with`](Self::merge_shards_with) with a
+    /// no-op observer.
+    pub fn merge_shards(&mut self, a: usize, b: usize) -> Result<MergeReport, RebalanceError> {
+        self.merge_shards_with(a, b, |_| {})
+    }
+
+    /// Merges sibling worker slots `a` and `b` — the exact inverse of the
+    /// split that created them — invoking `observer` at each [`MergePhase`].
+    ///
+    /// Only the two siblings pause: updates routed to either park
+    /// (unbounded, on one shared queue) and are drained to the merged worker
+    /// at commit; every other shard keeps working throughout. The merged
+    /// shard keeps the smaller slot of the pair; the larger slot is freed,
+    /// and the previous last slot is renumbered into it without respawning
+    /// its worker (see [`MergeReport::moved_slot`]). Pollers of the merged
+    /// slot resynchronise from its post-merge snapshot, exactly as after a
+    /// split or crash recovery; a renumbered slot keeps its delta ring, so
+    /// its pollers follow deltas seamlessly under the new index.
+    ///
+    /// For persistent deployments the merged engine is rebuilt from the two
+    /// children's own durable state — each recovered to its quiesce point,
+    /// then absorbed into one engine ([`DynDens::absorb`]) — and the merge
+    /// commits durably via the same atomic manifest rewrite as a split.
+    /// In-memory deployments absorb the live engines directly. If the
+    /// rebuild fails, both children are resurrected from their intact state
+    /// and the fleet continues un-merged with the error reported.
+    pub fn merge_shards_with(
+        &mut self,
+        a: usize,
+        b: usize,
+        mut observer: impl FnMut(MergePhase),
+    ) -> Result<MergeReport, RebalanceError> {
+        // Coarsen the map first: it also validates that the pair is a
+        // sibling pair.
+        let mut new_map = {
+            let routing = self.routing.read().expect("routing poisoned");
+            routing.map.clone()
+        };
+        let spec = new_map
+            .merge(a, b)
+            .ok_or(RebalanceError::NotSiblings(a, b))?;
+
+        // 1. Park both siblings on one shared queue: new ingest for either
+        // accumulates unconsumed (per-sender order is preserved, which is
+        // all the merged engine needs — the two slices touch disjoint
+        // edges).
+        let (park_tx, park_rx) = channel();
+        let (old_tx_kept, old_tx_freed) = {
+            let mut routing = self.routing.write().expect("routing poisoned");
+            let kept = match std::mem::replace(
+                &mut routing.senders[spec.slot],
+                ShardTx::Parked(park_tx.clone()),
+            ) {
+                ShardTx::Live(tx) => tx,
+                parked @ ShardTx::Parked(_) => {
+                    routing.senders[spec.slot] = parked;
+                    return Err(RebalanceError::UnknownShard(spec.slot));
+                }
+            };
+            let freed = match std::mem::replace(
+                &mut routing.senders[spec.freed_slot],
+                ShardTx::Parked(park_tx),
+            ) {
+                ShardTx::Live(tx) => tx,
+                parked @ ShardTx::Parked(_) => {
+                    routing.senders[spec.freed_slot] = parked;
+                    routing.senders[spec.slot] = ShardTx::Live(kept);
+                    return Err(RebalanceError::UnknownShard(spec.freed_slot));
+                }
+            };
+            (kept, freed)
+        };
+
+        // 2. Quiesce both: everything routed before the park is applied
+        // (and, when persistent, in each child's WAL), then the workers
+        // stop.
+        let quiesce = |tx: SyncSender<WorkerMsg>, handle: Option<JoinHandle<()>>| {
+            let (ack_tx, ack_rx) = channel();
+            let _ = tx.send(WorkerMsg::Flush(ack_tx));
+            let _ = ack_rx.recv();
+            let _ = tx.send(WorkerMsg::Shutdown);
+            drop(tx);
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        };
+        quiesce(old_tx_kept, self.workers[spec.slot].take());
+        quiesce(old_tx_freed, self.workers[spec.freed_slot].take());
+        let roster = self.roster.load();
+        let seq_zero = roster.cells[spec.zero_slot].seq();
+        let seq_one = roster.cells[spec.one_slot].seq();
+        let merged_seq = seq_zero + seq_one;
+        observer(MergePhase::Parked);
+
+        // 3. Rebuild the merged shard; on failure, resurrect both children.
+        let live_stats = {
+            let mut stats = self.engines[spec.slot]
+                .lock()
+                .expect("shard engine poisoned")
+                .stats()
+                .clone();
+            stats.merge(
+                self.engines[spec.freed_slot]
+                    .lock()
+                    .expect("shard engine poisoned")
+                    .stats(),
+            );
+            stats
+        };
+        let built = self.build_merged(&spec, (seq_zero, seq_one), live_stats, &new_map);
+        let (merged, persist) = match built {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.resurrect_merge_children(&spec, park_rx);
+                return Err(e);
+            }
+        };
+        observer(MergePhase::Rebuilt);
+
+        // 4. Publish the shrunk roster in ONE epoch store: readers switch
+        // from "two siblings" to "one merged shard, last slot renumbered"
+        // atomically. The merged slot gets a fresh cell at the merged
+        // sequence number and an empty delta ring (pollers resync, exactly
+        // as after a split); the renumbered slot keeps its cell and ring
+        // objects, just at a new index.
+        let last = roster.cells.len() - 1;
+        let mut cells = roster.cells.clone();
+        let mut rings = roster.rings.clone();
+        let fresh = Arc::new(EpochCell::new(ShardSnapshot::empty(spec.slot)));
+        fresh.store_with_seq(
+            Arc::new(worker::build_snapshot(
+                spec.slot,
+                &merged,
+                merged_seq,
+                merged_seq,
+                &[],
+                self.config.top_k,
+            )),
+            merged_seq,
+        );
+        cells[spec.slot] = fresh;
+        rings[spec.slot] = Arc::new(DeltaRing::new(self.config.delta_retention));
+        if spec.moved_slot.is_some() {
+            cells.swap(spec.freed_slot, last);
+            rings.swap(spec.freed_slot, last);
+        }
+        cells.pop();
+        rings.pop();
+        let merged_engine = Arc::new(Mutex::new(merged));
+        let (tx_merged, handle_merged, slot_cell) = spawn_worker(
+            spec.slot,
+            &self.config,
+            merged_seq,
+            persist,
+            &merged_engine,
+            &cells[spec.slot],
+            &rings[spec.slot],
+        );
+        self.engines[spec.slot] = merged_engine;
+        self.workers[spec.slot] = Some(handle_merged);
+        self.slots[spec.slot] = slot_cell;
+        if spec.moved_slot.is_some() {
+            self.engines.swap(spec.freed_slot, last);
+            self.workers.swap(spec.freed_slot, last);
+            self.slots.swap(spec.freed_slot, last);
+        }
+        self.engines.pop();
+        self.workers.pop();
+        self.slots.pop();
+        if spec.moved_slot.is_some() {
+            // Renumber the moved worker in place (no respawn): it stamps
+            // every snapshot it publishes from now on with the freed slot
+            // number.
+            self.slots[spec.freed_slot].store(spec.freed_slot as u32, Ordering::Relaxed);
+        }
+        self.roster.store(Arc::new(ShardRoster { cells, rings }));
+
+        // 5. Commit routing: install the coarsened map and drain the shared
+        // parked backlog to the merged worker, in arrival order. Holding the
+        // write lock guarantees no sender is mid-send, so the drain is
+        // complete.
+        let parked_updates = {
+            let mut routing = self.routing.write().expect("routing poisoned");
+            let mut drained = 0u64;
+            while let Ok(msg) = park_rx.try_recv() {
+                match msg {
+                    WorkerMsg::Update(u) => {
+                        drained += 1;
+                        let _ = tx_merged.send(WorkerMsg::Update(u));
+                    }
+                    WorkerMsg::Batch(batch) => {
+                        drained += batch.len() as u64;
+                        let _ = tx_merged.send(WorkerMsg::Batch(batch));
+                    }
+                    // Flushes, compaction passes and shutdowns parked
+                    // against either sibling all target the one merged
+                    // worker now.
+                    other => {
+                        let _ = tx_merged.send(other);
+                    }
+                }
+            }
+            routing.senders[spec.slot] = ShardTx::Live(tx_merged);
+            if spec.moved_slot.is_some() {
+                routing.senders.swap(spec.freed_slot, last);
+                routing.routed.swap(spec.freed_slot, last);
+            }
+            routing.senders.pop();
+            routing.routed.pop();
+            routing.routed[spec.slot] = Arc::new(AtomicU64::new(merged_seq + drained));
+            routing.map = new_map.clone();
+            drained
+        };
+
+        // 6. Retire the children's directories (the manifest no longer
+        // references them; best-effort — an orphan is harmless).
+        if let Some(p) = &self.persistence {
+            let _ = std::fs::remove_dir_all(recovery::shard_dir(&p.dir, spec.zero_engine));
+            let _ = std::fs::remove_dir_all(recovery::shard_dir(&p.dir, spec.one_engine));
+        }
+        observer(MergePhase::Committed);
+
+        Ok(MergeReport {
+            slot: spec.slot,
+            freed_slot: spec.freed_slot,
+            moved_slot: spec.moved_slot,
+            child_engines: (spec.zero_engine, spec.one_engine),
+            merged_engine: spec.merged_engine,
+            child_seqs: (seq_zero, seq_one),
+            merged_seq,
+            parked_updates,
+            generation: new_map.generation(),
+        })
+    }
+
+    /// Rebuilds the merged engine (disk path for persistent deployments,
+    /// absorbing clones of the live engines otherwise), adopts the pair's
+    /// live work ledger, persists the merged shard and commits the manifest.
+    fn build_merged(
+        &self,
+        spec: &MergeSpec,
+        (seq_zero, seq_one): (u64, u64),
+        live_stats: EngineStats,
+        new_map: &ShardMap,
+    ) -> Result<(DynDens<D>, Option<WorkerPersistence>), RebalanceError> {
+        let mut merged = match &self.persistence {
+            Some(p) => {
+                // Each child recovers from its own durable state, which a
+                // clean quiesce left complete: its newest checkpoint plus
+                // its WAL tail must reach the quiesce point exactly.
+                let recover = |engine_id: u64,
+                               slot: usize,
+                               want: u64|
+                 -> Result<DynDens<D>, RebalanceError> {
+                    let dir = recovery::shard_dir(&p.dir, engine_id);
+                    let rec = recovery::recover_shard(
+                        self.measure.clone(),
+                        &self.engine_config,
+                        slot,
+                        &dir,
+                        p,
+                    )?;
+                    if rec.seq != want {
+                        return Err(RebalanceError::HistoryGap {
+                            expected: want,
+                            found: rec.seq,
+                        });
+                    }
+                    Ok(rec.engine)
+                };
+                let mut zero = recover(spec.zero_engine, spec.zero_slot, seq_zero)?;
+                let one = recover(spec.one_engine, spec.one_slot, seq_one)?;
+                zero.absorb(one);
+                zero
+            }
+            None => {
+                let mut zero = self.engines[spec.zero_slot]
+                    .lock()
+                    .expect("shard engine poisoned")
+                    .clone();
+                let one = self.engines[spec.one_slot]
+                    .lock()
+                    .expect("shard engine poisoned")
+                    .clone();
+                zero.absorb(one);
+                zero
+            }
+        };
+        // The disk path recovers checkpoint-time counters; the pair's live
+        // ledger is authoritative either way (for the in-memory path this
+        // re-adopts the value absorb already merged).
+        merged.adopt_stats(live_stats);
+        let persist = match &self.persistence {
+            Some(p) => {
+                let wp = persist_child(p, spec.merged_engine, seq_zero + seq_one, &merged)?;
+                // The commit point: from here, recovery reopens the
+                // coarsened topology.
+                recovery::rewrite_manifest(
+                    &p.dir,
+                    self.measure.name(),
+                    &self.engine_config,
+                    new_map,
+                )?;
+                Some(wp)
+            }
+            None => None,
+        };
+        Ok((merged, persist))
+    }
+
+    /// Brings both parked siblings back to life after a failed merge
+    /// rebuild. Their engines (in-memory deployments) or their on-disk
+    /// state (complete to the quiesce point) are intact, so both respawn
+    /// and the shared parked backlog is re-routed through the unchanged
+    /// map. If either resurrection fails, the pair stays parked — the same
+    /// double-fault posture as a failed split (see [`RebalanceError`]).
+    fn resurrect_merge_children(
+        &mut self,
+        spec: &MergeSpec,
+        park_rx: std::sync::mpsc::Receiver<WorkerMsg>,
+    ) {
+        let roster = self.roster.load();
+        let pair = [spec.slot, spec.freed_slot];
+        let mut spawned: Vec<(usize, SyncSender<WorkerMsg>)> = Vec::with_capacity(2);
+        if let Some(p) = self.persistence.clone() {
+            // Recover both engines before spawning anything, so a failure
+            // leaves no half-resurrected pair.
+            let mut recovered = Vec::with_capacity(2);
+            for slot in pair {
+                let engine_id = {
+                    let routing = self.routing.read().expect("routing poisoned");
+                    routing.map.engine_of(slot).unwrap_or(slot as u64)
+                };
+                let dir = recovery::shard_dir(&p.dir, engine_id);
+                match recovery::recover_shard(
+                    self.measure.clone(),
+                    &self.engine_config,
+                    slot,
+                    &dir,
+                    &p,
+                ) {
+                    Ok(rec) => recovered.push((slot, dir, rec)),
+                    Err(e) => {
+                        // Double fault: both siblings stay parked until a
+                        // process restart recovers them. The shared backlog
+                        // keeps accumulating in memory (never applied or
+                        // logged) and is lost on restart.
+                        eprintln!(
+                            "shard {slot}: sibling resurrection failed after aborted merge: {e}"
+                        );
+                        self.dead_parked.push(Mutex::new(park_rx));
+                        return;
+                    }
+                }
+            }
+            for (slot, dir, rec) in recovered {
+                debug_assert_eq!(rec.seq, roster.cells[slot].seq());
+                let persist = WorkerPersistence {
+                    wal: rec.wal,
+                    dir,
+                    snapshot_every: p.snapshot_every_batches,
+                    retained: p.retained_snapshots,
+                    batches_since_snapshot: 0,
+                };
+                self.engines[slot] = Arc::new(Mutex::new(rec.engine));
+                let (tx, handle, slot_cell) = spawn_worker(
+                    slot,
+                    &self.config,
+                    rec.seq,
+                    Some(persist),
+                    &self.engines[slot],
+                    &roster.cells[slot],
+                    &roster.rings[slot],
+                );
+                self.workers[slot] = Some(handle);
+                self.slots[slot] = slot_cell;
+                spawned.push((slot, tx));
+            }
+        } else {
+            for slot in pair {
+                let (tx, handle, slot_cell) = spawn_worker(
+                    slot,
+                    &self.config,
+                    roster.cells[slot].seq(),
+                    None,
+                    &self.engines[slot],
+                    &roster.cells[slot],
+                    &roster.rings[slot],
+                );
+                self.workers[slot] = Some(handle);
+                self.slots[slot] = slot_cell;
+                spawned.push((slot, tx));
+            }
+        }
+        // Drain the shared backlog through the unchanged routing map, then
+        // swap the live senders in — all under the write lock, so no
+        // producer can interleave ahead of the backlog.
+        let mut routing = self.routing.write().expect("routing poisoned");
+        let tx_of = |slot: usize| {
+            &spawned
+                .iter()
+                .find(|(s, _)| *s == slot)
+                .expect("resurrected pair")
+                .1
+        };
+        while let Ok(msg) = park_rx.try_recv() {
+            match msg {
+                WorkerMsg::Update(u) => {
+                    let slot = routing.map.route(u.a.min(u.b));
+                    let _ = tx_of(slot).send(WorkerMsg::Update(u));
+                }
+                WorkerMsg::Batch(batch) => {
+                    // A parked batch was pre-routed to one sibling: all its
+                    // updates share an owner under the unchanged map.
+                    let slot = batch
+                        .first()
+                        .map(|u| routing.map.route(u.a.min(u.b)))
+                        .unwrap_or(spec.slot);
+                    let _ = tx_of(slot).send(WorkerMsg::Batch(batch));
+                }
+                // Which sibling a parked flush / compaction targeted is
+                // unknowable: cover both. Waiters ignore surplus flush acks,
+                // and a duplicate compaction pass evicts nothing new.
+                WorkerMsg::Flush(ack) => {
+                    let _ = tx_of(spec.slot).send(WorkerMsg::Flush(ack.clone()));
+                    let _ = tx_of(spec.freed_slot).send(WorkerMsg::Flush(ack));
+                }
+                WorkerMsg::Compact { min_weight, ack } => {
+                    let _ = tx_of(spec.slot).send(WorkerMsg::Compact {
+                        min_weight,
+                        ack: ack.clone(),
+                    });
+                    let _ = tx_of(spec.freed_slot).send(WorkerMsg::Compact { min_weight, ack });
+                }
+                WorkerMsg::Shutdown => {
+                    let _ = tx_of(spec.slot).send(WorkerMsg::Shutdown);
+                    let _ = tx_of(spec.freed_slot).send(WorkerMsg::Shutdown);
+                }
+            }
+        }
+        for (slot, tx) in spawned {
+            routing.senders[slot] = ShardTx::Live(tx);
+        }
     }
 
     /// Rebuilds the two child engines (disk path for persistent deployments,
@@ -648,7 +1265,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             }
             None => None,
         };
-        let (tx, handle) = spawn_worker(
+        let (tx, handle, slot_cell) = spawn_worker(
             slot,
             &self.config,
             parent_seq,
@@ -658,6 +1275,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             &roster.rings[slot],
         );
         self.workers[slot] = Some(handle);
+        self.slots[slot] = slot_cell;
         let mut routing = self.routing.write().expect("routing poisoned");
         while let Ok(msg) = park_rx.try_recv() {
             let _ = tx.send(msg);
@@ -971,12 +1589,186 @@ mod tests {
     }
 
     #[test]
+    fn in_memory_merge_is_the_splits_inverse() {
+        let updates = skewed_updates();
+        let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        reference.apply_batch(&updates);
+        let want = sorted_bits(reference.dense_subgraphs());
+
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        let third = updates.len() / 3;
+        fleet.apply_batch(&updates[..third]);
+        let split = fleet.split_shard(0).unwrap();
+        fleet.apply_batch(&updates[third..2 * third]);
+        let mut phases = Vec::new();
+        let report = fleet
+            .merge_shards_with(split.new_slot, 0, |p| phases.push(p))
+            .unwrap();
+        assert_eq!(
+            phases,
+            vec![
+                MergePhase::Parked,
+                MergePhase::Rebuilt,
+                MergePhase::Committed
+            ]
+        );
+        assert_eq!(report.slot, 0);
+        assert_eq!(report.freed_slot, 2);
+        assert_eq!(report.moved_slot, None);
+        assert_eq!(report.merged_seq, report.child_seqs.0 + report.child_seqs.1);
+        assert_eq!(report.generation, 2);
+        assert_eq!(fleet.n_shards(), 2);
+        fleet.apply_batch(&updates[2 * third..]);
+        fleet.validate().unwrap();
+        assert_eq!(sorted_bits(fleet.dense_subgraphs()), want);
+        // The ledger survives the round trip: every update counted once.
+        assert_eq!(fleet.stats().updates, updates.len() as u64);
+        assert_eq!(fleet.view().per_shard_seq().len(), 2);
+        // Pollers of the merged slot resync (its delta ring restarted empty
+        // at the merge point); the untouched slot's ring is unaffected.
+        assert_eq!(
+            fleet
+                .view()
+                .deltas_since(0, report.merged_seq.saturating_sub(1)),
+            crate::view::DeltaCatchUp::Resync
+        );
+    }
+
+    #[test]
+    fn merge_renumbers_the_displaced_last_slot() {
+        let updates = skewed_updates();
+        let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        reference.apply_batch(&updates);
+        let want = sorted_bits(reference.dense_subgraphs());
+
+        // Split both base slots: workers 0..=3 with sibling pairs (0, 2)
+        // and (1, 3). Merging (0, 2) frees the middle slot 2, so worker 3
+        // is renumbered into it without a respawn.
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        let (head, tail) = updates.split_at(updates.len() / 2);
+        fleet.apply_batch(head);
+        fleet.split_shard(0).unwrap();
+        fleet.split_shard(1).unwrap();
+        assert_eq!(fleet.n_shards(), 4);
+        let report = fleet.merge_shards(0, 2).unwrap();
+        assert_eq!(report.moved_slot, Some(3));
+        assert_eq!(fleet.n_shards(), 3);
+        // The moved worker keeps applying updates under its new number.
+        fleet.apply_batch(tail);
+        fleet.flush();
+        fleet.validate().unwrap();
+        assert_eq!(sorted_bits(fleet.dense_subgraphs()), want);
+        assert_eq!(fleet.stats().updates, updates.len() as u64);
+        // Ingest routed to the renumbered slot reaches it: slot 2 now owns
+        // the slice worker 3 served (residue 3 mod 4 under the map).
+        let depths = fleet.queue_depths();
+        assert_eq!(depths.len(), 3);
+        assert_eq!(fleet.queue_depths(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn merge_rejects_non_sibling_pairs() {
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        assert!(matches!(
+            fleet.merge_shards(0, 1),
+            Err(RebalanceError::NotSiblings(0, 1))
+        ));
+        assert_eq!(fleet.n_shards(), 2);
+    }
+
+    #[test]
+    fn persistent_merge_commits_durably() {
+        let dir = std::env::temp_dir().join(format!("dyndens-merge-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persistence = || {
+            PersistenceConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_snapshot_every_batches(3)
+        };
+        let updates = skewed_updates();
+        let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        reference.apply_batch(&updates);
+        let want = sorted_bits(reference.dense_subgraphs());
+
+        let mut fleet = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(2),
+            persistence(),
+        )
+        .unwrap();
+        let (head, tail) = updates.split_at(updates.len() / 2);
+        for chunk in head.chunks(4) {
+            fleet.apply_batch(chunk);
+            fleet.flush();
+        }
+        let split = fleet.split_shard(0).unwrap();
+        let report = fleet.merge_shards(0, split.new_slot).unwrap();
+        assert_eq!(report.child_engines, split.child_engines);
+        fleet.apply_batch(tail);
+        assert_eq!(sorted_bits(fleet.dense_subgraphs()), want);
+        // The children's directories are retired; the merged one exists.
+        assert!(!recovery::shard_dir(&dir, report.child_engines.0).exists());
+        assert!(!recovery::shard_dir(&dir, report.child_engines.1).exists());
+        assert!(recovery::shard_dir(&dir, report.merged_engine).exists());
+
+        // Crash + reopen: the manifest's coarsened topology recovers two
+        // shards and the identical answer.
+        drop(fleet);
+        let reopened = ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(2),
+            persistence(),
+        )
+        .unwrap();
+        assert_eq!(reopened.n_shards(), 2);
+        assert_eq!(sorted_bits(reopened.dense_subgraphs()), want);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rebalancer_merges_cold_siblings() {
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        fleet.split_shard(0).unwrap();
+        assert_eq!(fleet.n_shards(), 3);
+        let mut rebalancer = Rebalancer::new(RebalancePolicy {
+            min_queue_depth: u64::MAX,
+            min_share: 1.0,
+            min_total_updates: 10,
+            merge_max_queue_depth: 16,
+            merge_max_share: 0.1,
+        });
+        // First call only establishes the cold window.
+        assert_eq!(rebalancer.pick_merge(&fleet), None, "no window yet");
+        // An idle fleet must not merge: cold is indistinguishable from dead.
+        assert_eq!(rebalancer.pick_merge(&fleet), None, "idle fleet");
+
+        // All traffic lands on slot 1; the siblings (0, 2) sit cold.
+        let updates: Vec<EdgeUpdate> = (0..40).map(|i| update(1, 5 + 2 * (i % 5), 0.1)).collect();
+        fleet.apply_batch(&updates);
+        fleet.flush();
+        assert_eq!(rebalancer.pick_merge(&fleet), Some((0, 2)));
+        // Each pick consumes the window, so feed another hot round before
+        // letting the driver act on the signal.
+        fleet.apply_batch(&updates);
+        fleet.flush();
+        let report = rebalancer.maybe_merge(&mut fleet).unwrap().unwrap();
+        assert_eq!((report.slot, report.freed_slot), (0, 2));
+        assert_eq!(fleet.n_shards(), 2);
+        // The topology change resets the window; no further merge fires.
+        assert_eq!(rebalancer.pick_merge(&fleet), None);
+    }
+
+    #[test]
     fn rebalancer_picks_the_skewed_shard_by_rate() {
         let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
         let mut relaxed = Rebalancer::new(RebalancePolicy {
             min_queue_depth: u64::MAX,
             min_share: 0.9,
             min_total_updates: 10,
+            ..RebalancePolicy::default()
         });
         // The first pick only establishes the share window.
         assert_eq!(relaxed.pick(&fleet), None, "no window yet");

@@ -1,7 +1,7 @@
 //! The [`ShardedDynDens`] facade: the single-engine API, scaled across
 //! cores, with a generational routing table that supports live shard splits.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -150,6 +150,10 @@ pub struct ShardedDynDens<D: DensityMeasure> {
     pub(crate) engines: Vec<Arc<Mutex<DynDens<D>>>>,
     pub(crate) roster: Arc<EpochCell<ShardRoster>>,
     pub(crate) workers: Vec<Option<JoinHandle<()>>>,
+    /// Per-slot shared slot-number cells (see [`worker::WorkerSetup::slot`]):
+    /// a merge renumbers the last live worker into a freed middle slot by
+    /// storing into its cell, without respawning the thread.
+    pub(crate) slots: Vec<Arc<AtomicU32>>,
     /// Per-slot scratch buffers reused by [`ShardedDynDens::apply_batch`].
     route_scratch: Vec<Vec<EdgeUpdate>>,
     /// What recovery did per shard; empty for non-persistent deployments.
@@ -175,6 +179,8 @@ pub(crate) struct ShardSeed<D: DensityMeasure> {
 }
 
 /// Spawns one worker thread for `slot`, publishing into `cell`/`ring`.
+/// Returns the inbox sender, the join handle and the shared slot-number cell
+/// (a merge renumbers the worker by storing into it).
 pub(crate) fn spawn_worker<D: DensityMeasure>(
     slot: usize,
     config: &ShardConfig,
@@ -183,10 +189,11 @@ pub(crate) fn spawn_worker<D: DensityMeasure>(
     engine: &Arc<Mutex<DynDens<D>>>,
     cell: &Arc<EpochCell<ShardSnapshot>>,
     ring: &Arc<DeltaRing>,
-) -> (SyncSender<WorkerMsg>, JoinHandle<()>) {
+) -> (SyncSender<WorkerMsg>, JoinHandle<()>, Arc<AtomicU32>) {
     let (tx, rx) = sync_channel(config.channel_capacity);
+    let slot_cell = Arc::new(AtomicU32::new(slot as u32));
     let setup = worker::WorkerSetup {
-        shard: slot,
+        slot: Arc::clone(&slot_cell),
         max_batch: config.max_batch,
         top_k: config.top_k,
         initial_seq: seq,
@@ -199,7 +206,7 @@ pub(crate) fn spawn_worker<D: DensityMeasure>(
         .name(format!("dyndens-shard-{slot}"))
         .spawn(move || worker::run(setup, rx, engine, cell, ring))
         .expect("failed to spawn shard worker");
-    (tx, handle)
+    (tx, handle, slot_cell)
 }
 
 impl<D: DensityMeasure> ShardedDynDens<D> {
@@ -330,6 +337,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         let mut routed = Vec::with_capacity(n);
         let mut engines = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
         for (slot, seed) in seeds.into_iter().enumerate() {
             let ShardSeed {
                 engine,
@@ -355,13 +363,15 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             );
             let ring = Arc::new(DeltaRing::new(config.delta_retention));
             let engine = Arc::new(Mutex::new(engine));
-            let (tx, handle) = spawn_worker(slot, &config, seq, persist, &engine, &cell, &ring);
+            let (tx, handle, slot_cell) =
+                spawn_worker(slot, &config, seq, persist, &engine, &cell, &ring);
             cells.push(cell);
             rings.push(ring);
             senders.push(ShardTx::Live(tx));
             routed.push(Arc::new(AtomicU64::new(seq)));
             engines.push(engine);
             workers.push(Some(handle));
+            slots.push(slot_cell);
         }
         ShardedDynDens {
             route_scratch: vec![Vec::new(); n],
@@ -376,6 +386,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             engines,
             roster: Arc::new(EpochCell::new(ShardRoster { cells, rings })),
             workers,
+            slots,
             recovery,
             persistence,
             dead_parked: Vec::new(),
@@ -504,6 +515,41 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         }
     }
 
+    /// Runs a compaction pass on every shard: evicts engine edges whose
+    /// weight has decayed to `min_weight` or below (through the ordinary
+    /// update path, WAL-logged first — see
+    /// [`DynDens::evict_below`](dyndens_core::DynDens::evict_below)), then
+    /// forces a checkpoint on each shard and prunes the WAL segments wholly
+    /// behind it. Returns the total number of edges evicted.
+    ///
+    /// The pass is serialised with each shard's stream at the point the
+    /// message reaches its queue, so it is safe to call concurrently with
+    /// ingest. On a decaying workload, a periodic `compact_below` is what
+    /// keeps both the engines' memory and the persistence directory bounded
+    /// — see `docs/RETENTION.md` for cadence guidance. Like
+    /// [`flush`](Self::flush), a pass issued while a shard is mid-split
+    /// completes once the split commits.
+    pub fn compact_below(&self, min_weight: f64) -> u64 {
+        let receivers: Vec<_> = {
+            let routing = self.routing.read().expect("routing poisoned");
+            routing
+                .senders
+                .iter()
+                .map(|sender| {
+                    let (ack, rx) = channel();
+                    sender
+                        .send(WorkerMsg::Compact { min_weight, ack })
+                        .expect("shard worker terminated while the facade is alive");
+                    rx
+                })
+                .collect()
+        };
+        // Each receiver yields one ack per worker that executed the pass —
+        // normally one, but a pass parked during a split is fanned out to
+        // both children — and closes when the last ack sender is dropped.
+        receivers.into_iter().flat_map(|rx| rx.into_iter()).sum()
+    }
+
     /// A non-blocking read handle over the shards' published snapshots and
     /// delta retention rings. Views observe splits: their shard count grows
     /// when one commits.
@@ -579,6 +625,24 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    /// Number of live (positive-weight) edges across all shards (flushes
+    /// first). The primary gauge of resident state for bounded-state
+    /// operation: on a decaying workload this should plateau once
+    /// [`compact_below`](Self::compact_below) runs on a cadence — see
+    /// `docs/RETENTION.md`.
+    pub fn edge_count(&self) -> usize {
+        self.flush();
+        self.engines
+            .iter()
+            .map(|e| {
+                e.lock()
+                    .expect("shard engine poisoned")
+                    .graph()
+                    .edge_count()
+            })
+            .sum()
     }
 
     /// Number of output-dense subgraphs across all shards (flushes first).
@@ -836,6 +900,115 @@ mod tests {
         // The recovered state is visible through the view without ingest.
         assert_eq!(recovered.view().snapshot().seq, updates.len() as u64);
         drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_below_reclaims_state_and_prunes_the_wal() {
+        use crate::config::{FsyncPolicy, PersistenceConfig};
+
+        fn wal_bytes(root: &std::path::Path) -> u64 {
+            let mut total = 0;
+            let mut stack = vec![root.to_path_buf()];
+            while let Some(d) = stack.pop() {
+                for entry in std::fs::read_dir(&d).unwrap() {
+                    let path = entry.unwrap().path();
+                    if path.is_dir() {
+                        stack.push(path);
+                    } else if path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("wal-"))
+                    {
+                        total += path.metadata().unwrap().len();
+                    }
+                }
+            }
+            total
+        }
+
+        let dir = std::env::temp_dir().join(format!("dyndens-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A huge checkpoint cadence: without compaction the WAL only grows.
+        let persistence = || {
+            PersistenceConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_snapshot_every_batches(1_000_000)
+        };
+        let mut fleet = ShardedDynDens::with_persistence(
+            AvgWeight,
+            DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+            ShardConfig::new(2)
+                .with_shard_fn(ShardFn::Modulo)
+                .with_max_batch(4),
+            persistence(),
+        )
+        .unwrap();
+
+        // Two strong communities (one per shard) plus 30 chaff edges whose
+        // weight decays to a dyadic residual 0.0625 — fully-decayed stories.
+        let mut updates = Vec::new();
+        for &(a, b) in &[(0, 2), (0, 4), (2, 4), (1, 3), (1, 5), (3, 5)] {
+            updates.push(update(a, b, 1.25));
+        }
+        for i in 0..30u32 {
+            updates.push(update(20 + i, 100 + i, 0.5));
+        }
+        for i in 0..30u32 {
+            updates.push(update(20 + i, 100 + i, -0.4375));
+        }
+        fleet.apply_batch(&updates);
+        fleet.flush();
+
+        let mut before = fleet.dense_subgraphs();
+        before.sort_by(|a, b| a.0.cmp(&b.0));
+        let wal_before = wal_bytes(&dir);
+        assert!(wal_before > 0);
+        assert_eq!(fleet.edge_count(), 36);
+
+        let evicted = fleet.compact_below(0.1);
+        assert_eq!(evicted, 30, "every chaff edge is reclaimed");
+        assert_eq!(fleet.edge_count(), 6, "only the live communities remain");
+        let mut after = fleet.dense_subgraphs();
+        after.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(after.len(), before.len());
+        for ((askey, ad), (bskey, bd)) in after.iter().zip(&before) {
+            assert_eq!(askey, bskey);
+            assert_eq!(ad.to_bits(), bd.to_bits(), "answer changed on {askey}");
+        }
+        // The compaction checkpoint folds everything evicted out of the log:
+        // only a fresh (near-empty) segment per shard survives.
+        assert!(
+            wal_bytes(&dir) < wal_before,
+            "WAL not pruned: {} >= {wal_before}",
+            wal_bytes(&dir)
+        );
+
+        // Ingest keeps working after the pass, and a crash + reopen recovers
+        // the compacted state bit for bit.
+        fleet.apply_batch(&[update(0, 6, 1.25)]);
+        fleet.flush();
+        let mut want = fleet.dense_subgraphs();
+        want.sort_by(|a, b| a.0.cmp(&b.0));
+        drop(fleet);
+        let reopened = ShardedDynDens::with_persistence(
+            AvgWeight,
+            DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+            ShardConfig::new(2)
+                .with_shard_fn(ShardFn::Modulo)
+                .with_max_batch(4),
+            persistence(),
+        )
+        .unwrap();
+        assert_eq!(reopened.edge_count(), 7);
+        let mut got = reopened.dense_subgraphs();
+        got.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(got.len(), want.len());
+        for ((gs, gd), (ws, wd)) in got.iter().zip(&want) {
+            assert_eq!(gs, ws);
+            assert_eq!(gd.to_bits(), wd.to_bits(), "recovery diverges on {gs}");
+        }
+        drop(reopened);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,6 +1,7 @@
 //! The shard worker: a thread owning one engine, fed by a bounded channel.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 
@@ -21,8 +22,24 @@ pub(crate) enum WorkerMsg {
     /// Acknowledge once every previously sent update has been applied and its
     /// snapshot published.
     Flush(Sender<()>),
+    /// Evict every engine edge with weight at or below `min_weight` (WAL-logged
+    /// like ordinary updates), force a checkpoint, prune the WAL behind it,
+    /// and acknowledge with the number of edges evicted.
+    Compact {
+        /// The eviction floor handed to [`DynDens::edges_below`].
+        min_weight: f64,
+        /// Receives the number of edges evicted once the pass is durable.
+        ack: Sender<u64>,
+    },
     /// Stop after processing everything drained alongside this message.
     Shutdown,
+}
+
+/// A control message that terminates a drain; the worker applies whatever
+/// micro-batch it drained first, then acts on the control.
+enum Control {
+    Shutdown,
+    Compact { min_weight: f64, ack: Sender<u64> },
 }
 
 /// The durability half of a worker: its WAL writer and snapshot cadence.
@@ -42,8 +59,12 @@ pub(crate) struct WorkerPersistence {
 /// Everything a worker thread is parameterised by at spawn time (beyond its
 /// shared engine/cell handles).
 pub(crate) struct WorkerSetup {
-    /// The shard index.
-    pub shard: usize,
+    /// The worker's slot index, shared with the facade: a shard **merge**
+    /// that frees a middle slot renumbers the last live worker into the
+    /// freed slot by storing into this cell — the worker stamps every
+    /// snapshot it publishes with the current value, so readers never see a
+    /// stale slot number.
+    pub slot: Arc<AtomicU32>,
     /// Micro-batch drain bound.
     pub max_batch: usize,
     /// Stories kept per published snapshot.
@@ -66,7 +87,7 @@ pub(crate) fn run<D: DensityMeasure>(
     ring: Arc<DeltaRing>,
 ) {
     let WorkerSetup {
-        shard,
+        slot,
         max_batch,
         top_k,
         initial_seq,
@@ -84,16 +105,19 @@ pub(crate) fn run<D: DensityMeasure>(
             // All senders dropped: the facade is gone, stop quietly.
             Err(_) => break,
         };
-        let mut shutdown = absorb(first, &mut pending, &mut acks);
+        let mut control = absorb(first, &mut pending, &mut acks);
         // Micro-batching: drain whatever else is already queued, up to the
         // configured bound, so channel wakeups and engine locking amortise.
-        while !shutdown && pending.len() < max_batch {
+        // A control message (shutdown, compact) ends the drain so it acts at
+        // its position in the queue order.
+        while control.is_none() && pending.len() < max_batch {
             match inbox.try_recv() {
-                Ok(msg) => shutdown = absorb(msg, &mut pending, &mut acks),
+                Ok(msg) => control = absorb(msg, &mut pending, &mut acks),
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
 
+        let shard = slot.load(Ordering::Relaxed) as usize;
         if !pending.is_empty() {
             // Durability before visibility: the micro-batch is in the WAL
             // before the engine sees it, so a crash at any later point can
@@ -158,25 +182,86 @@ pub(crate) fn run<D: DensityMeasure>(
                 }
             }
         }
+        if let Some(Control::Compact { min_weight, ack }) = &control {
+            // A compaction pass: evict decayed-out edges through the normal
+            // update path (WAL first, so crash replay reproduces the
+            // eviction bit-for-bit), then checkpoint unconditionally and
+            // prune the WAL behind the checkpoint — the "fold evicted state
+            // out of the snapshot, truncate the log" half of bounded-state
+            // operation.
+            events.clear();
+            let delta_base_seq = seq;
+            let (snapshot, checkpoint, evicted) = {
+                let mut guard = engine.lock().expect("shard engine poisoned");
+                let victims = guard.edges_below(*min_weight);
+                if let Some(p) = persist.as_mut() {
+                    if !victims.is_empty() {
+                        p.wal
+                            .append(seq, &victims)
+                            .unwrap_or_else(|e| panic!("shard {shard}: WAL append failed: {e}"));
+                    }
+                }
+                let report = guard.evict_below(*min_weight, &mut events);
+                debug_assert_eq!(report.edges_evicted as usize, victims.len());
+                seq += report.edges_evicted;
+                let checkpoint = persist.is_some().then(|| guard.snapshot());
+                (
+                    build_snapshot(shard, &guard, seq, delta_base_seq, &events, top_k),
+                    checkpoint,
+                    report.edges_evicted,
+                )
+            };
+            ring.push(DeltaBatch {
+                base_seq: delta_base_seq,
+                seq,
+                events: Arc::clone(&snapshot.delta_events),
+            });
+            cell.store_with_seq(Arc::new(snapshot), seq);
+            if let (Some(bytes), Some(p)) = (checkpoint, persist.as_mut()) {
+                match recovery::write_snapshot(&p.dir, seq, &bytes, p.retained) {
+                    Ok(oldest_retained) => {
+                        p.batches_since_snapshot = 0;
+                        if let Err(e) = p
+                            .wal
+                            .rotate(seq)
+                            .and_then(|()| p.wal.prune_to(oldest_retained))
+                        {
+                            eprintln!("shard {shard}: WAL rotate/prune failed: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("shard {shard}: compaction checkpoint failed: {e}"),
+                }
+            }
+            // A dropped compaction waiter is not an error.
+            let _ = ack.send(evicted);
+        }
         for ack in acks.drain(..) {
             // A dropped flush waiter is not an error.
             let _ = ack.send(());
         }
-        if shutdown {
+        if matches!(control, Some(Control::Shutdown)) {
             break;
         }
     }
 }
 
-/// Folds one message into the drain buffers; returns `true` on shutdown.
-fn absorb(msg: WorkerMsg, pending: &mut Vec<EdgeUpdate>, acks: &mut Vec<Sender<()>>) -> bool {
+/// Folds one message into the drain buffers; a returned [`Control`] ends the
+/// drain.
+fn absorb(
+    msg: WorkerMsg,
+    pending: &mut Vec<EdgeUpdate>,
+    acks: &mut Vec<Sender<()>>,
+) -> Option<Control> {
     match msg {
         WorkerMsg::Update(u) => pending.push(u),
         WorkerMsg::Batch(batch) => pending.extend(batch),
         WorkerMsg::Flush(ack) => acks.push(ack),
-        WorkerMsg::Shutdown => return true,
+        WorkerMsg::Compact { min_weight, ack } => {
+            return Some(Control::Compact { min_weight, ack })
+        }
+        WorkerMsg::Shutdown => return Some(Control::Shutdown),
     }
-    false
+    None
 }
 
 /// Renders the engine's current answer into an immutable snapshot.

@@ -151,6 +151,61 @@ impl CooccurrenceTracker {
     pub fn entity_count(&self) -> usize {
         self.occurrences.len()
     }
+
+    /// Number of entity pairs with a live co-occurrence counter.
+    pub fn pair_count(&self) -> usize {
+        self.cooccurrences.len()
+    }
+
+    /// Drops every occurrence and co-occurrence counter whose decayed value
+    /// at time `now` has fallen to `epsilon` or below, together with the
+    /// partner links of the dropped pairs. Returns `(entities_pruned,
+    /// pairs_pruned)`.
+    ///
+    /// Without pruning, the tracker's maps — and, for roughly
+    /// scale-invariant association measures like chi-square, the edge
+    /// weights derived from them — grow without bound on a forever-run:
+    /// uniform exponential decay shrinks numerator and denominator alike, so
+    /// a stale association's *weight* barely moves even as the evidence for
+    /// it becomes negligible. Pruning is what actually forgets: once a
+    /// pair's counter is gone its recomputed weight is zero, and
+    /// [`EdgeUpdateGenerator::compact`](crate::EdgeUpdateGenerator::compact)
+    /// turns that into cancelling edge updates for the engine.
+    ///
+    /// In cumulative (no-decay) mode counters never shrink, so nothing is
+    /// pruned.
+    pub fn prune(&mut self, now: f64, epsilon: f64) -> (usize, usize) {
+        if !self.decay_enabled {
+            return (0, 0);
+        }
+        let life = self.mean_life;
+        let occ_before = self.occurrences.len();
+        self.occurrences
+            .retain(|_, c| c.decayed(now, life) > epsilon);
+        let pair_before = self.cooccurrences.len();
+        let mut dead_pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        self.cooccurrences.retain(|&key, c| {
+            let live = c.decayed(now, life) > epsilon;
+            if !live {
+                dead_pairs.push(key);
+            }
+            live
+        });
+        for (a, b) in dead_pairs {
+            for (from, to) in [(a, b), (b, a)] {
+                if let Some(set) = self.partners.get_mut(&from) {
+                    set.remove(&to);
+                    if set.is_empty() {
+                        self.partners.remove(&from);
+                    }
+                }
+            }
+        }
+        (
+            occ_before - self.occurrences.len(),
+            pair_before - self.cooccurrences.len(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +286,37 @@ mod tests {
         assert!((s.count_b - 1.0).abs() < 1e-12);
         assert!((s.count_ab - 1.0).abs() < 1e-12);
         assert!((s.total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_drops_decayed_counters_and_partner_links() {
+        let mut t = CooccurrenceTracker::new(HOUR);
+        t.observe(0.0, &[v(0), v(1)]);
+        t.observe(0.0, &[v(2), v(3)]);
+        // Much later, only (2, 3) is refreshed.
+        let later = 100.0 * HOUR;
+        t.observe(later, &[v(2), v(3)]);
+        let (entities, pairs) = t.prune(later, 1e-9);
+        assert_eq!(entities, 2, "0 and 1 decayed out");
+        assert_eq!(pairs, 1, "(0, 1) decayed out");
+        assert_eq!(t.entity_count(), 2);
+        assert_eq!(t.pair_count(), 1);
+        assert_eq!(t.partners(v(0)).count(), 0);
+        assert_eq!(t.partners(v(2)).count(), 1);
+        // Survivors keep their exact decayed values.
+        assert!((t.cooccurrences(v(2), v(3), later) - (1.0 + (-100.0f64).exp())).abs() < 1e-9);
+        // A pruned entity can reappear later as if new.
+        t.observe(later + 1.0, &[v(0), v(1)]);
+        assert_eq!(t.entity_count(), 4);
+        assert!((t.occurrences(v(0), later + 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_is_a_no_op_without_decay() {
+        let mut t = CooccurrenceTracker::without_decay();
+        t.observe(0.0, &[v(0), v(1)]);
+        assert_eq!(t.prune(1e12, 1e-9), (0, 0));
+        assert_eq!(t.entity_count(), 2);
     }
 
     #[test]

@@ -129,6 +129,39 @@ impl<M: AssociationMeasure> EdgeUpdateGenerator<M> {
         }
     }
 
+    /// Forgets fully-decayed state: prunes tracker counters whose decayed
+    /// value at time `now` is at or below `epsilon`, then emits a cancelling
+    /// [`EdgeUpdate`] (in canonical ascending edge order) for every emitted
+    /// edge whose co-occurrence evidence was pruned away. Returns the number
+    /// of edges cancelled.
+    ///
+    /// This is the stream half of decay-driven eviction. Scale-invariant
+    /// association measures keep a stale edge's weight nearly constant under
+    /// uniform decay (numerator and denominator shrink together), so weights
+    /// alone never reach zero — the pair's *counter* vanishing is what
+    /// declares the evidence gone. Feed the returned updates to the engine
+    /// (they drive its weights to exactly zero) and follow with
+    /// `DynDens::evict_below` or the sharded `compact_below` to reclaim the
+    /// engine-side state.
+    pub fn compact(&mut self, now: f64, epsilon: f64, out: &mut Vec<EdgeUpdate>) -> usize {
+        self.tracker.prune(now, epsilon);
+        let mut dead: Vec<(VertexId, VertexId)> = self
+            .emitted
+            .keys()
+            .copied()
+            .filter(|&(a, b)| self.tracker.cooccurrences(a, b, now) == 0.0)
+            .collect();
+        dead.sort_unstable();
+        for &(a, b) in &dead {
+            let w = self.emitted.remove(&(a, b)).unwrap_or(0.0);
+            if w != 0.0 {
+                self.negative_updates += 1;
+                out.push(EdgeUpdate::new(a, b, -w));
+            }
+        }
+        dead.len()
+    }
+
     /// Consumes a batch of posts, returning all updates in order.
     pub fn process_posts<'a, I: IntoIterator<Item = &'a Post>>(
         &mut self,
@@ -224,6 +257,61 @@ mod tests {
             .map(|u| u.delta)
             .sum();
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compact_cancels_edges_whose_evidence_decayed_away() {
+        let mean_life = 100.0;
+        let mut generator = EdgeUpdateGenerator::new(ChiSquareCorrelation::default(), mean_life);
+        let mut graph = DynamicGraph::new();
+        let mut updates = Vec::new();
+        for i in 0..20 {
+            updates.extend(generator.process_post(&post(i as f64, &[0, 1])));
+            updates.extend(generator.process_post(&post(i as f64 + 0.25, &[2, 3])));
+        }
+        for u in &updates {
+            graph.apply_update(u);
+        }
+        assert!(generator.current_weight(v(0), v(1)) > 0.0);
+        let pairs_before = generator.tracker().pair_count();
+
+        // Long after everything decayed: compaction forgets both pairs.
+        let now = 1_000.0 * mean_life;
+        let mut cancels = Vec::new();
+        let cancelled = generator.compact(now, 1e-9, &mut cancels);
+        assert_eq!(cancelled, 2);
+        assert!(generator.tracker().pair_count() < pairs_before);
+        assert_eq!(generator.tracker().entity_count(), 0);
+        assert_eq!(generator.current_weight(v(0), v(1)), 0.0);
+        // Cancelling updates are in canonical order and drive the mirror
+        // graph to exactly empty.
+        let keys: Vec<_> = cancels.iter().map(|u| u.endpoints()).collect();
+        assert_eq!(keys, vec![(v(0), v(1)), (v(2), v(3))]);
+        for u in &cancels {
+            graph.apply_update(u);
+        }
+        assert_eq!(graph.edge_count(), 0);
+        // A second compaction finds nothing.
+        let mut none = Vec::new();
+        assert_eq!(generator.compact(now, 1e-9, &mut none), 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn compact_spares_live_edges() {
+        let mean_life = 1_000.0;
+        let mut generator = EdgeUpdateGenerator::new(ChiSquareCorrelation::default(), mean_life);
+        for i in 0..20 {
+            generator.process_post(&post(i as f64, &[0, 1]));
+            generator.process_post(&post(i as f64 + 0.25, &[2 + (i % 5)]));
+        }
+        let w = generator.current_weight(v(0), v(1));
+        assert!(w > 0.0);
+        let mut cancels = Vec::new();
+        // Compact "now": nothing has decayed below epsilon.
+        assert_eq!(generator.compact(20.0, 1e-9, &mut cancels), 0);
+        assert!(cancels.is_empty());
+        assert_eq!(generator.current_weight(v(0), v(1)), w);
     }
 
     #[test]

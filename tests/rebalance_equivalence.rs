@@ -165,6 +165,144 @@ fn split_mid_stream_matches_never_split_bit_identically() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The merge acceptance test: a persistent deployment splits a shard
+/// mid-stream, keeps ingesting, then **merges the pair back** mid-stream —
+/// while an [`IngestHandle`] concurrently feeds the fleet from inside the
+/// merge's `Parked` phase (updates for either quiesced sibling park, updates
+/// for the untouched shard are applied *during* the merge). The final
+/// maintained family must match a fleet that never changed topology bit for
+/// bit, the ledger must count every update exactly once, pollers of the
+/// merged slot must resync, and a crash + reopen must recover the coarsened
+/// topology with the same answer.
+#[test]
+fn merge_mid_stream_matches_never_merged_bit_identically() {
+    let updates = shard_aligned_stream(50_000, 8, 2012);
+
+    // Never-refined reference.
+    let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+    for chunk in updates.chunks(256) {
+        reference.apply_batch(chunk);
+    }
+    let want = sorted_bits(reference.dense_subgraphs());
+    assert!(want.len() >= 10, "degenerate workload");
+    drop(reference);
+
+    let dir = std::env::temp_dir().join(format!("dyndens-mergeeq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let persistence = || {
+        PersistenceConfig::new(&dir)
+            .with_fsync(FsyncPolicy::Never)
+            .with_snapshot_every_batches(16)
+    };
+
+    let mut fleet = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(2),
+        persistence(),
+    )
+    .unwrap();
+    let (head, rest) = updates.split_at(15_000);
+    let (between, rest) = rest.split_at(15_000);
+    let (during, tail) = rest.split_at(10_000);
+
+    for chunk in head.chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.flush();
+    let split = fleet.split_shard(0).unwrap();
+    assert_eq!(split.new_slot, 2);
+    for chunk in between.chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.flush();
+
+    // Merge the siblings back while the `during` tranche flows in through an
+    // IngestHandle. Inside the Parked phase both siblings are quiesced —
+    // their updates park — while the untouched shard keeps applying.
+    let handle = fleet.ingest_handle();
+    let view = fleet.view();
+    let merged_seq_at_park = std::cell::Cell::new(0u64);
+    let concurrent_applied = std::cell::Cell::new(0u64);
+    let report = fleet
+        .merge_shards_with(0, 2, |phase| {
+            if phase == MergePhase::Parked {
+                merged_seq_at_park.set(view.shard_seq(0) + view.shard_seq(2));
+                let untouched_before = view.shard_seq(1);
+                for chunk in during.chunks(128) {
+                    handle.apply_batch(chunk);
+                }
+                while view.shard_seq(1) == untouched_before {
+                    std::thread::yield_now();
+                }
+                concurrent_applied.set(view.shard_seq(1) - untouched_before);
+                // Both quiesced siblings are frozen at their park points.
+                assert_eq!(
+                    view.shard_seq(0) + view.shard_seq(2),
+                    merged_seq_at_park.get()
+                );
+            }
+        })
+        .unwrap();
+    assert!(
+        concurrent_applied.get() > 0,
+        "untouched shard applied no batches during the merge"
+    );
+    assert!(
+        report.parked_updates > 0,
+        "the during tranche must have parked updates for the merging pair"
+    );
+    assert_eq!(report.slot, 0);
+    assert_eq!(report.freed_slot, 2);
+    assert_eq!(report.moved_slot, None);
+    assert_eq!(report.child_engines, split.child_engines);
+    assert_eq!(report.merged_seq, merged_seq_at_park.get());
+    assert_eq!(report.generation, 2);
+    assert_eq!(fleet.n_shards(), 2);
+    assert_eq!(view.n_shards(), 2, "pre-merge views observe the shrink");
+    // Pollers of the merged slot resync: its ring restarted empty at the
+    // merge point, exactly like after a split or crash recovery.
+    assert_eq!(
+        fleet
+            .view()
+            .deltas_since(0, merged_seq_at_park.get().saturating_sub(1)),
+        DeltaCatchUp::Resync
+    );
+    assert!(fleet
+        .view()
+        .delta_coverage_from(0)
+        .is_none_or(|from| from >= merged_seq_at_park.get()));
+
+    for chunk in tail.chunks(256) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.validate().unwrap();
+    let got = sorted_bits(fleet.dense_subgraphs());
+    assert_eq!(got.len(), want.len());
+    for ((gs, gd), (ws, wd)) in got.iter().zip(&want) {
+        assert_eq!(gs, ws, "maintained sets diverge after the merge");
+        assert_eq!(*gd, *wd, "score bits diverge on {gs}");
+    }
+    // Split + merge is ledger-neutral: every update counted exactly once.
+    assert_eq!(fleet.stats().updates, updates.len() as u64);
+
+    // Crash + reopen: the manifest's coarsened topology recovers two shards
+    // (the merged engine plus the untouched base engine) and the same bits.
+    drop(fleet);
+    let reopened = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(2),
+        persistence(),
+    )
+    .unwrap();
+    assert_eq!(reopened.n_shards(), 2);
+    assert_eq!(reopened.shard_map().generation(), 2);
+    assert_eq!(sorted_bits(reopened.dense_subgraphs()), want);
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Two successive splits of the same base slot exercise depth-2 routing bits
 /// (still community-aligned at alignment 8 over 2 base shards) on the
 /// in-memory partition path.
