@@ -1,0 +1,385 @@
+//! Observability smoke + overhead benchmark: proves the instrumentation
+//! layer is (a) cheap enough to leave on and (b) actually lit end to end.
+//!
+//! **Phase 1 — overhead.** Alternating plain/instrumented passes of the
+//! partition-aligned 50k-update stream through an in-memory 2-shard fleet,
+//! min-of-N each (the minimum is the noise-robust estimator on a shared CI
+//! runner). `overhead_pct` is the instrumented minimum against the plain
+//! minimum; CI gates it under 3%.
+//!
+//! **Phase 2 — live scrape.** A persistent fleet (`FsyncPolicy::Always`) and
+//! a [`StoryServer`] share one [`Registry`]; the harness ingests the stream
+//! with a polling follower riding along, splits shard 0 mid-stream, then
+//! scrapes the server with a wire `Metrics` request and checks the snapshot
+//! is self-consistent: per-shard apply-latency histograms populated, WAL
+//! fsync counters nonzero, `wal_appends == batches_applied` (durability
+//! before visibility pairs them 1:1 when no compaction runs), per-type serve
+//! latencies recorded, and the split's lifecycle span in the event journal.
+//! The Prometheus text exposition is validated line by line.
+//!
+//! Run with `cargo run --release -p dyndens-bench --bin obs_overhead`.
+//! Writes `BENCH_obs.json`; CI's obs-smoke step gates on it.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dyndens_bench::{shard_aligned_stream, Table};
+use dyndens_core::DynDensConfig;
+use dyndens_density::AvgWeight;
+use dyndens_graph::EdgeUpdate;
+use dyndens_obs::{names, ObsEvent, ObsHandle, RebalanceStage, Registry, RegistrySnapshot};
+use dyndens_serve::{Client, Follower, StoryServer};
+use dyndens_shard::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn, ShardedDynDens};
+
+const N_UPDATES: usize = 50_000;
+const ALIGNMENT: usize = 8;
+const SEED: u64 = 2012;
+const CHUNK: usize = 512;
+/// Timed passes per arm; the minimum of each arm is compared.
+const PASSES: usize = 5;
+/// Stream position of the mid-ingest split in the live phase.
+const SPLIT_AT: usize = 24_576;
+
+fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+fn shard_config() -> ShardConfig {
+    ShardConfig::new(2)
+        .with_shard_fn(ShardFn::Modulo)
+        .with_max_batch(128)
+        .with_channel_capacity(4096)
+}
+
+/// One timed ingest pass over the full stream through a fresh in-memory
+/// fleet, instrumented when `registry` is given. Construction (including
+/// metric registration) happens outside the clock: the gate is on the ingest
+/// hot path, not one-time setup.
+fn timed_pass(updates: &[EdgeUpdate], registry: Option<&Arc<Registry>>) -> f64 {
+    let mut config = shard_config();
+    if let Some(r) = registry {
+        config = config.with_obs(Arc::clone(r));
+    }
+    let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), config);
+    let start = Instant::now();
+    for chunk in updates.chunks(CHUNK) {
+        fleet.apply_batch(chunk);
+    }
+    fleet.flush();
+    start.elapsed().as_secs_f64()
+}
+
+/// `true` when every line of the text exposition is either a
+/// `# TYPE name counter|gauge|histogram` comment or a
+/// `series[{labels}] integer-value` sample.
+fn exposition_is_valid(text: &str) -> bool {
+    text.lines().all(|line| {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            !name.is_empty()
+                && parts.next().is_none()
+                && matches!(kind, "counter" | "gauge" | "histogram")
+        } else {
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                return false;
+            };
+            if value.parse::<u64>().is_err() {
+                return false;
+            }
+            let name_part = series.split('{').next().unwrap_or("");
+            !name_part.is_empty()
+                && name_part
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && (series.contains('{') == series.ends_with('}'))
+        }
+    })
+}
+
+/// The count of one per-type serve latency histogram in the snapshot.
+fn serve_latency_count(snapshot: &RegistrySnapshot, kind: &str) -> u64 {
+    snapshot
+        .histograms
+        .iter()
+        .find(|h| {
+            h.name.name == names::SERVE_REQUEST_LATENCY_US && h.name.label("type") == Some(kind)
+        })
+        .map(|h| h.hist.count)
+        .unwrap_or(0)
+}
+
+struct LiveScrape {
+    wal_appends: u64,
+    batches_applied: u64,
+    wal_fsyncs: u64,
+    apply_count: u64,
+    apply_p50_us: u64,
+    apply_p99_us: u64,
+    apply_shards: usize,
+    poll_count: u64,
+    poll_p99_us: u64,
+    topk_count: u64,
+    stats_count: u64,
+    split_events: usize,
+    split_committed: usize,
+    journal_events: usize,
+    series_counters: usize,
+    series_gauges: usize,
+    series_histograms: usize,
+    exposition_lines: usize,
+    exposition_valid: bool,
+}
+
+fn live_phase(updates: &[EdgeUpdate]) -> LiveScrape {
+    let dir = std::env::temp_dir().join(format!("dyndens-obs-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(Registry::new());
+    let mut fleet = ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config().with_obs(Arc::clone(&registry)),
+        PersistenceConfig::new(&dir).with_fsync(FsyncPolicy::Always),
+    )
+    .expect("persistent fleet");
+    let server = StoryServer::bind_with_obs(
+        "127.0.0.1:0",
+        fleet.view(),
+        ObsHandle::new(Arc::clone(&registry)),
+    )
+    .expect("server bind");
+    let mut client = Client::connect(server.local_addr()).expect("client connect");
+    let mut follower = Follower::new();
+
+    let mut ingested = 0usize;
+    let mut split_done = false;
+    for chunk in updates.chunks(CHUNK) {
+        fleet.apply_batch(chunk);
+        ingested += chunk.len();
+        follower.poll(&mut client).expect("poll request");
+        if !split_done && ingested >= SPLIT_AT {
+            fleet.split_shard(0).expect("mid-stream split");
+            split_done = true;
+        }
+    }
+    fleet.flush();
+    while follower.poll(&mut client).expect("poll request") {}
+    client.top_k(8).expect("topk request");
+    client.stats().expect("stats request");
+
+    // The scrape an operator's collector would run, over the wire.
+    let snapshot = client.metrics().expect("metrics scrape");
+    let apply = snapshot.merged_histogram(names::SHARD_APPLY_LATENCY_US);
+    let poll = snapshot
+        .histograms
+        .iter()
+        .find(|h| {
+            h.name.name == names::SERVE_REQUEST_LATENCY_US && h.name.label("type") == Some("poll")
+        })
+        .map(|h| h.hist.clone())
+        .unwrap_or_default();
+    let split_events = snapshot
+        .events
+        .iter()
+        .filter(|r| matches!(r.event, ObsEvent::SplitPhase { .. }))
+        .count();
+    let split_committed = snapshot
+        .events
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                ObsEvent::SplitPhase {
+                    stage: RebalanceStage::Committed,
+                    ..
+                }
+            )
+        })
+        .count();
+    let text = snapshot.to_prometheus();
+
+    let scrape = LiveScrape {
+        wal_appends: snapshot.counter_total(names::WAL_APPENDS_TOTAL),
+        batches_applied: snapshot.counter_total(names::SHARD_BATCHES_APPLIED_TOTAL),
+        wal_fsyncs: snapshot.counter_total(names::WAL_FSYNCS_TOTAL),
+        apply_count: apply.count,
+        apply_p50_us: apply.percentile(50.0),
+        apply_p99_us: apply.percentile(99.0),
+        apply_shards: snapshot
+            .histograms
+            .iter()
+            .filter(|h| h.name.name == names::SHARD_APPLY_LATENCY_US)
+            .count(),
+        poll_count: poll.count,
+        poll_p99_us: poll.percentile(99.0),
+        topk_count: serve_latency_count(&snapshot, "top_k"),
+        stats_count: serve_latency_count(&snapshot, "stats"),
+        split_events,
+        split_committed,
+        journal_events: snapshot.events.len(),
+        series_counters: snapshot.counters.len(),
+        series_gauges: snapshot.gauges.len(),
+        series_histograms: snapshot.histograms.len(),
+        exposition_lines: text.lines().count(),
+        exposition_valid: exposition_is_valid(&text),
+    };
+
+    drop(client);
+    drop(server);
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Everything CI gates on, asserted here too so a local run fails with a
+    // message instead of a jq exit code.
+    assert!(scrape.apply_count > 0, "no apply-latency samples");
+    assert!(scrape.apply_shards >= 3, "per-shard apply series missing");
+    assert!(
+        scrape.wal_fsyncs > 0,
+        "no WAL fsyncs under FsyncPolicy::Always"
+    );
+    assert_eq!(
+        scrape.wal_appends, scrape.batches_applied,
+        "durability before visibility: every applied batch must have been \
+         WAL-appended first (and nothing else may append)"
+    );
+    assert!(scrape.poll_count > 0, "no served polls recorded");
+    assert!(
+        scrape.split_committed >= 1,
+        "the mid-stream split left no Committed lifecycle event"
+    );
+    assert!(scrape.exposition_valid, "text exposition failed validation");
+    scrape
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{cores} CPU core(s) available");
+    println!("generating the partition-aligned stream ({N_UPDATES} updates)...");
+    let updates = shard_aligned_stream(N_UPDATES, ALIGNMENT, SEED);
+
+    println!("phase 1: {PASSES}+{PASSES} alternating plain/instrumented ingest passes...");
+    let mut plain_min = f64::INFINITY;
+    let mut instrumented_min = f64::INFINITY;
+    for pass in 0..PASSES {
+        plain_min = plain_min.min(timed_pass(&updates, None));
+        // A fresh registry per pass: steady-state hot-path cost, not
+        // amortised registration.
+        let registry = Arc::new(Registry::new());
+        instrumented_min = instrumented_min.min(timed_pass(&updates, Some(&registry)));
+        println!(
+            "  pass {pass}: plain min {plain_min:.3}s, instrumented min {instrumented_min:.3}s"
+        );
+    }
+    let overhead_pct = (instrumented_min - plain_min) / plain_min * 100.0;
+
+    println!("phase 2: live persistent fleet + server, split mid-stream, wire scrape...");
+    let scrape = live_phase(&updates);
+
+    let mut table = Table::new("observability overhead + live scrape", &["metric", "value"]);
+    table.row(vec!["plain min s".into(), format!("{plain_min:.3}")]);
+    table.row(vec![
+        "instrumented min s".into(),
+        format!("{instrumented_min:.3}"),
+    ]);
+    table.row(vec!["overhead %".into(), format!("{overhead_pct:.2}")]);
+    table.row(vec!["wal appends".into(), scrape.wal_appends.to_string()]);
+    table.row(vec![
+        "batches applied".into(),
+        scrape.batches_applied.to_string(),
+    ]);
+    table.row(vec!["wal fsyncs".into(), scrape.wal_fsyncs.to_string()]);
+    table.row(vec!["apply p99 µs".into(), scrape.apply_p99_us.to_string()]);
+    table.row(vec!["polls served".into(), scrape.poll_count.to_string()]);
+    table.row(vec!["poll p99 µs".into(), scrape.poll_p99_us.to_string()]);
+    table.row(vec![
+        "split events".into(),
+        format!(
+            "{} ({} committed)",
+            scrape.split_events, scrape.split_committed
+        ),
+    ]);
+    table.row(vec![
+        "exposition lines".into(),
+        scrape.exposition_lines.to_string(),
+    ]);
+    table.print();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"n_updates\": {N_UPDATES},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+    json.push_str("  \"workload\": \"shard_aligned_stream\",\n");
+    json.push_str(&format!("  \"passes_per_arm\": {PASSES},\n"));
+    json.push_str(&format!("  \"plain_secs_min\": {plain_min:.6},\n"));
+    json.push_str(&format!(
+        "  \"instrumented_secs_min\": {instrumented_min:.6},\n"
+    ));
+    json.push_str(&format!("  \"overhead_pct\": {overhead_pct:.3},\n"));
+    json.push_str(&format!("  \"split_at\": {SPLIT_AT},\n"));
+    json.push_str(&format!(
+        "  \"wal_appends_total\": {},\n",
+        scrape.wal_appends
+    ));
+    json.push_str(&format!(
+        "  \"batches_applied_total\": {},\n",
+        scrape.batches_applied
+    ));
+    json.push_str(&format!("  \"wal_fsyncs_total\": {},\n", scrape.wal_fsyncs));
+    json.push_str(&format!(
+        "  \"apply_latency_count\": {},\n",
+        scrape.apply_count
+    ));
+    json.push_str(&format!("  \"apply_p50_us\": {},\n", scrape.apply_p50_us));
+    json.push_str(&format!("  \"apply_p99_us\": {},\n", scrape.apply_p99_us));
+    json.push_str(&format!(
+        "  \"apply_latency_shards\": {},\n",
+        scrape.apply_shards
+    ));
+    json.push_str(&format!("  \"serve_poll_count\": {},\n", scrape.poll_count));
+    json.push_str(&format!(
+        "  \"serve_poll_p99_us\": {},\n",
+        scrape.poll_p99_us
+    ));
+    json.push_str(&format!("  \"serve_topk_count\": {},\n", scrape.topk_count));
+    json.push_str(&format!(
+        "  \"serve_stats_count\": {},\n",
+        scrape.stats_count
+    ));
+    json.push_str(&format!(
+        "  \"split_lifecycle_events\": {},\n",
+        scrape.split_events
+    ));
+    json.push_str(&format!(
+        "  \"split_committed_events\": {},\n",
+        scrape.split_committed
+    ));
+    json.push_str(&format!(
+        "  \"journal_events_total\": {},\n",
+        scrape.journal_events
+    ));
+    json.push_str(&format!(
+        "  \"series_counters\": {},\n",
+        scrape.series_counters
+    ));
+    json.push_str(&format!("  \"series_gauges\": {},\n", scrape.series_gauges));
+    json.push_str(&format!(
+        "  \"series_histograms\": {},\n",
+        scrape.series_histograms
+    ));
+    json.push_str(&format!(
+        "  \"exposition_lines\": {},\n",
+        scrape.exposition_lines
+    ));
+    json.push_str(&format!(
+        "  \"exposition_valid\": {}\n",
+        scrape.exposition_valid
+    ));
+    json.push_str("}\n");
+    match std::fs::write("BENCH_obs.json", json) {
+        Ok(()) => println!("wrote BENCH_obs.json"),
+        Err(e) => eprintln!("failed to write BENCH_obs.json: {e}"),
+    }
+}

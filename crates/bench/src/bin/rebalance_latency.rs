@@ -17,12 +17,14 @@
 //!
 //! Run with `cargo run --release -p dyndens-bench --bin rebalance_latency`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dyndens_bench::{percentile, shard_aligned_stream, Table};
 use dyndens_core::DynDensConfig;
 use dyndens_density::AvgWeight;
 use dyndens_graph::EdgeUpdate;
+use dyndens_obs::{names, Registry};
 use dyndens_shard::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn, ShardedDynDens};
 
 const N_UPDATES: usize = 50_000;
@@ -66,7 +68,7 @@ fn ingest_window(fleet: &mut ShardedDynDens<AvgWeight>, updates: &[EdgeUpdate]) 
     start.elapsed().as_secs_f64()
 }
 
-fn run_trial(updates: &[EdgeUpdate], trial: usize) -> Trial {
+fn run_trial(updates: &[EdgeUpdate], trial: usize, registry: &Arc<Registry>) -> Trial {
     let dir = std::env::temp_dir().join(format!(
         "dyndens-rebalance-bench-{}-{trial}",
         std::process::id()
@@ -75,7 +77,7 @@ fn run_trial(updates: &[EdgeUpdate], trial: usize) -> Trial {
     let mut fleet = ShardedDynDens::with_persistence(
         AvgWeight,
         engine_config(),
-        shard_config(),
+        shard_config().with_obs(Arc::clone(registry)),
         PersistenceConfig::new(&dir).with_fsync(FsyncPolicy::Never),
     )
     .expect("persistent deployment");
@@ -126,6 +128,7 @@ fn write_json(
     output_dense: usize,
     reference_dense: usize,
     final_workers: usize,
+    registry: &Registry,
 ) -> std::io::Result<()> {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -160,7 +163,25 @@ fn write_json(
     ));
     json.push_str(&format!("  \"output_dense\": {output_dense},\n"));
     json.push_str(&format!(
-        "  \"output_dense_never_split\": {reference_dense}\n"
+        "  \"output_dense_never_split\": {reference_dense},\n"
+    ));
+    // Cross-check from the shared observability registry: the fleet's own
+    // split counter and park→commit pause histogram, accumulated across all
+    // trials. The registry pause excludes the facade's lock acquisition that
+    // the wall-clock samples above include, so it reads at or below them.
+    let snap = registry.snapshot();
+    let pause = snap.merged_histogram(names::REBALANCE_PAUSE_US);
+    json.push_str(&format!(
+        "  \"registry_splits_total\": {},\n",
+        snap.counter_total(names::SPLITS_TOTAL)
+    ));
+    json.push_str(&format!(
+        "  \"registry_pause_us_p50\": {},\n",
+        pause.percentile(50.0)
+    ));
+    json.push_str(&format!(
+        "  \"registry_pause_us_p99\": {}\n",
+        pause.percentile(99.0)
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_rebalance.json", json)
@@ -183,7 +204,12 @@ fn main() {
         reference.output_dense_count()
     };
 
-    let trials: Vec<Trial> = (0..TRIALS).map(|t| run_trial(&updates, t)).collect();
+    // One registry across every trial: split counters and pause histograms
+    // accumulate the way they would on a long-lived deployment.
+    let registry = Arc::new(Registry::new());
+    let trials: Vec<Trial> = (0..TRIALS)
+        .map(|t| run_trial(&updates, t, &registry))
+        .collect();
     let mut pauses: Vec<f64> = trials.iter().flat_map(|t| t.pause_ms.clone()).collect();
     let p50 = percentile(&mut pauses, 50.0);
     let p99 = percentile(&mut pauses, 99.0);
@@ -225,6 +251,13 @@ fn main() {
         assert_eq!(t.final_workers, N_SHARDS + SPLIT_SLOTS.len());
     }
 
+    let splits_seen = registry.snapshot().counter_total(names::SPLITS_TOTAL);
+    assert_eq!(
+        splits_seen as usize,
+        TRIALS * SPLIT_SLOTS.len(),
+        "the registry's split counter must see every split the bench ran"
+    );
+
     match write_json(
         &pauses,
         p50,
@@ -234,6 +267,7 @@ fn main() {
         trials[0].output_dense,
         reference_dense,
         trials[0].final_workers,
+        &registry,
     ) {
         Ok(()) => println!("wrote BENCH_rebalance.json"),
         Err(e) => eprintln!("failed to write BENCH_rebalance.json: {e}"),

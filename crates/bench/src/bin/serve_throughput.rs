@@ -5,7 +5,10 @@
 //!
 //! Each client thread runs a delta-following [`Follower`] loop (the realistic
 //! read pattern: `Poll` with a per-shard cursor) and issues a `TopK` read
-//! every 16th request. Poll latencies are recorded per request; the JSON
+//! every 16th request. Latency comes from the server's own observability
+//! registry — the per-request-type `dyndens_serve_request_latency_us`
+//! histograms — scraped over the wire with a `Metrics` request at the end of
+//! the run, so the bench measures exactly what operators see. The JSON
 //! reports p50/p99 along with requests/sec, so the serving cost trajectory
 //! can be tracked across PRs next to `BENCH_shard.json` and `BENCH_wal.json`.
 //!
@@ -19,6 +22,7 @@ use std::time::Instant;
 use dyndens_bench::{shard_aligned_stream, Table};
 use dyndens_core::DynDensConfig;
 use dyndens_density::AvgWeight;
+use dyndens_obs::{names, HistogramSnapshot, ObsHandle, Registry, RegistrySnapshot};
 use dyndens_serve::{Client, Follower, StoryServer};
 use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens};
 
@@ -31,7 +35,6 @@ const INGEST_PASSES: usize = 1;
 
 struct ClientReport {
     requests: u64,
-    poll_latencies_us: Vec<u64>,
     events_applied: u64,
     resyncs: u64,
 }
@@ -39,27 +42,33 @@ struct ClientReport {
 fn client_loop(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> ClientReport {
     let mut client = Client::connect(addr).expect("client connect");
     let mut follower = Follower::new();
-    let mut report = ClientReport {
-        requests: 0,
-        poll_latencies_us: Vec::with_capacity(1 << 16),
-        events_applied: 0,
-        resyncs: 0,
-    };
+    let mut requests = 0u64;
     while !stop.load(Ordering::Relaxed) {
-        if report.requests % TOPK_EVERY as u64 == TOPK_EVERY as u64 - 1 {
+        if requests % TOPK_EVERY as u64 == TOPK_EVERY as u64 - 1 {
             client.top_k(8).expect("topk request");
         } else {
-            let start = Instant::now();
             follower.poll(&mut client).expect("poll request");
-            report
-                .poll_latencies_us
-                .push(start.elapsed().as_micros() as u64);
         }
-        report.requests += 1;
+        requests += 1;
     }
-    report.events_applied = follower.events_applied();
-    report.resyncs = follower.resyncs();
-    report
+    ClientReport {
+        requests,
+        events_applied: follower.events_applied(),
+        resyncs: follower.resyncs(),
+    }
+}
+
+/// The server-side latency histogram for one request type, out of the
+/// scraped registry snapshot.
+fn request_latency(snapshot: &RegistrySnapshot, kind: &str) -> HistogramSnapshot {
+    snapshot
+        .histograms
+        .iter()
+        .find(|h| {
+            h.name.name == names::SERVE_REQUEST_LATENCY_US && h.name.label("type") == Some(kind)
+        })
+        .map(|h| h.hist.clone())
+        .unwrap_or_default()
 }
 
 fn main() {
@@ -71,15 +80,22 @@ fn main() {
     let updates = shard_aligned_stream(N_UPDATES, ALIGNMENT, SEED);
     let n_shards = 2;
 
+    let registry = Arc::new(Registry::new());
     let mut fleet = ShardedDynDens::new(
         AvgWeight,
         DynDensConfig::new(1.0, 4).with_delta_it(0.15),
         ShardConfig::new(n_shards)
             .with_shard_fn(ShardFn::Modulo)
             .with_max_batch(128)
-            .with_channel_capacity(4096),
+            .with_channel_capacity(4096)
+            .with_obs(Arc::clone(&registry)),
     );
-    let server = StoryServer::bind("127.0.0.1:0", fleet.view()).expect("server bind");
+    let server = StoryServer::bind_with_obs(
+        "127.0.0.1:0",
+        fleet.view(),
+        ObsHandle::new(Arc::clone(&registry)),
+    )
+    .expect("server bind");
     let addr = server.local_addr();
     println!("story server on {addr}, {N_CLIENTS} concurrent clients, live ingest underneath");
 
@@ -109,18 +125,26 @@ fn main() {
         .collect();
     let duration_secs = bench_start.elapsed().as_secs_f64();
 
+    // Scrape the server's registry over the wire: the same `Metrics` request
+    // an operator's collector would issue, against the live server.
+    let snapshot = Client::connect(addr)
+        .expect("scrape connect")
+        .metrics()
+        .expect("metrics scrape");
     let requests_total: u64 = reports.iter().map(|r| r.requests).sum();
+    let served_total = snapshot.counter_total(names::SERVE_REQUESTS_TOTAL);
+    assert!(
+        served_total >= requests_total,
+        "the server's request counter ({served_total}) trails the clients' own \
+         ledger ({requests_total})"
+    );
     let events_applied: u64 = reports.iter().map(|r| r.events_applied).sum();
     let resyncs: u64 = reports.iter().map(|r| r.resyncs).sum();
-    let mut poll_us: Vec<u64> = reports
-        .iter()
-        .flat_map(|r| r.poll_latencies_us.iter().copied())
-        .collect();
-    poll_us.sort_unstable();
-    let polls_total = poll_us.len() as u64;
-    let mut poll_ms: Vec<f64> = poll_us.iter().map(|&us| us as f64 / 1000.0).collect();
-    let p50 = dyndens_bench::percentile(&mut poll_ms, 50.0);
-    let p99 = dyndens_bench::percentile(&mut poll_ms, 99.0);
+    let poll_hist = request_latency(&snapshot, "poll");
+    let polls_total = poll_hist.count;
+    let p50 = poll_hist.percentile(50.0) as f64 / 1000.0;
+    let p99 = poll_hist.percentile(99.0) as f64 / 1000.0;
+    let topk_hist = request_latency(&snapshot, "top_k");
     let requests_per_sec = requests_total as f64 / duration_secs;
 
     let mut table = Table::new(
@@ -131,8 +155,18 @@ fn main() {
     table.row(vec!["duration s".into(), format!("{duration_secs:.3}")]);
     table.row(vec!["requests".into(), requests_total.to_string()]);
     table.row(vec!["requests/s".into(), format!("{requests_per_sec:.0}")]);
-    table.row(vec!["poll p50 ms".into(), format!("{p50:.3}")]);
-    table.row(vec!["poll p99 ms".into(), format!("{p99:.3}")]);
+    table.row(vec![
+        "poll p50 µs".into(),
+        poll_hist.percentile(50.0).to_string(),
+    ]);
+    table.row(vec![
+        "poll p99 µs".into(),
+        poll_hist.percentile(99.0).to_string(),
+    ]);
+    table.row(vec![
+        "topk p99 µs".into(),
+        topk_hist.percentile(99.0).to_string(),
+    ]);
     table.row(vec![
         "delta events applied".into(),
         events_applied.to_string(),
@@ -157,6 +191,7 @@ fn main() {
     json.push_str(&format!("  \"n_shards\": {n_shards},\n"));
     json.push_str(&format!("  \"n_clients\": {N_CLIENTS},\n"));
     json.push_str("  \"workload\": \"shard_aligned_stream\",\n");
+    json.push_str("  \"latency_source\": \"server_registry\",\n");
     json.push_str(&format!("  \"duration_secs\": {duration_secs:.6},\n"));
     json.push_str(&format!("  \"ingest_secs\": {ingest_secs:.6},\n"));
     json.push_str(&format!("  \"requests_total\": {requests_total},\n"));
@@ -164,6 +199,19 @@ fn main() {
     json.push_str(&format!("  \"polls_total\": {polls_total},\n"));
     json.push_str(&format!("  \"poll_p50_ms\": {p50:.4},\n"));
     json.push_str(&format!("  \"poll_p99_ms\": {p99:.4},\n"));
+    json.push_str(&format!(
+        "  \"poll_p50_us\": {},\n",
+        poll_hist.percentile(50.0)
+    ));
+    json.push_str(&format!(
+        "  \"poll_p99_us\": {},\n",
+        poll_hist.percentile(99.0)
+    ));
+    json.push_str(&format!("  \"topks_total\": {},\n", topk_hist.count));
+    json.push_str(&format!(
+        "  \"topk_p99_ms\": {:.4},\n",
+        topk_hist.percentile(99.0) as f64 / 1000.0
+    ));
     json.push_str(&format!("  \"delta_events_applied\": {events_applied},\n"));
     json.push_str(&format!("  \"resyncs\": {resyncs}\n"));
     json.push_str("}\n");

@@ -2,18 +2,29 @@
 //! 1/2/4/8 shards versus the single-threaded engine, on the partition-aligned
 //! 50k-update synthetic stream.
 //!
+//! Latency detail comes from the shared observability registry: sharded runs
+//! attach a [`Registry`] to the fleet and read the workers' own
+//! `dyndens_shard_apply_latency_us` histograms (merged across shards); the
+//! single-engine baseline records its per-chunk apply time into the same
+//! histogram type under a `shard="single"` label, so both configurations
+//! report through one sink. Sample granularity differs — per micro-batch
+//! (≤ 128 updates) for workers, per 512-update chunk for the baseline — so
+//! the columns are trajectories per config, not cross-config comparisons.
+//!
 //! Prints a table and writes a machine-readable `BENCH_shard.json`
 //! (shards vs. throughput in updates/sec) so the perf trajectory can be
 //! tracked across PRs.
 //!
 //! Run with `cargo run --release -p dyndens-bench --bin shard_scaling`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use dyndens_bench::{percentile, shard_aligned_stream, Table};
+use dyndens_bench::{shard_aligned_stream, Table};
 use dyndens_core::{DynDens, DynDensConfig};
 use dyndens_density::AvgWeight;
 use dyndens_graph::EdgeUpdate;
+use dyndens_obs::{names, HistogramSnapshot, Registry};
 use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens};
 
 const N_UPDATES: usize = 50_000;
@@ -31,9 +42,10 @@ struct Measurement {
     shards: usize,
     best_secs: f64,
     output_dense: usize,
-    /// p99 of per-chunk ingest (route + enqueue) latency, milliseconds — the
-    /// producer-side stall measure (a deep queue blocks the router).
-    ingest_p99_ms: f64,
+    /// Apply-latency histogram from the observability registry, best
+    /// repetition: the workers' merged per-micro-batch series for sharded
+    /// runs, the baseline's per-chunk series for the single engine.
+    apply_hist: HistogramSnapshot,
     /// Largest observed view staleness during ingest: updates routed minus
     /// updates visible through the merged `StoryView`, sampled per chunk.
     seq_lag_max: u64,
@@ -48,11 +60,12 @@ impl Measurement {
 fn run_single(updates: &[EdgeUpdate]) -> Measurement {
     let mut best = f64::INFINITY;
     let mut output_dense = 0;
-    let mut ingest_p99_ms = 0.0;
+    let mut apply_hist = HistogramSnapshot::default();
     for _ in 0..REPETITIONS {
+        let registry = Registry::new();
+        let hist = registry.histogram(names::SHARD_APPLY_LATENCY_US, &[("shard", "single")]);
         let mut engine = DynDens::new(AvgWeight, engine_config());
         let mut events = Vec::new();
-        let mut chunk_ms: Vec<f64> = Vec::with_capacity(updates.len() / 512 + 1);
         let start = Instant::now();
         for chunk in updates.chunks(512) {
             let t = Instant::now();
@@ -60,12 +73,12 @@ fn run_single(updates: &[EdgeUpdate]) -> Measurement {
                 engine.apply_update_into(*u, &mut events);
                 events.clear();
             }
-            chunk_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            hist.record_micros(t.elapsed());
         }
         let secs = start.elapsed().as_secs_f64();
         if secs < best {
             best = secs;
-            ingest_p99_ms = percentile(&mut chunk_ms, 99.0);
+            apply_hist = hist.snapshot();
         }
         output_dense = engine.output_dense_count();
     }
@@ -74,7 +87,7 @@ fn run_single(updates: &[EdgeUpdate]) -> Measurement {
         shards: 0,
         best_secs: best,
         output_dense,
-        ingest_p99_ms,
+        apply_hist,
         // The single engine applies synchronously: a reader is never stale.
         seq_lag_max: 0,
     }
@@ -83,26 +96,25 @@ fn run_single(updates: &[EdgeUpdate]) -> Measurement {
 fn run_sharded(updates: &[EdgeUpdate], n_shards: usize) -> Measurement {
     let mut best = f64::INFINITY;
     let mut output_dense = 0;
-    let mut ingest_p99_ms = 0.0;
+    let mut apply_hist = HistogramSnapshot::default();
     let mut seq_lag_max = 0u64;
     for _ in 0..REPETITIONS {
+        let registry = Arc::new(Registry::new());
         let mut sharded = ShardedDynDens::new(
             AvgWeight,
             engine_config(),
             ShardConfig::new(n_shards)
                 .with_shard_fn(ShardFn::Modulo)
                 .with_max_batch(128)
-                .with_channel_capacity(4096),
+                .with_channel_capacity(4096)
+                .with_obs(Arc::clone(&registry)),
         );
         let view = sharded.view();
-        let mut chunk_ms: Vec<f64> = Vec::with_capacity(updates.len() / 512 + 1);
         let mut lag_max = 0u64;
         let mut routed = 0u64;
         let start = Instant::now();
         for chunk in updates.chunks(512) {
-            let t = Instant::now();
             sharded.apply_batch(chunk);
-            chunk_ms.push(t.elapsed().as_secs_f64() * 1e3);
             routed += chunk.len() as u64;
             // View staleness right after the enqueue: how far the merged
             // read path trails the routed stream.
@@ -117,7 +129,9 @@ fn run_sharded(updates: &[EdgeUpdate], n_shards: usize) -> Measurement {
         let secs = start.elapsed().as_secs_f64();
         if secs < best {
             best = secs;
-            ingest_p99_ms = percentile(&mut chunk_ms, 99.0);
+            apply_hist = registry
+                .snapshot()
+                .merged_histogram(names::SHARD_APPLY_LATENCY_US);
             seq_lag_max = lag_max;
         }
         output_dense = sharded.output_dense_count();
@@ -127,7 +141,7 @@ fn run_sharded(updates: &[EdgeUpdate], n_shards: usize) -> Measurement {
         shards: n_shards,
         best_secs: best,
         output_dense,
-        ingest_p99_ms,
+        apply_hist,
         seq_lag_max,
     }
 }
@@ -142,20 +156,23 @@ fn write_json(measurements: &[Measurement], baseline_ups: f64) -> std::io::Resul
     json.push_str(&format!("  \"repetitions\": {REPETITIONS},\n"));
     json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
     json.push_str("  \"workload\": \"shard_aligned_stream\",\n");
+    json.push_str("  \"apply_latency_source\": \"registry_histogram\",\n");
     json.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 < measurements.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{\"config\": \"{}\", \"shards\": {}, \"seconds\": {:.6}, \
              \"updates_per_sec\": {:.1}, \"speedup_vs_single\": {:.3}, \
-             \"ingest_p99_ms\": {:.4}, \"seq_lag_max\": {}, \
-             \"output_dense\": {}}}{sep}\n",
+             \"apply_p50_us\": {}, \"apply_p99_us\": {}, \"apply_samples\": {}, \
+             \"seq_lag_max\": {}, \"output_dense\": {}}}{sep}\n",
             m.label,
             m.shards,
             m.best_secs,
             m.updates_per_sec(),
             m.updates_per_sec() / baseline_ups,
-            m.ingest_p99_ms,
+            m.apply_hist.percentile(50.0),
+            m.apply_hist.percentile(99.0),
+            m.apply_hist.count,
             m.seq_lag_max,
             m.output_dense,
         ));
@@ -186,7 +203,7 @@ fn main() {
             "seconds",
             "updates/s",
             "speedup",
-            "p99 ms",
+            "apply p99 µs",
             "lag max",
             "output-dense",
         ],
@@ -198,12 +215,23 @@ fn main() {
             format!("{:.3}", m.best_secs),
             format!("{:.0}", m.updates_per_sec()),
             format!("{:.2}x", m.updates_per_sec() / baseline_ups),
-            format!("{:.2}", m.ingest_p99_ms),
+            m.apply_hist.percentile(99.0).to_string(),
             m.seq_lag_max.to_string(),
             m.output_dense.to_string(),
         ]);
     }
     table.print();
+
+    // Every configuration must have recorded real apply work through the
+    // registry — a silent instrumentation regression fails here, not in a
+    // dashboard weeks later.
+    for m in &measurements {
+        assert!(
+            m.apply_hist.count > 0,
+            "{}: no apply-latency samples reached the registry",
+            m.label
+        );
+    }
 
     // Every configuration must report the identical answer: the stream is
     // partition-aligned, so sharding is lossless here.

@@ -18,15 +18,24 @@
 //! `BENCH_soak.json` with the sample series and the headline bounds CI
 //! gates on: RSS and WAL growth between the half-run and full-run samples.
 //!
+//! The whole run is instrumented through one shared observability
+//! [`Registry`] that survives the kill: the fleet's workers, WAL and
+//! recovery report into it, the harness emits a
+//! [`CompactionWindow`](ObsEvent::CompactionWindow) journal event per
+//! reclamation pass, and the JSON carries a `registry` block of the
+//! counters an operator would watch on a real forever-run.
+//!
 //! Run with `cargo run --release -p dyndens-bench --bin soak_forever`.
 //! `SOAK_UPDATES` overrides the update target (default 2,000,000; CI's
 //! smoke step uses a short run).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dyndens_core::DynDensConfig;
 use dyndens_density::AvgWeight;
 use dyndens_graph::{EdgeUpdate, VertexId, VertexSet};
+use dyndens_obs::{names, ObsEvent, Registry};
 use dyndens_shard::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn, ShardedDynDens};
 use dyndens_stream::{ChiSquareCorrelation, EdgeUpdateGenerator, Post};
 use rand::rngs::StdRng;
@@ -69,11 +78,12 @@ fn engine_config() -> DynDensConfig {
     DynDensConfig::new(0.3, 4).with_delta_it(0.05)
 }
 
-fn shard_config() -> ShardConfig {
+fn shard_config(registry: &Arc<Registry>) -> ShardConfig {
     ShardConfig::new(N_SHARDS)
         .with_shard_fn(ShardFn::Modulo)
         .with_max_batch(128)
         .with_channel_capacity(4096)
+        .with_obs(Arc::clone(registry))
 }
 
 fn persistence(dir: &std::path::Path) -> PersistenceConfig {
@@ -161,11 +171,17 @@ struct RecoveryOutcome {
     bitexact: bool,
 }
 
-fn reopen(dir: &std::path::Path) -> ShardedDynDens<AvgWeight> {
-    ShardedDynDens::with_persistence(AvgWeight, engine_config(), shard_config(), persistence(dir))
-        .expect("reopen persistent fleet")
+fn reopen(dir: &std::path::Path, registry: &Arc<Registry>) -> ShardedDynDens<AvgWeight> {
+    ShardedDynDens::with_persistence(
+        AvgWeight,
+        engine_config(),
+        shard_config(registry),
+        persistence(dir),
+    )
+    .expect("reopen persistent fleet")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     target: u64,
     samples: &[Sample],
@@ -174,6 +190,7 @@ fn write_json(
     evicted_by_floor: u64,
     output_dense: usize,
     elapsed_secs: f64,
+    registry: &Registry,
 ) -> std::io::Result<()> {
     let half = &samples[samples.len() / 2];
     let last = samples.last().expect("at least one sample");
@@ -219,6 +236,53 @@ fn write_json(
     json.push_str(&format!("    \"seconds\": {:.6},\n", recovery.seconds));
     json.push_str(&format!("    \"bitexact\": {}\n", recovery.bitexact));
     json.push_str("  },\n");
+    // The operator's view of the same run: the shared registry's counters,
+    // scraped once at the end (the kill+recover kept the registry alive, so
+    // these span the whole soak).
+    let snap = registry.snapshot();
+    let apply = snap.merged_histogram(names::SHARD_APPLY_LATENCY_US);
+    json.push_str("  \"registry\": {\n");
+    for (field, name) in [
+        ("batches_applied_total", names::SHARD_BATCHES_APPLIED_TOTAL),
+        ("updates_applied_total", names::SHARD_UPDATES_APPLIED_TOTAL),
+        ("wal_appends_total", names::WAL_APPENDS_TOTAL),
+        ("wal_fsyncs_total", names::WAL_FSYNCS_TOTAL),
+        ("wal_rotations_total", names::WAL_ROTATIONS_TOTAL),
+        (
+            "wal_segments_pruned_total",
+            names::WAL_SEGMENTS_PRUNED_TOTAL,
+        ),
+        ("checkpoints_total", names::CHECKPOINTS_TOTAL),
+        ("recoveries_total", names::RECOVERIES_TOTAL),
+        ("recovery_replayed_total", names::RECOVERY_REPLAYED_TOTAL),
+        ("compaction_passes_total", names::COMPACTION_PASSES_TOTAL),
+        (
+            "compaction_evicted_edges_total",
+            names::COMPACTION_EVICTED_EDGES_TOTAL,
+        ),
+        (
+            "compaction_pruned_pairs_total",
+            names::COMPACTION_PRUNED_PAIRS_TOTAL,
+        ),
+        (
+            "compaction_cancelled_total",
+            names::COMPACTION_CANCELLED_TOTAL,
+        ),
+    ] {
+        json.push_str(&format!("    \"{field}\": {},\n", snap.counter_total(name)));
+    }
+    json.push_str(&format!(
+        "    \"apply_p99_us\": {},\n",
+        apply.percentile(99.0)
+    ));
+    json.push_str(&format!(
+        "    \"compaction_window_events\": {}\n",
+        snap.events
+            .iter()
+            .filter(|r| matches!(r.event, ObsEvent::CompactionWindow { .. }))
+            .count()
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 < samples.len() { "," } else { "" };
@@ -245,11 +309,15 @@ fn main() {
 
     let dir = std::env::temp_dir().join(format!("dyndens-soak-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    // One registry for the whole soak: it deliberately outlives the mid-run
+    // kill, the way a scrape endpoint outlives any single process incarnation
+    // of the fleet it watches.
+    let registry = Arc::new(Registry::new());
     let mut fleet = Some(
         ShardedDynDens::with_persistence(
             AvgWeight,
             engine_config(),
-            shard_config(),
+            shard_config(&registry),
             persistence(&dir),
         )
         .expect("persistent fleet"),
@@ -288,15 +356,32 @@ fn main() {
                 buf.clear();
             }
             // Reclamation pass 1: the pipeline cancels decayed-out pairs.
+            let wal_before = wal_bytes(&dir);
             evictions.clear();
             let dead = generator.compact(posts as f64, TRACKER_EPSILON, &mut evictions);
             reclaimed_by_decay += dead as u64;
+            registry
+                .counter(names::COMPACTION_PRUNED_PAIRS_TOTAL, &[])
+                .add(dead as u64);
+            registry
+                .counter(names::COMPACTION_CANCELLED_TOTAL, &[])
+                .add(evictions.len() as u64);
             if !evictions.is_empty() {
                 updates += evictions.len() as u64;
                 f.apply_batch(&evictions);
             }
             // Reclamation pass 2: floor eviction + checkpoint + WAL prune.
-            evicted_by_floor += f.compact_below(WEIGHT_FLOOR);
+            let floor_evicted = f.compact_below(WEIGHT_FLOOR);
+            evicted_by_floor += floor_evicted;
+            // One journal event per reclamation window: the generator-side
+            // prune and the engine-side eviction as a single operator-visible
+            // record, with the WAL bytes the checkpoint+prune gave back.
+            registry.emit(ObsEvent::CompactionWindow {
+                pruned_pairs: dead as u64,
+                cancelled_updates: evictions.len() as u64,
+                evicted_edges: floor_evicted,
+                reclaimed_bytes: wal_before.saturating_sub(wal_bytes(&dir)),
+            });
             samples.push(Sample {
                 updates,
                 posts,
@@ -323,7 +408,7 @@ fn main() {
             let edges_want = f.edge_count();
             drop(fleet.take());
             let clock = Instant::now();
-            let reopened = reopen(&dir);
+            let reopened = reopen(&dir, &registry);
             let seconds = clock.elapsed().as_secs_f64();
             let bitexact = sorted_bits(reopened.dense_subgraphs()) == want
                 && reopened.edge_count() == edges_want;
@@ -369,6 +454,7 @@ fn main() {
         evicted_by_floor,
         output_dense,
         elapsed,
+        &registry,
     ) {
         Ok(()) => println!("wrote BENCH_soak.json"),
         Err(e) => eprintln!("failed to write BENCH_soak.json: {e}"),

@@ -1508,7 +1508,6 @@ mod tests {
         assert!(s.explorations > 0);
         assert!(s.cheap_explorations > 0);
         assert!(s.subgraphs_inserted >= 11);
-        let mut engine = engine;
         engine.reset_stats();
         assert_eq!(engine.stats().updates, 0);
     }

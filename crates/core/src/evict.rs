@@ -148,9 +148,11 @@ mod tests {
 
     /// The comparison used throughout: identical maintained family (set and
     /// score bits), star markers, and graph edges (endpoint and weight bits).
+    type MaintenanceImage = (Vec<(VertexSet, u64)>, usize, Vec<(u32, u32, u64)>);
+
     fn maintenance_image<D: dyndens_density::DensityMeasure>(
         engine: &DynDens<D>,
-    ) -> (Vec<(VertexSet, u64)>, usize, Vec<(u32, u32, u64)>) {
+    ) -> MaintenanceImage {
         let mut family: Vec<(VertexSet, u64)> = engine
             .dense_subgraphs()
             .into_iter()
@@ -214,7 +216,6 @@ mod tests {
 
         // And both evolve identically afterwards.
         let followups = [update(0, 10, 0.75), update(3, 4, 1.25), update(0, 3, 0.5)];
-        let mut fresh = fresh;
         for u in followups {
             engine.apply_update(u);
             fresh.apply_update(u);

@@ -1,0 +1,190 @@
+//! Histogram unit suite: bucket boundary exactness, merge associativity,
+//! empty/percentile edge cases. (The wire-codec proptests live with the
+//! serve protocol suite in `crates/serve/tests/wire_roundtrip.rs`, which
+//! round-trips whole `Metrics` messages.)
+
+use dyndens_obs::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, N_BUCKETS, SUB_BUCKETS,
+};
+
+#[test]
+fn bucket_index_is_total_and_monotone_at_boundaries() {
+    // Every octave boundary and its neighbours map in order; the map is
+    // total over the extremes.
+    let mut last = 0usize;
+    for e in 0..64u32 {
+        let v = 1u64 << e;
+        for probe in [v.saturating_sub(1), v, v.saturating_add(1)] {
+            let i = bucket_index(probe);
+            assert!(i < N_BUCKETS, "index out of range for {probe}");
+            assert!(i >= last || probe < 1u64 << e, "non-monotone at {probe}");
+            last = last.max(i);
+        }
+    }
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+}
+
+#[test]
+fn bucket_bounds_partition_the_u64_line() {
+    // Bounds tile the line: each bucket starts right after the previous one
+    // ends, bucket 0 starts at 0, the last ends at u64::MAX.
+    assert_eq!(bucket_bounds(0), (0, 0));
+    assert_eq!(bucket_bounds(N_BUCKETS - 1).1, u64::MAX);
+    for i in 1..N_BUCKETS {
+        let (lo, _) = bucket_bounds(i);
+        let (_, prev_hi) = bucket_bounds(i - 1);
+        assert_eq!(lo, prev_hi + 1, "gap or overlap at bucket {i}");
+    }
+}
+
+#[test]
+fn values_fall_inside_their_buckets_and_small_values_are_exact() {
+    // Round-trip: index(v) must yield a bucket whose bounds contain v.
+    let mut probes: Vec<u64> = (0..200).collect();
+    for e in 5..64u32 {
+        let v = 1u64 << e;
+        probes.extend([v - 1, v, v + 1, v + v / 3, v + v / 2]);
+    }
+    probes.push(u64::MAX);
+    for v in probes {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+        if v < SUB_BUCKETS {
+            assert_eq!((lo, hi), (v, v), "small values must be exact");
+        }
+    }
+}
+
+#[test]
+fn relative_error_is_bounded() {
+    // Bucket width / lower bound <= 1/SUB_BUCKETS for every bucket above
+    // the exact range.
+    for i in SUB_BUCKETS as usize..N_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        let width = hi - lo + 1;
+        assert!(
+            (width as f64) / (lo as f64) <= 1.0 / SUB_BUCKETS as f64 + 1e-12,
+            "bucket {i}: width {width} too wide for lower bound {lo}"
+        );
+    }
+}
+
+#[test]
+fn empty_snapshot_edge_cases() {
+    let h = Histogram::new();
+    let s = h.snapshot();
+    assert!(s.is_empty());
+    assert_eq!(s.percentile(50.0), 0);
+    assert_eq!(s.percentile(99.9), 0);
+    assert_eq!(s.max(), 0);
+    assert_eq!(s.mean(), 0.0);
+}
+
+#[test]
+fn exact_percentiles_below_sub_buckets() {
+    // 1..=20 recorded once each: percentiles are exact order statistics
+    // (upper-bound convention == the value itself in the exact range).
+    let h = Histogram::new();
+    for v in 1..=20u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 20);
+    assert_eq!(s.sum, 210);
+    assert_eq!(s.percentile(0.0), 1); // rank clamps to 1
+    assert_eq!(s.percentile(5.0), 1);
+    assert_eq!(s.percentile(50.0), 10);
+    assert_eq!(s.percentile(95.0), 19);
+    assert_eq!(s.percentile(100.0), 20);
+    assert_eq!(s.max(), 20);
+    assert_eq!(s.mean(), 10.5);
+}
+
+#[test]
+fn single_value_snapshot() {
+    let h = Histogram::new();
+    h.record(7);
+    let s = h.snapshot();
+    for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+        assert_eq!(s.percentile(p), 7);
+    }
+}
+
+#[test]
+fn p999_separates_a_heavy_tail() {
+    // 10_000 fast values and 5 slow outliers: p99 stays in the fast band,
+    // p99.9 lands within the histogram's ~3.1% of the outlier magnitude.
+    let h = Histogram::new();
+    for _ in 0..10_000 {
+        h.record(100);
+    }
+    for _ in 0..5 {
+        h.record(1_000_000);
+    }
+    let s = h.snapshot();
+    let p99 = s.percentile(99.0);
+    let p999 = s.percentile(99.96);
+    assert!(p99 <= 104, "p99 {p99} should sit in the fast band");
+    assert!(
+        (970_000..=1_040_000).contains(&p999),
+        "p99.96 {p999} should land on the outliers"
+    );
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    let mk = |values: &[u64]| {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    };
+    let a = mk(&[1, 5, 5, 90, 4096]);
+    let b = mk(&[5, 33, 70_000]);
+    let c = mk(&[0, 1, u64::MAX]);
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "merge must be commutative");
+
+    let mut ab_c = ab.clone();
+    ab_c.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    assert_eq!(ab_c, a_bc, "merge must be associative");
+
+    // The merged snapshot equals recording everything into one histogram.
+    let all = mk(&[1, 5, 5, 90, 4096, 5, 33, 70_000, 0, 1, u64::MAX]);
+    assert_eq!(ab_c, all, "merge must equal single-histogram recording");
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let h = Histogram::new();
+    h.record(42);
+    let s = h.snapshot();
+    let mut merged = s.clone();
+    merged.merge(&HistogramSnapshot::default());
+    assert_eq!(merged, s);
+    let mut from_empty = HistogramSnapshot::default();
+    from_empty.merge(&s);
+    assert_eq!(from_empty, s);
+}
+
+#[test]
+fn percentiles_respect_bucket_upper_bound_convention() {
+    // A value in the log-linear range reports its bucket's inclusive upper
+    // bound, never more than ~3.1% above the recorded value.
+    let h = Histogram::new();
+    h.record(1000);
+    let s = h.snapshot();
+    let p = s.percentile(50.0);
+    assert!(p >= 1000, "upper-bound convention never under-reports");
+    assert!((p as f64) <= 1000.0 * 1.033, "p50 {p} exceeds error bound");
+}

@@ -7,10 +7,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use dyndens_core::{DenseEvent, EngineStats};
 use dyndens_graph::VertexSet;
+use dyndens_obs::RegistrySnapshot;
 
 use crate::net::{read_frame, write_frame};
 use crate::protocol::{
-    frame_message, DecodeFailure, ErrorCode, Request, Response, ShardPoll, ShardStat, WireStory,
+    frame_message, DecodeFailure, ErrorCode, Request, Response, ServeStats, ShardPoll, ShardStat,
+    WireStory,
 };
 
 /// An error talking to a story server.
@@ -122,11 +124,26 @@ impl Client {
         }
     }
 
-    /// The fleet's merged work counters and per-shard serving health.
-    pub fn stats(&mut self) -> Result<(EngineStats, Vec<ShardStat>), ClientError> {
+    /// The fleet's merged work counters, the serving layer's own counters,
+    /// and per-shard serving health.
+    pub fn stats(&mut self) -> Result<(EngineStats, ServeStats, Vec<ShardStat>), ClientError> {
         match self.call(&Request::Stats)? {
-            Response::Stats { stats, shards } => Ok((stats, shards)),
+            Response::Stats {
+                stats,
+                serve,
+                shards,
+            } => Ok((stats, serve, shards)),
             _ => Err(ClientError::Protocol("expected a Stats reply to Stats")),
+        }
+    }
+
+    /// The server's full observability snapshot: every registered counter,
+    /// gauge and latency histogram plus the recent event journal. Empty when
+    /// the server runs uninstrumented.
+    pub fn metrics(&mut self) -> Result<RegistrySnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { registry } => Ok(registry),
+            _ => Err(ClientError::Protocol("expected a Metrics reply to Metrics")),
         }
     }
 }

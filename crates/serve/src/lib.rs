@@ -74,8 +74,8 @@ pub mod server;
 
 pub use client::{Client, ClientError, Follower};
 pub use protocol::{
-    DecodeFailure, ErrorCode, Request, Response, ShardPoll, ShardStat, WireStory, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    DecodeFailure, ErrorCode, Request, Response, ServeStats, ShardPoll, ShardStat, WireStory,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::{NameTable, StoryServer};
 

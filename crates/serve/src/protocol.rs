@@ -16,11 +16,15 @@ use dyndens_core::{DenseEvent, EngineStats};
 use dyndens_graph::codec::{put_f64, put_frame};
 use dyndens_graph::codec::{put_str, put_u32, put_u64, put_u8, ByteReader, CodecError};
 use dyndens_graph::VertexSet;
+use dyndens_obs::RegistrySnapshot;
 
 /// The protocol revision this build speaks. A decoder rejects every other
 /// version; additions to message bodies require a bump (bodies are
 /// fixed-layout — decoders reject trailing bytes).
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Revision 2 added the `Metrics` request/response pair and the
+/// [`ServeStats`] block inside `Stats` replies.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound a frame reader accepts for one message, before allocating
 /// anything: 32 MiB. A corrupt or hostile length prefix beyond it is rejected
@@ -46,6 +50,12 @@ pub enum Request {
     },
     /// Merged work counters plus per-shard serving health (tag `0x03`).
     Stats,
+    /// The server's full observability snapshot (tag `0x04`): every
+    /// registered counter, gauge and latency histogram plus the recent
+    /// structured-event journal. Answers with [`Response::Metrics`]; a
+    /// server running without instrumentation answers with an empty
+    /// snapshot.
+    Metrics,
 }
 
 /// One story on the wire: the vertex set, its density, and the entity names
@@ -118,6 +128,74 @@ pub struct ShardStat {
     pub delta_coverage_from: Option<u64>,
 }
 
+/// Serving-layer counters carried by [`Response::Stats`]: what the server
+/// itself did, as opposed to the ingest fleet's [`EngineStats`] work ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered since the server started (all request types,
+    /// including error replies).
+    pub requests_served: u64,
+    /// Connections accepted.
+    pub conns_accepted: u64,
+    /// Connections severed by a framing or I/O failure (CRC mismatch,
+    /// mid-frame EOF, reset) rather than a clean peer hang-up or server
+    /// shutdown.
+    pub conns_severed: u64,
+    /// Resync entries served in `Poll` replies — each one is a reader that
+    /// fell behind a shard's delta retention, or a shard that restarted
+    /// (recovery, split, merge) under the reader.
+    pub resyncs_served: u64,
+    /// Typed [`Response::Error`] replies sent.
+    pub error_replies: u64,
+}
+
+impl ServeStats {
+    /// Number of counters in the wire encoding of this protocol revision
+    /// (the mirror of [`EngineStats::WIRE_COUNTERS`]). Adding a counter is a
+    /// wire-format change: bump [`PROTOCOL_VERSION`] alongside this constant
+    /// (the destructuring in [`encode_into`](ServeStats::encode_into) forces
+    /// the revisit).
+    pub const WIRE_COUNTERS: u8 = 5;
+
+    /// Appends the canonical wire encoding:
+    /// `n u8 (= 5) | n × counter u64`, counters in declaration order.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let ServeStats {
+            requests_served,
+            conns_accepted,
+            conns_severed,
+            resyncs_served,
+            error_replies,
+        } = self;
+        put_u8(buf, Self::WIRE_COUNTERS);
+        for counter in [
+            requests_served,
+            conns_accepted,
+            conns_severed,
+            resyncs_served,
+            error_replies,
+        ] {
+            put_u64(buf, *counter);
+        }
+    }
+
+    /// Decodes a serving-stats block, rejecting a counter count other than
+    /// [`ServeStats::WIRE_COUNTERS`] (a mismatch means the peer speaks a
+    /// different protocol revision).
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<ServeStats, CodecError> {
+        if r.u8()? != Self::WIRE_COUNTERS {
+            return Err(CodecError::Invalid("serve stats counter count mismatch"));
+        }
+        Ok(ServeStats {
+            requests_served: r.u64()?,
+            conns_accepted: r.u64()?,
+            conns_severed: r.u64()?,
+            resyncs_served: r.u64()?,
+            error_replies: r.u64()?,
+        })
+    }
+}
+
 /// Error codes carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -168,8 +246,17 @@ pub enum Response {
         /// The fleet's merged work counters, as of the latest published
         /// snapshots.
         stats: EngineStats,
+        /// The serving layer's own counters.
+        serve: ServeStats,
         /// Per-shard serving health.
         shards: Vec<ShardStat>,
+    },
+    /// Answer to [`Request::Metrics`] (tag `0x84`): the server's full
+    /// observability snapshot. Empty (no series, no events) when the server
+    /// runs uninstrumented.
+    Metrics {
+        /// Every registered metric series plus the recent event journal.
+        registry: RegistrySnapshot,
     },
     /// The request could not be served (tag `0xEE`). The connection stays
     /// usable: framing was intact, only this request was rejected.
@@ -220,9 +307,11 @@ impl From<CodecError> for DecodeFailure {
 const TAG_TOPK: u8 = 0x01;
 const TAG_POLL: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
+const TAG_METRICS: u8 = 0x04;
 const TAG_STORIES_REPLY: u8 = 0x81;
 const TAG_POLL_REPLY: u8 = 0x82;
 const TAG_STATS_REPLY: u8 = 0x83;
+const TAG_METRICS_REPLY: u8 = 0x84;
 const TAG_ERROR: u8 = 0xEE;
 
 fn begin(buf: &mut Vec<u8>, tag: u8) {
@@ -280,6 +369,7 @@ impl Request {
                 }
             }
             Request::Stats => begin(buf, TAG_STATS),
+            Request::Metrics => begin(buf, TAG_METRICS),
         }
     }
 
@@ -296,6 +386,7 @@ impl Request {
                 Request::Poll { since }
             }
             TAG_STATS => Request::Stats,
+            TAG_METRICS => Request::Metrics,
             other => return Err(DecodeFailure::UnknownTag(other)),
         };
         finish(request, &r)
@@ -400,9 +491,14 @@ impl Response {
                     }
                 }
             }
-            Response::Stats { stats, shards } => {
+            Response::Stats {
+                stats,
+                serve,
+                shards,
+            } => {
                 begin(buf, TAG_STATS_REPLY);
                 stats.encode_into(buf);
+                serve.encode_into(buf);
                 put_u32(buf, shards.len() as u32);
                 for s in shards {
                     put_u32(buf, s.shard);
@@ -416,6 +512,10 @@ impl Response {
                         None => put_u8(buf, 0),
                     }
                 }
+            }
+            Response::Metrics { registry } => {
+                begin(buf, TAG_METRICS_REPLY);
+                registry.encode_into(buf);
             }
             Response::Error { code, message } => {
                 begin(buf, TAG_ERROR);
@@ -497,6 +597,7 @@ impl Response {
             }
             TAG_STATS_REPLY => {
                 let stats = EngineStats::decode(&mut r)?;
+                let serve = ServeStats::decode(&mut r)?;
                 let n = r.u32()? as usize;
                 check_count(&r, n, 21)?;
                 let shards = (0..n)
@@ -517,8 +618,15 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>, CodecError>>()?;
-                Response::Stats { stats, shards }
+                Response::Stats {
+                    stats,
+                    serve,
+                    shards,
+                }
             }
+            TAG_METRICS_REPLY => Response::Metrics {
+                registry: RegistrySnapshot::decode(&mut r)?,
+            },
             TAG_ERROR => {
                 let code =
                     ErrorCode::from_u8(r.u8()?).ok_or(CodecError::Invalid("unknown error code"))?;

@@ -11,12 +11,15 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use dyndens_obs::{names, Counter, Histogram, ObsEvent, ObsHandle};
 use dyndens_shard::{DeltaCatchUp, StoryView};
 
 use crate::net::{read_frame, write_frame};
 use crate::protocol::{
-    frame_message, DecodeFailure, ErrorCode, Request, Response, ShardPoll, ShardStat, WireStory,
+    frame_message, DecodeFailure, ErrorCode, Request, Response, ServeStats, ShardPoll, ShardStat,
+    WireStory,
 };
 
 /// A shared, swappable vertex → entity-name table.
@@ -47,6 +50,21 @@ impl NameTable {
     }
 }
 
+/// The request kinds the per-type serving metrics are labelled with, in
+/// [`request_kind`] index order. `error` is the pseudo-kind for frames whose
+/// payload failed to decode into any request.
+const REQUEST_KINDS: &[&str] = &["top_k", "poll", "stats", "metrics", "error"];
+const REQ_ERROR: usize = 4;
+
+fn request_kind(request: &Request) -> usize {
+    match request {
+        Request::TopK { .. } => 0,
+        Request::Poll { .. } => 1,
+        Request::Stats => 2,
+        Request::Metrics => 3,
+    }
+}
+
 /// State shared between the accept thread, connection threads and the facade.
 #[derive(Debug)]
 struct Shared {
@@ -59,10 +77,31 @@ struct Shared {
     /// descriptors it holds — stays bounded by the number of *live*
     /// connections, not the number ever accepted.
     conns: Mutex<Vec<Option<TcpStream>>>,
-    requests_served: AtomicU64,
+    /// The [`ServeStats`] cells. `Arc`'d so an enabled registry reads the
+    /// very same cells through its adopted counter series — the serving hot
+    /// path never double-counts.
+    requests_served: Arc<AtomicU64>,
+    conns_accepted: Arc<AtomicU64>,
+    conns_severed: Arc<AtomicU64>,
+    resyncs_served: Arc<AtomicU64>,
+    error_replies: Arc<AtomicU64>,
+    obs: ObsHandle,
+    /// Pre-registered per-request-type `(requests, latency)` handles,
+    /// indexed like [`REQUEST_KINDS`]; present iff `obs` is enabled.
+    req_obs: Option<Vec<(Counter, Histogram)>>,
 }
 
 impl Shared {
+    fn serve_stats(&self) -> ServeStats {
+        ServeStats {
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_severed: self.conns_severed.load(Ordering::Relaxed),
+            resyncs_served: self.resyncs_served.load(Ordering::Relaxed),
+            error_replies: self.error_replies.load(Ordering::Relaxed),
+        }
+    }
+
     /// Registers a live connection's socket clone, returning its slot.
     fn register(&self, conn: TcpStream) -> usize {
         let mut conns = self.conns.lock().expect("conn table poisoned");
@@ -102,14 +141,67 @@ impl StoryServer {
     /// starts empty; publish the ingest side's entity names into it to serve
     /// named stories.
     pub fn bind(addr: impl ToSocketAddrs, view: StoryView) -> io::Result<StoryServer> {
+        Self::bind_with_obs(addr, view, ObsHandle::none())
+    }
+
+    /// Like [`bind`](StoryServer::bind), but instrumented: the server's
+    /// connection/request/resync counters become registry series (adopting
+    /// the very cells [`Response::Stats`] reads, so the two surfaces can
+    /// never disagree), every request type gets a latency histogram, and
+    /// connection lifecycle plus poll resyncs are journalled. The registry
+    /// is also what a [`Request::Metrics`] against this server snapshots.
+    pub fn bind_with_obs(
+        addr: impl ToSocketAddrs,
+        view: StoryView,
+        obs: ObsHandle,
+    ) -> io::Result<StoryServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let conns_accepted = Arc::new(AtomicU64::new(0));
+        let conns_severed = Arc::new(AtomicU64::new(0));
+        let resyncs_served = Arc::new(AtomicU64::new(0));
+        let error_replies = Arc::new(AtomicU64::new(0));
+        let req_obs = obs.registry().map(|registry| {
+            registry.adopt_counter(
+                names::SERVE_CONNS_ACCEPTED_TOTAL,
+                &[],
+                Arc::clone(&conns_accepted),
+            );
+            registry.adopt_counter(
+                names::SERVE_CONNS_SEVERED_TOTAL,
+                &[],
+                Arc::clone(&conns_severed),
+            );
+            registry.adopt_counter(names::SERVE_RESYNCS_TOTAL, &[], Arc::clone(&resyncs_served));
+            registry.adopt_counter(
+                names::SERVE_ERROR_REPLIES_TOTAL,
+                &[],
+                Arc::clone(&error_replies),
+            );
+            REQUEST_KINDS
+                .iter()
+                .map(|kind| {
+                    let labels: &[(&str, &str)] = &[("type", kind)];
+                    (
+                        registry.counter(names::SERVE_REQUESTS_TOTAL, labels),
+                        registry.histogram(names::SERVE_REQUEST_LATENCY_US, labels),
+                    )
+                })
+                .collect()
+        });
         let shared = Arc::new(Shared {
             view,
             names: NameTable::new(),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
-            requests_served: AtomicU64::new(0),
+            requests_served,
+            conns_accepted,
+            conns_severed,
+            resyncs_served,
+            error_replies,
+            obs,
+            req_obs,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
@@ -141,6 +233,12 @@ impl StoryServer {
     /// types, including error replies).
     pub fn requests_served(&self) -> u64 {
         self.shared.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// The serving-layer counters, as a [`Request::Stats`] reply would
+    /// carry them.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.shared.serve_stats()
     }
 }
 
@@ -187,6 +285,10 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         let _ = stream.set_nodelay(true);
+        let conn_id = shared.conns_accepted.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(registry) = shared.obs.registry() {
+            registry.emit(ObsEvent::ConnAccepted { conn: conn_id });
+        }
         let slot = match stream.try_clone() {
             Ok(clone) => Some(shared.register(clone)),
             Err(_) => None,
@@ -195,7 +297,16 @@ fn accept_loop(
         let handle = std::thread::Builder::new()
             .name("dyndens-serve-conn".into())
             .spawn(move || {
-                let _ = serve_connection(stream, &conn_shared);
+                let result = serve_connection(stream, &conn_shared);
+                // A clean peer hang-up returns Ok; an Err is a severed
+                // stream (CRC desync, reset, mid-frame EOF) — unless we are
+                // the ones tearing the socket down at shutdown.
+                if result.is_err() && !conn_shared.shutdown.load(Ordering::SeqCst) {
+                    conn_shared.conns_severed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(registry) = conn_shared.obs.registry() {
+                        registry.emit(ObsEvent::ConnSevered { conn: conn_id });
+                    }
+                }
                 if let Some(slot) = slot {
                     conn_shared.unregister(slot);
                 }
@@ -219,13 +330,22 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let response = match Request::decode(&payload) {
-            Ok(request) => handle_request(&request, shared),
+        let started = shared.req_obs.is_some().then(Instant::now);
+        let (kind, response) = match Request::decode(&payload) {
+            Ok(request) => (request_kind(&request), handle_request(&request, shared)),
             // An intact frame with an undecodable payload: the stream is
             // still synchronised, so report the problem and keep serving.
-            Err(failure) => error_response(&failure),
+            Err(failure) => (REQ_ERROR, error_response(&failure)),
         };
+        if matches!(response, Response::Error { .. }) {
+            shared.error_replies.fetch_add(1, Ordering::Relaxed);
+        }
         shared.requests_served.fetch_add(1, Ordering::Relaxed);
+        if let (Some(req_obs), Some(started)) = (shared.req_obs.as_ref(), started) {
+            let (requests, latency) = &req_obs[kind];
+            requests.inc();
+            latency.record_micros(started.elapsed());
+        }
         write_frame(&mut writer, &frame_message(|buf| response.encode_into(buf)))?;
     }
     Ok(())
@@ -310,6 +430,12 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
                         events,
                     }),
                     DeltaCatchUp::Resync => {
+                        shared.resyncs_served.fetch_add(1, Ordering::Relaxed);
+                        if let Some(registry) = shared.obs.registry() {
+                            registry.emit(ObsEvent::PollResync {
+                                shard: shard as u32,
+                            });
+                        }
                         let snapshot = view.shard_snapshot(shard);
                         entries.push(ShardPoll::Resync {
                             shard: shard as u32,
@@ -337,7 +463,18 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
                     }
                 })
                 .collect();
-            Response::Stats { stats, shards }
+            Response::Stats {
+                stats,
+                serve: shared.serve_stats(),
+                shards,
+            }
         }
+        Request::Metrics => Response::Metrics {
+            registry: shared
+                .obs
+                .registry()
+                .map(|registry| registry.snapshot())
+                .unwrap_or_default(),
+        },
     }
 }

@@ -8,9 +8,13 @@ use std::io;
 
 use dyndens_core::{DenseEvent, EngineStats};
 use dyndens_graph::VertexSet;
+use dyndens_obs::{
+    HistogramSample, HistogramSnapshot, MetricName, MetricSample, ObsEvent, ObsRecord,
+    RebalanceStage, RegistrySnapshot, SpanMark, N_BUCKETS,
+};
 use dyndens_serve::net::read_frame;
 use dyndens_serve::protocol::frame_message;
-use dyndens_serve::{ErrorCode, Request, Response, ShardPoll, ShardStat, WireStory};
+use dyndens_serve::{ErrorCode, Request, Response, ServeStats, ShardPoll, ShardStat, WireStory};
 use proptest::prelude::*;
 
 fn vertex_set_strategy() -> impl Strategy<Value = VertexSet> {
@@ -64,14 +68,15 @@ fn story_strategy() -> impl Strategy<Value = WireStory> {
 
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
-        0..3u8,
+        0..4u8,
         0..10_000u32,
         prop::collection::vec(0..u64::MAX, 0..6),
     )
         .prop_map(|(variant, k, since)| match variant {
             0 => Request::TopK { k },
             1 => Request::Poll { since },
-            _ => Request::Stats,
+            2 => Request::Stats,
+            _ => Request::Metrics,
         })
 }
 
@@ -120,17 +125,183 @@ fn stats_strategy() -> impl Strategy<Value = EngineStats> {
     })
 }
 
+fn serve_stats_strategy() -> impl Strategy<Value = ServeStats> {
+    (0..u64::MAX, 0..u64::MAX, 0..u64::MAX).prop_map(|(a, b, c)| ServeStats {
+        requests_served: a,
+        conns_accepted: b,
+        conns_severed: c,
+        resyncs_served: a ^ b,
+        error_replies: b ^ c,
+    })
+}
+
+fn metric_name_strategy() -> impl Strategy<Value = MetricName> {
+    // The codec preserves label order verbatim, so any pair list round-trips
+    // (the registry always produces sorted labels, but the wire format does
+    // not require it).
+    (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), name_strategy()), 0..3),
+    )
+        .prop_map(|(name, labels)| MetricName { name, labels })
+}
+
+fn histogram_snapshot_strategy() -> impl Strategy<Value = HistogramSnapshot> {
+    // The codec demands strictly ascending bucket indexes below N_BUCKETS:
+    // prefix-summing positive gaps delivers that by construction (at most
+    // five gaps under 300 stays well below N_BUCKETS = 1920).
+    (
+        prop::collection::vec((1..300u32, 1..u64::MAX), 0..6),
+        0..u64::MAX,
+    )
+        .prop_map(|(steps, sum)| {
+            let mut index = 0u32;
+            let mut buckets = Vec::with_capacity(steps.len());
+            for (gap, n) in steps {
+                index += gap;
+                assert!((index as usize) < N_BUCKETS);
+                buckets.push((index, n));
+            }
+            let count = buckets
+                .iter()
+                .fold(0u64, |acc, &(_, n)| acc.wrapping_add(n));
+            HistogramSnapshot {
+                count,
+                sum,
+                buckets,
+            }
+        })
+}
+
+fn obs_event_strategy() -> impl Strategy<Value = ObsEvent> {
+    (0..10u8, 0..64u32, 0..u64::MAX, 0..u64::MAX, 0..2u8).prop_map(
+        |(variant, shard, a, b, flag)| {
+            let flag = flag == 1;
+            let stage = match a % 3 {
+                0 => RebalanceStage::Parked,
+                1 => RebalanceStage::Rebuilt,
+                _ => RebalanceStage::Committed,
+            };
+            match variant {
+                0 => ObsEvent::WorkerBatch {
+                    shard,
+                    batch: b as u32,
+                    apply_us: a,
+                },
+                1 => ObsEvent::WalFsync {
+                    shard,
+                    bytes: a,
+                    fsync_us: b,
+                },
+                2 => ObsEvent::Checkpoint {
+                    shard,
+                    seq: a,
+                    bytes: b,
+                },
+                3 => ObsEvent::Recovery {
+                    shard,
+                    snapshot_seq: a,
+                    replayed_updates: b,
+                    recovered_seq: a.wrapping_add(b),
+                    repaired_torn_tail: flag,
+                },
+                4 => ObsEvent::SplitPhase {
+                    slot: shard,
+                    new_slot: shard + 1,
+                    stage,
+                    parked: a,
+                    replayed: b,
+                },
+                5 => ObsEvent::MergePhase {
+                    slot: shard,
+                    freed_slot: shard + 1,
+                    stage,
+                    parked: a,
+                },
+                6 => ObsEvent::CompactionWindow {
+                    pruned_pairs: a,
+                    cancelled_updates: b,
+                    evicted_edges: a ^ b,
+                    reclaimed_bytes: a.rotate_left(9),
+                },
+                7 => ObsEvent::ConnAccepted { conn: a },
+                8 => ObsEvent::ConnSevered { conn: a },
+                _ => ObsEvent::PollResync { shard },
+            }
+        },
+    )
+}
+
+fn obs_record_strategy() -> impl Strategy<Value = ObsRecord> {
+    (
+        0..u64::MAX,
+        0..u64::MAX,
+        0..u64::MAX,
+        0..3u8,
+        obs_event_strategy(),
+    )
+        .prop_map(|(seq, at_unix_ms, span, mark, event)| ObsRecord {
+            seq,
+            at_unix_ms,
+            span,
+            mark: match mark {
+                0 => SpanMark::Instant,
+                1 => SpanMark::Begin,
+                _ => SpanMark::End,
+            },
+            event,
+        })
+}
+
+fn registry_snapshot_strategy() -> impl Strategy<Value = RegistrySnapshot> {
+    (
+        prop::collection::vec((metric_name_strategy(), 0..u64::MAX), 0..4),
+        prop::collection::vec((metric_name_strategy(), 0..u64::MAX), 0..4),
+        prop::collection::vec(
+            (metric_name_strategy(), histogram_snapshot_strategy()),
+            0..3,
+        ),
+        prop::collection::vec(obs_record_strategy(), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms, events)| RegistrySnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| MetricSample { name, value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, value)| MetricSample { name, value })
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(name, hist)| HistogramSample { name, hist })
+                .collect(),
+            events,
+        })
+}
+
 fn response_strategy() -> impl Strategy<Value = Response> {
     (
-        0..4u8,
+        0..5u8,
         prop::collection::vec(0..u64::MAX, 0..6),
         prop::collection::vec(story_strategy(), 0..5),
         prop::collection::vec(shard_poll_strategy(), 0..5),
-        stats_strategy(),
+        (
+            stats_strategy(),
+            serve_stats_strategy(),
+            registry_snapshot_strategy(),
+        ),
         (0..64u32, 0..u64::MAX, 0..2u8, name_strategy()),
     )
         .prop_map(
-            |(variant, seqs, stories, entries, stats, (shard, seq, cov, message))| match variant {
+            |(
+                variant,
+                seqs,
+                stories,
+                entries,
+                (stats, serve, registry),
+                (shard, seq, cov, message),
+            )| match variant {
                 0 => Response::Stories {
                     per_shard_seq: seqs,
                     stories,
@@ -141,6 +312,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 },
                 2 => Response::Stats {
                     stats,
+                    serve,
                     shards: (0..shard % 5)
                         .map(|i| ShardStat {
                             shard: i,
@@ -150,6 +322,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                         })
                         .collect(),
                 },
+                3 => Response::Metrics { registry },
                 _ => Response::Error {
                     code: match shard % 4 {
                         0 => ErrorCode::UnsupportedVersion,
@@ -232,18 +405,15 @@ proptest! {
         let byte = (flip.0 as usize) % framed.len();
         framed[byte] ^= 1 << flip.1;
         let mut cursor = io::Cursor::new(framed);
-        match read_frame(&mut cursor) {
-            // The flip must never be silently absorbed: either the frame is
-            // rejected, or (flips in the length prefix can shorten the
-            // frame) the recovered payload differs and decode sees garbage
-            // that it either rejects or — only if the flip undid itself —
-            // returns unchanged.
-            Ok(Some(payload)) => {
-                if let Ok(back) = Request::decode(&payload) {
-                    prop_assert_eq!(back, request);
-                }
+        // The flip must never be silently absorbed: either the frame is
+        // rejected, or (flips in the length prefix can shorten the frame)
+        // the recovered payload differs and decode sees garbage that it
+        // either rejects or — only if the flip undid itself — returns
+        // unchanged.
+        if let Ok(Some(payload)) = read_frame(&mut cursor) {
+            if let Ok(back) = Request::decode(&payload) {
+                prop_assert_eq!(back, request);
             }
-            Ok(None) | Err(_) => {}
         }
     }
 }
@@ -251,10 +421,10 @@ proptest! {
 #[test]
 fn version_byte_gates_decoding() {
     let mut payload = encode_request(&Request::Stats);
-    payload[0] = 2;
+    payload[0] = 9;
     assert!(matches!(
         Request::decode(&payload),
-        Err(dyndens_serve::DecodeFailure::UnsupportedVersion(2))
+        Err(dyndens_serve::DecodeFailure::UnsupportedVersion(9))
     ));
     let mut payload = encode_response(&Response::Poll {
         n_shards: 1,

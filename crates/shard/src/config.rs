@@ -1,6 +1,9 @@
 //! Configuration of the sharded subsystem.
 
 use std::path::PathBuf;
+use std::sync::Arc;
+
+use dyndens_obs::{ObsHandle, Registry};
 
 /// The base shard-assignment function, re-exported from
 /// [`dyndens_graph::shard_map`] where it now lives alongside the
@@ -9,7 +12,10 @@ use std::path::PathBuf;
 pub use dyndens_graph::ShardFn;
 
 /// Configuration of a [`ShardedDynDens`](crate::ShardedDynDens) deployment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the [`ShardConfig::obs`] handle: two configs that differ
+/// only in where their telemetry goes describe the same deployment shape.
+#[derive(Debug, Clone)]
 pub struct ShardConfig {
     /// Number of **base** shard workers (>= 1). This is generation zero of
     /// the deployment's routing table; live rebalancing
@@ -34,7 +40,24 @@ pub struct ShardConfig {
     pub delta_retention: usize,
     /// The shard-assignment function.
     pub shard_fn: ShardFn,
+    /// Observability sink. Disabled by default; attach a shared
+    /// [`Registry`] with [`ShardConfig::with_obs`] to have workers, WAL,
+    /// recovery and rebalancing record metrics and journal events into it.
+    pub obs: ObsHandle,
 }
+
+impl PartialEq for ShardConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_shards == other.n_shards
+            && self.channel_capacity == other.channel_capacity
+            && self.max_batch == other.max_batch
+            && self.top_k == other.top_k
+            && self.delta_retention == other.delta_retention
+            && self.shard_fn == other.shard_fn
+    }
+}
+
+impl Eq for ShardConfig {}
 
 impl ShardConfig {
     /// A configuration with the given shard count and the defaults:
@@ -56,6 +79,7 @@ impl ShardConfig {
             top_k: 16,
             delta_retention: 256,
             shard_fn: ShardFn::Hashed,
+            obs: ObsHandle::none(),
         }
     }
 
@@ -87,6 +111,13 @@ impl ShardConfig {
     /// Sets the shard-assignment function.
     pub fn with_shard_fn(mut self, shard_fn: ShardFn) -> Self {
         self.shard_fn = shard_fn;
+        self
+    }
+
+    /// Attaches a shared metrics registry; every layer of the deployment
+    /// (workers, WAL, recovery, rebalancing) then records into it.
+    pub fn with_obs(mut self, registry: Arc<Registry>) -> Self {
+        self.obs = ObsHandle::new(registry);
         self
     }
 }

@@ -116,6 +116,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+mod obs;
 pub mod rebalance;
 pub mod recovery;
 pub mod sharded;

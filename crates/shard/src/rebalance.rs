@@ -87,10 +87,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use dyndens_core::{DynDens, DynDensConfig, EngineStats};
 use dyndens_density::DensityMeasure;
 use dyndens_graph::{MergeSpec, ShardMap, VertexId};
+use dyndens_obs::{names, ObsEvent, RebalanceStage};
 
 use crate::config::PersistenceConfig;
 use crate::recovery::{self, RecoveryError};
@@ -377,20 +379,40 @@ impl Rebalancer {
         self.baseline = applied;
 
         let depths = fleet.queue_depths();
-        if let Some((slot, &depth)) = depths.iter().enumerate().max_by_key(|&(_, &depth)| depth) {
-            if depth >= self.policy.min_queue_depth {
-                return Some(slot);
-            }
-        }
-        if !window_valid || deltas.len() < 2 {
-            return None;
-        }
         let total: u64 = deltas.iter().sum();
-        if total < self.policy.min_total_updates {
-            return None;
+        // Publish the two signals the decision is based on — the observed
+        // skew is what an operator tunes the policy thresholds against.
+        if let Some(registry) = fleet.config().obs.registry() {
+            registry
+                .gauge(names::REBALANCE_MAX_QUEUE_DEPTH, &[])
+                .set(depths.iter().copied().max().unwrap_or(0));
+            let most = deltas.iter().copied().max().unwrap_or(0);
+            registry
+                .gauge(names::REBALANCE_MAX_SHARE_PERMILLE, &[])
+                .set(most.saturating_mul(1000).checked_div(total).unwrap_or(0));
         }
-        let (slot, &most) = deltas.iter().enumerate().max_by_key(|&(_, &n)| n)?;
-        (most as f64 > self.policy.min_share * total as f64).then_some(slot)
+        let picked = (|| {
+            if let Some((slot, &depth)) = depths.iter().enumerate().max_by_key(|&(_, &depth)| depth)
+            {
+                if depth >= self.policy.min_queue_depth {
+                    return Some(slot);
+                }
+            }
+            if !window_valid || deltas.len() < 2 {
+                return None;
+            }
+            if total < self.policy.min_total_updates {
+                return None;
+            }
+            let (slot, &most) = deltas.iter().enumerate().max_by_key(|&(_, &n)| n)?;
+            (most as f64 > self.policy.min_share * total as f64).then_some(slot)
+        })();
+        if let (Some(registry), Some(slot)) = (fleet.config().obs.registry(), picked) {
+            registry
+                .gauge(names::REBALANCE_LAST_PICK, &[])
+                .set(slot as u64);
+        }
+        picked
     }
 
     /// Splits the hottest shard if any slot crosses the thresholds. Returns
@@ -512,7 +534,10 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             .split(slot)
             .ok_or(RebalanceError::UnknownShard(slot))?;
 
-        // 1. Park the slot: new ingest for it accumulates unconsumed.
+        // 1. Park the slot: new ingest for it accumulates unconsumed. The
+        // pause clock runs from here to commit — the whole window in which
+        // the slot is not applying updates.
+        let pause_started = Instant::now();
         let (park_tx, park_rx) = channel();
         let old_tx = {
             let mut routing = self.routing.write().expect("routing poisoned");
@@ -540,6 +565,22 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         let roster = self.roster.load();
         let parent_seq = roster.cells[slot].seq();
         observer(SplitPhase::Parked);
+        // One journal span covers the whole split; the Committed record is
+        // enriched with the report counts. An aborted split leaves the span
+        // open — a Begin without an End marks the failed attempt.
+        let split_event =
+            |stage: RebalanceStage, parked: u64, replayed: u64| ObsEvent::SplitPhase {
+                slot: slot as u32,
+                new_slot: spec.new_slot as u32,
+                stage,
+                parked,
+                replayed,
+            };
+        let obs_span = self
+            .config
+            .obs
+            .registry()
+            .map(|registry| registry.begin(split_event(RebalanceStage::Parked, 0, 0)));
 
         // 3. Rebuild the children; on failure, resurrect the parent.
         let keep = |v: VertexId| new_map.route(v) == slot;
@@ -552,6 +593,12 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             }
         };
         observer(SplitPhase::Rebuilt);
+        if let (Some(registry), Some(span)) = (self.config.obs.registry(), obs_span) {
+            registry.note(
+                span,
+                split_event(RebalanceStage::Rebuilt, 0, detail.replayed),
+            );
+        }
 
         // 4. Publish the grown roster in ONE epoch store, so readers switch
         // from "parent owns the slot" to "both children exist" atomically —
@@ -674,6 +721,20 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             routing
                 .routed
                 .push(Arc::new(AtomicU64::new(parent_seq + to_one)));
+            // The routed cells were re-seeded: point the registry's
+            // per-shard routed series at the fresh cells.
+            if let Some(registry) = self.config.obs.registry() {
+                registry.adopt_counter(
+                    names::SHARD_ROUTED_TOTAL,
+                    &[("shard", &slot.to_string())],
+                    Arc::clone(&routing.routed[slot]),
+                );
+                registry.adopt_counter(
+                    names::SHARD_ROUTED_TOTAL,
+                    &[("shard", &spec.new_slot.to_string())],
+                    Arc::clone(&routing.routed[spec.new_slot]),
+                );
+            }
             routing.map = new_map.clone();
             to_zero + to_one
         };
@@ -684,6 +745,16 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             let _ = std::fs::remove_dir_all(recovery::shard_dir(&p.dir, spec.parent_engine));
         }
         observer(SplitPhase::Committed);
+        if let (Some(registry), Some(span)) = (self.config.obs.registry(), obs_span) {
+            registry.end(
+                span,
+                split_event(RebalanceStage::Committed, parked_updates, detail.replayed),
+            );
+            registry.counter(names::SPLITS_TOTAL, &[]).inc();
+            registry
+                .histogram(names::REBALANCE_PAUSE_US, &[])
+                .record_micros(pause_started.elapsed());
+        }
 
         Ok(SplitReport {
             slot,
@@ -744,7 +815,8 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         // 1. Park both siblings on one shared queue: new ingest for either
         // accumulates unconsumed (per-sender order is preserved, which is
         // all the merged engine needs — the two slices touch disjoint
-        // edges).
+        // edges). The pause clock runs from here to commit.
+        let pause_started = Instant::now();
         let (park_tx, park_rx) = channel();
         let (old_tx_kept, old_tx_freed) = {
             let mut routing = self.routing.write().expect("routing poisoned");
@@ -792,6 +864,19 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         let seq_one = roster.cells[spec.one_slot].seq();
         let merged_seq = seq_zero + seq_one;
         observer(MergePhase::Parked);
+        // One journal span covers the whole merge, mirroring the split span;
+        // an aborted merge leaves it open (Begin without End).
+        let merge_event = |stage: RebalanceStage, parked: u64| ObsEvent::MergePhase {
+            slot: spec.slot as u32,
+            freed_slot: spec.freed_slot as u32,
+            stage,
+            parked,
+        };
+        let obs_span = self
+            .config
+            .obs
+            .registry()
+            .map(|registry| registry.begin(merge_event(RebalanceStage::Parked, 0)));
 
         // 3. Rebuild the merged shard; on failure, resurrect both children.
         let live_stats = {
@@ -817,6 +902,9 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             }
         };
         observer(MergePhase::Rebuilt);
+        if let (Some(registry), Some(span)) = (self.config.obs.registry(), obs_span) {
+            registry.note(span, merge_event(RebalanceStage::Rebuilt, 0));
+        }
 
         // 4. Publish the shrunk roster in ONE epoch store: readers switch
         // from "two siblings" to "one merged shard, last slot renumbered"
@@ -909,6 +997,25 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             routing.senders.pop();
             routing.routed.pop();
             routing.routed[spec.slot] = Arc::new(AtomicU64::new(merged_seq + drained));
+            // Re-point the registry's routed series at the surviving cells:
+            // the merged slot got a fresh cell, the renumbered slot carries
+            // the previous last slot's cell, and slot `last` no longer
+            // exists (when nothing moved, `last == freed_slot`).
+            if let Some(registry) = self.config.obs.registry() {
+                registry.adopt_counter(
+                    names::SHARD_ROUTED_TOTAL,
+                    &[("shard", &spec.slot.to_string())],
+                    Arc::clone(&routing.routed[spec.slot]),
+                );
+                if spec.moved_slot.is_some() {
+                    registry.adopt_counter(
+                        names::SHARD_ROUTED_TOTAL,
+                        &[("shard", &spec.freed_slot.to_string())],
+                        Arc::clone(&routing.routed[spec.freed_slot]),
+                    );
+                }
+                registry.unregister(names::SHARD_ROUTED_TOTAL, &[("shard", &last.to_string())]);
+            }
             routing.map = new_map.clone();
             drained
         };
@@ -920,6 +1027,13 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             let _ = std::fs::remove_dir_all(recovery::shard_dir(&p.dir, spec.one_engine));
         }
         observer(MergePhase::Committed);
+        if let (Some(registry), Some(span)) = (self.config.obs.registry(), obs_span) {
+            registry.end(span, merge_event(RebalanceStage::Committed, parked_updates));
+            registry.counter(names::MERGES_TOTAL, &[]).inc();
+            registry
+                .histogram(names::REBALANCE_PAUSE_US, &[])
+                .record_micros(pause_started.elapsed());
+        }
 
         Ok(MergeReport {
             slot: spec.slot,

@@ -10,7 +10,10 @@ use dyndens_core::{DynDens, DynDensConfig, EngineStats};
 use dyndens_density::DensityMeasure;
 use dyndens_graph::{EdgeUpdate, ShardMap, VertexSet};
 
+use dyndens_obs::{names, ObsEvent};
+
 use crate::config::{PersistenceConfig, ShardConfig};
+use crate::obs::{ShardObs, WalObs};
 use crate::recovery::{self, RecoveryError, RecoveryReport};
 use crate::view::{DeltaRing, EpochCell, ShardRoster, ShardSnapshot, StoryView};
 use crate::worker::{self, WorkerMsg, WorkerPersistence};
@@ -192,12 +195,22 @@ pub(crate) fn spawn_worker<D: DensityMeasure>(
 ) -> (SyncSender<WorkerMsg>, JoinHandle<()>, Arc<AtomicU32>) {
     let (tx, rx) = sync_channel(config.channel_capacity);
     let slot_cell = Arc::new(AtomicU32::new(slot as u32));
+    let mut persist = persist;
+    // Registration happens here, once per spawn — the worker loop itself
+    // only ever touches the pre-registered handles.
+    let obs = config.obs.registry().map(|registry| {
+        if let Some(p) = persist.as_mut() {
+            p.wal.set_obs(Some(WalObs::for_slot(registry, slot as u32)));
+        }
+        ShardObs::for_slot(registry, slot as u32)
+    });
     let setup = worker::WorkerSetup {
         slot: Arc::clone(&slot_cell),
         max_batch: config.max_batch,
         top_k: config.top_k,
         initial_seq: seq,
         persist,
+        obs,
     };
     let engine = Arc::clone(engine);
     let cell = Arc::clone(cell);
@@ -296,6 +309,24 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         let mut reports = Vec::with_capacity(engine_ids.len());
         for (slot, result) in recovered.into_iter().enumerate() {
             let recovered = result?;
+            if let Some(registry) = config.obs.registry() {
+                // The journal form of the RecoveryReport: a crash recovery
+                // that happened hours ago stays explainable from a scrape.
+                let report = &recovered.report;
+                let label = slot.to_string();
+                let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+                registry.counter(names::RECOVERIES_TOTAL, labels).inc();
+                registry
+                    .counter(names::RECOVERY_REPLAYED_TOTAL, labels)
+                    .add(report.replayed_updates);
+                registry.emit(ObsEvent::Recovery {
+                    shard: slot as u32,
+                    snapshot_seq: report.snapshot_seq,
+                    replayed_updates: report.replayed_updates,
+                    recovered_seq: report.recovered_seq,
+                    repaired_torn_tail: report.repaired_torn_tail,
+                });
+            }
             reports.push(recovered.report);
             seeds.push(ShardSeed {
                 engine: recovered.engine,
@@ -368,7 +399,17 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             cells.push(cell);
             rings.push(ring);
             senders.push(ShardTx::Live(tx));
-            routed.push(Arc::new(AtomicU64::new(seq)));
+            let routed_cell = Arc::new(AtomicU64::new(seq));
+            if let Some(registry) = config.obs.registry() {
+                // Adopt the router's hot-path cell as a counter: zero added
+                // cost on the routing path.
+                registry.adopt_counter(
+                    names::SHARD_ROUTED_TOTAL,
+                    &[("shard", &slot.to_string())],
+                    Arc::clone(&routed_cell),
+                );
+            }
+            routed.push(routed_cell);
             engines.push(engine);
             workers.push(Some(handle));
             slots.push(slot_cell);
@@ -445,12 +486,22 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     pub fn queue_depths(&self) -> Vec<u64> {
         let routing = self.routing.read().expect("routing poisoned");
         let roster = self.roster.load();
-        routing
+        let depths: Vec<u64> = routing
             .routed
             .iter()
             .zip(roster.cells.iter())
             .map(|(routed, cell)| routed.load(Ordering::Relaxed).saturating_sub(cell.seq()))
-            .collect()
+            .collect();
+        if let Some(registry) = self.config.obs.registry() {
+            // Refreshed at probe cadence (the rebalancer's), not per update:
+            // a gauge of a derived quantity is only as fresh as its probe.
+            for (slot, &depth) in depths.iter().enumerate() {
+                registry
+                    .gauge(names::SHARD_QUEUE_DEPTH, &[("shard", &slot.to_string())])
+                    .set(depth);
+            }
+        }
+        depths
     }
 
     /// A cloneable, thread-safe ingest handle sharing this deployment's
@@ -547,7 +598,14 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         // Each receiver yields one ack per worker that executed the pass —
         // normally one, but a pass parked during a split is fanned out to
         // both children — and closes when the last ack sender is dropped.
-        receivers.into_iter().flat_map(|rx| rx.into_iter()).sum()
+        let evicted: u64 = receivers.into_iter().flat_map(|rx| rx.into_iter()).sum();
+        if let Some(registry) = self.config.obs.registry() {
+            registry.counter(names::COMPACTION_PASSES_TOTAL, &[]).inc();
+            registry
+                .counter(names::COMPACTION_EVICTED_EDGES_TOTAL, &[])
+                .add(evicted);
+        }
+        evicted
     }
 
     /// A non-blocking read handle over the shards' published snapshots and

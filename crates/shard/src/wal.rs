@@ -30,11 +30,14 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use dyndens_graph::codec::{put_frame, put_u32, put_u64, scan_frames, ByteReader};
 use dyndens_graph::EdgeUpdate;
+use dyndens_obs::ObsEvent;
 
 use crate::config::FsyncPolicy;
+use crate::obs::WalObs;
 
 const SEGMENT_PREFIX: &str = "wal-";
 const SEGMENT_SUFFIX: &str = ".log";
@@ -165,6 +168,9 @@ pub struct WalWriter {
     seg_bytes: u64,
     fsync: FsyncPolicy,
     segment_max_bytes: u64,
+    /// Pre-registered metric handles; `None` keeps every instrumentation
+    /// site on the uninstrumented fast path.
+    obs: Option<WalObs>,
 }
 
 impl WalWriter {
@@ -196,7 +202,18 @@ impl WalWriter {
             seg_bytes: 0,
             fsync,
             segment_max_bytes: segment_max_bytes.max(1),
+            obs: None,
         })
+    }
+
+    /// Attaches (or detaches) pre-registered metric handles. Also refreshes
+    /// the segment gauges so a scrape right after recovery is accurate.
+    pub(crate) fn set_obs(&mut self, obs: Option<WalObs>) {
+        if let Some(o) = &obs {
+            o.segments.set(self.segments.len() as u64);
+            o.segment_bytes.set(self.seg_bytes);
+        }
+        self.obs = obs;
     }
 
     /// Number of live segment files (including the one being written).
@@ -216,11 +233,31 @@ impl WalWriter {
         }
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_frame(&mut frame, &payload);
+        let started = self.obs.as_ref().map(|_| Instant::now());
         self.file.write_all(&frame)?;
         if self.fsync == FsyncPolicy::Always {
+            let sync_started = self.obs.as_ref().map(|_| Instant::now());
             self.file.sync_data()?;
+            if let (Some(o), Some(t)) = (self.obs.as_ref(), sync_started) {
+                let fsync_us = t.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                o.fsyncs.inc();
+                o.fsync_us.record(fsync_us);
+                o.registry.emit(ObsEvent::WalFsync {
+                    shard: o.slot,
+                    bytes: frame.len() as u64,
+                    fsync_us,
+                });
+            }
         }
         self.seg_bytes += frame.len() as u64;
+        if let (Some(o), Some(t)) = (self.obs.as_ref(), started) {
+            // Append latency covers the write plus any policy-driven fsync:
+            // the full durability cost the micro-batch paid on the hot path.
+            o.appends.inc();
+            o.append_bytes.add(frame.len() as u64);
+            o.append_us.record_micros(t.elapsed());
+            o.segment_bytes.set(self.seg_bytes);
+        }
         if self.seg_bytes >= self.segment_max_bytes {
             self.rotate(first_seq + updates.len() as u64)?;
         }
@@ -234,6 +271,9 @@ impl WalWriter {
     pub fn rotate(&mut self, next_seq: u64) -> io::Result<()> {
         if self.fsync == FsyncPolicy::Always {
             self.file.sync_data()?;
+            if let Some(o) = self.obs.as_ref() {
+                o.fsyncs.inc();
+            }
         }
         let next_no = self.segments.last().map_or(0, |&(no, _)| no + 1);
         self.file = OpenOptions::new()
@@ -245,6 +285,11 @@ impl WalWriter {
         }
         self.segments.push((next_no, next_seq));
         self.seg_bytes = 0;
+        if let Some(o) = self.obs.as_ref() {
+            o.rotations.inc();
+            o.segments.set(self.segments.len() as u64);
+            o.segment_bytes.set(0);
+        }
         Ok(())
     }
 
@@ -258,6 +303,10 @@ impl WalWriter {
             let (no, _) = self.segments.remove(0);
             fs::remove_file(segment_path(&self.dir, no))?;
             removed += 1;
+        }
+        if let Some(o) = self.obs.as_ref() {
+            o.segments_pruned.add(removed as u64);
+            o.segments.set(self.segments.len() as u64);
         }
         Ok(removed)
     }

@@ -4,11 +4,13 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dyndens_core::{DenseEvent, DynDens};
 use dyndens_density::DensityMeasure;
 use dyndens_graph::{EdgeUpdate, VertexSet};
 
+use crate::obs::{ShardObs, WalObs};
 use crate::recovery;
 use crate::view::{DeltaBatch, DeltaRing, EpochCell, ShardSnapshot};
 use crate::wal::WalWriter;
@@ -73,6 +75,9 @@ pub(crate) struct WorkerSetup {
     pub initial_seq: u64,
     /// The durability half, absent for in-memory deployments.
     pub persist: Option<WorkerPersistence>,
+    /// Pre-registered metric handles, absent when the deployment has no
+    /// registry attached.
+    pub obs: Option<ShardObs>,
 }
 
 /// The worker loop: block on the inbox, drain up to `max_batch` pending
@@ -92,6 +97,7 @@ pub(crate) fn run<D: DensityMeasure>(
         top_k,
         initial_seq,
         mut persist,
+        mut obs,
     } = setup;
     let mut seq: u64 = initial_seq;
     // Scratch buffers reused across micro-batches.
@@ -118,6 +124,19 @@ pub(crate) fn run<D: DensityMeasure>(
         }
 
         let shard = slot.load(Ordering::Relaxed) as usize;
+        // A shard merge can renumber this worker's slot; relabel the metric
+        // handles (a rare, registration-cost path) so per-shard series keep
+        // matching the slot readers see in published snapshots.
+        if let Some(o) = obs.as_mut() {
+            if o.slot != shard as u32 {
+                let registry = Arc::clone(&o.registry);
+                *o = ShardObs::for_slot(&registry, shard as u32);
+                if let Some(p) = persist.as_mut() {
+                    p.wal
+                        .set_obs(Some(WalObs::for_slot(&registry, shard as u32)));
+                }
+            }
+        }
         if !pending.is_empty() {
             // Durability before visibility: the micro-batch is in the WAL
             // before the engine sees it, so a crash at any later point can
@@ -131,11 +150,19 @@ pub(crate) fn run<D: DensityMeasure>(
             }
             events.clear();
             let delta_base_seq = seq;
+            let batch_len = pending.len();
+            let apply_started = obs.as_ref().map(|_| Instant::now());
+            let mut apply_elapsed = Duration::ZERO;
             let (snapshot, checkpoint) = {
                 let mut guard = engine.lock().expect("shard engine poisoned");
                 for update in pending.drain(..) {
                     guard.apply_update_into(update, &mut events);
                     seq += 1;
+                }
+                // Apply latency as the worker experienced it: lock wait plus
+                // the engine work, excluding checkpoint serialisation.
+                if let Some(t) = apply_started {
+                    apply_elapsed = t.elapsed();
                 }
                 // Serialise the checkpoint image while the lock guarantees
                 // it corresponds exactly to `seq`; write it to disk after
@@ -163,13 +190,21 @@ pub(crate) fn run<D: DensityMeasure>(
                 seq,
                 events: Arc::clone(&snapshot.delta_events),
             });
+            if let Some(o) = obs.as_ref() {
+                o.record_batch(batch_len, apply_elapsed);
+                o.set_engine_gauges(&snapshot.stats);
+            }
             cell.store_with_seq(Arc::new(snapshot), seq);
             if let (Some(bytes), Some(p)) = (checkpoint, persist.as_mut()) {
                 // A failed checkpoint is not fatal: the WAL still covers the
                 // whole history since the last good snapshot.
+                let ckpt_started = obs.as_ref().map(|_| Instant::now());
                 match recovery::write_snapshot(&p.dir, seq, &bytes, p.retained) {
                     Ok(oldest_retained) => {
                         p.batches_since_snapshot = 0;
+                        if let (Some(o), Some(t)) = (obs.as_ref(), ckpt_started) {
+                            o.record_checkpoint(seq, bytes.len() as u64, t.elapsed());
+                        }
                         if let Err(e) = p
                             .wal
                             .rotate(seq)
@@ -218,9 +253,13 @@ pub(crate) fn run<D: DensityMeasure>(
             });
             cell.store_with_seq(Arc::new(snapshot), seq);
             if let (Some(bytes), Some(p)) = (checkpoint, persist.as_mut()) {
+                let ckpt_started = obs.as_ref().map(|_| Instant::now());
                 match recovery::write_snapshot(&p.dir, seq, &bytes, p.retained) {
                     Ok(oldest_retained) => {
                         p.batches_since_snapshot = 0;
+                        if let (Some(o), Some(t)) = (obs.as_ref(), ckpt_started) {
+                            o.record_checkpoint(seq, bytes.len() as u64, t.elapsed());
+                        }
                         if let Err(e) = p
                             .wal
                             .rotate(seq)

@@ -477,7 +477,7 @@ mod tests {
             .recovery_reports()
             .iter()
             .any(|r| r.recovered_seq > 0));
-        assert!(p2.registry().len() > 0, "registry must recover");
+        assert!(!p2.registry().is_empty(), "registry must recover");
         let recovered_stories = p2.top_stories(3);
         let got: Vec<_> = recovered_stories.iter().map(|s| &s.vertices).collect();
         assert_eq!(

@@ -32,11 +32,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (stats, shards) = client.stats().expect("stats request");
+    let (stats, serve_stats, shards) = client.stats().expect("stats request");
     println!(
-        "connected to {addr}: {} shards, {} updates ingested so far",
+        "connected to {addr}: {} shards, {} updates ingested so far, \
+         {} requests served",
         shards.len(),
-        stats.updates
+        stats.updates,
+        serve_stats.requests_served
     );
 
     let mut follower = Follower::new();

@@ -106,9 +106,16 @@ fn polling_client_reconstructs_story_sets_on_50k_stream() {
         assert!(wire.entities.is_empty(), "no name table was published");
     }
 
-    // And the stats path reports the merged work ledger.
-    let (wire_stats, shard_stats) = client.stats().unwrap();
+    // And the stats path reports the merged work ledger plus the serving
+    // layer's own counters (this connection made every request counted).
+    let (wire_stats, serve_stats, shard_stats) = client.stats().unwrap();
     assert_eq!(wire_stats, view.stats());
+    assert!(serve_stats.requests_served > 0);
+    assert!(serve_stats.conns_accepted >= 1);
+    assert!(
+        serve_stats.resyncs_served >= 1,
+        "the late joiner above was resynced"
+    );
     assert_eq!(shard_stats.len(), 2);
     assert_eq!(
         shard_stats.iter().map(|s| s.seq).sum::<u64>(),

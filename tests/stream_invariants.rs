@@ -79,7 +79,7 @@ proptest! {
         for a in 0..10u32 {
             for b in (a + 1)..10u32 {
                 let w = generator.current_weight(VertexId(a), VertexId(b));
-                prop_assert!(w >= 0.0 && w <= 1.0 + 1e-9);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&w));
                 if !cooccurred.contains(&(VertexId(a), VertexId(b))) {
                     prop_assert_eq!(w, 0.0);
                 }
