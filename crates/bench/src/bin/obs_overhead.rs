@@ -28,7 +28,7 @@ use dyndens_core::DynDensConfig;
 use dyndens_density::AvgWeight;
 use dyndens_graph::EdgeUpdate;
 use dyndens_obs::{names, ObsEvent, ObsHandle, RebalanceStage, Registry, RegistrySnapshot};
-use dyndens_serve::{Client, Follower, StoryServer};
+use dyndens_serve::{Client, Mirror, StoryServer};
 use dyndens_shard::{FsyncPolicy, PersistenceConfig, ShardConfig, ShardFn, ShardedDynDens};
 
 const N_UPDATES: usize = 50_000;
@@ -149,8 +149,10 @@ fn live_phase(updates: &[EdgeUpdate]) -> LiveScrape {
         ObsHandle::new(Arc::clone(&registry)),
     )
     .expect("server bind");
-    let mut client = Client::connect(server.local_addr()).expect("client connect");
-    let mut follower = Follower::new();
+    let mut client = Client::builder()
+        .connect(server.local_addr())
+        .expect("client connect");
+    let mut follower = Mirror::new();
 
     let mut ingested = 0usize;
     let mut split_done = false;

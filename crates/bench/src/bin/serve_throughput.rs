@@ -3,7 +3,7 @@
 //! thread streams the partition-aligned 50k-update workload through the
 //! sharded fleet underneath.
 //!
-//! Each client thread runs a delta-following [`Follower`] loop (the realistic
+//! Each client thread runs a delta-following [`Mirror`] loop (the realistic
 //! read pattern: `Poll` with a per-shard cursor) and issues a `TopK` read
 //! every 16th request. Latency comes from the server's own observability
 //! registry — the per-request-type `dyndens_serve_request_latency_us`
@@ -11,6 +11,12 @@
 //! the run, so the bench measures exactly what operators see. The JSON
 //! reports p50/p99 along with requests/sec, so the serving cost trajectory
 //! can be tracked across PRs next to `BENCH_shard.json` and `BENCH_wal.json`.
+//!
+//! A second phase measures subscriber fan-in: `SERVE_SUBSCRIBERS` concurrent
+//! `Subscribe` registrations (default 10k, capped by the fd limit) against
+//! the same live server, gated on every subscriber receiving at least one
+//! push. Fan-out latency, push totals, the subscriber gauge and the server's
+//! resident set are reported under `"fan_in"` in the JSON.
 //!
 //! Run with `cargo run --release -p dyndens-bench --bin serve_throughput`.
 //! Writes `BENCH_serve.json`.
@@ -23,7 +29,7 @@ use dyndens_bench::{shard_aligned_stream, Table};
 use dyndens_core::DynDensConfig;
 use dyndens_density::AvgWeight;
 use dyndens_obs::{names, HistogramSnapshot, ObsHandle, Registry, RegistrySnapshot};
-use dyndens_serve::{Client, Follower, StoryServer};
+use dyndens_serve::{Client, Mirror, StoryServer};
 use dyndens_shard::{ShardConfig, ShardFn, ShardedDynDens};
 
 const N_UPDATES: usize = 50_000;
@@ -40,8 +46,8 @@ struct ClientReport {
 }
 
 fn client_loop(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> ClientReport {
-    let mut client = Client::connect(addr).expect("client connect");
-    let mut follower = Follower::new();
+    let mut client = Client::builder().connect(addr).expect("client connect");
+    let mut follower = Mirror::new();
     let mut requests = 0u64;
     while !stop.load(Ordering::Relaxed) {
         if requests % TOPK_EVERY as u64 == TOPK_EVERY as u64 - 1 {
@@ -56,6 +62,33 @@ fn client_loop(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> ClientRepor
         events_applied: follower.events_applied(),
         resyncs: follower.resyncs(),
     }
+}
+
+/// Resident set size in kB, from `/proc/self/status` (0 where unavailable).
+/// The server runs in-process, so this is the serving process's footprint.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmRSS:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The soft open-file limit, from `/proc/self/limits` (None where
+/// unavailable). Each subscriber costs three fds: the client's reader and
+/// writer handles (a `try_clone`) plus the server-side connection.
+fn max_open_files() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
 }
 
 /// The server-side latency histogram for one request type, out of the
@@ -127,7 +160,8 @@ fn main() {
 
     // Scrape the server's registry over the wire: the same `Metrics` request
     // an operator's collector would issue, against the live server.
-    let snapshot = Client::connect(addr)
+    let snapshot = Client::builder()
+        .connect(addr)
         .expect("scrape connect")
         .metrics()
         .expect("metrics scrape");
@@ -181,6 +215,95 @@ fn main() {
         "the served view must reflect every ingested update"
     );
 
+    // ---- subscriber fan-in phase ----
+    // Thousands of concurrent `Subscribe` registrations against the same
+    // live server. Every subscriber boots with an empty cursor against the
+    // fully-ingested view, so the catch-up push alone guarantees each one
+    // at least one push; a live chunk afterwards exercises the fan-out path
+    // while they are all registered.
+    let n_subs_requested: usize = std::env::var("SERVE_SUBSCRIBERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let fd_budget = max_open_files()
+        .map(|n| (n.saturating_sub(256) / 3) as usize)
+        .unwrap_or(n_subs_requested);
+    let n_subs = n_subs_requested.min(fd_budget.max(1));
+    if n_subs < n_subs_requested {
+        println!("capping subscribers at {n_subs} of {n_subs_requested} (fd limit)");
+    }
+    println!("fan-in phase: registering {n_subs} subscribers...");
+    let fan_start = Instant::now();
+    let mut subs = Vec::with_capacity(n_subs);
+    for i in 0..n_subs {
+        let c = Client::builder()
+            .connect(addr)
+            .unwrap_or_else(|e| panic!("subscriber {i} connect: {e}"));
+        subs.push(
+            c.subscribe(&[])
+                .unwrap_or_else(|e| panic!("subscriber {i} register: {e}")),
+        );
+    }
+    let register_secs = fan_start.elapsed().as_secs_f64();
+    fleet.apply_batch(&updates[..2048.min(updates.len())]);
+    fleet.flush();
+
+    let mut pending: Vec<usize> = (0..n_subs).collect();
+    let deadline = Instant::now() + std::time::Duration::from_secs(300);
+    while !pending.is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "{} of {n_subs} subscribers never saw a push",
+            pending.len()
+        );
+        pending.retain(|&i| match subs[i].try_next() {
+            Ok(Some(_)) => false,
+            Ok(None) => true,
+            Err(e) => panic!("subscriber {i} severed: {e}"),
+        });
+    }
+    let fan_secs = fan_start.elapsed().as_secs_f64();
+
+    // Scrape while every subscriber is still registered, so the gauge and
+    // the fan-out histogram reflect the loaded server.
+    let fan_snapshot = Client::builder()
+        .connect(addr)
+        .expect("fan-in scrape connect")
+        .metrics()
+        .expect("fan-in metrics scrape");
+    let subscribers_gauge = fan_snapshot
+        .gauge(names::SERVE_SUBSCRIBERS, &[])
+        .unwrap_or(0);
+    let pushes_total = fan_snapshot.counter_total(names::SERVE_PUSHES_TOTAL);
+    let slow_evictions = fan_snapshot.counter_total(names::SERVE_SLOW_EVICTIONS_TOTAL);
+    let fanout_hist = fan_snapshot.merged_histogram(names::SERVE_FANOUT_LATENCY_US);
+    let push_p50_ms = fanout_hist.percentile(50.0) as f64 / 1000.0;
+    let push_p99_ms = fanout_hist.percentile(99.0) as f64 / 1000.0;
+    let server_rss_mb = rss_kb() as f64 / 1024.0;
+    assert_eq!(
+        subscribers_gauge as usize, n_subs,
+        "the registry's subscriber gauge must count every registration"
+    );
+    assert!(
+        pushes_total >= n_subs as u64,
+        "every subscriber got at least one push, so the push counter \
+         ({pushes_total}) cannot trail the subscriber count ({n_subs})"
+    );
+    drop(subs);
+
+    let mut fan_table = Table::new(
+        "subscriber fan-in (catch-up + one live publication)",
+        &["metric", "value"],
+    );
+    fan_table.row(vec!["subscribers".into(), n_subs.to_string()]);
+    fan_table.row(vec!["register s".into(), format!("{register_secs:.3}")]);
+    fan_table.row(vec!["all-pushed s".into(), format!("{fan_secs:.3}")]);
+    fan_table.row(vec!["pushes total".into(), pushes_total.to_string()]);
+    fan_table.row(vec!["push p99 ms".into(), format!("{push_p99_ms:.3}")]);
+    fan_table.row(vec!["slow evictions".into(), slow_evictions.to_string()]);
+    fan_table.row(vec!["server RSS MB".into(), format!("{server_rss_mb:.1}")]);
+    fan_table.print();
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"n_updates\": {},\n",
@@ -213,7 +336,17 @@ fn main() {
         topk_hist.percentile(99.0) as f64 / 1000.0
     ));
     json.push_str(&format!("  \"delta_events_applied\": {events_applied},\n"));
-    json.push_str(&format!("  \"resyncs\": {resyncs}\n"));
+    json.push_str(&format!("  \"resyncs\": {resyncs},\n"));
+    json.push_str("  \"fan_in\": {\n");
+    json.push_str(&format!("    \"subscribers\": {n_subs},\n"));
+    json.push_str(&format!("    \"register_secs\": {register_secs:.6},\n"));
+    json.push_str(&format!("    \"all_pushed_secs\": {fan_secs:.6},\n"));
+    json.push_str(&format!("    \"pushes_total\": {pushes_total},\n"));
+    json.push_str(&format!("    \"push_p50_ms\": {push_p50_ms:.4},\n"));
+    json.push_str(&format!("    \"push_p99_ms\": {push_p99_ms:.4},\n"));
+    json.push_str(&format!("    \"slow_evictions\": {slow_evictions},\n"));
+    json.push_str(&format!("    \"server_rss_mb\": {server_rss_mb:.2}\n"));
+    json.push_str("  }\n");
     json.push_str("}\n");
     match std::fs::write("BENCH_serve.json", json) {
         Ok(()) => println!("wrote BENCH_serve.json"),

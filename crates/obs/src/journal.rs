@@ -154,6 +154,19 @@ pub enum ObsEvent {
         /// The shard whose retention bound the cursor fell behind.
         shard: u32,
     },
+    /// A connection registered a push subscription (`Subscribe` frame).
+    Subscribed {
+        /// Process-unique connection id (accept counter value).
+        conn: u64,
+    },
+    /// A push subscriber was evicted because its bounded write queue
+    /// overflowed (the subscriber read slower than the fan-out produced).
+    SlowReaderEvicted {
+        /// Process-unique connection id (accept counter value).
+        conn: u64,
+        /// Bytes queued for the connection at eviction time.
+        queued_bytes: u64,
+    },
 }
 
 impl ObsEvent {
@@ -182,6 +195,8 @@ impl ObsEvent {
             ObsEvent::ConnAccepted { .. } => "conn_accepted",
             ObsEvent::ConnSevered { .. } => "conn_severed",
             ObsEvent::PollResync { .. } => "poll_resync",
+            ObsEvent::Subscribed { .. } => "subscribed",
+            ObsEvent::SlowReaderEvicted { .. } => "slow_reader_evicted",
         }
     }
 
@@ -278,6 +293,15 @@ impl ObsEvent {
                 put_u8(buf, 10);
                 put_u32(buf, shard);
             }
+            ObsEvent::Subscribed { conn } => {
+                put_u8(buf, 11);
+                put_u64(buf, conn);
+            }
+            ObsEvent::SlowReaderEvicted { conn, queued_bytes } => {
+                put_u8(buf, 12);
+                put_u64(buf, conn);
+                put_u64(buf, queued_bytes);
+            }
         }
     }
 
@@ -333,6 +357,11 @@ impl ObsEvent {
             8 => ObsEvent::ConnAccepted { conn: r.u64()? },
             9 => ObsEvent::ConnSevered { conn: r.u64()? },
             10 => ObsEvent::PollResync { shard: r.u32()? },
+            11 => ObsEvent::Subscribed { conn: r.u64()? },
+            12 => ObsEvent::SlowReaderEvicted {
+                conn: r.u64()?,
+                queued_bytes: r.u64()?,
+            },
             _ => return Err(CodecError::Invalid("unknown obs event tag")),
         })
     }

@@ -200,4 +200,17 @@ pub mod names {
     pub const SERVE_RESYNCS_TOTAL: &str = "dyndens_serve_resyncs_total";
     /// Counter: typed `Error` replies sent.
     pub const SERVE_ERROR_REPLIES_TOTAL: &str = "dyndens_serve_error_replies_total";
+    /// Counter: connections refused at accept because the server was at its
+    /// `max_connections` bound.
+    pub const SERVE_CONNS_REJECTED_TOTAL: &str = "dyndens_serve_conns_rejected_total";
+    /// Gauge: push subscriptions currently registered (event-loop mode).
+    pub const SERVE_SUBSCRIBERS: &str = "dyndens_serve_subscribers";
+    /// Counter: `Push` frames enqueued to subscribers.
+    pub const SERVE_PUSHES_TOTAL: &str = "dyndens_serve_pushes_total";
+    /// Counter: subscribers evicted for overflowing the bounded write queue.
+    pub const SERVE_SLOW_EVICTIONS_TOTAL: &str = "dyndens_serve_slow_evictions_total";
+    /// Counter: event-loop wakeups (publication signals, accepts, shutdown).
+    pub const SERVE_WAKEUPS_TOTAL: &str = "dyndens_serve_wakeups_total";
+    /// Histogram: one publication fan-out pass over a loop's subscribers, µs.
+    pub const SERVE_FANOUT_LATENCY_US: &str = "dyndens_serve_fanout_latency_us";
 }

@@ -1,15 +1,31 @@
-//! The blocking client: framed request/response over one TCP connection,
-//! plus [`Follower`], the delta-applying mirror of a remote story set.
+//! The client side: configurable connections ([`ClientBuilder`]), blocking
+//! request/response ([`Client`]), push subscriptions ([`Subscription`]) and
+//! [`Mirror`], the delta-applying replica of a remote story set.
+//!
+//! ```text
+//!   ClientBuilder ──connect──► Client ──subscribe──► Subscription
+//!        ▲                      │  ▲                     │
+//!        └── timeouts, retry,   │  └────unsubscribe──────┘
+//!            resync policy      └── top_k / poll / stats / metrics
+//! ```
+//!
+//! A [`Client`] issues one request at a time and reads its reply. Calling
+//! [`Client::subscribe`] upgrades the connection to push mode: the server
+//! streams [`PushBatch`]es whenever shards publish, and the connection comes
+//! back to request/response mode through [`Subscription::unsubscribe`].
+//! Either way, a [`Mirror`] turns the entries into a local story set that
+//! matches what an in-process reader at the same sequence numbers would see.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use dyndens_core::{DenseEvent, EngineStats};
 use dyndens_graph::VertexSet;
 use dyndens_obs::RegistrySnapshot;
 
-use crate::net::{read_frame, write_frame};
+use crate::net::{read_frame, write_frame, FrameBuffer};
 use crate::protocol::{
     frame_message, DecodeFailure, ErrorCode, Request, Response, ServeStats, ShardPoll, ShardStat,
     WireStory,
@@ -32,6 +48,14 @@ pub enum ClientError {
     /// The server's reply type does not match the request, or a reply
     /// invariant the client relies on was violated.
     Protocol(&'static str),
+    /// A push contained a resync entry while the client runs with
+    /// [`ResyncPolicy::Fail`]: the subscriber fell behind the server's delta
+    /// retention (or the topology changed) and chose to treat that as an
+    /// error instead of rebasing.
+    ResyncRequired {
+        /// The shard whose entry demanded a resync.
+        shard: u32,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -43,6 +67,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error {code:?}: {message}")
             }
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::ResyncRequired { shard } => {
+                write!(f, "shard {shard} requires a resync (policy: fail)")
+            }
         }
     }
 }
@@ -61,23 +88,185 @@ impl From<DecodeFailure> for ClientError {
     }
 }
 
+/// What a subscriber does when the server sends a resync entry instead of a
+/// delta suffix (it fell behind retention, or the shard topology changed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResyncPolicy {
+    /// Accept the snapshot and rebase the mirrored shard on it (the
+    /// default): the mirror stays correct, at the cost of one snapshot-sized
+    /// batch.
+    #[default]
+    Rebase,
+    /// Surface [`ClientError::ResyncRequired`] instead of applying the
+    /// snapshot — for callers that need gap-free event streams and prefer to
+    /// rebuild through their own channel.
+    Fail,
+}
+
+/// The connection settings a [`Client`] carries (and hands on to the
+/// [`Subscription`] it may become).
+#[derive(Debug, Clone, Copy)]
+struct ClientConfig {
+    resync_policy: ResyncPolicy,
+}
+
+/// Configures and opens a [`Client`]: timeouts, connect retries with
+/// backoff, and the subscription resync policy.
+///
+/// ```no_run
+/// # use std::time::Duration;
+/// # use dyndens_serve::client::ClientBuilder;
+/// let client = ClientBuilder::new()
+///     .connect_timeout(Duration::from_secs(2))
+///     .read_timeout(Some(Duration::from_secs(30)))
+///     .retries(3)
+///     .backoff(Duration::from_millis(50))
+///     .connect("127.0.0.1:7171")
+///     .unwrap();
+/// # drop(client);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    retries: u32,
+    backoff: Duration,
+    nodelay: bool,
+    resync_policy: ResyncPolicy,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            connect_timeout: None,
+            read_timeout: None,
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            nodelay: true,
+            resync_policy: ResyncPolicy::Rebase,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// A builder with defaults: no timeouts, no retries, `TCP_NODELAY` on,
+    /// [`ResyncPolicy::Rebase`].
+    pub fn new() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Bounds each TCP connect attempt. Default: the OS's own limit.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds every blocking read — request replies *and*
+    /// [`Subscription::recv`], where a timeout surfaces as an
+    /// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`] error.
+    /// `None` (the default) blocks indefinitely.
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// How many times to retry a failed connect (so `retries(3)` makes up to
+    /// four attempts). Default: 0.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The delay before the first reconnect attempt; it doubles per attempt.
+    /// Default: 100 ms.
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Whether to set `TCP_NODELAY` (default: true — the protocol is
+    /// request/response and push frames should not wait on Nagle).
+    pub fn nodelay(mut self, nodelay: bool) -> Self {
+        self.nodelay = nodelay;
+        self
+    }
+
+    /// How a [`Subscription`] built from this client treats resync entries.
+    /// Default: [`ResyncPolicy::Rebase`].
+    pub fn resync_policy(mut self, policy: ResyncPolicy) -> Self {
+        self.resync_policy = policy;
+        self
+    }
+
+    /// Connects, retrying with doubling backoff on failure.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut delay = self.backoff;
+        let mut last_err = None;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match self.connect_once(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no socket addresses resolved")
+        }))
+    }
+
+    fn connect_once(&self, addr: &impl ToSocketAddrs) -> io::Result<Client> {
+        let mut last_err = None;
+        for sockaddr in addr.to_socket_addrs()? {
+            let attempt = match self.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(&sockaddr, timeout),
+                None => TcpStream::connect(sockaddr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(self.nodelay)?;
+                    stream.set_read_timeout(self.read_timeout)?;
+                    return Ok(Client {
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: BufWriter::new(stream),
+                        config: ClientConfig {
+                            resync_policy: self.resync_policy,
+                        },
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no socket addresses resolved")
+        }))
+    }
+}
+
 /// A blocking connection to a story server. One in-flight request at a time;
-/// open one client per thread for concurrency.
+/// open one client per thread for concurrency. Build with
+/// [`Client::builder`]; upgrade to push delivery with
+/// [`Client::subscribe`].
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to a story server.
+    /// Starts configuring a connection; see [`ClientBuilder`].
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::new()
+    }
+
+    /// Connects with default settings.
+    #[deprecated(note = "use `Client::builder().connect(addr)` to configure \
+                         timeouts, retries and the resync policy")]
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+        ClientBuilder::new().connect(addr)
     }
 
     /// Sends one request and reads its reply.
@@ -146,37 +335,271 @@ impl Client {
             _ => Err(ClientError::Protocol("expected a Metrics reply to Metrics")),
         }
     }
+
+    /// Registers this connection as a push subscriber at cursor `since` (use
+    /// `&[]` to bootstrap from nothing) and converts it into a
+    /// [`Subscription`].
+    ///
+    /// The server immediately follows its acknowledgement with a catch-up
+    /// [`PushBatch`] for everything the cursor is behind on, then pushes a
+    /// batch whenever a shard publishes. On error the connection is consumed
+    /// — push registration is a protocol-mode switch, and a connection whose
+    /// mode is uncertain is not worth keeping. A threaded-mode server
+    /// answers with [`ErrorCode::Unsupported`].
+    pub fn subscribe(mut self, since: &[u64]) -> Result<Subscription, ClientError> {
+        let request = Request::Subscribe {
+            since: since.to_vec(),
+        };
+        let n_shards = match self.call(&request)? {
+            Response::Subscribed { n_shards } => n_shards,
+            _ => {
+                return Err(ClientError::Protocol(
+                    "expected a Subscribed reply to Subscribe",
+                ))
+            }
+        };
+        // The catch-up push may already sit in the BufReader; carry those
+        // bytes into the frame buffer the non-blocking path reads from.
+        let leftover = self.reader.buffer().to_vec();
+        let stream = self.reader.into_inner();
+        Ok(Subscription {
+            stream,
+            writer: self.writer,
+            fbuf: FrameBuffer::with_initial(leftover),
+            config: self.config,
+            n_shards,
+            nonblocking: false,
+        })
+    }
 }
 
-/// A client-side mirror of the served story sets, maintained purely from
-/// `Poll` replies: resync snapshots rebase a shard, delta suffixes advance
-/// it event by event.
+/// One push from the server: the shard count it was computed under and the
+/// per-shard entries (delta suffixes or resync snapshots) that advance a
+/// subscriber past its cursor. Feed it to [`Mirror::apply`] to maintain a
+/// local story set.
+#[derive(Debug, Clone)]
+pub struct PushBatch {
+    /// The server's shard count when the push was built. A change from the
+    /// previous batch means the topology changed; the affected entries
+    /// arrive as resyncs.
+    pub n_shards: u32,
+    /// Per-shard catch-up entries, at most one per shard.
+    pub entries: Vec<ShardPoll>,
+}
+
+/// A connection in push mode: the server streams [`PushBatch`]es as shards
+/// publish.
 ///
-/// After any poll, [`story_sets`](Follower::story_sets) is exactly the union
-/// of the per-shard story sets at the cursor's sequence numbers — the same
-/// sets an in-process [`StoryView`](dyndens_shard::StoryView) reader at
-/// those sequence numbers would observe (provided the server's `top_k` covers
-/// each shard's full output-dense set, so resync snapshots are complete).
-/// Densities are as-of each story's last event; a story whose density drifts
-/// *without* crossing the output threshold emits no event, so only the set
-/// membership (not every score) is guaranteed current between resyncs.
+/// [`recv`](Subscription::recv) blocks for the next batch (and the
+/// [`Iterator`] implementation wraps it); [`try_next`](Subscription::try_next)
+/// returns immediately. [`unsubscribe`](Subscription::unsubscribe) drains the
+/// stream and converts the connection back into a request/response
+/// [`Client`].
+///
+/// A server that evicts this subscriber as a slow reader ends the stream
+/// with [`ClientError::Server`] carrying [`ErrorCode::SlowConsumer`].
+#[derive(Debug)]
+pub struct Subscription {
+    stream: TcpStream,
+    writer: BufWriter<TcpStream>,
+    fbuf: FrameBuffer,
+    config: ClientConfig,
+    n_shards: u32,
+    nonblocking: bool,
+}
+
+impl Subscription {
+    /// The server's shard count at subscribe time.
+    pub fn n_shards(&self) -> u32 {
+        self.n_shards
+    }
+
+    fn set_nonblocking(&mut self, on: bool) -> io::Result<()> {
+        if self.nonblocking != on {
+            self.stream.set_nonblocking(on)?;
+            self.nonblocking = on;
+        }
+        Ok(())
+    }
+
+    /// Interprets one buffered frame, if complete.
+    fn take_frame(&mut self) -> Result<Option<PushBatch>, ClientError> {
+        let Some(payload) = self.fbuf.next_frame()? else {
+            return Ok(None);
+        };
+        match Response::decode(&payload)? {
+            Response::Push { n_shards, entries } => {
+                if self.config.resync_policy == ResyncPolicy::Fail {
+                    if let Some(entry) = entries
+                        .iter()
+                        .find(|e| matches!(e, ShardPoll::Resync { .. }))
+                    {
+                        return Err(ClientError::ResyncRequired {
+                            shard: entry.shard(),
+                        });
+                    }
+                }
+                self.n_shards = n_shards;
+                Ok(Some(PushBatch { n_shards, entries }))
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol(
+                "unexpected non-push frame on a subscription",
+            )),
+        }
+    }
+
+    /// Blocks until the next [`PushBatch`] arrives. `Ok(None)` means the
+    /// server hung up cleanly; with a read timeout configured, expiry
+    /// surfaces as [`ClientError::Io`].
+    pub fn recv(&mut self) -> Result<Option<PushBatch>, ClientError> {
+        self.set_nonblocking(false)?;
+        loop {
+            if let Some(batch) = self.take_frame()? {
+                return Ok(Some(batch));
+            }
+            match self.fbuf.fill_from(&mut self.stream) {
+                Ok(0) => {
+                    if self.fbuf.has_partial() {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server hung up inside a push frame",
+                        )));
+                    }
+                    return Ok(None);
+                }
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Returns the next [`PushBatch`] if one is already buffered or in the
+    /// socket, without blocking. `Ok(None)` means nothing is pending yet.
+    pub fn try_next(&mut self) -> Result<Option<PushBatch>, ClientError> {
+        self.set_nonblocking(true)?;
+        loop {
+            if let Some(batch) = self.take_frame()? {
+                return Ok(Some(batch));
+            }
+            match self.fbuf.fill_from(&mut self.stream) {
+                Ok(0) => {
+                    if self.fbuf.has_partial() {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server hung up inside a push frame",
+                        )));
+                    }
+                    // A drained, cleanly closed stream has nothing pending
+                    // and never will; surface that as the hang-up error the
+                    // next recv would produce.
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server hung up",
+                    )));
+                }
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Deregisters the subscription and converts the connection back into a
+    /// request/response [`Client`], discarding pushes still in flight (the
+    /// server guarantees nothing follows its acknowledgement).
+    pub fn unsubscribe(mut self) -> Result<Client, ClientError> {
+        write_frame(
+            &mut self.writer,
+            &frame_message(|buf| Request::Unsubscribe.encode_into(buf)),
+        )?;
+        self.set_nonblocking(false)?;
+        loop {
+            let frame = loop {
+                if let Some(payload) = self.fbuf.next_frame()? {
+                    break payload;
+                }
+                match self.fbuf.fill_from(&mut self.stream) {
+                    Ok(0) => {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server hung up before acknowledging unsubscribe",
+                        )))
+                    }
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            match Response::decode(&frame)? {
+                Response::Push { .. } => continue, // in flight before the ack
+                Response::Unsubscribed => break,
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => {
+                    return Err(ClientError::Protocol(
+                        "unexpected frame while unsubscribing",
+                    ))
+                }
+            }
+        }
+        // Nothing follows the acknowledgement until the next request, so the
+        // frame buffer is empty and the plain buffered reader can take over.
+        Ok(Client {
+            reader: BufReader::new(self.stream.try_clone()?),
+            writer: self.writer,
+            config: self.config,
+        })
+    }
+}
+
+impl Iterator for Subscription {
+    type Item = Result<PushBatch, ClientError>;
+
+    /// Blocks for the next push; `None` when the server hangs up cleanly.
+    fn next(&mut self) -> Option<Self::Item> {
+        self.recv().transpose()
+    }
+}
+
+/// A client-side mirror of the served story sets, maintained from `Poll`
+/// replies and/or subscription [`PushBatch`]es: resync snapshots rebase a
+/// shard, delta suffixes advance it event by event.
+///
+/// After any applied batch, [`story_sets`](Mirror::story_sets) is exactly
+/// the union of the per-shard story sets at the cursor's sequence numbers —
+/// the same sets an in-process [`StoryView`](dyndens_shard::StoryView)
+/// reader at those sequence numbers would observe (provided the server's
+/// `top_k` covers each shard's full output-dense set, so resync snapshots
+/// are complete). Densities are as-of each story's last event; a story whose
+/// density drifts *without* crossing the output threshold emits no event, so
+/// only the set membership (not every score) is guaranteed current between
+/// resyncs.
 #[derive(Debug, Default)]
-pub struct Follower {
+pub struct Mirror {
     since: Vec<u64>,
     shards: Vec<BTreeMap<VertexSet, f64>>,
     events_applied: u64,
     resyncs: u64,
 }
 
-impl Follower {
-    /// A follower at the bootstrap cursor: its first poll resynchronises (or
+/// The old name of [`Mirror`].
+#[deprecated(note = "renamed to `Mirror`; it now also applies subscription \
+                     push batches")]
+pub type Follower = Mirror;
+
+impl Mirror {
+    /// A mirror at the bootstrap cursor: its first batch resynchronises (or
     /// replays from sequence zero, when retention still covers it).
-    pub fn new() -> Follower {
-        Follower::default()
+    pub fn new() -> Mirror {
+        Mirror::default()
     }
 
     /// The per-shard cursor: the sequence numbers the mirror is current to.
-    /// Empty until the first poll learns the server's shard count.
+    /// Empty until the first batch teaches it the server's shard count.
     pub fn cursor(&self) -> &[u64] {
         &self.since
     }
@@ -186,8 +609,9 @@ impl Follower {
         self.events_applied
     }
 
-    /// Number of resync rebases performed so far (each one means the
-    /// follower had fallen behind a shard's delta retention).
+    /// Number of resync rebases performed so far (each one means the mirror
+    /// had fallen behind a shard's delta retention, or the topology
+    /// changed).
     pub fn resyncs(&self) -> u64 {
         self.resyncs
     }
@@ -196,21 +620,28 @@ impl Follower {
     /// shard advanced.
     pub fn poll(&mut self, client: &mut Client) -> Result<bool, ClientError> {
         let (n_shards, entries) = client.poll(&self.since)?;
+        self.apply(&PushBatch { n_shards, entries })
+    }
+
+    /// Applies one batch of per-shard entries — a `Poll` reply or a
+    /// subscription push. Returns `true` if any shard advanced.
+    pub fn apply(&mut self, batch: &PushBatch) -> Result<bool, ClientError> {
+        let n_shards = batch.n_shards as usize;
         if self.since.is_empty() {
-            self.since = vec![0; n_shards as usize];
+            self.since = vec![0; n_shards];
             self.shards = (0..n_shards).map(|_| BTreeMap::new()).collect();
-        } else if self.since.len() != n_shards as usize {
+        } else if self.since.len() != n_shards {
             // The server's topology changed under us (a shard split, or a
             // recovery into a differently-sized fleet). The server already
             // treated our stale cursor as a bootstrap cursor, so the entries
-            // in this very reply rebase every slot: drop the old mirror and
+            // in this very batch rebase every slot: drop the old mirror and
             // apply them against a fresh one.
-            self.since = vec![0; n_shards as usize];
+            self.since = vec![0; n_shards];
             self.shards = (0..n_shards).map(|_| BTreeMap::new()).collect();
             self.resyncs += 1;
         }
-        let advanced = !entries.is_empty();
-        for entry in entries {
+        let advanced = !batch.entries.is_empty();
+        for entry in &batch.entries {
             let shard = entry.shard() as usize;
             if shard >= self.shards.len() {
                 return Err(ClientError::Protocol("poll entry for unknown shard"));
@@ -219,8 +650,8 @@ impl Follower {
                 ShardPoll::Resync {
                     seq, stories: set, ..
                 } => {
-                    self.shards[shard] = set.into_iter().collect();
-                    self.since[shard] = seq;
+                    self.shards[shard] = set.iter().cloned().collect();
+                    self.since[shard] = *seq;
                     self.resyncs += 1;
                 }
                 ShardPoll::Deltas {
@@ -229,16 +660,16 @@ impl Follower {
                     events,
                     ..
                 } => {
-                    if from_seq != self.since[shard] {
+                    if *from_seq != self.since[shard] {
                         return Err(ClientError::Protocol(
                             "delta suffix does not start at the cursor",
                         ));
                     }
                     self.events_applied += events.len() as u64;
                     for event in events {
-                        apply_event(&mut self.shards[shard], &event);
+                        apply_event(&mut self.shards[shard], event);
                     }
-                    self.since[shard] = to_seq;
+                    self.since[shard] = *to_seq;
                 }
             }
         }

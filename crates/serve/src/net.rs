@@ -59,6 +59,108 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// How many bytes [`FrameBuffer::fill_from`] asks the source for per call.
+const FILL_CHUNK: usize = 16 * 1024;
+
+/// An incremental frame decoder for non-blocking streams.
+///
+/// [`read_frame`] blocks until a whole frame arrives, which a readiness event
+/// loop cannot afford: a frame may straddle arbitrarily many readiness
+/// events. `FrameBuffer` splits the work into [`fill_from`](Self::fill_from)
+/// (one `read` call, appending whatever arrived) and
+/// [`next_frame`](Self::next_frame) (pops one complete, CRC-verified frame if
+/// buffered). Both the evented server and the client's non-blocking
+/// `try_next` path use it; framing errors carry the same `io::ErrorKind`s as
+/// [`read_frame`].
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Creates a buffer pre-seeded with bytes already read from the stream
+    /// (e.g. the unconsumed tail of a `BufReader` being converted to
+    /// non-blocking use).
+    pub fn with_initial(bytes: Vec<u8>) -> Self {
+        FrameBuffer {
+            buf: bytes,
+            start: 0,
+        }
+    }
+
+    /// Performs **one** `read` on `r`, appending whatever arrived. Returns
+    /// the byte count (`Ok(0)` is EOF). `WouldBlock` and every other error
+    /// pass through untouched; the buffer is unchanged on error.
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        let old = self.buf.len();
+        self.buf.resize(old + FILL_CHUNK, 0);
+        match r.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// Pops one complete frame's payload, if buffered. Returns `Ok(None)`
+    /// when more bytes are needed; a hostile length prefix or a CRC mismatch
+    /// is an `InvalidData` error, exactly as in [`read_frame`].
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte bound"),
+            ));
+        }
+        let stored_crc = u32::from_le_bytes([pending[4], pending[5], pending[6], pending[7]]);
+        let total = 8 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = pending[8..total].to_vec();
+        self.start += total;
+        // Reclaim the consumed prefix once it dominates the allocation, so a
+        // long-lived connection's buffer stays proportional to its backlog.
+        if self.start > FILL_CHUNK && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        if crc32(&payload) != stored_crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame CRC mismatch",
+            ));
+        }
+        Ok(Some(payload))
+    }
+
+    /// `true` while the buffer holds a partial frame — an EOF now would be a
+    /// torn frame, not a clean hang-up.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.start
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +211,75 @@ mod tests {
             read_frame(&mut cursor).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn frame_buffer_decodes_byte_by_byte() {
+        let mut wire = Vec::new();
+        put_frame(&mut wire, b"alpha");
+        put_frame(&mut wire, b"");
+        put_frame(&mut wire, b"beta frame");
+
+        let mut fb = FrameBuffer::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        // Feed one byte at a time: frames must pop exactly at the boundaries.
+        for chunk in wire.chunks(1) {
+            let mut cursor = io::Cursor::new(chunk);
+            assert_eq!(fb.fill_from(&mut cursor).unwrap(), 1);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(
+            got,
+            vec![b"alpha".to_vec(), b"".to_vec(), b"beta frame".to_vec()]
+        );
+        assert!(!fb.has_partial());
+        assert_eq!(fb.buffered_len(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_corruption_and_tracks_partials() {
+        let mut wire = Vec::new();
+        put_frame(&mut wire, b"payload");
+
+        // Partial header: not an error, just not a frame yet.
+        let mut fb = FrameBuffer::with_initial(wire[..5].to_vec());
+        assert!(fb.next_frame().unwrap().is_none());
+        assert!(fb.has_partial());
+
+        // Corrupt payload byte: CRC mismatch.
+        let mut corrupt = wire.clone();
+        *corrupt.last_mut().unwrap() ^= 0x01;
+        let mut fb = FrameBuffer::with_initial(corrupt);
+        assert_eq!(
+            fb.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // Hostile length prefix: rejected before buffering the "payload".
+        let mut hostile = wire;
+        hostile[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut fb = FrameBuffer::with_initial(hostile);
+        assert_eq!(
+            fb.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn frame_buffer_compacts_consumed_prefix() {
+        let big = vec![0xABu8; FILL_CHUNK];
+        let mut wire = Vec::new();
+        for _ in 0..4 {
+            put_frame(&mut wire, &big);
+        }
+        let mut fb = FrameBuffer::with_initial(wire);
+        for _ in 0..4 {
+            assert_eq!(fb.next_frame().unwrap().unwrap(), big);
+        }
+        assert_eq!(fb.buffered_len(), 0);
+        // The consumed prefix was reclaimed, not retained forever.
+        assert!(fb.buf.len() < 2 * FILL_CHUNK, "buffer compacted");
     }
 }

@@ -23,8 +23,12 @@ use dyndens_obs::RegistrySnapshot;
 /// fixed-layout — decoders reject trailing bytes).
 ///
 /// Revision 2 added the `Metrics` request/response pair and the
-/// [`ServeStats`] block inside `Stats` replies.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// [`ServeStats`] block inside `Stats` replies. Revision 3 added the push
+/// subscription family (`Subscribe`/`Unsubscribe` requests, `Subscribed`/
+/// `Unsubscribed`/`Push` responses), grew [`ServeStats`] from five to eight
+/// counters, and assigned error codes 5 (`SlowConsumer`) and 6
+/// (`Unsupported`).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound a frame reader accepts for one message, before allocating
 /// anything: 32 MiB. A corrupt or hostile length prefix beyond it is rejected
@@ -56,6 +60,25 @@ pub enum Request {
     /// server running without instrumentation answers with an empty
     /// snapshot.
     Metrics,
+    /// Register a push subscription (tag `0x05`): the client states its
+    /// per-shard cursor **once**; from then on the server fans out
+    /// [`Response::Push`] frames whenever a shard publishes past it — the
+    /// connection carries no further request traffic until the client
+    /// unsubscribes or hangs up. Answered with [`Response::Subscribed`], then
+    /// an immediate catch-up `Push` if any shard is already past the cursor.
+    /// A thread-per-connection server answers with a typed
+    /// [`ErrorCode::Unsupported`] error instead.
+    Subscribe {
+        /// The client's per-shard sequence cursor, with the same semantics
+        /// as [`Request::Poll`]: empty means bootstrap (every shard from
+        /// sequence 0), as does a stale length from before a topology change.
+        since: Vec<u64>,
+    },
+    /// Deregister the connection's push subscription (tag `0x06`). The
+    /// server stops fanning out, then answers [`Response::Unsubscribed`];
+    /// `Push` frames already in flight arrive before the acknowledgement,
+    /// never after it. The connection then reverts to request/response use.
+    Unsubscribe,
 }
 
 /// One story on the wire: the vertex set, its density, and the entity names
@@ -141,12 +164,20 @@ pub struct ServeStats {
     /// mid-frame EOF, reset) rather than a clean peer hang-up or server
     /// shutdown.
     pub conns_severed: u64,
-    /// Resync entries served in `Poll` replies — each one is a reader that
-    /// fell behind a shard's delta retention, or a shard that restarted
-    /// (recovery, split, merge) under the reader.
+    /// Resync entries served in `Poll` and `Push` replies — each one is a
+    /// reader that fell behind a shard's delta retention, or a shard that
+    /// restarted (recovery, split, merge) under the reader.
     pub resyncs_served: u64,
     /// Typed [`Response::Error`] replies sent.
     pub error_replies: u64,
+    /// Connections refused at accept because the server was at its
+    /// `max_connections` bound.
+    pub conns_rejected: u64,
+    /// [`Response::Push`] frames enqueued to subscribers.
+    pub pushes_sent: u64,
+    /// Subscribers evicted because their bounded write queue overflowed
+    /// (each received a final [`ErrorCode::SlowConsumer`] severance).
+    pub slow_evictions: u64,
 }
 
 impl ServeStats {
@@ -155,10 +186,10 @@ impl ServeStats {
     /// wire-format change: bump [`PROTOCOL_VERSION`] alongside this constant
     /// (the destructuring in [`encode_into`](ServeStats::encode_into) forces
     /// the revisit).
-    pub const WIRE_COUNTERS: u8 = 5;
+    pub const WIRE_COUNTERS: u8 = 8;
 
     /// Appends the canonical wire encoding:
-    /// `n u8 (= 5) | n × counter u64`, counters in declaration order.
+    /// `n u8 (= 8) | n × counter u64`, counters in declaration order.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         let ServeStats {
             requests_served,
@@ -166,6 +197,9 @@ impl ServeStats {
             conns_severed,
             resyncs_served,
             error_replies,
+            conns_rejected,
+            pushes_sent,
+            slow_evictions,
         } = self;
         put_u8(buf, Self::WIRE_COUNTERS);
         for counter in [
@@ -174,6 +208,9 @@ impl ServeStats {
             conns_severed,
             resyncs_served,
             error_replies,
+            conns_rejected,
+            pushes_sent,
+            slow_evictions,
         ] {
             put_u64(buf, *counter);
         }
@@ -192,6 +229,9 @@ impl ServeStats {
             conns_severed: r.u64()?,
             resyncs_served: r.u64()?,
             error_replies: r.u64()?,
+            conns_rejected: r.u64()?,
+            pushes_sent: r.u64()?,
+            slow_evictions: r.u64()?,
         })
     }
 }
@@ -208,6 +248,15 @@ pub enum ErrorCode {
     Malformed = 3,
     /// A `Poll` cursor's length does not match the server's shard count.
     BadCursor = 4,
+    /// Final severance frame sent to a push subscriber whose bounded write
+    /// queue overflowed: the subscriber read slower than the fan-out
+    /// produced, so the server evicted it rather than buffer without bound.
+    /// The connection is closed after this frame.
+    SlowConsumer = 5,
+    /// The request is valid but this server mode cannot serve it (e.g.
+    /// `Subscribe` against a thread-per-connection server). The connection
+    /// stays usable.
+    Unsupported = 6,
 }
 
 impl ErrorCode {
@@ -217,6 +266,8 @@ impl ErrorCode {
             2 => Some(ErrorCode::UnknownTag),
             3 => Some(ErrorCode::Malformed),
             4 => Some(ErrorCode::BadCursor),
+            5 => Some(ErrorCode::SlowConsumer),
+            6 => Some(ErrorCode::Unsupported),
             _ => None,
         }
     }
@@ -258,8 +309,34 @@ pub enum Response {
         /// Every registered metric series plus the recent event journal.
         registry: RegistrySnapshot,
     },
+    /// Answer to [`Request::Subscribe`] (tag `0x85`): the subscription is
+    /// registered; `Push` frames follow as shards publish.
+    Subscribed {
+        /// The server's shard count (so a bootstrap subscriber can size its
+        /// mirror before the first push arrives).
+        n_shards: u32,
+    },
+    /// Answer to [`Request::Unsubscribe`] (tag `0x86`): fan-out to this
+    /// connection has stopped; no `Push` frame follows this acknowledgement.
+    Unsubscribed,
+    /// A server-initiated fan-out frame (tag `0x87`), sent to subscribed
+    /// connections whenever a shard publishes past the subscriber's cursor.
+    /// The body is shaped exactly like a [`Response::Poll`] answer: one
+    /// entry per shard that advanced, deltas when retention covers the
+    /// cursor, a resync snapshot when it does not (or when the topology
+    /// changed under the subscriber). The server advances its copy of the
+    /// cursor as it pushes; the client never re-states it.
+    Push {
+        /// The server's current shard count; growth mid-subscription means a
+        /// split committed, and the affected entries arrive as resyncs.
+        n_shards: u32,
+        /// One entry per shard that advanced past the subscriber's cursor.
+        entries: Vec<ShardPoll>,
+    },
     /// The request could not be served (tag `0xEE`). The connection stays
-    /// usable: framing was intact, only this request was rejected.
+    /// usable — framing was intact, only this request was rejected — except
+    /// after [`ErrorCode::SlowConsumer`], which is a severance: the server
+    /// closes the connection once the frame is written.
     Error {
         /// What went wrong.
         code: ErrorCode,
@@ -308,10 +385,15 @@ const TAG_TOPK: u8 = 0x01;
 const TAG_POLL: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
 const TAG_METRICS: u8 = 0x04;
+const TAG_SUBSCRIBE: u8 = 0x05;
+const TAG_UNSUBSCRIBE: u8 = 0x06;
 const TAG_STORIES_REPLY: u8 = 0x81;
 const TAG_POLL_REPLY: u8 = 0x82;
 const TAG_STATS_REPLY: u8 = 0x83;
 const TAG_METRICS_REPLY: u8 = 0x84;
+const TAG_SUBSCRIBED_REPLY: u8 = 0x85;
+const TAG_UNSUBSCRIBED_REPLY: u8 = 0x86;
+const TAG_PUSH: u8 = 0x87;
 const TAG_ERROR: u8 = 0xEE;
 
 fn begin(buf: &mut Vec<u8>, tag: u8) {
@@ -370,6 +452,14 @@ impl Request {
             }
             Request::Stats => begin(buf, TAG_STATS),
             Request::Metrics => begin(buf, TAG_METRICS),
+            Request::Subscribe { since } => {
+                begin(buf, TAG_SUBSCRIBE);
+                put_u32(buf, since.len() as u32);
+                for s in since {
+                    put_u64(buf, *s);
+                }
+            }
+            Request::Unsubscribe => begin(buf, TAG_UNSUBSCRIBE),
         }
     }
 
@@ -387,6 +477,13 @@ impl Request {
             }
             TAG_STATS => Request::Stats,
             TAG_METRICS => Request::Metrics,
+            TAG_SUBSCRIBE => {
+                let n = r.u32()? as usize;
+                check_count(&r, n, 8)?;
+                let since = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+                Request::Subscribe { since }
+            }
+            TAG_UNSUBSCRIBE => Request::Unsubscribe,
             other => return Err(DecodeFailure::UnknownTag(other)),
         };
         finish(request, &r)
@@ -436,6 +533,99 @@ fn decode_scored_set(r: &mut ByteReader<'_>) -> Result<(VertexSet, f64), CodecEr
     Ok((set, density))
 }
 
+/// Encodes a `Poll`/`Push` body: `n_shards u32 | count u32 | count × entry`
+/// (the two responses share one body shape by design — a subscriber's mirror
+/// applies pushes with the same code it applies poll answers with).
+fn encode_poll_body(buf: &mut Vec<u8>, n_shards: u32, entries: &[ShardPoll]) {
+    put_u32(buf, n_shards);
+    put_u32(buf, entries.len() as u32);
+    for entry in entries {
+        match entry {
+            ShardPoll::Deltas {
+                shard,
+                from_seq,
+                to_seq,
+                events,
+            } => {
+                put_u32(buf, *shard);
+                put_u8(buf, 0);
+                put_u64(buf, *from_seq);
+                put_u64(buf, *to_seq);
+                put_u32(buf, events.len() as u32);
+                for event in events {
+                    event.encode_into(buf);
+                }
+            }
+            ShardPoll::Resync {
+                shard,
+                seq,
+                stories,
+            } => {
+                put_u32(buf, *shard);
+                put_u8(buf, 1);
+                put_u64(buf, *seq);
+                put_u32(buf, stories.len() as u32);
+                for story in stories {
+                    encode_scored_set(buf, story);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a `Poll`/`Push` body; the inverse of [`encode_poll_body`].
+fn decode_poll_body(r: &mut ByteReader<'_>) -> Result<(u32, Vec<ShardPoll>), DecodeFailure> {
+    let n_shards = r.u32()?;
+    let n = r.u32()? as usize;
+    check_count(r, n, 13)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let shard = r.u32()?;
+        let entry = match r.u8()? {
+            0 => {
+                let from_seq = r.u64()?;
+                let to_seq = r.u64()?;
+                if to_seq <= from_seq {
+                    return Err(DecodeFailure::Malformed(CodecError::Invalid(
+                        "poll deltas do not advance the cursor",
+                    )));
+                }
+                let n_events = r.u32()? as usize;
+                check_count(r, n_events, 13)?;
+                let events = (0..n_events)
+                    .map(|_| DenseEvent::decode(r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                ShardPoll::Deltas {
+                    shard,
+                    from_seq,
+                    to_seq,
+                    events,
+                }
+            }
+            1 => {
+                let seq = r.u64()?;
+                let n_stories = r.u32()? as usize;
+                check_count(r, n_stories, 12)?;
+                let stories = (0..n_stories)
+                    .map(|_| decode_scored_set(r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                ShardPoll::Resync {
+                    shard,
+                    seq,
+                    stories,
+                }
+            }
+            _ => {
+                return Err(DecodeFailure::Malformed(CodecError::Invalid(
+                    "unknown poll entry kind",
+                )))
+            }
+        };
+        entries.push(entry);
+    }
+    Ok((n_shards, entries))
+}
+
 impl Response {
     /// Appends the versioned payload (not the frame) for this response.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
@@ -456,40 +646,7 @@ impl Response {
             }
             Response::Poll { n_shards, entries } => {
                 begin(buf, TAG_POLL_REPLY);
-                put_u32(buf, *n_shards);
-                put_u32(buf, entries.len() as u32);
-                for entry in entries {
-                    match entry {
-                        ShardPoll::Deltas {
-                            shard,
-                            from_seq,
-                            to_seq,
-                            events,
-                        } => {
-                            put_u32(buf, *shard);
-                            put_u8(buf, 0);
-                            put_u64(buf, *from_seq);
-                            put_u64(buf, *to_seq);
-                            put_u32(buf, events.len() as u32);
-                            for event in events {
-                                event.encode_into(buf);
-                            }
-                        }
-                        ShardPoll::Resync {
-                            shard,
-                            seq,
-                            stories,
-                        } => {
-                            put_u32(buf, *shard);
-                            put_u8(buf, 1);
-                            put_u64(buf, *seq);
-                            put_u32(buf, stories.len() as u32);
-                            for story in stories {
-                                encode_scored_set(buf, story);
-                            }
-                        }
-                    }
-                }
+                encode_poll_body(buf, *n_shards, entries);
             }
             Response::Stats {
                 stats,
@@ -516,6 +673,15 @@ impl Response {
             Response::Metrics { registry } => {
                 begin(buf, TAG_METRICS_REPLY);
                 registry.encode_into(buf);
+            }
+            Response::Subscribed { n_shards } => {
+                begin(buf, TAG_SUBSCRIBED_REPLY);
+                put_u32(buf, *n_shards);
+            }
+            Response::Unsubscribed => begin(buf, TAG_UNSUBSCRIBED_REPLY),
+            Response::Push { n_shards, entries } => {
+                begin(buf, TAG_PUSH);
+                encode_poll_body(buf, *n_shards, entries);
             }
             Response::Error { code, message } => {
                 begin(buf, TAG_ERROR);
@@ -545,54 +711,7 @@ impl Response {
                 }
             }
             TAG_POLL_REPLY => {
-                let n_shards = r.u32()?;
-                let n = r.u32()? as usize;
-                check_count(&r, n, 13)?;
-                let mut entries = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let shard = r.u32()?;
-                    let entry = match r.u8()? {
-                        0 => {
-                            let from_seq = r.u64()?;
-                            let to_seq = r.u64()?;
-                            if to_seq <= from_seq {
-                                return Err(DecodeFailure::Malformed(CodecError::Invalid(
-                                    "poll deltas do not advance the cursor",
-                                )));
-                            }
-                            let n_events = r.u32()? as usize;
-                            check_count(&r, n_events, 13)?;
-                            let events = (0..n_events)
-                                .map(|_| DenseEvent::decode(&mut r))
-                                .collect::<Result<Vec<_>, _>>()?;
-                            ShardPoll::Deltas {
-                                shard,
-                                from_seq,
-                                to_seq,
-                                events,
-                            }
-                        }
-                        1 => {
-                            let seq = r.u64()?;
-                            let n_stories = r.u32()? as usize;
-                            check_count(&r, n_stories, 12)?;
-                            let stories = (0..n_stories)
-                                .map(|_| decode_scored_set(&mut r))
-                                .collect::<Result<Vec<_>, _>>()?;
-                            ShardPoll::Resync {
-                                shard,
-                                seq,
-                                stories,
-                            }
-                        }
-                        _ => {
-                            return Err(DecodeFailure::Malformed(CodecError::Invalid(
-                                "unknown poll entry kind",
-                            )))
-                        }
-                    };
-                    entries.push(entry);
-                }
+                let (n_shards, entries) = decode_poll_body(&mut r)?;
                 Response::Poll { n_shards, entries }
             }
             TAG_STATS_REPLY => {
@@ -627,6 +746,12 @@ impl Response {
             TAG_METRICS_REPLY => Response::Metrics {
                 registry: RegistrySnapshot::decode(&mut r)?,
             },
+            TAG_SUBSCRIBED_REPLY => Response::Subscribed { n_shards: r.u32()? },
+            TAG_UNSUBSCRIBED_REPLY => Response::Unsubscribed,
+            TAG_PUSH => {
+                let (n_shards, entries) = decode_poll_body(&mut r)?;
+                Response::Push { n_shards, entries }
+            }
             TAG_ERROR => {
                 let code =
                     ErrorCode::from_u8(r.u8()?).ok_or(CodecError::Invalid("unknown error code"))?;

@@ -68,7 +68,7 @@ fn story_strategy() -> impl Strategy<Value = WireStory> {
 
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
-        0..4u8,
+        0..6u8,
         0..10_000u32,
         prop::collection::vec(0..u64::MAX, 0..6),
     )
@@ -76,7 +76,9 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             0 => Request::TopK { k },
             1 => Request::Poll { since },
             2 => Request::Stats,
-            _ => Request::Metrics,
+            3 => Request::Metrics,
+            4 => Request::Subscribe { since },
+            _ => Request::Unsubscribe,
         })
 }
 
@@ -132,6 +134,9 @@ fn serve_stats_strategy() -> impl Strategy<Value = ServeStats> {
         conns_severed: c,
         resyncs_served: a ^ b,
         error_replies: b ^ c,
+        conns_rejected: a ^ c,
+        pushes_sent: a.rotate_left(11),
+        slow_evictions: b.rotate_left(23),
     })
 }
 
@@ -174,7 +179,7 @@ fn histogram_snapshot_strategy() -> impl Strategy<Value = HistogramSnapshot> {
 }
 
 fn obs_event_strategy() -> impl Strategy<Value = ObsEvent> {
-    (0..10u8, 0..64u32, 0..u64::MAX, 0..u64::MAX, 0..2u8).prop_map(
+    (0..12u8, 0..64u32, 0..u64::MAX, 0..u64::MAX, 0..2u8).prop_map(
         |(variant, shard, a, b, flag)| {
             let flag = flag == 1;
             let stage = match a % 3 {
@@ -226,7 +231,12 @@ fn obs_event_strategy() -> impl Strategy<Value = ObsEvent> {
                 },
                 7 => ObsEvent::ConnAccepted { conn: a },
                 8 => ObsEvent::ConnSevered { conn: a },
-                _ => ObsEvent::PollResync { shard },
+                9 => ObsEvent::PollResync { shard },
+                10 => ObsEvent::Subscribed { conn: a },
+                _ => ObsEvent::SlowReaderEvicted {
+                    conn: a,
+                    queued_bytes: b,
+                },
             }
         },
     )
@@ -282,7 +292,7 @@ fn registry_snapshot_strategy() -> impl Strategy<Value = RegistrySnapshot> {
 
 fn response_strategy() -> impl Strategy<Value = Response> {
     (
-        0..5u8,
+        0..8u8,
         prop::collection::vec(0..u64::MAX, 0..6),
         prop::collection::vec(story_strategy(), 0..5),
         prop::collection::vec(shard_poll_strategy(), 0..5),
@@ -323,12 +333,22 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                         .collect(),
                 },
                 3 => Response::Metrics { registry },
+                4 => Response::Subscribed {
+                    n_shards: shard + 1,
+                },
+                5 => Response::Unsubscribed,
+                6 => Response::Push {
+                    n_shards: entries.iter().map(|e| e.shard() + 1).max().unwrap_or(1),
+                    entries,
+                },
                 _ => Response::Error {
-                    code: match shard % 4 {
+                    code: match shard % 6 {
                         0 => ErrorCode::UnsupportedVersion,
                         1 => ErrorCode::UnknownTag,
                         2 => ErrorCode::Malformed,
-                        _ => ErrorCode::BadCursor,
+                        3 => ErrorCode::BadCursor,
+                        4 => ErrorCode::SlowConsumer,
+                        _ => ErrorCode::Unsupported,
                     },
                     message,
                 },

@@ -131,7 +131,8 @@ pub use rebalance::{
 pub use recovery::{RecoveryError, RecoveryReport};
 pub use sharded::{IngestHandle, ShardedDynDens};
 pub use view::{
-    DeltaBatch, DeltaCatchUp, DeltaRing, EpochCell, MergedStories, ShardSnapshot, StoryView,
+    DeltaBatch, DeltaCatchUp, DeltaRing, EpochCell, MergedStories, PublishWaker, ShardSnapshot,
+    StoryView,
 };
 pub use wal::{WalRecord, WalWriter};
 

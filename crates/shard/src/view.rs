@@ -3,10 +3,27 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 use dyndens_core::{DenseEvent, EngineStats};
 use dyndens_graph::VertexSet;
+
+/// A publication callback attached to an [`EpochCell`] (or, through
+/// [`StoryView::watch`], to every cell of a fleet).
+///
+/// `wake` runs on the **publishing thread** (a shard worker, or the facade
+/// during a split/merge), immediately after the new epoch became visible. It
+/// must therefore be cheap and non-blocking — the intended implementation is
+/// an edge-style wakeup (write one byte to a self-pipe, set a flag), with all
+/// real work done by the woken thread. This is the hook an event-driven
+/// server uses to fan out `DeltaRing` micro-batches to push subscribers
+/// without polling.
+pub trait PublishWaker: Send + Sync {
+    /// Notifies the waker that a publication happened; `seq` is the cell's
+    /// sequence number at publication (unchanged for plain [`EpochCell::store`]
+    /// publications such as roster swaps).
+    fn wake(&self, seq: u64);
+}
 
 /// Sorts stories densest first, with ties broken by vertex set so snapshots
 /// are deterministic. Shared by the per-shard publication path and the merged
@@ -37,6 +54,10 @@ pub struct EpochCell<T> {
     /// `s`?" performs one relaxed atomic load per shard and touches the
     /// snapshot itself only for shards that actually advanced.
     seq: AtomicU64,
+    /// Publication wakers, held weakly so a departed subscriber system (a
+    /// dropped server) unregisters itself by dropping its `Arc`. Dead weaks
+    /// are swept on every notify and every attach.
+    watchers: Mutex<Vec<Weak<dyn PublishWaker>>>,
 }
 
 impl<T> EpochCell<T> {
@@ -45,6 +66,7 @@ impl<T> EpochCell<T> {
         EpochCell {
             slot: Mutex::new(Arc::new(value)),
             seq: AtomicU64::new(0),
+            watchers: Mutex::new(Vec::new()),
         }
     }
 
@@ -53,21 +75,50 @@ impl<T> EpochCell<T> {
         self.slot.lock().expect("epoch cell poisoned").clone()
     }
 
-    /// Publishes a new epoch, leaving the sequence number unchanged.
+    /// Publishes a new epoch, leaving the sequence number unchanged, and
+    /// wakes every attached watcher.
     pub fn store(&self, value: Arc<T>) {
         *self.slot.lock().expect("epoch cell poisoned") = value;
+        self.notify(self.seq());
     }
 
-    /// Publishes a new epoch stamped with its publication sequence number.
+    /// Publishes a new epoch stamped with its publication sequence number,
+    /// and wakes every attached watcher.
     pub fn store_with_seq(&self, value: Arc<T>, seq: u64) {
         *self.slot.lock().expect("epoch cell poisoned") = value;
         self.seq.store(seq, Ordering::Release);
+        self.notify(seq);
     }
 
     /// The sequence number of the latest published epoch, without locking.
     #[inline]
     pub fn seq(&self) -> u64 {
         self.seq.load(Ordering::Acquire)
+    }
+
+    /// Attaches a publication waker to this cell. The cell holds it weakly,
+    /// so dropping the last strong `Arc` detaches it; re-attaching the same
+    /// waker is a no-op, so callers can idempotently re-walk a fleet after a
+    /// topology change without growing the watcher list.
+    pub fn watch(&self, waker: &Arc<dyn PublishWaker>) {
+        let mut watchers = self.watchers.lock().expect("watcher list poisoned");
+        watchers.retain(|w| w.strong_count() > 0);
+        if !watchers.iter().any(|w| w.ptr_eq(&Arc::downgrade(waker))) {
+            watchers.push(Arc::downgrade(waker));
+        }
+    }
+
+    /// Wakes every live watcher, outside the slot lock (publication is
+    /// already visible when the callbacks run).
+    fn notify(&self, seq: u64) {
+        let mut watchers = self.watchers.lock().expect("watcher list poisoned");
+        watchers.retain(|w| match w.upgrade() {
+            Some(waker) => {
+                waker.wake(seq);
+                true
+            }
+            None => false,
+        });
     }
 }
 
@@ -260,6 +311,25 @@ impl StoryView {
         self.roster.load().cells.len()
     }
 
+    /// Attaches `waker` to the roster cell and to every current shard cell,
+    /// so it fires on every worker publication *and* on every topology change
+    /// (split/merge roster swap). Attachment is idempotent per cell, and the
+    /// cells hold the waker weakly — dropping the last strong `Arc` detaches
+    /// it everywhere.
+    ///
+    /// A split adds shard cells this call has not seen; because the roster
+    /// swap itself wakes the waker, a subscriber system re-calls `watch`
+    /// whenever it observes [`n_shards`](StoryView::n_shards) change, which
+    /// covers the new cells before any client can fall behind on them
+    /// (fresh split slots start with an empty delta ring anyway, so their
+    /// first publication forces a resync).
+    pub fn watch(&self, waker: &Arc<dyn PublishWaker>) {
+        self.roster.watch(waker);
+        for cell in &self.roster.load().cells {
+            cell.watch(waker);
+        }
+    }
+
     /// The latest published snapshot of one shard.
     pub fn shard_snapshot(&self, shard: usize) -> Arc<ShardSnapshot> {
         self.roster.load().cells[shard].load()
@@ -371,6 +441,85 @@ mod tests {
         cell.store_with_seq(Arc::new(3), 17);
         assert_eq!(cell.seq(), 17);
         assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn publish_wakers_fire_and_detach() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Default)]
+        struct Recorder {
+            wakes: AtomicUsize,
+            last_seq: AtomicU64,
+        }
+        impl PublishWaker for Recorder {
+            fn wake(&self, seq: u64) {
+                self.wakes.fetch_add(1, Ordering::SeqCst);
+                self.last_seq.store(seq, Ordering::SeqCst);
+            }
+        }
+
+        let cell = EpochCell::new(0u32);
+        let recorder = Arc::new(Recorder::default());
+        let waker: Arc<dyn PublishWaker> = recorder.clone();
+        cell.watch(&waker);
+        cell.watch(&waker); // idempotent: re-attaching must not double-fire
+        cell.store_with_seq(Arc::new(1), 5);
+        assert_eq!(recorder.wakes.load(Ordering::SeqCst), 1);
+        assert_eq!(recorder.last_seq.load(Ordering::SeqCst), 5);
+        // A plain store (roster swap) also wakes, with the unchanged seq.
+        cell.store(Arc::new(2));
+        assert_eq!(recorder.wakes.load(Ordering::SeqCst), 2);
+        assert_eq!(recorder.last_seq.load(Ordering::SeqCst), 5);
+        // Dropping the last strong Arc detaches the waker.
+        drop(waker);
+        drop(recorder);
+        cell.store_with_seq(Arc::new(3), 6);
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn view_watch_covers_roster_and_shard_cells() {
+        use std::sync::atomic::AtomicUsize;
+
+        struct CountWaker(AtomicUsize);
+        impl PublishWaker for CountWaker {
+            fn wake(&self, _seq: u64) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let shard_cell = Arc::new(EpochCell::new(snap(0, 0, &[])));
+        let roster_cell = Arc::new(EpochCell::new(ShardRoster {
+            cells: vec![Arc::clone(&shard_cell)],
+            rings: vec![Arc::new(DeltaRing::new(4))],
+        }));
+        let view = StoryView::new(Arc::clone(&roster_cell), 4);
+        let counter = Arc::new(CountWaker(AtomicUsize::new(0)));
+        let waker: Arc<dyn PublishWaker> = counter.clone();
+        view.watch(&waker);
+
+        shard_cell.store_with_seq(Arc::new(snap(0, 1, &[])), 1);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "worker publication");
+
+        let grown = ShardRoster {
+            cells: vec![
+                Arc::clone(&shard_cell),
+                Arc::new(EpochCell::new(snap(1, 0, &[]))),
+            ],
+            rings: vec![Arc::new(DeltaRing::new(4)), Arc::new(DeltaRing::new(4))],
+        };
+        roster_cell.store(Arc::new(grown));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 2, "roster swap");
+
+        // Re-walking after the topology change covers the new cell without
+        // double-attaching to the old ones.
+        view.watch(&waker);
+        let new_cell = Arc::clone(&roster_cell.load().cells[1]);
+        new_cell.store_with_seq(Arc::new(snap(1, 2, &[])), 2);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 3, "new shard covered");
+        shard_cell.store_with_seq(Arc::new(snap(0, 2, &[])), 2);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 4, "no double attach");
     }
 
     #[test]

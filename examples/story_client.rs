@@ -1,37 +1,60 @@
 //! A remote story reader: connects to a running `story_server` example,
-//! mirrors its story sets by following `Poll` deltas, and periodically
-//! prints the merged top stories with entity names.
+//! subscribes for pushed story-set deltas, and periodically prints the
+//! merged top stories with entity names.
 //!
 //! Run (while `story_server` is up):
 //!
 //! ```bash
 //! cargo run --release --example story_client                      # 127.0.0.1:7171
 //! cargo run --release --example story_client -- 127.0.0.1:9000 10
+//! cargo run --release --example story_client -- 127.0.0.1:7171 10 --legacy
 //! ```
 //!
-//! Arguments: `[server_addr] [watch_seconds]` (defaults `127.0.0.1:7171`,
-//! 10 seconds). This is the out-of-process counterpart of holding a
-//! `StoryView`: the follower's mirror advances through exact per-shard
-//! `DenseEvent` suffixes, falling back to a resync snapshot only if it lags
-//! behind the server's delta retention.
+//! Arguments: `[server_addr] [watch_seconds] [--legacy]` (defaults
+//! `127.0.0.1:7171`, 10 seconds). The default mode registers one
+//! `Subscribe` cursor and lets the server push exact per-shard
+//! `DenseEvent` suffixes as shards publish — the out-of-process
+//! counterpart of holding a `StoryView`, with a resync snapshot pushed
+//! only if the mirror lags behind the server's delta retention (or the
+//! shard topology changes). `--legacy` drives the same mirror through the
+//! deprecated pull-mode shims (`Client::connect` + `Follower`) to show
+//! both generations of the API compile against one server.
 
 use std::time::{Duration, Instant};
 
-use dyndens::serve::{Client, Follower};
+use dyndens::serve::{Client, ClientBuilder, Mirror};
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7171".to_string());
-    let watch_secs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
-
-    let mut client = match Client::connect(&addr) {
+fn connect(addr: &str) -> Client {
+    match ClientBuilder::new()
+        .connect_timeout(Duration::from_secs(2))
+        .retries(3)
+        .backoff(Duration::from_millis(200))
+        .connect(addr)
+    {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot connect to {addr}: {e}");
             eprintln!("start the server first: cargo run --release --example story_server");
             std::process::exit(1);
         }
-    };
+    }
+}
+
+fn print_top(client: &mut Client) {
+    let (_, stories) = client.top_k(3).expect("topk request");
+    for story in &stories {
+        let label = if story.entities.is_empty() {
+            story.vertices.to_string()
+        } else {
+            story.entities.join(" + ")
+        };
+        println!("  top: {label:<60} density {:.3}", story.density);
+    }
+}
+
+/// Push mode: one subscription, deltas arrive as the server publishes.
+fn watch_pushed(addr: &str, watch_secs: u64) {
+    let mut client = connect(addr);
     let (stats, serve_stats, shards) = client.stats().expect("stats request");
     println!(
         "connected to {addr}: {} shards, {} updates ingested so far, \
@@ -41,6 +64,57 @@ fn main() {
         serve_stats.requests_served
     );
 
+    let mut sub = client.subscribe(&[]).expect("subscribe");
+    println!("subscribed across {} shards (push mode)", sub.n_shards());
+    let mut mirror = Mirror::new();
+    let start = Instant::now();
+    let mut next_report = Duration::ZERO;
+    while start.elapsed() < Duration::from_secs(watch_secs) {
+        // Drain whatever the server has pushed since the last look; the
+        // mirror applies deltas (or rebases on a pushed resync) exactly.
+        while let Some(batch) = sub.try_next().expect("subscription healthy") {
+            mirror.apply(&batch).expect("push applies");
+        }
+        if start.elapsed() >= next_report {
+            next_report += Duration::from_secs(2);
+            let seq: u64 = mirror.cursor().iter().sum();
+            println!(
+                "\nt+{:>4.1}s  cursor seq {seq}  mirrored stories {}  (events {}, resyncs {})",
+                start.elapsed().as_secs_f64(),
+                mirror.story_sets().len(),
+                mirror.events_applied(),
+                mirror.resyncs(),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Unsubscribing hands the same connection back for request/reply use.
+    let mut client = sub.unsubscribe().expect("unsubscribe");
+    print_top(&mut client);
+    let seq: u64 = mirror.cursor().iter().sum();
+    println!(
+        "\nwatched {watch_secs}s: mirror at seq {seq} with {} stories \
+         ({} delta events applied, {} resyncs)",
+        mirror.story_sets().len(),
+        mirror.events_applied(),
+        mirror.resyncs(),
+    );
+}
+
+/// Pull mode through the deprecated shims: `Client::connect` + `Follower`
+/// still compile and poll, so readers built against the v2 API keep working.
+#[allow(deprecated)]
+fn watch_polled(addr: &str, watch_secs: u64) {
+    use dyndens::serve::Follower;
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut follower = Follower::new();
     let start = Instant::now();
     let mut next_report = Duration::ZERO;
@@ -56,25 +130,30 @@ fn main() {
                 follower.events_applied(),
                 follower.resyncs(),
             );
-            let (_, stories) = client.top_k(3).expect("topk request");
-            for story in &stories {
-                let label = if story.entities.is_empty() {
-                    story.vertices.to_string()
-                } else {
-                    story.entities.join(" + ")
-                };
-                println!("  top: {label:<60} density {:.3}", story.density);
-            }
+            print_top(&mut client);
         }
         std::thread::sleep(Duration::from_millis(100));
     }
-
     let seq: u64 = follower.cursor().iter().sum();
     println!(
-        "\nwatched {watch_secs}s: mirror at seq {seq} with {} stories \
-         ({} delta events applied, {} resyncs)",
+        "\nwatched {watch_secs}s (legacy pull mode): mirror at seq {seq} with {} stories",
         follower.story_sets().len(),
-        follower.events_applied(),
-        follower.resyncs(),
     );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let legacy = args.iter().any(|a| a == "--legacy");
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let addr = positional
+        .next()
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let watch_secs: u64 = positional.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    if legacy {
+        watch_polled(&addr, watch_secs);
+    } else {
+        watch_pushed(&addr, watch_secs);
+    }
 }

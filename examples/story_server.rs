@@ -50,10 +50,14 @@ fn main() {
         ShardConfig::new(2).with_max_batch(64),
     );
 
-    let server = StoryServer::bind(&addr, pipeline.view()).expect("bind story server");
+    let server = StoryServer::builder(pipeline.view())
+        .workers(2)
+        .max_connections(1024)
+        .bind(&addr)
+        .expect("bind story server");
     let names = server.names();
     println!(
-        "serving on {} for {serve_secs}s (TopK / Poll / Stats)",
+        "serving on {} for {serve_secs}s (TopK / Poll / Stats / Subscribe)",
         server.local_addr()
     );
 
@@ -84,9 +88,10 @@ fn main() {
             let seq: u64 = pipeline.per_shard_seq().iter().sum();
             let top = pipeline.top_stories_latest(1);
             println!(
-                "t+{:>4.1}s  seq {seq:>7}  requests {:>6}  top story: {}",
+                "t+{:>4.1}s  seq {seq:>7}  requests {:>6}  subscribers {}  top story: {}",
                 start.elapsed().as_secs_f64(),
                 server.requests_served(),
+                server.subscribers(),
                 top.first()
                     .map(|s| format!("{} (density {:.2})", s.entities.join(" + "), s.density))
                     .unwrap_or_else(|| "none yet".to_string()),

@@ -348,7 +348,7 @@ fn repeated_in_memory_splits_stay_exact() {
 /// byte-identical to the in-process view.
 #[test]
 fn follower_resyncs_cleanly_across_a_split() {
-    use dyndens::serve::{Client, Follower, StoryServer};
+    use dyndens::serve::{Client, Mirror, StoryServer};
 
     let updates = shard_aligned_stream(8_000, 8, 5);
     // Untruncated top_k: resync snapshots carry the full per-shard story
@@ -362,8 +362,8 @@ fn follower_resyncs_cleanly_across_a_split() {
             .with_delta_retention(16),
     );
     let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
-    let mut client = Client::connect(server.local_addr()).unwrap();
-    let mut follower = Follower::new();
+    let mut client = Client::builder().connect(server.local_addr()).unwrap();
+    let mut follower = Mirror::new();
 
     let (head, tail) = updates.split_at(4_000);
     for chunk in head.chunks(128) {
@@ -402,7 +402,7 @@ fn follower_resyncs_cleanly_across_a_split() {
 
     // A fresh follower bootstraps against the post-split topology purely via
     // resync snapshots: byte-identical sets *and* densities.
-    let mut late = Follower::new();
+    let mut late = Mirror::new();
     while late.poll(&mut client).unwrap() {}
     let got = late.story_sets();
     assert_eq!(late.cursor().len(), 3);

@@ -5,8 +5,9 @@
 //! during ingest (the delta path) and when joining late (the resync path).
 
 use dyndens::prelude::*;
-use dyndens::serve::{Client, Follower, ShardPoll, StoryServer};
+use dyndens::serve::{Client, Mirror, ShardPoll, StoryServer};
 use dyndens_bench::shard_aligned_stream;
+use std::time::Duration;
 
 fn sorted_sets(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, f64)> {
     sets.sort_by(|a, b| a.0.cmp(&b.0));
@@ -34,10 +35,10 @@ fn polling_client_reconstructs_story_sets_on_50k_stream() {
     let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
     let addr = server.local_addr();
 
-    // Follower A polls concurrently with ingest: it advances almost entirely
+    // Mirror A polls concurrently with ingest: it advances almost entirely
     // through contiguous delta suffixes.
-    let mut client = Client::connect(addr).unwrap();
-    let mut follower = Follower::new();
+    let mut client = Client::builder().connect(addr).unwrap();
+    let mut follower = Mirror::new();
     for chunk in updates.chunks(512) {
         fleet.apply_batch(chunk);
         follower.poll(&mut client).unwrap();
@@ -87,7 +88,7 @@ fn polling_client_reconstructs_story_sets_on_50k_stream() {
             .any(|e| matches!(e, ShardPoll::Resync { .. })),
         "a cursor behind the retention bound must be resynced"
     );
-    let mut late = Follower::new();
+    let mut late = Mirror::new();
     while late.poll(&mut client).unwrap() {}
     let late_sets = late.story_sets();
     assert_eq!(late_sets.len(), want.len());
@@ -145,7 +146,7 @@ fn named_stories_and_error_replies() {
     ]);
     fleet.flush();
 
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::builder().connect(server.local_addr()).unwrap();
     let (_, stories) = client.top_k(10).unwrap();
     assert_eq!(stories.len(), 2);
     let all_entities: Vec<String> = stories.iter().flat_map(|s| s.entities.clone()).collect();
@@ -163,4 +164,89 @@ fn named_stories_and_error_replies() {
     assert_eq!(entries.len(), 2, "every shard rebases the stale reader");
     let (n_shards, _) = client.poll(&[0, 0]).unwrap();
     assert_eq!(n_shards, 2);
+}
+
+/// The push path under a topology change: a subscriber that registered on a
+/// 2-shard fleet keeps its mirrored story sets byte-identical to the
+/// in-process [`StoryView`] across a mid-stream `split_shard`, honoring the
+/// resync directive the server pushes when the shard count changes — without
+/// ever re-registering.
+#[test]
+fn subscriber_mirror_survives_a_mid_stream_shard_split() {
+    let updates = shard_aligned_stream(16_000, 8, 77);
+    let mut fleet = ShardedDynDens::new(
+        AvgWeight,
+        DynDensConfig::new(1.0, 4).with_delta_it(0.15),
+        ShardConfig::new(2)
+            .with_shard_fn(ShardFn::Modulo)
+            .with_max_batch(64)
+            .with_top_k(usize::MAX)
+            .with_delta_retention(16),
+    );
+    let server = StoryServer::builder(fleet.view())
+        .workers(2)
+        .bind("127.0.0.1:0")
+        .unwrap();
+
+    let client = Client::builder()
+        .read_timeout(Some(Duration::from_secs(60)))
+        .connect(server.local_addr())
+        .unwrap();
+    let mut sub = client.subscribe(&[]).unwrap();
+    let mut mirror = Mirror::new();
+
+    // First half on the 2-shard topology, draining pushes as they arrive.
+    let (head, tail) = updates.split_at(8_000);
+    for chunk in head.chunks(512) {
+        fleet.apply_batch(chunk);
+        while let Some(batch) = sub.try_next().unwrap() {
+            mirror.apply(&batch).unwrap();
+        }
+    }
+    fleet.flush();
+    let target = fleet.view().per_shard_seq();
+    while mirror.cursor() != target.as_slice() {
+        let batch = sub.recv().unwrap().expect("server alive");
+        mirror.apply(&batch).unwrap();
+    }
+    assert_eq!(mirror.cursor().len(), 2);
+
+    // Mid-stream topology change: the server must rebase the live
+    // subscription onto the 3-shard cursor via pushed resyncs.
+    let report = fleet.split_shard(0).unwrap();
+    assert_eq!(report.new_slot, 2);
+    let resyncs_before = mirror.resyncs();
+
+    for chunk in tail.chunks(512) {
+        fleet.apply_batch(chunk);
+        while let Some(batch) = sub.try_next().unwrap() {
+            mirror.apply(&batch).unwrap();
+        }
+    }
+    fleet.flush();
+    let target = fleet.view().per_shard_seq();
+    assert_eq!(target.len(), 3, "the split took");
+    while mirror.cursor() != target.as_slice() {
+        let batch = sub.recv().unwrap().expect("server alive");
+        mirror.apply(&batch).unwrap();
+    }
+    assert!(
+        mirror.resyncs() > resyncs_before,
+        "the topology change must have resynced the subscriber"
+    );
+
+    // Exactness: the pushed mirror's story sets are byte-identical to what
+    // an in-process reader sees after the split.
+    let merged = fleet.view().snapshot();
+    let want = sorted_sets(merged.stories.clone());
+    assert_eq!(
+        mirror.vertex_sets(),
+        want.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>(),
+        "subscriber story sets diverge from the in-process view across the split"
+    );
+    assert!(mirror.events_applied() > 0, "the delta path was exercised");
+
+    let stats = server.serve_stats();
+    assert!(stats.pushes_sent > 0);
+    assert_eq!(stats.slow_evictions, 0);
 }
