@@ -1,0 +1,218 @@
+//! The scenario matrix: every workload in the scenario & adversary library,
+//! measured and judged in one run.
+//!
+//! Per workload, the bench reports:
+//!
+//! * **ingest rate** — wall-clock updates/sec through a 2-shard fleet;
+//! * **rebalancer splits triggered** — how often the windowed skew policy
+//!   (production thresholds, `scenario_policy` cadence) fires across the
+//!   stream. Triggered splits are executed (capped at two, the community-
+//!   aligned depth bound) so hysteresis — not a stuck hot window — is what
+//!   the count measures;
+//! * **evictions** — subgraphs dropped by a final `compact_below(0.05)`
+//!   pass, the bounded-state story for each traffic shape;
+//! * **top-k churn** — total turnover of the top-16 story board across
+//!   decision windows, the serving-layer cost of the workload's dynamics;
+//! * **the oracle verdict** — the differential oracle's full four-leg run
+//!   (sharded/recovery/rebalance/serve), `bit_exact` per leg.
+//!
+//! Prints a table and writes `BENCH_scenarios.json` with one row per
+//! workload; CI's scenario-smoke step gates on every row being present and
+//! bit-exact, and on `flash_crowd` having triggered at least one split.
+//!
+//! Env knobs: `SCENARIO_UPDATES` (default 20000) scales every stream.
+//!
+//! Run with `cargo run --release -p dyndens-bench --bin scenario_matrix`.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use dyndens_bench::Table;
+use dyndens_density::AvgWeight;
+use dyndens_graph::VertexSet;
+use dyndens_shard::{Rebalancer, ShardedDynDens};
+use dyndens_workloads::oracle::{engine_config, scenario_policy, shard_config};
+use dyndens_workloads::{
+    AdversarialSkew, AlignedCommunities, DocCorpus, FlashCrowd, GeoPartitioned, Oracle,
+    OracleReport, Workload,
+};
+
+const N_SHARDS: usize = 2;
+const CHUNK: usize = 512;
+/// Decision windows per stream (the rebalancer cadence).
+const WINDOWS: usize = 10;
+/// Story board size the churn metric watches.
+const TOP_K: usize = 16;
+/// Community-aligned split depth bound: beyond two refinements of a base
+/// slot the routing bits start cutting *through* communities (alignment 8
+/// over 2 base shards), so the matrix executes at most two splits.
+const MAX_EXECUTED_SPLITS: usize = 2;
+const EVICT_BELOW: f64 = 0.05;
+
+struct Row {
+    name: String,
+    n_updates: usize,
+    updates_per_sec: f64,
+    splits_triggered: usize,
+    splits_executed: usize,
+    evicted: u64,
+    topk_churn: usize,
+    output_dense: usize,
+    report: OracleReport,
+}
+
+fn measure(workload: &dyn Workload) -> Row {
+    let updates = workload.updates();
+    let window = (updates.len() / WINDOWS).max(1);
+
+    let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(N_SHARDS));
+    let mut rebalancer = Rebalancer::new(scenario_policy(window as u64));
+    let mut splits_triggered = 0usize;
+    let mut splits_executed = 0usize;
+    let mut churn = 0usize;
+    let mut board: BTreeSet<VertexSet> = BTreeSet::new();
+
+    let start = Instant::now();
+    for tranche in updates.chunks(window) {
+        for chunk in tranche.chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        fleet.flush();
+        if let Some(slot) = rebalancer.pick(&fleet) {
+            splits_triggered += 1;
+            if splits_executed < MAX_EXECUTED_SPLITS {
+                fleet.split_shard(slot).expect("scenario split");
+                splits_executed += 1;
+            }
+        }
+        // Top-k churn: symmetric difference of the story board between
+        // consecutive decision windows.
+        let next: BTreeSet<VertexSet> = fleet
+            .view()
+            .snapshot()
+            .stories
+            .into_iter()
+            .take(TOP_K)
+            .map(|(s, _)| s)
+            .collect();
+        churn += next.symmetric_difference(&board).count();
+        board = next;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    fleet.validate().expect("fleet invariants");
+    let output_dense = fleet.output_dense_count();
+    let evicted = fleet.compact_below(EVICT_BELOW);
+
+    // The oracle runs on fresh deployments: the verdict is a property of the
+    // workload and the stack, independent of the measured fleet above.
+    let report = Oracle::new(workload).run();
+
+    Row {
+        name: report.workload.clone(),
+        n_updates: updates.len(),
+        updates_per_sec: updates.len() as f64 / secs,
+        splits_triggered,
+        splits_executed,
+        evicted,
+        topk_churn: churn,
+        output_dense,
+        report,
+    }
+}
+
+fn json_row(row: &Row) -> String {
+    let legs: Vec<String> = row
+        .report
+        .legs
+        .iter()
+        .map(|l| {
+            format!(
+                "      {{\"leg\": \"{}\", \"bit_exact\": {}}}",
+                l.leg, l.bit_exact
+            )
+        })
+        .collect();
+    format!(
+        "    \"{}\": {{\n      \"n_updates\": {},\n      \"updates_per_sec\": {:.1},\n      \
+         \"splits_triggered\": {},\n      \"splits_executed\": {},\n      \"evicted\": {},\n      \
+         \"topk_churn\": {},\n      \"output_dense\": {},\n      \"star_markers\": {},\n      \
+         \"bit_exact\": {},\n      \"legs\": [\n{}\n      ]\n    }}",
+        row.name,
+        row.n_updates,
+        row.updates_per_sec,
+        row.splits_triggered,
+        row.splits_executed,
+        row.evicted,
+        row.topk_churn,
+        row.output_dense,
+        row.report.star_markers,
+        row.report.bit_exact(),
+        legs.join(",\n")
+    )
+}
+
+fn main() {
+    let n_updates: usize = std::env::var("SCENARIO_UPDATES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    // Documents lower to ~6 pair-updates each; size the corpus to match the
+    // other streams' update volume.
+    let n_docs = (n_updates / 6).max(100);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{cores} CPU core(s) available, {n_updates} updates per scenario");
+
+    let aligned = AlignedCommunities::new(n_updates, 2012);
+    let flash = FlashCrowd::new(n_updates, 2026);
+    let skew = AdversarialSkew::new(n_updates, 2026);
+    let docs = DocCorpus::new(n_docs, 2026);
+    let geo = GeoPartitioned::new(n_updates, 2026);
+    let workloads: [&dyn Workload; 5] = [&aligned, &flash, &skew, &docs, &geo];
+
+    let rows: Vec<Row> = workloads.iter().map(|w| measure(*w)).collect();
+
+    let mut table = Table::new(
+        "Scenario matrix (2-shard fleet, production rebalance thresholds)",
+        &[
+            "workload",
+            "updates",
+            "upd/s",
+            "splits",
+            "evicted",
+            "churn",
+            "dense",
+            "bit-exact",
+        ],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.name.to_string(),
+            row.n_updates.to_string(),
+            format!("{:.0}", row.updates_per_sec),
+            format!("{}/{}", row.splits_executed, row.splits_triggered),
+            row.evicted.to_string(),
+            row.topk_churn.to_string(),
+            row.output_dense.to_string(),
+            row.report.bit_exact().to_string(),
+        ]);
+    }
+    table.print();
+
+    for row in &rows {
+        row.report.assert_bit_exact();
+    }
+
+    let json_rows: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"n_updates\": {n_updates},\n  \"cpu_cores\": {cores},\n  \"n_shards\": \
+         {N_SHARDS},\n  \"windows\": {WINDOWS},\n  \"top_k\": {TOP_K},\n  \"scenarios\": \
+         {{\n{}\n  }}\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_scenarios.json", json) {
+        Ok(()) => println!("wrote BENCH_scenarios.json"),
+        Err(e) => eprintln!("failed to write BENCH_scenarios.json: {e}"),
+    }
+}

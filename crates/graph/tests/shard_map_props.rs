@@ -1,0 +1,151 @@
+//! Property tests for the generational [`ShardMap`] routing trie: whatever
+//! split/merge sequence a rebalancer throws at it, the map must keep
+//! routing every vertex to a live worker, keep engine ids unique and below
+//! the allocator watermark, offer exactly the true sibling pairs for
+//! merging, and round-trip bit-exactly through its codec.
+
+use dyndens_graph::codec::ByteReader;
+use dyndens_graph::{ShardFn, ShardMap, VertexId};
+use proptest::prelude::*;
+
+/// Dense vertex sample: large enough to hit every residue class and several
+/// routing-bit levels for any map these strategies can build.
+const SAMPLE: u32 = 2048;
+
+/// Maps evolved by an arbitrary split/merge sequence from an arbitrary base:
+/// splits pick any slot (depth-limited splits are no-ops), merges pick any
+/// offered candidate pair.
+fn arb_map() -> impl Strategy<Value = ShardMap> {
+    (
+        0..2u8,
+        1..5usize,
+        prop::collection::vec((0..2u8, 0..64usize), 0..24),
+    )
+        .prop_map(|(base, n_base, ops)| {
+            let base = if base == 0 {
+                ShardFn::Hashed
+            } else {
+                ShardFn::Modulo
+            };
+            let mut map = ShardMap::new(base, n_base);
+            for (kind, idx) in ops {
+                if kind == 0 {
+                    let _ = map.split(idx % map.n_workers());
+                } else {
+                    let candidates = map.merge_candidates();
+                    if !candidates.is_empty() {
+                        let (a, b) = candidates[idx % candidates.len()];
+                        map.merge(a, b).expect("offered candidates must merge");
+                    }
+                }
+            }
+            map
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn routing_covers_every_worker_with_distinct_engines(map in arb_map()) {
+        let n = map.n_workers();
+        // Every vertex routes to a live worker slot.
+        for v in 0..SAMPLE {
+            prop_assert!(map.route(VertexId(v)) < n);
+        }
+        // Every worker slot is owned by exactly one leaf, with a unique
+        // engine id below the allocator's watermark.
+        let engines = map.worker_engines();
+        prop_assert_eq!(engines.len(), n);
+        let mut seen = std::collections::HashSet::new();
+        for (slot, &engine) in engines.iter().enumerate() {
+            prop_assert!(engine < map.next_engine());
+            prop_assert!(
+                seen.insert(engine),
+                "engine {} serves two slots (second: {})", engine, slot
+            );
+            prop_assert_eq!(map.engine_of(slot), Some(engine));
+        }
+        // Modulo routing is exhaustively checkable: a dense vertex range
+        // reaches every worker slot — no split ever strands a slot.
+        if map.base_fn() == ShardFn::Modulo {
+            let mut hit = vec![false; n];
+            for v in 0..SAMPLE {
+                hit[map.route(VertexId(v))] = true;
+            }
+            prop_assert!(hit.iter().all(|&h| h), "unreachable slots: {:?}", hit);
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly(map in arb_map()) {
+        let mut buf = Vec::new();
+        map.encode_into(&mut buf);
+        let back = ShardMap::decode(&mut ByteReader::new(&buf))
+            .expect("a map's own encoding must decode");
+        prop_assert_eq!(&back, &map);
+        // Re-encoding is byte-stable: the manifest can be compared by bytes.
+        let mut again = Vec::new();
+        back.encode_into(&mut again);
+        prop_assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn merge_candidates_are_exactly_the_mergeable_sibling_pairs(map in arb_map()) {
+        let candidates = map.merge_candidates();
+        // Every offered pair is a true leaf-sibling pair: merging succeeds
+        // and shrinks the fleet by one slot.
+        for &(a, b) in &candidates {
+            prop_assert!(a != b);
+            let mut clone = map.clone();
+            prop_assert!(
+                clone.merge(a, b).is_some(),
+                "candidate ({}, {}) refused to merge", a, b
+            );
+            prop_assert_eq!(clone.n_workers(), map.n_workers() - 1);
+            prop_assert_eq!(clone.generation(), map.generation() + 1);
+        }
+        // Every unordered pair NOT offered is refused (non-siblings, or
+        // slots at different depths).
+        for a in 0..map.n_workers() {
+            for b in (a + 1)..map.n_workers() {
+                if candidates.contains(&(a, b)) || candidates.contains(&(b, a)) {
+                    continue;
+                }
+                let mut clone = map.clone();
+                prop_assert!(
+                    clone.merge(a, b).is_none(),
+                    "non-sibling pair ({}, {}) merged", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_then_merge_restores_routing(map in arb_map(), pick in 0..64usize) {
+        let before = map.clone();
+        let mut map = map;
+        let slot = pick % map.n_workers();
+        // At MAX_SPLIT_DEPTH the split is refused and nothing changes;
+        // otherwise merging the fresh pair must undo the refinement.
+        if let Some(spec) = map.split(slot) {
+            prop_assert!(map.merge_candidates().contains(&(spec.slot, spec.new_slot)));
+            let merged = map
+                .merge(spec.slot, spec.new_slot)
+                .expect("fresh siblings must merge");
+            prop_assert_eq!(map.n_workers(), before.n_workers());
+            // The freed slot was the newest slot, so no worker is renumbered
+            // and the routing partition is restored exactly.
+            prop_assert_eq!(merged.moved_slot, None);
+            for v in 0..SAMPLE {
+                prop_assert_eq!(map.route(VertexId(v)), before.route(VertexId(v)));
+            }
+            // Both topology changes are recorded, and the merged shard got a
+            // fresh engine id (ids are never reused).
+            prop_assert_eq!(map.generation(), before.generation() + 2);
+            prop_assert!(merged.merged_engine >= before.next_engine());
+        } else {
+            prop_assert_eq!(&map, &before);
+        }
+    }
+}

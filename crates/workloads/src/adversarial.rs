@@ -1,0 +1,125 @@
+//! The adversarial-skew scenario: **every** update is funneled into one
+//! congruence class, so under `ShardFn::Modulo` a single shard owns the
+//! world — permanently, not as a transient burst.
+//!
+//! This is the worst case for the skew trigger: the hot shard's window share
+//! sits at ~100% forever, so a naive rebalancer would split on every check,
+//! and — because each split's bit-1 child owns *nothing* (the class routes
+//! entirely through bit 0 at every depth) — the fleet would grow useless
+//! empty workers without ever shedding load: a split storm. The policy's
+//! hysteresis is what bounds it: a split resets the observation window (the
+//! next check only re-establishes the baseline), the share signal needs
+//! [`min_total_updates`](dyndens_shard::RebalancePolicy::min_total_updates)
+//! of fresh traffic per window, and the 60%-split vs 5%-merge gap keeps the
+//! hot child unmergeable so topology never flip-flops. The regression suite
+//! pins exactly that: splits fire at most once per established window, and
+//! no merge ever fires while the skew persists.
+//!
+//! The stream is otherwise healthy — disjoint communities with capped
+//! weights — so the differential oracle's bit-exactness legs all hold: the
+//! adversary attacks the *load balance*, not the answer.
+
+use dyndens_graph::{EdgeUpdate, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{class_vertex, WeightBook, Workload};
+
+const ALIGNMENT: usize = 8;
+/// Disjoint communities, all inside the one targeted class.
+const N_COMMUNITIES: usize = 12;
+const BLOCK_SPAN: usize = 8;
+
+/// The adversarial-skew workload. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversarialSkew {
+    /// Stream length in updates.
+    pub n_updates: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// The residue class (mod 8) every update is funneled into.
+    pub class: usize,
+}
+
+impl AdversarialSkew {
+    /// An adversarial stream of `n_updates` updates, all in class 0 (the
+    /// class whose routing bits are all zero, so every split's new child
+    /// receives nothing — the maximally useless split).
+    pub fn new(n_updates: usize, seed: u64) -> Self {
+        AdversarialSkew {
+            n_updates,
+            seed,
+            class: 0,
+        }
+    }
+
+    fn communities(&self) -> Vec<Vec<VertexId>> {
+        (0..N_COMMUNITIES)
+            .map(|g| {
+                let size = 4 + g % 2;
+                (0..size)
+                    .map(|i| class_vertex(g, BLOCK_SPAN, i, ALIGNMENT, self.class))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl Workload for AdversarialSkew {
+    fn name(&self) -> &'static str {
+        "adversarial_skew"
+    }
+
+    fn alignment(&self) -> usize {
+        ALIGNMENT
+    }
+
+    fn updates(&self) -> Vec<EdgeUpdate> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let communities = self.communities();
+        let mut book = WeightBook::new();
+        let mut updates = Vec::with_capacity(self.n_updates);
+        while updates.len() < self.n_updates {
+            let group = &communities[rng.gen_range(0..communities.len())];
+            let a = group[rng.gen_range(0..group.len())];
+            let b = group[rng.gen_range(0..group.len())];
+            if a == b {
+                continue;
+            }
+            let magnitude = rng.gen_range(0.02..0.12);
+            let update = if rng.gen_bool(0.15) {
+                book.weaken(a, b, magnitude)
+            } else {
+                book.reinforce(a, b, magnitude)
+            };
+            if let Some(u) = update {
+                updates.push(u);
+            }
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::MAX_PAIR_WEIGHT;
+    use dyndens_graph::FxHashMap;
+
+    #[test]
+    fn every_update_lands_in_the_target_class() {
+        let w = AdversarialSkew::new(6_000, 23);
+        let updates = w.updates();
+        assert_eq!(updates.len(), 6_000);
+        assert_eq!(updates, w.updates());
+        let mut weights: FxHashMap<(VertexId, VertexId), f64> = FxHashMap::default();
+        for u in &updates {
+            assert_eq!(u.a.0 as usize % ALIGNMENT, w.class);
+            assert_eq!(u.b.0 as usize % ALIGNMENT, w.class);
+            let entry = weights.entry((u.a, u.b)).or_insert(0.0);
+            *entry += u.delta;
+            assert!(*entry >= -1e-9 && *entry <= MAX_PAIR_WEIGHT + 1e-9);
+        }
+        assert!(updates.iter().any(|u| u.is_negative()));
+    }
+}

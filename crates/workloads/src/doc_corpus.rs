@@ -1,0 +1,202 @@
+//! The document-corpus scenario: entity co-occurrence over a stream of
+//! documents with **self-reinforcing repeated-edge weights** — the
+//! knowledge-graph-growth shape (à la plexus) rather than the social-burst
+//! shape.
+//!
+//! Two preferential-attachment loops drive the reinforcement:
+//!
+//! * popular *topics* attract more documents (a topic's probability of
+//!   producing the next document grows with the documents it already
+//!   produced);
+//! * popular *entities within a topic* get cited more (an entity's
+//!   probability of appearing grows with its appearance count).
+//!
+//! So the same entity pairs co-occur again and again, and each repetition
+//! strengthens the pair *more* than the last: the lowering from posts to
+//! updates scales the increment with the pair's co-occurrence count. Unlike
+//! the χ²/LLR association pipeline in `dyndens-stream` (whose unbounded
+//! scores would push hot pairs into the too-dense regime), this
+//! workload-owned measure is capped, so the differential oracle's
+//! bit-exactness precondition holds by construction.
+//!
+//! This is the crate's post-shaped workload: [`Workload::stream`] returns
+//! the timestamped documents themselves; [`Workload::updates`] returns the
+//! deterministic lowering.
+
+use dyndens_graph::{EdgeUpdate, FxHashMap, VertexId};
+use dyndens_stream::Post;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{class_vertex, WeightBook, Workload, WorkloadStream};
+
+const ALIGNMENT: usize = 8;
+/// Topics, two per residue class: a document's entities all come from one
+/// topic, and a topic's entity pool shares a residue class, which keeps the
+/// co-occurrence graph partition-aligned.
+const N_TOPICS: usize = 16;
+/// Entities per topic pool.
+const TOPIC_POOL: usize = 6;
+const BLOCK_SPAN: usize = 8;
+/// Base per-co-occurrence weight increment.
+const BASE_INCREMENT: f64 = 0.02;
+/// How much each repetition of a pair amplifies its next increment.
+const REINFORCEMENT: f64 = 0.004;
+/// Repetition count beyond which the amplification saturates.
+const REINFORCEMENT_SATURATION: u64 = 20;
+/// Seconds between consecutive documents.
+const DOC_INTERVAL_SECS: f64 = 1.0;
+
+/// The document-corpus workload. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocCorpus {
+    /// Number of documents in the corpus.
+    pub n_docs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DocCorpus {
+    /// A corpus of `n_docs` documents.
+    pub fn new(n_docs: usize, seed: u64) -> Self {
+        DocCorpus { n_docs, seed }
+    }
+
+    /// The timestamped documents: each picks a topic preferentially by
+    /// popularity, then 3–5 entities from the topic's pool preferentially by
+    /// citation count.
+    pub fn documents(&self) -> Vec<Post> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let pools: Vec<Vec<VertexId>> = (0..N_TOPICS)
+            .map(|t| {
+                (0..TOPIC_POOL)
+                    .map(|i| class_vertex(t, BLOCK_SPAN, i, ALIGNMENT, t % ALIGNMENT))
+                    .collect()
+            })
+            .collect();
+        let mut topic_docs = vec![1u64; N_TOPICS];
+        let mut entity_uses: Vec<Vec<u64>> = vec![vec![1u64; TOPIC_POOL]; N_TOPICS];
+
+        let mut docs = Vec::with_capacity(self.n_docs);
+        for d in 0..self.n_docs {
+            let topic = weighted_pick(&mut rng, &topic_docs);
+            let n_entities = rng.gen_range(3usize..=5).min(TOPIC_POOL);
+            let mut chosen: Vec<usize> = Vec::with_capacity(n_entities);
+            while chosen.len() < n_entities {
+                let weights: Vec<u64> = entity_uses[topic]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| if chosen.contains(&i) { 0 } else { w })
+                    .collect();
+                chosen.push(weighted_pick(&mut rng, &weights));
+            }
+            topic_docs[topic] += 1;
+            for &e in &chosen {
+                entity_uses[topic][e] += 1;
+            }
+            let entities = chosen.into_iter().map(|e| pools[topic][e]).collect();
+            docs.push(Post::new(d as f64 * DOC_INTERVAL_SECS, entities));
+        }
+        docs
+    }
+}
+
+/// Index into `weights` drawn proportionally to the weights (all-zero weight
+/// vectors never occur: counts start at 1 and masked picks leave at least
+/// one unchosen entity while `chosen.len() < TOPIC_POOL`).
+fn weighted_pick(rng: &mut StdRng, weights: &[u64]) -> usize {
+    let total: u64 = weights.iter().sum();
+    let mut roll = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w {
+            return i;
+        }
+        roll -= w;
+    }
+    unreachable!("roll was drawn below the total weight")
+}
+
+impl Workload for DocCorpus {
+    fn name(&self) -> &'static str {
+        "doc_corpus"
+    }
+
+    fn alignment(&self) -> usize {
+        ALIGNMENT
+    }
+
+    fn stream(&self) -> WorkloadStream {
+        WorkloadStream::Posts(self.documents())
+    }
+
+    fn updates(&self) -> Vec<EdgeUpdate> {
+        let mut book = WeightBook::new();
+        let mut seen: FxHashMap<(VertexId, VertexId), u64> = FxHashMap::default();
+        let mut updates = Vec::new();
+        for doc in self.documents() {
+            for (a, b) in doc.entity_pairs() {
+                let times = seen.entry((a.min(b), a.max(b))).or_insert(0);
+                let increment =
+                    BASE_INCREMENT + REINFORCEMENT * (*times).min(REINFORCEMENT_SATURATION) as f64;
+                *times += 1;
+                // Churn at the cap: a saturated hot pair keeps producing
+                // real (negative-then-positive) updates instead of clamped
+                // no-ops, mirroring post-normalisation measure behaviour.
+                if let Some(u) = book.churn(a, b, increment) {
+                    updates.push(u);
+                }
+            }
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::MAX_PAIR_WEIGHT;
+
+    #[test]
+    fn documents_are_deterministic_timestamped_and_single_topic() {
+        let w = DocCorpus::new(2_000, 9);
+        let docs = w.documents();
+        assert_eq!(docs.len(), 2_000);
+        assert_eq!(docs, w.documents());
+        let mut last_ts = f64::NEG_INFINITY;
+        for d in &docs {
+            assert!(d.timestamp > last_ts, "timestamps must advance");
+            last_ts = d.timestamp;
+            assert!((3..=5).contains(&d.entity_count()));
+            // One topic per document ⇒ one residue class per document.
+            let class = d.entities[0].0 % 8;
+            assert!(d.entities.iter().all(|e| e.0 % 8 == class));
+        }
+    }
+
+    #[test]
+    fn lowering_is_capped_and_self_reinforcing() {
+        let w = DocCorpus::new(2_000, 9);
+        let updates = w.updates();
+        assert!(!updates.is_empty());
+        assert_eq!(updates, w.updates());
+        let mut weights: FxHashMap<(VertexId, VertexId), f64> = FxHashMap::default();
+        let mut counts: FxHashMap<(VertexId, VertexId), u64> = FxHashMap::default();
+        for u in &updates {
+            assert_eq!(u.a.0 % 8, u.b.0 % 8, "cross-class edge {u:?}");
+            let entry = weights.entry((u.a, u.b)).or_insert(0.0);
+            *entry += u.delta;
+            assert!(*entry >= -1e-9 && *entry <= MAX_PAIR_WEIGHT + 1e-9);
+            *counts.entry((u.a, u.b)).or_insert(0) += 1;
+        }
+        // Preferential attachment concentrates repetitions: the hottest pair
+        // must dwarf the median pair.
+        let mut by_count: Vec<u64> = counts.values().copied().collect();
+        by_count.sort_unstable();
+        let median = by_count[by_count.len() / 2];
+        let max = *by_count.last().unwrap();
+        assert!(
+            max >= 4 * median.max(1),
+            "no self-reinforcement: max {max} vs median {median}"
+        );
+    }
+}

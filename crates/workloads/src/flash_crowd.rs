@@ -1,0 +1,208 @@
+//! The flash-crowd scenario: one story absorbs ~100x the traffic of any
+//! background community within seconds — the breaking-news burst that is the
+//! `Rebalancer`'s reason to exist.
+//!
+//! The stream has three phases over the update index:
+//!
+//! * **calm** (first 30%) — balanced background chatter across all residue
+//!   classes, indistinguishable from [`AlignedCommunities`];
+//! * **burst** (30%–60%) — ~99% of all updates hit the single hot story's
+//!   pairs. Pair weights would saturate the too-dense cap almost instantly
+//!   under that rate, so the generator *churns* saturated pairs (alternating
+//!   reinforce/weaken at the cap) — traffic volume stays at 100x while
+//!   weights stay inside `[0, 1.45]`, exactly how repeated co-mentions of an
+//!   already-saturated association behave after measure normalisation;
+//! * **cooldown** (last 40%) — background resumes and the crowd drifts away:
+//!   hot-story pairs receive occasional decay-like negative updates.
+//!
+//! All the hot story's vertices live in one congruence class, so under
+//! `ShardFn::Modulo` the burst lands on exactly one shard: its window share
+//! rockets from ~1/n to ~99%, which is the skew signal
+//! [`RebalancePolicy::min_share`] is tuned against — while the calm phase
+//! must *not* trip it (background shares sit near 1/n). The regression suite
+//! pins both sides.
+//!
+//! [`AlignedCommunities`]: crate::AlignedCommunities
+//! [`RebalancePolicy::min_share`]: dyndens_shard::RebalancePolicy
+
+use dyndens_graph::{EdgeUpdate, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{class_vertex, WeightBook, Workload};
+
+const ALIGNMENT: usize = 8;
+/// Background communities: two per residue class, sizes 4–5.
+const N_BACKGROUND: usize = 16;
+const BLOCK_SPAN: usize = 8;
+/// The residue class the hot story lives in (odd, so it lands on shard 1 of
+/// a 2-shard modulo fleet — distinguishable from "everything defaults to
+/// slot 0" bugs).
+const HOT_CLASS: usize = 5;
+/// Entities in the hot story.
+const HOT_SIZE: usize = 6;
+
+/// The flash-crowd workload. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashCrowd {
+    /// Stream length in updates.
+    pub n_updates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FlashCrowd {
+    /// A flash-crowd stream of `n_updates` updates.
+    pub fn new(n_updates: usize, seed: u64) -> Self {
+        FlashCrowd { n_updates, seed }
+    }
+
+    /// The update-index window of the burst phase: `[30%, 60%)` of the
+    /// stream. Rebalancer regression tests assert a split fires *inside*
+    /// this window (plus one policy check of slack) and never before it.
+    pub fn burst_range(&self) -> std::ops::Range<usize> {
+        (self.n_updates * 3 / 10)..(self.n_updates * 6 / 10)
+    }
+
+    /// The residue class (mod [`alignment`](Workload::alignment)) the hot
+    /// story's entities share — i.e. the base shard `HOT_CLASS % n_shards`
+    /// that absorbs the burst under `ShardFn::Modulo`.
+    pub fn hot_class(&self) -> usize {
+        HOT_CLASS
+    }
+
+    fn background(&self) -> Vec<Vec<VertexId>> {
+        (0..N_BACKGROUND)
+            .map(|g| {
+                // One size-4 and one size-5 community per residue class
+                // (g and g + 8 share class g % 8): community capacity — and
+                // with it the saturation dynamics that shape who absorbs
+                // retried updates — must not correlate with the shard a
+                // class routes to, or the calm phase itself would drift
+                // past the skew threshold.
+                let size = 4 + (g / ALIGNMENT) % 2;
+                (0..size)
+                    .map(|i| class_vertex(g, BLOCK_SPAN, i, ALIGNMENT, g % ALIGNMENT))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn hot_story(&self) -> Vec<VertexId> {
+        // Block N_BACKGROUND is untouched by the background communities.
+        (0..HOT_SIZE)
+            .map(|i| class_vertex(N_BACKGROUND, BLOCK_SPAN, i, ALIGNMENT, HOT_CLASS))
+            .collect()
+    }
+}
+
+impl Workload for FlashCrowd {
+    fn name(&self) -> &'static str {
+        "flash_crowd"
+    }
+
+    fn alignment(&self) -> usize {
+        ALIGNMENT
+    }
+
+    fn updates(&self) -> Vec<EdgeUpdate> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let background = self.background();
+        let hot = self.hot_story();
+        let burst = self.burst_range();
+        let mut book = WeightBook::new();
+        let mut updates = Vec::with_capacity(self.n_updates);
+
+        let background_update = |rng: &mut StdRng, book: &mut WeightBook| -> Option<EdgeUpdate> {
+            let group = &background[rng.gen_range(0..background.len())];
+            let a = group[rng.gen_range(0..group.len())];
+            let b = group[rng.gen_range(0..group.len())];
+            if a == b {
+                return None;
+            }
+            let magnitude = rng.gen_range(0.02..0.12);
+            if rng.gen_bool(0.15) {
+                book.weaken(a, b, magnitude)
+            } else {
+                book.reinforce(a, b, magnitude)
+            }
+        };
+
+        while updates.len() < self.n_updates {
+            let i = updates.len();
+            let update = if burst.contains(&i) && !rng.gen_bool(0.01) {
+                // The burst: ~99% of traffic lands on the hot story's pairs.
+                let a = hot[rng.gen_range(0..hot.len())];
+                let b = hot[rng.gen_range(0..hot.len())];
+                if a == b {
+                    continue;
+                }
+                book.churn(a, b, rng.gen_range(0.02..0.12))
+            } else if i >= burst.end && rng.gen_bool(0.10) {
+                // Cooldown: the crowd drifts away, hot pairs decay.
+                let a = hot[rng.gen_range(0..hot.len())];
+                let b = hot[rng.gen_range(0..hot.len())];
+                if a == b {
+                    continue;
+                }
+                book.weaken(a, b, rng.gen_range(0.02..0.12))
+            } else {
+                background_update(&mut rng, &mut book)
+            };
+            if let Some(u) = update {
+                updates.push(u);
+            }
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::MAX_PAIR_WEIGHT;
+    use dyndens_graph::FxHashMap;
+
+    #[test]
+    fn deterministic_aligned_and_capped() {
+        let w = FlashCrowd::new(8_000, 11);
+        let updates = w.updates();
+        assert_eq!(updates.len(), 8_000);
+        assert_eq!(updates, w.updates());
+        let mut weights: FxHashMap<(VertexId, VertexId), f64> = FxHashMap::default();
+        for u in &updates {
+            assert_eq!(u.a.0 % 8, u.b.0 % 8, "cross-class edge {u:?}");
+            let entry = weights.entry((u.a, u.b)).or_insert(0.0);
+            *entry += u.delta;
+            assert!(*entry >= -1e-9 && *entry <= MAX_PAIR_WEIGHT + 1e-9);
+        }
+    }
+
+    #[test]
+    fn burst_concentrates_traffic_on_the_hot_class() {
+        let w = FlashCrowd::new(10_000, 7);
+        let updates = w.updates();
+        let burst = w.burst_range();
+        let hot_in_burst = updates[burst.clone()]
+            .iter()
+            .filter(|u| u.a.0 as usize % 8 == w.hot_class())
+            .count();
+        assert!(
+            hot_in_burst as f64 >= 0.95 * burst.len() as f64,
+            "burst skew too weak: {hot_in_burst}/{}",
+            burst.len()
+        );
+        // The calm phase is balanced: the hot class carries roughly its fair
+        // share (2 of 16 background communities), nowhere near a skew signal.
+        let calm = &updates[..burst.start];
+        let hot_in_calm = calm
+            .iter()
+            .filter(|u| u.a.0 as usize % 8 == w.hot_class())
+            .count();
+        assert!(
+            (hot_in_calm as f64) < 0.3 * calm.len() as f64,
+            "calm phase already skewed: {hot_in_calm}/{}",
+            calm.len()
+        );
+    }
+}

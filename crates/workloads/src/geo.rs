@@ -1,0 +1,242 @@
+//! The geo-partitioned scenario: city-keyed signal streams whose stories
+//! must **evolve rather than duplicate** across waves — the rootsignal
+//! clustering playbook (evolve-don't-duplicate, zombie archival) expressed
+//! as an edge-update stream.
+//!
+//! Each of the eight cities is a residue class (mod 8), so under
+//! `ShardFn::Modulo` every city's signal lands wholly on one shard — the
+//! geo analogue of partition alignment. Per city, one *evolving story* runs
+//! through the stream in waves: each wave keeps the story's core members,
+//! drifts exactly one member out and one pool member in, and then
+//! * reinforces the **current** member pairs (the story evolves in place —
+//!   the same dense subgraph shifts membership rather than a near-duplicate
+//!   appearing beside it), and
+//! * decays the departed member's edges to zero with explicit negative
+//!   updates (**zombie archival** — a member that left must not linger as a
+//!   ghost in the dense set).
+//!
+//! A background community per city keeps the stream from being pure story
+//! signal. The invariant suite checks both halves: membership genuinely
+//! turns over across waves, and departed members' edges genuinely reach
+//! zero.
+
+use dyndens_graph::{EdgeUpdate, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{class_vertex, WeightBook, Workload};
+
+const ALIGNMENT: usize = 8;
+/// One city per residue class.
+const N_CITIES: usize = 8;
+/// Entity pool each city's story drifts through.
+const CITY_POOL: usize = 12;
+/// Live story members at any moment.
+const STORY_SIZE: usize = 5;
+const BLOCK_SPAN: usize = 16;
+/// Membership waves over the stream.
+const N_WAVES: usize = 8;
+
+/// Per-city evolution state while generating.
+struct CityStory {
+    pool: Vec<VertexId>,
+    members: Vec<VertexId>,
+    /// Pool index the next drift brings in.
+    next_in: usize,
+    /// Index (into `members`) the next drift sends out.
+    next_out: usize,
+    /// Departed-member pairs still carrying weight, to be decayed to zero.
+    retiring: Vec<(VertexId, VertexId)>,
+    wave: usize,
+}
+
+/// The geo-partitioned workload. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeoPartitioned {
+    /// Stream length in updates.
+    pub n_updates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeoPartitioned {
+    /// A geo-partitioned stream of `n_updates` updates.
+    pub fn new(n_updates: usize, seed: u64) -> Self {
+        GeoPartitioned { n_updates, seed }
+    }
+}
+
+impl Workload for GeoPartitioned {
+    fn name(&self) -> &'static str {
+        "geo_partitioned"
+    }
+
+    fn alignment(&self) -> usize {
+        ALIGNMENT
+    }
+
+    fn updates(&self) -> Vec<EdgeUpdate> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut cities: Vec<CityStory> = (0..N_CITIES)
+            .map(|c| {
+                let pool: Vec<VertexId> = (0..CITY_POOL)
+                    .map(|i| class_vertex(c, BLOCK_SPAN, i, ALIGNMENT, c))
+                    .collect();
+                let members = pool[..STORY_SIZE].to_vec();
+                CityStory {
+                    pool,
+                    members,
+                    next_in: STORY_SIZE,
+                    next_out: 0,
+                    retiring: Vec::new(),
+                    wave: 0,
+                }
+            })
+            .collect();
+        let backgrounds: Vec<Vec<VertexId>> = (0..N_CITIES)
+            .map(|c| {
+                (0..5)
+                    .map(|i| class_vertex(N_CITIES + c, BLOCK_SPAN, i, ALIGNMENT, c))
+                    .collect()
+            })
+            .collect();
+
+        let mut book = WeightBook::new();
+        let mut updates = Vec::with_capacity(self.n_updates);
+        let mut slot = 0usize;
+        while updates.len() < self.n_updates {
+            // Deterministic round-robin over cities keeps every class live.
+            let c = slot % N_CITIES;
+            slot += 1;
+            let wave = (updates.len() * N_WAVES / self.n_updates).min(N_WAVES - 1);
+            let city = &mut cities[c];
+
+            // Wave boundary: drift one member out, one in. The departed
+            // member's live edges join the retiring queue for decay.
+            if wave > city.wave {
+                city.wave = wave;
+                let out = city.members[city.next_out];
+                let incoming = city.pool[city.next_in];
+                city.members[city.next_out] = incoming;
+                city.next_out = (city.next_out + 1) % STORY_SIZE;
+                city.next_in = (city.next_in + 1) % CITY_POOL;
+                for &m in &city.members {
+                    if book.weight(out, m) > 0.0 {
+                        city.retiring.push((out, m));
+                    }
+                }
+            }
+
+            let update = if !city.retiring.is_empty() && rng.gen_bool(0.5) {
+                // Zombie archival: decay a departed member's edge.
+                let (a, b) = city.retiring[0];
+                match book.weaken(a, b, rng.gen_range(0.05..0.15)) {
+                    Some(u) => {
+                        if book.weight(a, b) == 0.0 {
+                            city.retiring.remove(0);
+                        }
+                        Some(u)
+                    }
+                    None => {
+                        city.retiring.remove(0);
+                        None
+                    }
+                }
+            } else if rng.gen_bool(0.75) {
+                // Evolve in place: reinforce the current membership.
+                let a = city.members[rng.gen_range(0..STORY_SIZE)];
+                let b = city.members[rng.gen_range(0..STORY_SIZE)];
+                if a == b {
+                    continue;
+                }
+                book.reinforce(a, b, rng.gen_range(0.04..0.12))
+            } else {
+                // Background chatter.
+                let group = &backgrounds[c];
+                let a = group[rng.gen_range(0..group.len())];
+                let b = group[rng.gen_range(0..group.len())];
+                if a == b {
+                    continue;
+                }
+                let magnitude = rng.gen_range(0.02..0.10);
+                if rng.gen_bool(0.15) {
+                    book.weaken(a, b, magnitude)
+                } else {
+                    book.reinforce(a, b, magnitude)
+                }
+            };
+            if let Some(u) = update {
+                updates.push(u);
+            }
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::MAX_PAIR_WEIGHT;
+    use dyndens_graph::FxHashMap;
+
+    #[test]
+    fn deterministic_aligned_and_capped() {
+        let w = GeoPartitioned::new(12_000, 31);
+        let updates = w.updates();
+        assert_eq!(updates.len(), 12_000);
+        assert_eq!(updates, w.updates());
+        let mut weights: FxHashMap<(VertexId, VertexId), f64> = FxHashMap::default();
+        for u in &updates {
+            assert_eq!(u.a.0 % 8, u.b.0 % 8, "cross-city edge {u:?}");
+            let entry = weights.entry((u.a, u.b)).or_insert(0.0);
+            *entry += u.delta;
+            assert!(*entry >= -1e-9 && *entry <= MAX_PAIR_WEIGHT + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stories_evolve_and_zombies_decay() {
+        let w = GeoPartitioned::new(16_000, 31);
+        let updates = w.updates();
+        let mut weights: FxHashMap<(VertexId, VertexId), f64> = FxHashMap::default();
+        for u in &updates {
+            let entry = weights.entry((u.a, u.b)).or_insert(0.0);
+            *entry += u.delta;
+            if entry.abs() < 1e-9 {
+                weights.remove(&(u.a, u.b));
+            }
+        }
+        for city in 0..N_CITIES as u32 {
+            // Evolution: membership turned over — story-pool vertices beyond
+            // the initial five carry weight by the end.
+            // A vertex is `(block * 16 + i) * 8 + city`; block == city is the
+            // city's story pool, and `i = (v/8) % 16` its pool index.
+            let story_vertices: std::collections::HashSet<u32> = weights
+                .iter()
+                .filter(|(&(a, _), &wt)| {
+                    wt > 0.05 && a.0 % 8 == city && (a.0 / 8) / BLOCK_SPAN as u32 == city
+                })
+                .flat_map(|(&(a, b), _)| {
+                    [(a.0 / 8) % BLOCK_SPAN as u32, (b.0 / 8) % BLOCK_SPAN as u32]
+                })
+                .collect();
+            assert!(
+                story_vertices.iter().any(|&i| i >= STORY_SIZE as u32),
+                "city {city}: story never evolved past its initial members"
+            );
+            // Zombie archival: the first drifted-out member (pool index 0,
+            // departed at wave 1 of {N_WAVES}) carries no residual weight.
+            let zombie = class_vertex(city as usize, BLOCK_SPAN, 0, ALIGNMENT, city as usize);
+            let residual: f64 = weights
+                .iter()
+                .filter(|(&(a, b), _)| a == zombie || b == zombie)
+                .map(|(_, &wt)| wt)
+                .sum();
+            assert!(
+                residual < 0.05,
+                "city {city}: departed member still carries weight {residual}"
+            );
+        }
+        assert!(updates.iter().any(|u| u.is_negative()));
+    }
+}

@@ -1,0 +1,503 @@
+//! The shared differential oracle: drives any [`Workload`] through the full
+//! stack and asserts **bit-exact** story sets at every checkpoint.
+//!
+//! One oracle run compares a single-engine reference against four legs:
+//!
+//! 1. **sharded** — `ShardedDynDens` with 1, 2 and 4 shards;
+//! 2. **recovery** — a persistent 2-shard fleet killed mid-stream (drop
+//!    without shutdown) and recovered (newest snapshot + WAL tail replay);
+//! 3. **rebalance** — a 2-shard fleet split mid-stream, then the sibling
+//!    pair merged back, topology changing twice under live ingest;
+//! 4. **serve** — a push-fed [`Mirror`] subscribed over TCP, plus a
+//!    late-joining mirror that bootstraps purely from resync snapshots.
+//!
+//! "Bit-exact" is literal: every story's density must carry the same `f64`
+//! bit pattern as the single engine's, which the stack guarantees under the
+//! [`Workload`] contract (partition alignment + capped weights keep the
+//! partitioning invariant exact, and the engine's canonical processing
+//! order makes scores reproducible to the bit). The oracle *checks* the
+//! precondition too: a workload that drifts into the too-dense regime
+//! (star markers) fails its report rather than silently comparing
+//! approximations.
+//!
+//! The repository-level equivalence suites (`tests/sharded_equivalence.rs`,
+//! `tests/workload_scenarios.rs`, ...) are thin wrappers over this module;
+//! the `scenario_matrix` bench emits one `BENCH_scenarios.json` row per
+//! workload from the same [`OracleReport`].
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dyndens_core::{DynDens, DynDensConfig};
+use dyndens_density::AvgWeight;
+use dyndens_graph::{EdgeUpdate, VertexSet};
+use dyndens_serve::{Client, Mirror, StoryServer};
+use dyndens_shard::{
+    FsyncPolicy, PersistenceConfig, RebalancePolicy, ShardConfig, ShardFn, ShardedDynDens,
+};
+
+use crate::workload::Workload;
+
+/// Ingest chunk size used by every leg (matches the equivalence suites).
+const CHUNK: usize = 256;
+
+/// The canonical engine configuration of the equivalence suites: `T = 1`,
+/// `Nmax = 4`, `delta_it = 0.15` over [`AvgWeight`].
+pub fn engine_config() -> DynDensConfig {
+    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+}
+
+/// The canonical sharded configuration: modulo routing (what partition
+/// alignment is defined against) with 64-update micro-batches.
+pub fn shard_config(n_shards: usize) -> ShardConfig {
+    ShardConfig::new(n_shards)
+        .with_shard_fn(ShardFn::Modulo)
+        .with_max_batch(64)
+}
+
+/// A deterministic [`RebalancePolicy`] for scenario tests and benches: the
+/// queue-depth trigger is disabled (queue depth depends on thread timing;
+/// the tests drive decisions after `flush`, when queues are empty anyway)
+/// and the share window is scaled to `window_updates` so the production
+/// 60%-split / 5%-merge thresholds can be exercised on short streams.
+pub fn scenario_policy(window_updates: u64) -> RebalancePolicy {
+    RebalancePolicy {
+        min_queue_depth: u64::MAX,
+        min_total_updates: window_updates,
+        ..RebalancePolicy::default()
+    }
+}
+
+/// Story sets sorted by vertex set, densities as raw bits — the canonical
+/// comparison shape: equality is bit-equality.
+pub fn sorted_bits(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, u64)> {
+    sets.sort_by(|a, b| a.0.cmp(&b.0));
+    sets.into_iter().map(|(s, d)| (s, d.to_bits())).collect()
+}
+
+/// The outcome of one oracle leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegReport {
+    /// Leg name: `sharded`, `recovery`, `rebalance` or `serve`.
+    pub leg: &'static str,
+    /// Whether the leg's story sets matched the reference bit for bit.
+    pub bit_exact: bool,
+    /// What matched, or the first divergence.
+    pub detail: String,
+}
+
+/// The outcome of a full oracle run over one workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// The workload's [`name`](Workload::name).
+    pub workload: String,
+    /// Stream length in updates.
+    pub n_updates: usize,
+    /// Output-dense story count of the single-engine reference.
+    pub output_dense: usize,
+    /// Star markers the reference created — must be 0 (the too-dense
+    /// precondition of exact sharded equivalence).
+    pub star_markers: u64,
+    /// One report per leg run.
+    pub legs: Vec<LegReport>,
+}
+
+impl OracleReport {
+    /// `true` when every leg matched bit for bit *and* the workload stayed
+    /// below the too-dense regime.
+    pub fn bit_exact(&self) -> bool {
+        self.star_markers == 0 && self.legs.iter().all(|l| l.bit_exact)
+    }
+
+    /// Panics with the first divergence unless [`bit_exact`](Self::bit_exact).
+    pub fn assert_bit_exact(&self) {
+        assert_eq!(
+            self.star_markers, 0,
+            "{}: workload entered the too-dense regime, exact equivalence is off the table",
+            self.workload
+        );
+        for leg in &self.legs {
+            assert!(
+                leg.bit_exact,
+                "{}: {} leg diverged: {}",
+                self.workload, leg.leg, leg.detail
+            );
+        }
+    }
+}
+
+/// Which legs [`Oracle::run_legs`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leg {
+    /// Sharded fleet (1/2/4 shards) vs. the single engine.
+    Sharded,
+    /// Kill-and-recover mid-stream on a persistent 2-shard fleet.
+    Recovery,
+    /// Split then merge mid-stream on a 2-shard fleet.
+    Rebalance,
+    /// Push-fed serve [`Mirror`] plus a late-joining resync mirror.
+    Serve,
+}
+
+/// All four legs, the default of [`Oracle::run`].
+pub const ALL_LEGS: [Leg; 4] = [Leg::Sharded, Leg::Recovery, Leg::Rebalance, Leg::Serve];
+
+/// The differential oracle over one materialised workload stream. See the
+/// [module docs](self).
+pub struct Oracle {
+    name: String,
+    updates: Vec<EdgeUpdate>,
+}
+
+impl Oracle {
+    /// An oracle over `workload`'s update stream.
+    pub fn new(workload: &dyn Workload) -> Self {
+        Oracle {
+            name: workload.name().to_string(),
+            updates: workload.updates(),
+        }
+    }
+
+    /// An oracle over a raw update stream (for streams that don't come from
+    /// a [`Workload`], like the canonical 50k equivalence stream).
+    pub fn from_updates(name: impl Into<String>, updates: Vec<EdgeUpdate>) -> Self {
+        Oracle {
+            name: name.into(),
+            updates,
+        }
+    }
+
+    /// The stream under test.
+    pub fn updates(&self) -> &[EdgeUpdate] {
+        &self.updates
+    }
+
+    /// Runs every leg. See [`run_legs`](Self::run_legs).
+    pub fn run(&self) -> OracleReport {
+        self.run_legs(&ALL_LEGS)
+    }
+
+    /// Builds the single-engine reference, then drives the requested legs
+    /// against it. Nothing panics on divergence — the report carries the
+    /// verdicts (tests call [`OracleReport::assert_bit_exact`], the bench
+    /// serialises the flags).
+    pub fn run_legs(&self, legs: &[Leg]) -> OracleReport {
+        let (want, star_markers) = self.reference();
+        let mut reports = Vec::with_capacity(legs.len());
+        for leg in legs {
+            reports.push(match leg {
+                Leg::Sharded => self.sharded_leg(&want),
+                Leg::Recovery => self.recovery_leg(&want),
+                Leg::Rebalance => self.rebalance_leg(&want),
+                Leg::Serve => self.serve_leg(&want),
+            });
+        }
+        OracleReport {
+            workload: self.name.clone(),
+            n_updates: self.updates.len(),
+            output_dense: want.len(),
+            star_markers,
+            legs: reports,
+        }
+    }
+
+    /// The single-engine ground truth: output-dense story sets (bit form)
+    /// and the star-marker count (too-dense precondition probe).
+    fn reference(&self) -> (Vec<(VertexSet, u64)>, u64) {
+        let mut engine = DynDens::new(AvgWeight, engine_config());
+        let mut events = Vec::new();
+        for u in &self.updates {
+            engine.apply_update_into(*u, &mut events);
+            events.clear();
+        }
+        engine.validate().expect("reference engine invariants");
+        let markers = engine.stats().star_markers_created;
+        (sorted_bits(engine.output_dense_subgraphs()), markers)
+    }
+
+    fn sharded_leg(&self, want: &[(VertexSet, u64)]) -> LegReport {
+        for n_shards in [1usize, 2, 4] {
+            let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(n_shards));
+            for chunk in self.updates.chunks(CHUNK) {
+                fleet.apply_batch(chunk);
+            }
+            fleet.flush();
+            if let Err(e) = fleet.validate() {
+                return leg_failed("sharded", format!("{n_shards} shards: {e}"));
+            }
+            if let Err(detail) = compare(want, &sorted_bits(fleet.output_dense())) {
+                return leg_failed("sharded", format!("{n_shards} shards: {detail}"));
+            }
+            if fleet.stats().updates != self.updates.len() as u64 {
+                return leg_failed("sharded", format!("{n_shards} shards: ledger mismatch"));
+            }
+        }
+        leg_ok(
+            "sharded",
+            format!("1/2/4 shards == single engine ({} sets)", want.len()),
+        )
+    }
+
+    fn recovery_leg(&self, want: &[(VertexSet, u64)]) -> LegReport {
+        let dir = self.temp_dir("recovery");
+        let persistence = || {
+            PersistenceConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_snapshot_every_batches(8)
+        };
+        let chunks: Vec<&[EdgeUpdate]> = self.updates.chunks(CHUNK).collect();
+        let kill_at = chunks.len() / 2;
+        {
+            let mut doomed = match ShardedDynDens::with_persistence(
+                AvgWeight,
+                engine_config(),
+                shard_config(2),
+                persistence(),
+            ) {
+                Ok(fleet) => fleet,
+                Err(e) => return leg_failed("recovery", format!("fresh deployment: {e}")),
+            };
+            for chunk in &chunks[..kill_at] {
+                doomed.apply_batch(chunk);
+            }
+            doomed.flush();
+            // Dropping without shutdown is the kill: nothing but the WAL
+            // (written before every apply) and cadence snapshots survive.
+        }
+        let mut recovered = match ShardedDynDens::with_persistence(
+            AvgWeight,
+            engine_config(),
+            shard_config(2),
+            persistence(),
+        ) {
+            Ok(fleet) => fleet,
+            Err(e) => return leg_failed("recovery", format!("recovery: {e}")),
+        };
+        let pre_crash: u64 = chunks[..kill_at].iter().map(|c| c.len() as u64).sum();
+        let recovered_seq: u64 = recovered
+            .recovery_reports()
+            .iter()
+            .map(|r| r.recovered_seq)
+            .sum();
+        if recovered_seq != pre_crash {
+            return leg_failed(
+                "recovery",
+                format!("recovered seq {recovered_seq} != {pre_crash} pre-crash updates"),
+            );
+        }
+        for chunk in &chunks[kill_at..] {
+            recovered.apply_batch(chunk);
+        }
+        recovered.flush();
+        let verdict = compare(want, &sorted_bits(recovered.output_dense()));
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+        match verdict {
+            Ok(()) => leg_ok(
+                "recovery",
+                format!("kill at update {pre_crash} + recover == never crashed"),
+            ),
+            Err(detail) => leg_failed("recovery", detail),
+        }
+    }
+
+    fn rebalance_leg(&self, want: &[(VertexSet, u64)]) -> LegReport {
+        let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+        let third = self.updates.len() / 3;
+        for chunk in self.updates[..third].chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        let split = match fleet.split_shard(0) {
+            Ok(report) => report,
+            Err(e) => return leg_failed("rebalance", format!("split: {e}")),
+        };
+        for chunk in self.updates[third..2 * third].chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        if let Err(e) = fleet.merge_shards(split.slot, split.new_slot) {
+            return leg_failed("rebalance", format!("merge: {e}"));
+        }
+        for chunk in self.updates[2 * third..].chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        fleet.flush();
+        if let Err(e) = fleet.validate() {
+            return leg_failed("rebalance", e.to_string());
+        }
+        if fleet.stats().updates != self.updates.len() as u64 {
+            return leg_failed(
+                "rebalance",
+                "split+merge lost or double-counted updates".into(),
+            );
+        }
+        match compare(want, &sorted_bits(fleet.output_dense())) {
+            Ok(()) => leg_ok(
+                "rebalance",
+                "split @1/3 + merge @2/3 == untouched topology".into(),
+            ),
+            Err(detail) => leg_failed("rebalance", detail),
+        }
+    }
+
+    fn serve_leg(&self, want: &[(VertexSet, u64)]) -> LegReport {
+        // Untruncated top-k makes resync snapshots complete; small retention
+        // makes the late joiner genuinely take the resync path.
+        let mut fleet = ShardedDynDens::new(
+            AvgWeight,
+            engine_config(),
+            shard_config(2)
+                .with_top_k(usize::MAX)
+                .with_delta_retention(16),
+        );
+        let server = match StoryServer::builder(fleet.view())
+            .workers(2)
+            .bind("127.0.0.1:0")
+        {
+            Ok(server) => server,
+            Err(e) => return leg_failed("serve", format!("bind: {e}")),
+        };
+        let addr = server.local_addr();
+        let sub_client = match Client::builder()
+            .read_timeout(Some(Duration::from_secs(60)))
+            .connect(addr)
+        {
+            Ok(client) => client,
+            Err(e) => return leg_failed("serve", format!("connect: {e}")),
+        };
+        let mut sub = match sub_client.subscribe(&[]) {
+            Ok(sub) => sub,
+            Err(e) => return leg_failed("serve", format!("subscribe: {e}")),
+        };
+        let mut mirror = Mirror::new();
+        let drain =
+            |mirror: &mut Mirror, sub: &mut dyndens_serve::Subscription| -> Result<(), String> {
+                while let Some(batch) = sub.try_next().map_err(|e| e.to_string())? {
+                    mirror.apply(&batch).map_err(|e| e.to_string())?;
+                }
+                Ok(())
+            };
+        for chunk in self.updates.chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+            if let Err(e) = drain(&mut mirror, &mut sub) {
+                return leg_failed("serve", e);
+            }
+        }
+        fleet.flush();
+        let target = fleet.view().per_shard_seq();
+        while mirror.cursor() != target.as_slice() {
+            match sub.recv() {
+                Ok(Some(batch)) => {
+                    if let Err(e) = mirror.apply(&batch) {
+                        return leg_failed("serve", e.to_string());
+                    }
+                }
+                Ok(None) => return leg_failed("serve", "server hung up mid-stream".into()),
+                Err(e) => return leg_failed("serve", e.to_string()),
+            }
+        }
+        // Push-fed mirror: exact set membership (densities ride deltas and
+        // may trail until a resync, as on any delta-followed shard).
+        let want_sets: Vec<VertexSet> = want.iter().map(|(s, _)| s.clone()).collect();
+        if mirror.vertex_sets() != want_sets {
+            return leg_failed("serve", "push-fed mirror story sets diverge".into());
+        }
+        // A late joiner bootstraps purely from resync snapshots, which carry
+        // the engine's current scores: bit-exact sets *and* densities.
+        let mut poll_client = match Client::builder().connect(addr) {
+            Ok(client) => client,
+            Err(e) => return leg_failed("serve", format!("late connect: {e}")),
+        };
+        let mut late = Mirror::new();
+        loop {
+            match late.poll(&mut poll_client) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return leg_failed("serve", format!("late poll: {e}")),
+            }
+        }
+        match compare(want, &sorted_bits(late.story_sets())) {
+            Ok(()) => leg_ok(
+                "serve",
+                format!(
+                    "push-fed + late-resync mirrors == in-process view ({} events)",
+                    mirror.events_applied()
+                ),
+            ),
+            Err(detail) => leg_failed("serve", format!("late mirror: {detail}")),
+        }
+    }
+
+    fn temp_dir(&self, tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dyndens-oracle-{}-{tag}-{}",
+            self.name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+}
+
+fn leg_ok(leg: &'static str, detail: String) -> LegReport {
+    LegReport {
+        leg,
+        bit_exact: true,
+        detail,
+    }
+}
+
+fn leg_failed(leg: &'static str, detail: String) -> LegReport {
+    LegReport {
+        leg,
+        bit_exact: false,
+        detail,
+    }
+}
+
+/// First divergence between two sorted bit-form story families, or `Ok`.
+fn compare(want: &[(VertexSet, u64)], got: &[(VertexSet, u64)]) -> Result<(), String> {
+    if want.len() != got.len() {
+        return Err(format!(
+            "{} story sets, reference has {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    for ((gs, gd), (ws, wd)) in got.iter().zip(want) {
+        if gs != ws {
+            return Err(format!("sets diverge: {gs} vs {ws}"));
+        }
+        if gd != wd {
+            return Err(format!("score bits diverge on {gs}: {gd:#x} vs {wd:#x}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlignedCommunities;
+
+    #[test]
+    fn oracle_passes_on_a_small_aligned_stream() {
+        let report = Oracle::new(&AlignedCommunities::new(4_000, 17)).run_legs(&[Leg::Sharded]);
+        assert_eq!(report.workload, "aligned_communities");
+        assert_eq!(report.n_updates, 4_000);
+        assert!(report.output_dense > 0);
+        report.assert_bit_exact();
+    }
+
+    #[test]
+    fn compare_reports_first_divergence() {
+        let oracle = Oracle::from_updates("probe", AlignedCommunities::new(4_000, 3).updates());
+        let (want, markers) = oracle.reference();
+        assert_eq!(markers, 0);
+        assert!(!want.is_empty());
+        assert!(compare(&want, &want).is_ok());
+        assert!(compare(&want, &[]).unwrap_err().contains("story sets"));
+        let mut bent = want.clone();
+        bent[0].1 ^= 1;
+        assert!(compare(&want, &bent).unwrap_err().contains("score bits"));
+    }
+}

@@ -2,32 +2,26 @@
 //! must yield story sets bit-identical to a deployment that never split,
 //! while ingest on untouched shards keeps flowing during the split.
 //!
-//! The workload is the partition-aligned 50k-update stream of
-//! `tests/sharded_equivalence.rs` (communities drawn from congruence classes
-//! mod 8, weights below the too-dense regime). Under `ShardFn::Modulo` with
-//! 2 base shards, the routing bits consulted by splits are the binary digits
-//! of `v / 2`, so communities stay aligned through two levels of splitting —
-//! the partitioning invariant holds before *and* after every split, which is
+//! The workload is the canonical partition-aligned 50k-update stream
+//! (communities drawn from congruence classes mod 8, weights below the
+//! too-dense regime). Under `ShardFn::Modulo` with 2 base shards, the
+//! routing bits consulted by splits are the binary digits of `v / 2`, so
+//! communities stay aligned through two levels of splitting — the
+//! partitioning invariant holds before *and* after every split, which is
 //! what makes the comparison exact down to the score bits.
+//!
+//! The oracle's rebalance leg (see `dyndens_workloads::oracle`) covers the
+//! blocking split+merge path on every workload; this suite keeps the
+//! concurrency-sensitive variants — an [`IngestHandle`] feeding the fleet
+//! from inside the `Parked` phase — plus crash-reopen of changed topologies.
+
+mod support;
 
 use dyndens::prelude::*;
 use dyndens::shard::DeltaCatchUp;
-use dyndens_bench::shard_aligned_stream;
-
-fn engine_config() -> DynDensConfig {
-    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
-}
-
-fn shard_config(n: usize) -> ShardConfig {
-    ShardConfig::new(n)
-        .with_shard_fn(ShardFn::Modulo)
-        .with_max_batch(64)
-}
-
-fn sorted_bits(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, u64)> {
-    sets.sort_by(|a, b| a.0.cmp(&b.0));
-    sets.into_iter().map(|(s, d)| (s, d.to_bits())).collect()
-}
+use support::{
+    canonical_stream, engine_config, persistence_every, shard_config, sorted_bits, temp_dir, CHUNK,
+};
 
 /// The headline acceptance test: a persistent 2-shard deployment ingests the
 /// 50k stream; mid-stream, the hot shard is split (checkpoint + WAL-slice
@@ -39,11 +33,11 @@ fn sorted_bits(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, u64)> {
 /// crash + reopen must recover the refined topology with the same answer.
 #[test]
 fn split_mid_stream_matches_never_split_bit_identically() {
-    let updates = shard_aligned_stream(50_000, 8, 2012);
+    let updates = canonical_stream();
 
     // Never-split reference.
     let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
-    for chunk in updates.chunks(256) {
+    for chunk in updates.chunks(CHUNK) {
         reference.apply_batch(chunk);
     }
     let want = sorted_bits(reference.dense_subgraphs());
@@ -51,13 +45,8 @@ fn split_mid_stream_matches_never_split_bit_identically() {
     assert_eq!(reference.stats().updates, updates.len() as u64);
     drop(reference);
 
-    let dir = std::env::temp_dir().join(format!("dyndens-rebeq-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let persistence = || {
-        PersistenceConfig::new(&dir)
-            .with_fsync(FsyncPolicy::Never)
-            .with_snapshot_every_batches(16)
-    };
+    let dir = temp_dir("rebeq");
+    let persistence = || persistence_every(&dir, 16);
 
     let mut fleet = ShardedDynDens::with_persistence(
         AvgWeight,
@@ -68,7 +57,7 @@ fn split_mid_stream_matches_never_split_bit_identically() {
     .unwrap();
     let (head, rest) = updates.split_at(20_000);
     let (mid, tail) = rest.split_at(10_000);
-    for chunk in head.chunks(256) {
+    for chunk in head.chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     fleet.flush();
@@ -132,7 +121,7 @@ fn split_mid_stream_matches_never_split_bit_identically() {
         .delta_coverage_from(0)
         .is_none_or(|from| from >= seq0_at_park.get()));
 
-    for chunk in tail.chunks(256) {
+    for chunk in tail.chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     fleet.validate().unwrap();
@@ -176,24 +165,19 @@ fn split_mid_stream_matches_never_split_bit_identically() {
 /// topology with the same answer.
 #[test]
 fn merge_mid_stream_matches_never_merged_bit_identically() {
-    let updates = shard_aligned_stream(50_000, 8, 2012);
+    let updates = canonical_stream();
 
     // Never-refined reference.
     let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
-    for chunk in updates.chunks(256) {
+    for chunk in updates.chunks(CHUNK) {
         reference.apply_batch(chunk);
     }
     let want = sorted_bits(reference.dense_subgraphs());
     assert!(want.len() >= 10, "degenerate workload");
     drop(reference);
 
-    let dir = std::env::temp_dir().join(format!("dyndens-mergeeq-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let persistence = || {
-        PersistenceConfig::new(&dir)
-            .with_fsync(FsyncPolicy::Never)
-            .with_snapshot_every_batches(16)
-    };
+    let dir = temp_dir("mergeeq");
+    let persistence = || persistence_every(&dir, 16);
 
     let mut fleet = ShardedDynDens::with_persistence(
         AvgWeight,
@@ -206,13 +190,13 @@ fn merge_mid_stream_matches_never_merged_bit_identically() {
     let (between, rest) = rest.split_at(15_000);
     let (during, tail) = rest.split_at(10_000);
 
-    for chunk in head.chunks(256) {
+    for chunk in head.chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     fleet.flush();
     let split = fleet.split_shard(0).unwrap();
     assert_eq!(split.new_slot, 2);
-    for chunk in between.chunks(256) {
+    for chunk in between.chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     fleet.flush();
@@ -273,7 +257,7 @@ fn merge_mid_stream_matches_never_merged_bit_identically() {
         .delta_coverage_from(0)
         .is_none_or(|from| from >= merged_seq_at_park.get()));
 
-    for chunk in tail.chunks(256) {
+    for chunk in tail.chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     fleet.validate().unwrap();
@@ -308,9 +292,9 @@ fn merge_mid_stream_matches_never_merged_bit_identically() {
 /// in-memory partition path.
 #[test]
 fn repeated_in_memory_splits_stay_exact() {
-    let updates = shard_aligned_stream(20_000, 8, 77);
+    let updates = support::shard_aligned_stream(20_000, 8, 77);
     let mut reference = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
-    for chunk in updates.chunks(256) {
+    for chunk in updates.chunks(CHUNK) {
         reference.apply_batch(chunk);
     }
     let want = sorted_bits(reference.dense_subgraphs());
@@ -318,12 +302,12 @@ fn repeated_in_memory_splits_stay_exact() {
 
     let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
     let thirds = updates.len() / 3;
-    for chunk in updates[..thirds].chunks(256) {
+    for chunk in updates[..thirds].chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     let first = fleet.split_shard(0).unwrap();
     assert_eq!(first.generation, 1);
-    for chunk in updates[thirds..2 * thirds].chunks(256) {
+    for chunk in updates[thirds..2 * thirds].chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     // Split slot 0 again: its route-trie leaf now sits at depth 1, so the
@@ -331,7 +315,7 @@ fn repeated_in_memory_splits_stay_exact() {
     let second = fleet.split_shard(0).unwrap();
     assert_eq!(second.generation, 2);
     assert_eq!(fleet.n_shards(), 4);
-    for chunk in updates[2 * thirds..].chunks(256) {
+    for chunk in updates[2 * thirds..].chunks(CHUNK) {
         fleet.apply_batch(chunk);
     }
     fleet.validate().unwrap();
@@ -350,17 +334,8 @@ fn repeated_in_memory_splits_stay_exact() {
 fn follower_resyncs_cleanly_across_a_split() {
     use dyndens::serve::{Client, Mirror, StoryServer};
 
-    let updates = shard_aligned_stream(8_000, 8, 5);
-    // Untruncated top_k: resync snapshots carry the full per-shard story
-    // sets. Small retention: fresh cursors genuinely exercise the resync
-    // path rather than replaying the event stream from sequence zero.
-    let mut fleet = ShardedDynDens::new(
-        AvgWeight,
-        engine_config(),
-        shard_config(2)
-            .with_top_k(usize::MAX)
-            .with_delta_retention(16),
-    );
+    let updates = support::shard_aligned_stream(8_000, 8, 5);
+    let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), support::serve_shard_config(2));
     let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
     let mut client = Client::builder().connect(server.local_addr()).unwrap();
     let mut follower = Mirror::new();

@@ -1,0 +1,125 @@
+//! Rebalancer policy behaviour under the adversary workloads, pinning the
+//! production thresholds (60% split share, 5% merge share) against the two
+//! scenarios they were designed for:
+//!
+//! * `flash_crowd` must **fire** the rebalancer — at least one split lands
+//!   inside the burst window, none before it, and the fleet never merges
+//!   while the burst is on;
+//! * `adversarial_skew` must **not** cause a split storm — the windowed-rate
+//!   hysteresis (the share window resets on every topology change, and a
+//!   fresh window must fill before the next decision) caps an all-updates-
+//!   in-one-class adversary at one split per re-established window.
+//!
+//! The decision cadence uses `scenario_policy`: the queue-depth trigger is
+//! disabled (decisions are taken after `flush`, queues drained) so every
+//! verdict is a deterministic function of the stream alone.
+
+mod support;
+
+use dyndens::prelude::*;
+use dyndens::workloads::oracle::scenario_policy;
+use dyndens::workloads::{AdversarialSkew, FlashCrowd, Workload};
+use support::{engine_config, shard_config};
+
+/// Ingests `updates` in `window`-sized tranches, consulting the rebalancer
+/// after each; returns `(split_ends, merge_ends)` — the stream positions at
+/// which a split/merge fired (splits are executed, merges only picked).
+fn drive(updates: &[EdgeUpdate], window: usize) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
+    let mut rebalancer = Rebalancer::new(scenario_policy(window as u64));
+    let mut splits = Vec::new();
+    let mut merges = Vec::new();
+    for (i, chunk) in updates.chunks(window).enumerate() {
+        fleet.apply_batch(chunk);
+        fleet.flush();
+        let end = i * window + chunk.len();
+        if let Some(slot) = rebalancer.pick(&fleet) {
+            fleet.split_shard(slot).unwrap();
+            splits.push((end, slot));
+        }
+        if rebalancer.pick_merge(&fleet).is_some() {
+            merges.push(end);
+        }
+    }
+    fleet.validate().unwrap();
+    assert_eq!(fleet.stats().updates, updates.len() as u64);
+    (splits, merges)
+}
+
+#[test]
+fn flash_crowd_fires_the_rebalancer_inside_the_burst() {
+    let workload = FlashCrowd::new(24_000, 2026);
+    let updates = workload.updates();
+    let burst = workload.burst_range();
+    let window = 2_400;
+    let (splits, merges) = drive(&updates, window);
+
+    assert!(
+        !splits.is_empty(),
+        "the flash crowd must trip the skew trigger"
+    );
+    assert!(
+        splits.len() <= 3,
+        "split storm: {} splits from one burst: {splits:?}",
+        splits.len()
+    );
+    for &(end, _) in &splits {
+        assert!(
+            end > burst.start,
+            "split at stream position {end} predates the burst ({burst:?})"
+        );
+    }
+    // The first split lands while the crowd is still flashing: within one
+    // decision window of the first window fully inside the burst.
+    let first = splits[0].0;
+    assert!(
+        first <= burst.end + window,
+        "first split at {first} came only after the burst ({burst:?}) cooled"
+    );
+    // Hysteresis on the way down: the hot child is never merged back while
+    // the burst is still running.
+    assert!(
+        merges.iter().all(|&end| end > burst.end),
+        "merged mid-burst: {merges:?} (burst {burst:?})"
+    );
+}
+
+#[test]
+fn adversarial_skew_does_not_cause_a_split_storm() {
+    let workload = AdversarialSkew::new(24_000, 2026);
+    let updates = workload.updates();
+    let window = 6_000;
+    let (splits, merges) = drive(&updates, window);
+
+    // The skew is absolute (100% of updates in one class), so the trigger
+    // must fire...
+    assert!(
+        !splits.is_empty(),
+        "an all-in-one-class adversary must trip the skew trigger"
+    );
+    // ...but the window reset on every topology change caps the storm: with
+    // 4 decision points, at most every *other* one can split (establish,
+    // split, re-establish, split).
+    assert!(
+        splits.len() <= 2,
+        "split storm: {} splits in 4 windows: {splits:?}",
+        splits.len()
+    );
+    // Every split targets the one shard that owns the adversary's class —
+    // class 0 keeps routing bit 0 at every depth, so the hot slot never
+    // changes.
+    assert!(
+        splits.iter().all(|&(_, slot)| slot == 0),
+        "split picked a cold shard: {splits:?}"
+    );
+    // Consecutive splits are at least one full window apart (hysteresis).
+    for pair in splits.windows(2) {
+        assert!(
+            pair[1].0 - pair[0].0 >= 2 * window,
+            "back-to-back splits without a re-established window: {splits:?}"
+        );
+    }
+    // The near-empty split children never lure the policy into merging:
+    // their hot sibling disqualifies every candidate pair.
+    assert!(merges.is_empty(), "merged under absolute skew: {merges:?}");
+}

@@ -3,35 +3,28 @@
 //! [`StoryView`] reader observes, on the same 50k-update partition-aligned
 //! stream the sharded-equivalence suite uses — both when polling continuously
 //! during ingest (the delta path) and when joining late (the resync path).
+//!
+//! The oracle's serve leg (see `dyndens_workloads::oracle`) runs the pushed
+//! subscription path on every workload; this suite keeps the poll-driven
+//! follower, the wire-level top-k/stats/error checks, and the
+//! subscription-across-split scenario.
+
+mod support;
 
 use dyndens::prelude::*;
 use dyndens::serve::{Client, Mirror, ShardPoll, StoryServer};
-use dyndens_bench::shard_aligned_stream;
 use std::time::Duration;
-
-fn sorted_sets(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, f64)> {
-    sets.sort_by(|a, b| a.0.cmp(&b.0));
-    sets
-}
+use support::{canonical_stream, engine_config, serve_shard_config, sorted_sets};
 
 #[test]
 fn polling_client_reconstructs_story_sets_on_50k_stream() {
-    let updates = shard_aligned_stream(50_000, 8, 2012);
-    let mut fleet = ShardedDynDens::new(
-        AvgWeight,
-        DynDensConfig::new(1.0, 4).with_delta_it(0.15),
-        ShardConfig::new(2)
-            .with_shard_fn(ShardFn::Modulo)
-            .with_max_batch(64)
-            // Publish the *full* story set per shard (no top-k truncation),
-            // so resync snapshots are complete and the reconstruction claim
-            // is exact. Retention far below the stream's ~98 publications
-            // per shard makes a late joiner genuinely exercise the resync
-            // path below, while a continuously-polling follower (one poll
-            // per 512-update chunk) stays comfortably covered.
-            .with_top_k(usize::MAX)
-            .with_delta_retention(16),
-    );
+    let updates = canonical_stream();
+    // Untruncated top-k publication + small retention (see
+    // `support::serve_shard_config`): resync snapshots are complete, so the
+    // reconstruction claim is exact, while a late joiner genuinely exercises
+    // the resync path below. A continuously-polling follower (one poll per
+    // 512-update chunk) stays comfortably covered by the retention.
+    let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), serve_shard_config(2));
     let server = StoryServer::bind("127.0.0.1:0", fleet.view()).unwrap();
     let addr = server.local_addr();
 
@@ -173,16 +166,8 @@ fn named_stories_and_error_replies() {
 /// ever re-registering.
 #[test]
 fn subscriber_mirror_survives_a_mid_stream_shard_split() {
-    let updates = shard_aligned_stream(16_000, 8, 77);
-    let mut fleet = ShardedDynDens::new(
-        AvgWeight,
-        DynDensConfig::new(1.0, 4).with_delta_it(0.15),
-        ShardConfig::new(2)
-            .with_shard_fn(ShardFn::Modulo)
-            .with_max_batch(64)
-            .with_top_k(usize::MAX)
-            .with_delta_retention(16),
-    );
+    let updates = support::shard_aligned_stream(16_000, 8, 77);
+    let mut fleet = ShardedDynDens::new(AvgWeight, engine_config(), serve_shard_config(2));
     let server = StoryServer::builder(fleet.view())
         .workers(2)
         .bind("127.0.0.1:0")

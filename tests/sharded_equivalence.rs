@@ -2,94 +2,50 @@
 //!
 //! The central acceptance property: on a partition-aligned stream (each
 //! planted community's edges owned by one shard, weights below the too-dense
-//! regime — see `dyndens_bench::shard_aligned_stream`), `ShardedDynDens`
+//! regime — see `dyndens_workloads::shard_aligned_stream`), `ShardedDynDens`
 //! with N ∈ {1, 2, 4} shards reports **exactly** the output-dense set of a
-//! single `DynDens` engine fed the same 50k-update stream.
+//! single `DynDens` engine fed the same 50k-update stream. The comparison
+//! itself lives in the differential oracle (`dyndens_workloads::oracle`);
+//! this suite runs its sharded leg on the canonical stream and keeps the
+//! view-consistency and determinism checks that sit outside the oracle.
+
+mod support;
 
 use dyndens::prelude::*;
-use dyndens_bench::shard_aligned_stream;
-
-fn engine_config() -> DynDensConfig {
-    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
-}
-
-fn sorted_output(mut sets: Vec<(VertexSet, f64)>) -> Vec<(VertexSet, f64)> {
-    sets.sort_by(|a, b| a.0.cmp(&b.0));
-    sets
-}
+use support::{canonical_stream, engine_config, shard_config, sorted_sets, Leg, Oracle};
 
 #[test]
 fn sharded_matches_single_engine_on_50k_update_stream() {
-    let updates = shard_aligned_stream(50_000, 8, 2012);
-
-    // Ground truth: the single-threaded engine over the interleaved stream.
-    let mut reference = DynDens::new(AvgWeight, engine_config());
-    let mut events = Vec::new();
-    for u in &updates {
-        reference.apply_update_into(*u, &mut events);
-        events.clear();
-    }
-    reference.validate().unwrap();
-    // The workload must stay below the too-dense regime, otherwise the
-    // partitioning invariant (and this comparison) would not be exact.
-    assert_eq!(
-        reference.stats().star_markers_created,
-        0,
-        "workload entered the too-dense regime"
-    );
-    let want = sorted_output(reference.output_dense_subgraphs());
+    let report = Oracle::from_updates("canonical", canonical_stream()).run_legs(&[Leg::Sharded]);
     assert!(
-        want.len() >= 10,
+        report.output_dense >= 10,
         "degenerate workload: only {} output-dense subgraphs",
-        want.len()
+        report.output_dense
     );
+    report.assert_bit_exact();
+}
 
-    for n_shards in [1usize, 2, 4] {
-        let mut sharded = ShardedDynDens::new(
-            AvgWeight,
-            engine_config(),
-            ShardConfig::new(n_shards)
-                .with_shard_fn(ShardFn::Modulo)
-                .with_max_batch(64),
+#[test]
+fn view_snapshot_agrees_with_ledger_and_sorts_by_density() {
+    let updates = canonical_stream();
+    let mut sharded = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(4));
+    for chunk in updates.chunks(support::CHUNK) {
+        sharded.apply_batch(chunk);
+    }
+    sharded.flush();
+    let total = sharded.output_dense().len();
+
+    // The non-blocking view agrees on volume and serves the densest stories
+    // first.
+    let view = sharded.view();
+    let merged = view.snapshot();
+    assert_eq!(merged.seq, updates.len() as u64);
+    assert_eq!(merged.output_dense_total, total);
+    for pair in merged.stories.windows(2) {
+        assert!(
+            pair[0].1 >= pair[1].1 - 1e-12,
+            "view stories not sorted by density"
         );
-        for chunk in updates.chunks(256) {
-            sharded.apply_batch(chunk);
-        }
-        sharded.validate().unwrap();
-        let got = sorted_output(sharded.output_dense());
-
-        assert_eq!(
-            got.len(),
-            want.len(),
-            "{n_shards} shards: {} output-dense subgraphs, single engine has {}",
-            got.len(),
-            want.len()
-        );
-        for ((gs, gd), (ws, wd)) in got.iter().zip(&want) {
-            assert_eq!(gs, ws, "{n_shards} shards: sets diverge");
-            assert!(
-                (gd - wd).abs() < 1e-9,
-                "{n_shards} shards: density of {gs} diverges ({gd} vs {wd})"
-            );
-        }
-
-        // The merged work ledger accounts for every update exactly once.
-        let stats = sharded.stats();
-        assert_eq!(stats.updates, updates.len() as u64);
-        assert_eq!(stats.updates, reference.stats().updates);
-
-        // The non-blocking view agrees on volume and serves the densest
-        // stories first.
-        let view = sharded.view();
-        let merged = view.snapshot();
-        assert_eq!(merged.seq, updates.len() as u64);
-        assert_eq!(merged.output_dense_total, want.len());
-        for pair in merged.stories.windows(2) {
-            assert!(
-                pair[0].1 >= pair[1].1 - 1e-12,
-                "view stories not sorted by density"
-            );
-        }
     }
 }
 
@@ -97,15 +53,13 @@ fn sharded_matches_single_engine_on_50k_update_stream() {
 fn sharded_ingest_is_deterministic_across_runs() {
     // Same stream, same shard count, different interleavings of worker
     // scheduling: per-shard FIFO routing makes the result deterministic.
-    let updates = shard_aligned_stream(10_000, 4, 7);
+    let updates = support::shard_aligned_stream(10_000, 4, 7);
     let mut answers = Vec::new();
     for _run in 0..3 {
         let mut sharded = ShardedDynDens::new(
             AvgWeight,
             engine_config(),
-            ShardConfig::new(4)
-                .with_shard_fn(ShardFn::Modulo)
-                .with_max_batch(32),
+            shard_config(4).with_max_batch(32),
         );
         // Mix the single-update and batched ingest paths.
         let (head, tail) = updates.split_at(updates.len() / 2);
@@ -113,7 +67,7 @@ fn sharded_ingest_is_deterministic_across_runs() {
             sharded.apply_update(*u);
         }
         sharded.apply_batch(tail);
-        answers.push(sorted_output(sharded.output_dense()));
+        answers.push(sorted_sets(sharded.output_dense()));
     }
     assert_eq!(answers[0], answers[1]);
     assert_eq!(answers[1], answers[2]);
@@ -127,21 +81,20 @@ fn hashed_sharding_still_unions_disjoint_communities() {
     // minimum happens to; instead of exactness we check the weaker, always
     // guaranteed properties: determinism, validity, and soundness of every
     // reported subgraph with respect to its own shard's slice.
-    let updates = shard_aligned_stream(10_000, 8, 99);
-    let mut sharded = ShardedDynDens::new(
-        AvgWeight,
-        engine_config(),
-        ShardConfig::new(4).with_max_batch(64),
-    );
+    let updates = support::shard_aligned_stream(10_000, 8, 99);
+    let hashed = |_| {
+        ShardedDynDens::new(
+            AvgWeight,
+            engine_config(),
+            ShardConfig::new(4).with_max_batch(64),
+        )
+    };
+    let mut sharded = hashed(());
     sharded.apply_batch(&updates);
     sharded.validate().unwrap();
     let got = sharded.output_dense();
     // Deterministic repeat.
-    let mut again = ShardedDynDens::new(
-        AvgWeight,
-        engine_config(),
-        ShardConfig::new(4).with_max_batch(64),
-    );
+    let mut again = hashed(());
     again.apply_batch(&updates);
-    assert_eq!(sorted_output(got), sorted_output(again.output_dense()));
+    assert_eq!(sorted_sets(got), sorted_sets(again.output_dense()));
 }

@@ -9,36 +9,10 @@
 //! engine guarantees by canonicalising its exploration order and
 //! serialising scores as raw bits (see `dyndens_core::snapshot`).
 
-use std::path::PathBuf;
+mod support;
 
 use dyndens::prelude::*;
-use dyndens_bench::shard_aligned_stream;
-
-const N_UPDATES: usize = 50_000;
-const CHUNK: usize = 256;
-
-fn engine_config() -> DynDensConfig {
-    DynDensConfig::new(1.0, 4).with_delta_it(0.15)
-}
-
-fn shard_config() -> ShardConfig {
-    ShardConfig::new(2)
-        .with_shard_fn(ShardFn::Modulo)
-        .with_max_batch(64)
-}
-
-fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("dyndens-walreplay-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn persistence(dir: &PathBuf) -> PersistenceConfig {
-    PersistenceConfig::new(dir)
-        .with_fsync(FsyncPolicy::Never)
-        .with_snapshot_every_batches(8)
-        .with_segment_max_bytes(64 << 10)
-}
+use support::{canonical_stream, engine_config, persistence, shard_config, temp_dir, CHUNK};
 
 /// The two quantities the acceptance criterion compares, with scores as raw
 /// bits so equality is bit-equality.
@@ -66,11 +40,11 @@ fn answer(deployment: &ShardedDynDens<AvgWeight>) -> Answer {
 
 #[test]
 fn crash_at_any_batch_then_recover_equals_never_crashed() {
-    let updates = shard_aligned_stream(N_UPDATES, 8, 2012);
+    let updates = canonical_stream();
     let chunks: Vec<&[EdgeUpdate]> = updates.chunks(CHUNK).collect();
 
     // Ground truth: an uninterrupted (non-persistent) deployment.
-    let mut uninterrupted = ShardedDynDens::new(AvgWeight, engine_config(), shard_config());
+    let mut uninterrupted = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(2));
     for chunk in &chunks {
         uninterrupted.apply_batch(chunk);
     }
@@ -85,7 +59,7 @@ fn crash_at_any_batch_then_recover_equals_never_crashed() {
     // final batch (recovery must also cope with "nothing left to ingest").
     let kill_points = [1usize, chunks.len() / 2, chunks.len()];
     for (label, k) in ["first", "middle", "last"].iter().zip(kill_points) {
-        let dir = temp_dir(label);
+        let dir = temp_dir(&format!("walreplay-{label}"));
 
         // Phase 1: ingest the first k batches, then crash. Dropping the
         // facade without any shutdown checkpoint leaves exactly what a kill
@@ -95,7 +69,7 @@ fn crash_at_any_batch_then_recover_equals_never_crashed() {
             let mut doomed = ShardedDynDens::with_persistence(
                 AvgWeight,
                 engine_config(),
-                shard_config(),
+                shard_config(2),
                 persistence(&dir),
             )
             .expect("fresh persistent deployment");
@@ -109,7 +83,7 @@ fn crash_at_any_batch_then_recover_equals_never_crashed() {
         let mut recovered = ShardedDynDens::with_persistence(
             AvgWeight,
             engine_config(),
-            shard_config(),
+            shard_config(2),
             persistence(&dir),
         )
         .unwrap_or_else(|e| panic!("kill at {label} batch: recovery failed: {e}"));
@@ -136,8 +110,7 @@ fn crash_at_any_batch_then_recover_equals_never_crashed() {
             assert_eq!(gs, ws, "kill at {label}: dense sets diverge");
             assert_eq!(
                 gd, wd,
-                "kill at {label}: score bits diverge on {gs} ({:x} vs {:x})",
-                gd, wd
+                "kill at {label}: score bits diverge on {gs} ({gd:x} vs {wd:x})"
             );
         }
         assert_eq!(
@@ -155,13 +128,13 @@ fn recovered_stats_do_not_double_count_replayed_updates() {
     // The BENCH_shard throughput ledgers merge per-shard EngineStats; a
     // recovered deployment must report the snapshot-time counters plus any
     // *new* ingest, never the replayed WAL tail a second time.
-    let updates = shard_aligned_stream(5_000, 8, 77);
-    let dir = temp_dir("stats");
+    let updates = support::shard_aligned_stream(5_000, 8, 77);
+    let dir = temp_dir("walreplay-stats");
     {
         let mut doomed = ShardedDynDens::with_persistence(
             AvgWeight,
             engine_config(),
-            shard_config(),
+            shard_config(2),
             persistence(&dir),
         )
         .unwrap();
@@ -171,7 +144,7 @@ fn recovered_stats_do_not_double_count_replayed_updates() {
     let recovered = ShardedDynDens::with_persistence(
         AvgWeight,
         engine_config(),
-        shard_config(),
+        shard_config(2),
         persistence(&dir),
     )
     .unwrap();
