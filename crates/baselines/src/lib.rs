@@ -16,19 +16,34 @@
 //! * [`flow`] / [`goldberg`] — a Dinic max-flow solver and Goldberg's
 //!   max-density subgraph algorithm, used for the offline Top-1 variant
 //!   discussed in Section 4.2.2.
+//!
+//! Two of the baselines are additionally packaged as pluggable
+//! [`MaintenanceEngine`](dyndens_core::MaintenanceEngine) backends, runnable
+//! under the full sharded/WAL/rebalance stack and the cross-backend
+//! differential oracle (see `docs/BACKENDS.md`):
+//!
+//! * [`backend`] — [`RecomputeEngine`]: periodic full rebuild by log replay
+//!   (bit-exact with DynDens at rebuild boundaries).
+//! * [`topk_peeling`] — [`TopKPeelingEngine`]: read-time greedy peeling in
+//!   the style of fully-dynamic top-k densest maintenance (approximate,
+//!   gated on a density-ratio bound).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod brute_force;
 pub mod flow;
 pub mod goldberg;
 pub mod grasp;
 pub mod recompute;
 pub mod stix;
+pub mod topk_peeling;
 
+pub use backend::{RecomputeBlueprint, RecomputeEngine};
 pub use brute_force::BruteForce;
 pub use goldberg::densest_subgraph;
 pub use grasp::{Grasp, GraspConfig};
 pub use recompute::recompute;
 pub use stix::StixCliques;
+pub use topk_peeling::{TopKPeelingBlueprint, TopKPeelingEngine};

@@ -1,0 +1,264 @@
+//! The backend matrix: every pluggable maintenance backend driven through
+//! every workload in the scenario library, measured and judged in one run.
+//!
+//! Per backend × workload, the bench reports:
+//!
+//! * **ingest rate** — wall-clock updates/sec through a persistent 2-shard
+//!   fleet of that backend (WAL + cadence checkpoints on, the deployment
+//!   shape the backends compete under);
+//! * **snapshot bytes** — the single-engine checkpoint size at end of
+//!   stream, the backend's state-footprint proxy;
+//! * **recovery time** — wall-clock milliseconds to reopen the killed
+//!   persistent fleet (newest snapshots + WAL tail replay);
+//! * **quality ratio** — the top-q density ratio against the exact DynDens
+//!   referee ([`top_q_density_ratio`](dyndens_workloads::oracle::top_q_density_ratio));
+//! * **the harness verdict** — the cross-backend differential oracle's full
+//!   run: sharded/recovery/rebalance/serve deployment legs (bit-exact
+//!   against a single engine of the same backend) plus the `quality` leg
+//!   under the backend's declared comparison mode (bit-exact for `dyndens`
+//!   and for `recompute` at rebuild boundaries, density ratio >= 0.8 for
+//!   `topk-peeling`).
+//!
+//! Prints a table and writes `BENCH_backends.json` with one row per
+//! backend × workload; CI's backend-matrix step gates on every row having
+//! passed, on `recompute` rows carrying `quality_ratio == 1`, and on
+//! `topk-peeling` rows clearing the 0.8 bound.
+//!
+//! Env knobs: `BACKEND_UPDATES` (default 8000) scales every stream.
+//!
+//! Run with `cargo run --release -p dyndens-bench --bin backend_matrix`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dyndens_baselines::{RecomputeBlueprint, TopKPeelingBlueprint};
+use dyndens_bench::Table;
+use dyndens_core::{DynDensBlueprint, EngineBlueprint, MaintenanceEngine};
+use dyndens_density::AvgWeight;
+use dyndens_shard::{FsyncPolicy, PersistenceConfig, ShardedFleet};
+use dyndens_workloads::oracle::{engine_config, shard_config};
+use dyndens_workloads::{
+    AdversarialSkew, AlignedCommunities, Backend, BackendReport, CompareMode, DocCorpus,
+    FlashCrowd, GeoPartitioned, Oracle, Workload, ALL_BACKENDS,
+};
+
+const N_SHARDS: usize = 2;
+const CHUNK: usize = 512;
+
+struct Row {
+    backend: &'static str,
+    workload: String,
+    n_updates: usize,
+    updates_per_sec: f64,
+    snapshot_bytes: usize,
+    recovery_ms: f64,
+    report: BackendReport,
+}
+
+fn temp_dir(backend: Backend, workload: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dyndens-backend-matrix-{}-{workload}-{}",
+        backend.kind(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn measure_with<B: EngineBlueprint>(
+    blueprint: B,
+    backend: Backend,
+    workload: &dyn Workload,
+) -> Row {
+    let updates = workload.updates();
+    let dir = temp_dir(backend, workload.name());
+    let persistence = || {
+        PersistenceConfig::new(&dir)
+            .with_fsync(FsyncPolicy::Never)
+            .with_snapshot_every_batches(8)
+    };
+
+    // Ingest rate through a persistent fleet, killed at end of stream.
+    let start = Instant::now();
+    {
+        let mut fleet = ShardedFleet::with_backend_persistence(
+            blueprint.clone(),
+            shard_config(N_SHARDS),
+            persistence(),
+        )
+        .expect("fresh persistent deployment");
+        for chunk in updates.chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        fleet.flush();
+        // Dropping without shutdown is the kill.
+    }
+    let ingest_secs = start.elapsed().as_secs_f64();
+
+    // Recovery time: reopen the killed directory.
+    let recovery_started = Instant::now();
+    let recovered = ShardedFleet::with_backend_persistence(
+        blueprint.clone(),
+        shard_config(N_SHARDS),
+        persistence(),
+    )
+    .expect("recovery deployment");
+    let recovery_ms = recovery_started.elapsed().as_secs_f64() * 1e3;
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // State footprint: the single-engine checkpoint size at end of stream.
+    let mut single = blueprint.fresh();
+    let mut events = Vec::new();
+    for u in &updates {
+        single.apply_update_into(*u, &mut events);
+        events.clear();
+    }
+    let snapshot_bytes = single.snapshot().len();
+
+    // The harness verdict runs on fresh deployments, independent of the
+    // measured fleet above.
+    let report = Oracle::new(workload).run_backend(backend);
+
+    Row {
+        backend: backend.kind(),
+        workload: report.workload.clone(),
+        n_updates: updates.len(),
+        updates_per_sec: updates.len() as f64 / ingest_secs,
+        snapshot_bytes,
+        recovery_ms,
+        report,
+    }
+}
+
+fn measure(backend: Backend, workload: &dyn Workload) -> Row {
+    let config = engine_config();
+    match backend {
+        Backend::DynDens => {
+            measure_with(DynDensBlueprint::new(AvgWeight, config), backend, workload)
+        }
+        Backend::Recompute => measure_with(
+            RecomputeBlueprint::new(AvgWeight, config, 1),
+            backend,
+            workload,
+        ),
+        Backend::TopKPeeling => measure_with(
+            TopKPeelingBlueprint::new(AvgWeight, config, 4),
+            backend,
+            workload,
+        ),
+    }
+}
+
+fn mode_str(mode: CompareMode) -> String {
+    match mode {
+        CompareMode::BitExact => "bit-exact".to_string(),
+        CompareMode::DensityRatio(bound) => format!("density-ratio>={bound}"),
+    }
+}
+
+fn json_row(row: &Row) -> String {
+    let legs: Vec<String> = row
+        .report
+        .legs
+        .iter()
+        .map(|l| {
+            format!(
+                "          {{\"leg\": \"{}\", \"passed\": {}}}",
+                l.leg, l.bit_exact
+            )
+        })
+        .collect();
+    format!(
+        "        \"{}\": {{\n          \"n_updates\": {},\n          \"updates_per_sec\": {:.1},\n          \
+         \"snapshot_bytes\": {},\n          \"recovery_ms\": {:.2},\n          \
+         \"output_dense\": {},\n          \"quality_ratio\": {:.6},\n          \
+         \"star_markers\": {},\n          \"passed\": {},\n          \"legs\": [\n{}\n          ]\n        }}",
+        row.workload,
+        row.n_updates,
+        row.updates_per_sec,
+        row.snapshot_bytes,
+        row.recovery_ms,
+        row.report.output_dense,
+        row.report.quality_ratio,
+        row.report.star_markers,
+        row.report.passed(),
+        legs.join(",\n")
+    )
+}
+
+fn main() {
+    let n_updates: usize = std::env::var("BACKEND_UPDATES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    // Documents lower to ~6 pair-updates each; size the corpus to match the
+    // other streams' update volume.
+    let n_docs = (n_updates / 6).max(100);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("{cores} CPU core(s) available, {n_updates} updates per workload");
+
+    let aligned = AlignedCommunities::new(n_updates, 2012);
+    let flash = FlashCrowd::new(n_updates, 2026);
+    let skew = AdversarialSkew::new(n_updates, 2026);
+    let docs = DocCorpus::new(n_docs, 2026);
+    let geo = GeoPartitioned::new(n_updates, 2026);
+    let workloads: [&dyn Workload; 5] = [&aligned, &flash, &skew, &docs, &geo];
+
+    let mut rows: Vec<Row> = Vec::with_capacity(ALL_BACKENDS.len() * workloads.len());
+    for backend in ALL_BACKENDS {
+        for workload in workloads {
+            rows.push(measure(backend, workload));
+        }
+    }
+
+    let mut table = Table::new(
+        "Backend matrix (persistent 2-shard fleets, full differential harness)",
+        &[
+            "backend", "workload", "upd/s", "snap KiB", "rec ms", "dense", "quality", "passed",
+        ],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.backend.to_string(),
+            row.workload.clone(),
+            format!("{:.0}", row.updates_per_sec),
+            format!("{:.1}", row.snapshot_bytes as f64 / 1024.0),
+            format!("{:.1}", row.recovery_ms),
+            row.report.output_dense.to_string(),
+            format!("{:.3}", row.report.quality_ratio),
+            row.report.passed().to_string(),
+        ]);
+    }
+    table.print();
+
+    for row in &rows {
+        row.report.assert_passed();
+    }
+
+    let mut backend_blocks: Vec<String> = Vec::new();
+    for backend in ALL_BACKENDS {
+        let workload_rows: Vec<String> = rows
+            .iter()
+            .filter(|r| r.backend == backend.kind())
+            .map(json_row)
+            .collect();
+        backend_blocks.push(format!(
+            "    \"{}\": {{\n      \"mode\": \"{}\",\n      \"workloads\": {{\n{}\n      }}\n    }}",
+            backend.kind(),
+            mode_str(backend.compare_mode()),
+            workload_rows.join(",\n")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"n_updates\": {n_updates},\n  \"cpu_cores\": {cores},\n  \"n_shards\": \
+         {N_SHARDS},\n  \"backends\": {{\n{}\n  }}\n}}\n",
+        backend_blocks.join(",\n")
+    );
+    match std::fs::write("BENCH_backends.json", json) {
+        Ok(()) => println!("wrote BENCH_backends.json"),
+        Err(e) => eprintln!("failed to write BENCH_backends.json: {e}"),
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`threshold_update`] — dynamic threshold adjustment (Section 6).
 //! * [`evict`] — decay-driven eviction of fully-decayed edges and orphaned
 //!   vertices, the engine half of memory-bounded forever-runs.
+//! * [`maintenance`] — the pluggable-backend seam: the [`MaintenanceEngine`]
+//!   trait the sharded subsystem is generic over, and the
+//!   [`EngineBlueprint`] factories that build/restore/pin engines.
 //! * [`config`], [`events`] — configuration and reporting types.
 //!
 //! ## Quick start
@@ -55,6 +58,7 @@ pub mod events;
 pub mod evict;
 pub mod heuristics;
 pub mod index;
+pub mod maintenance;
 pub mod snapshot;
 pub mod threshold_update;
 
@@ -64,6 +68,7 @@ pub use events::{DenseEvent, EngineStats};
 pub use evict::EvictionReport;
 pub use heuristics::{DegreePrioritize, MaxExploreBound};
 pub use index::{NodeId, SubgraphIndex, SubgraphInfo};
+pub use maintenance::{encode_config_params, DynDensBlueprint, EngineBlueprint, MaintenanceEngine};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 // Re-export the substrate crates so downstream users only need one dependency.

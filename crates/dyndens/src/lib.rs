@@ -50,13 +50,17 @@ pub use dyndens_workloads as workloads;
 
 /// Commonly used items, importable with `use dyndens::prelude::*`.
 pub mod prelude {
-    pub use dyndens_core::{DenseEvent, DynDens, DynDensConfig, EngineStats};
+    pub use dyndens_baselines::{RecomputeBlueprint, TopKPeelingBlueprint};
+    pub use dyndens_core::{
+        DenseEvent, DynDens, DynDensBlueprint, DynDensConfig, EngineBlueprint, EngineStats,
+        MaintenanceEngine,
+    };
     pub use dyndens_density::{AvgDegree, AvgWeight, DensityMeasure, SqrtDens, ThresholdFamily};
     pub use dyndens_graph::{DynamicGraph, EdgeUpdate, VertexId, VertexSet};
     pub use dyndens_shard::{
         FsyncPolicy, IngestHandle, MergePhase, MergeReport, PersistenceConfig, RebalanceError,
         RebalancePolicy, Rebalancer, RecoveryReport, ShardConfig, ShardFn, ShardedDynDens,
-        SplitPhase, SplitReport, StoryView,
+        ShardedFleet, SplitPhase, SplitReport, StoryView,
     };
 }
 

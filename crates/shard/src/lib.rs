@@ -6,6 +6,15 @@
 //! partition-parallel streaming-graph systems (S-Graffito; Nasir et al.'s
 //! partitioned top-k densest-subgraph maintenance).
 //!
+//! Since the backend seam landed, the whole layer is **generic over the
+//! maintenance strategy**: [`ShardedFleet`] drives any
+//! [`dyndens_core::MaintenanceEngine`] (built, restored and fingerprinted by
+//! an [`dyndens_core::EngineBlueprint`]) through identical routing, WAL,
+//! recovery, rebalance and serving machinery, and [`ShardedDynDens`] is its
+//! canonical DynDens specialisation. The deployment `MANIFEST` pins the
+//! engine kind, so a directory written by one backend can never be reopened
+//! under another. See `docs/BACKENDS.md`.
+//!
 //! ## Architecture
 //!
 //! ```text
@@ -129,7 +138,7 @@ pub use rebalance::{
     MergePhase, MergeReport, RebalanceError, RebalancePolicy, Rebalancer, SplitPhase, SplitReport,
 };
 pub use recovery::{RecoveryError, RecoveryReport};
-pub use sharded::{IngestHandle, ShardedDynDens};
+pub use sharded::{IngestHandle, ShardedDynDens, ShardedFleet};
 pub use view::{
     DeltaBatch, DeltaCatchUp, DeltaRing, EpochCell, MergedStories, PublishWaker, ShardSnapshot,
     StoryView,

@@ -31,7 +31,7 @@
 //!
 //! The children are rebuilt by *filtered replay*: the parent's newest
 //! checkpoint is partitioned by the refined routing
-//! ([`DynDens::partition_by`]), then the WAL slice past it is replayed with
+//! ([`MaintenanceEngine::partition_by`]), then the WAL slice past it is replayed with
 //! each update routed to the child that now owns its minimum endpoint.
 //! Under the partitioning invariant (no maintained subgraph spans the two
 //! children — see the crate docs) each child is **bit-identical** to an
@@ -61,7 +61,7 @@
 //!
 //! On decaying workloads, slices go cold: their stories decay out, their
 //! traffic dries up, and a fleet split for a long-gone hot spot pays the
-//! per-shard overhead forever. [`ShardedDynDens::merge_shards`] coarsens two
+//! per-shard overhead forever. [`ShardedFleet::merge_shards`] coarsens two
 //! **sibling** slots (leaves of one `Split` trie node — see
 //! [`ShardMap::merge_candidates`]) back into one:
 //!
@@ -75,7 +75,7 @@
 //!              to the merged worker; routing serves the coarsened map
 //! ```
 //!
-//! The merged engine is the children's union ([`DynDens::absorb`]), so a
+//! The merged engine is the children's union ([`MaintenanceEngine::absorb`]), so a
 //! merge mid-stream yields bit-identical story sets to a fleet that never
 //! split at all (`tests/rebalance_equivalence.rs`). Failure containment
 //! mirrors the split: a failed rebuild resurrects **both** children from
@@ -89,14 +89,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use dyndens_core::{DynDens, DynDensConfig, EngineStats};
-use dyndens_density::DensityMeasure;
+use dyndens_core::{EngineBlueprint, EngineStats, MaintenanceEngine};
 use dyndens_graph::{MergeSpec, ShardMap, VertexId};
 use dyndens_obs::{names, ObsEvent, RebalanceStage};
 
 use crate::config::PersistenceConfig;
 use crate::recovery::{self, RecoveryError};
-use crate::sharded::{spawn_worker, ShardTx, ShardedDynDens};
+use crate::sharded::{spawn_worker, ShardTx, ShardedFleet};
 use crate::view::{DeltaRing, EpochCell, ShardRoster, ShardSnapshot};
 use crate::wal::{self, WalWriter};
 use crate::worker::{self, WorkerMsg, WorkerPersistence};
@@ -168,7 +167,7 @@ impl std::fmt::Display for RebalanceError {
 impl std::error::Error for RebalanceError {}
 
 /// The milestones of one split, reported to the observer callback of
-/// [`ShardedDynDens::split_shard_with`]. Operational monitoring can hang off
+/// [`ShardedFleet::split_shard_with`]. Operational monitoring can hang off
 /// these; the equivalence tests use [`Parked`](SplitPhase::Parked) to ingest
 /// concurrently and prove that untouched shards keep applying updates while
 /// the split shard is down.
@@ -211,7 +210,7 @@ pub struct SplitReport {
 }
 
 /// The milestones of one merge, reported to the observer callback of
-/// [`ShardedDynDens::merge_shards_with`]. The mirror image of
+/// [`ShardedFleet::merge_shards_with`]. The mirror image of
 /// [`SplitPhase`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MergePhase {
@@ -297,7 +296,7 @@ impl Default for RebalancePolicy {
 /// Detects hot shards from the fleet's live signals and drives splits.
 ///
 /// The two signals are the ones the facade already maintains: per-slot
-/// **ingest queue depth** ([`ShardedDynDens::queue_depths`], routed minus
+/// **ingest queue depth** ([`ShardedFleet::queue_depths`], routed minus
 /// applied — the backpressure measure) and the per-slot share of updates
 /// applied **since the previous check**, derived from the published
 /// [`ShardSnapshot`] stats (the skew measure). The share signal is a *rate*,
@@ -361,7 +360,7 @@ impl Rebalancer {
     /// behind); the applied-share skew signal backs it up, computed over the
     /// window since the previous `pick` (the first call after construction
     /// or a topology change only establishes the window).
-    pub fn pick<D: DensityMeasure>(&mut self, fleet: &ShardedDynDens<D>) -> Option<usize> {
+    pub fn pick<B: EngineBlueprint>(&mut self, fleet: &ShardedFleet<B>) -> Option<usize> {
         let view = fleet.view();
         let applied: Vec<u64> = (0..view.n_shards())
             .map(|s| view.shard_snapshot(s).stats.updates)
@@ -418,9 +417,9 @@ impl Rebalancer {
     /// Splits the hottest shard if any slot crosses the thresholds. Returns
     /// `None` when the fleet is balanced (or while the share window is still
     /// being established).
-    pub fn maybe_split<D: DensityMeasure>(
+    pub fn maybe_split<B: EngineBlueprint>(
         &mut self,
-        fleet: &mut ShardedDynDens<D>,
+        fleet: &mut ShardedFleet<B>,
     ) -> Option<Result<SplitReport, RebalanceError>> {
         let slot = self.pick(fleet)?;
         Some(fleet.split_shard(slot))
@@ -438,9 +437,9 @@ impl Rebalancer {
     /// and merging would churn topology for nothing. Like
     /// [`pick`](Rebalancer::pick), the first call after construction or a
     /// topology change only establishes the window.
-    pub fn pick_merge<D: DensityMeasure>(
+    pub fn pick_merge<B: EngineBlueprint>(
         &mut self,
-        fleet: &ShardedDynDens<D>,
+        fleet: &ShardedFleet<B>,
     ) -> Option<(usize, usize)> {
         let view = fleet.view();
         let applied: Vec<u64> = (0..view.n_shards())
@@ -480,9 +479,9 @@ impl Rebalancer {
     /// Merges the coldest sibling pair if one qualifies. Returns `None` when
     /// no pair crosses the cold thresholds (or while the window is still
     /// being established).
-    pub fn maybe_merge<D: DensityMeasure>(
+    pub fn maybe_merge<B: EngineBlueprint>(
         &mut self,
-        fleet: &mut ShardedDynDens<D>,
+        fleet: &mut ShardedFleet<B>,
     ) -> Option<Result<MergeReport, RebalanceError>> {
         let (a, b) = self.pick_merge(fleet)?;
         Some(fleet.merge_shards(a, b))
@@ -495,7 +494,7 @@ struct RebuildDetail {
     replayed: u64,
 }
 
-impl<D: DensityMeasure> ShardedDynDens<D> {
+impl<B: EngineBlueprint> ShardedFleet<B> {
     /// Splits worker `slot` into two shards: the bit-0 child keeps `slot`,
     /// the bit-1 child takes a new slot, and the routing table advances one
     /// generation. Equivalent to
@@ -585,7 +584,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         // 3. Rebuild the children; on failure, resurrect the parent.
         let keep = |v: VertexId| new_map.route(v) == slot;
         let built = self.build_children(&keep, slot, parent_seq, &spec, &new_map);
-        let (child_zero, child_one, persist, detail) = match built {
+        let (mut child_zero, mut child_one, persist, detail) = match built {
             Ok(parts) => parts,
             Err(e) => {
                 self.resurrect_parent(slot, parent_seq, park_rx);
@@ -610,7 +609,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         // delta rings start empty, so pollers resync exactly as after crash
         // recovery.
         let (persist_zero, persist_one) = persist;
-        let fresh_cell = |shard: usize, engine: &DynDens<D>| {
+        let fresh_cell = |shard: usize, engine: &mut B::Engine| {
             let cell = Arc::new(EpochCell::new(ShardSnapshot::empty(shard)));
             cell.store_with_seq(
                 Arc::new(worker::build_snapshot(
@@ -627,9 +626,9 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         };
         let mut cells = roster.cells.clone();
         let mut rings = roster.rings.clone();
-        cells[slot] = fresh_cell(slot, &child_zero);
+        cells[slot] = fresh_cell(slot, &mut child_zero);
         rings[slot] = Arc::new(DeltaRing::new(self.config.delta_retention));
-        cells.push(fresh_cell(spec.new_slot, &child_one));
+        cells.push(fresh_cell(spec.new_slot, &mut child_one));
         rings.push(Arc::new(DeltaRing::new(self.config.delta_retention)));
         let engine_zero = Arc::new(Mutex::new(child_zero));
         let engine_one = Arc::new(Mutex::new(child_one));
@@ -791,7 +790,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     ///
     /// For persistent deployments the merged engine is rebuilt from the two
     /// children's own durable state — each recovered to its quiesce point,
-    /// then absorbed into one engine ([`DynDens::absorb`]) — and the merge
+    /// then absorbed into one engine ([`MaintenanceEngine::absorb`]) — and the merge
     /// commits durably via the same atomic manifest rewrite as a split.
     /// In-memory deployments absorb the live engines directly. If the
     /// rebuild fails, both children are resurrected from their intact state
@@ -894,7 +893,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             stats
         };
         let built = self.build_merged(&spec, (seq_zero, seq_one), live_stats, &new_map);
-        let (merged, persist) = match built {
+        let (mut merged, persist) = match built {
             Ok(parts) => parts,
             Err(e) => {
                 self.resurrect_merge_children(&spec, park_rx);
@@ -919,7 +918,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         fresh.store_with_seq(
             Arc::new(worker::build_snapshot(
                 spec.slot,
-                &merged,
+                &mut merged,
                 merged_seq,
                 merged_seq,
                 &[],
@@ -1057,32 +1056,24 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         (seq_zero, seq_one): (u64, u64),
         live_stats: EngineStats,
         new_map: &ShardMap,
-    ) -> Result<(DynDens<D>, Option<WorkerPersistence>), RebalanceError> {
+    ) -> Result<(B::Engine, Option<WorkerPersistence>), RebalanceError> {
         let mut merged = match &self.persistence {
             Some(p) => {
                 // Each child recovers from its own durable state, which a
                 // clean quiesce left complete: its newest checkpoint plus
                 // its WAL tail must reach the quiesce point exactly.
-                let recover = |engine_id: u64,
-                               slot: usize,
-                               want: u64|
-                 -> Result<DynDens<D>, RebalanceError> {
-                    let dir = recovery::shard_dir(&p.dir, engine_id);
-                    let rec = recovery::recover_shard(
-                        self.measure.clone(),
-                        &self.engine_config,
-                        slot,
-                        &dir,
-                        p,
-                    )?;
-                    if rec.seq != want {
-                        return Err(RebalanceError::HistoryGap {
-                            expected: want,
-                            found: rec.seq,
-                        });
-                    }
-                    Ok(rec.engine)
-                };
+                let recover =
+                    |engine_id: u64, slot: usize, want: u64| -> Result<B::Engine, RebalanceError> {
+                        let dir = recovery::shard_dir(&p.dir, engine_id);
+                        let rec = recovery::recover_shard(&self.blueprint, slot, &dir, p)?;
+                        if rec.seq != want {
+                            return Err(RebalanceError::HistoryGap {
+                                expected: want,
+                                found: rec.seq,
+                            });
+                        }
+                        Ok(rec.engine)
+                    };
                 let mut zero = recover(spec.zero_engine, spec.zero_slot, seq_zero)?;
                 let one = recover(spec.one_engine, spec.one_slot, seq_one)?;
                 zero.absorb(one);
@@ -1112,8 +1103,9 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                 // coarsened topology.
                 recovery::rewrite_manifest(
                     &p.dir,
-                    self.measure.name(),
-                    &self.engine_config,
+                    self.blueprint.kind(),
+                    self.blueprint.measure_name(),
+                    &self.blueprint.params(),
                     new_map,
                 )?;
                 Some(wp)
@@ -1147,13 +1139,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                     routing.map.engine_of(slot).unwrap_or(slot as u64)
                 };
                 let dir = recovery::shard_dir(&p.dir, engine_id);
-                match recovery::recover_shard(
-                    self.measure.clone(),
-                    &self.engine_config,
-                    slot,
-                    &dir,
-                    &p,
-                ) {
+                match recovery::recover_shard(&self.blueprint, slot, &dir, &p) {
                     Ok(rec) => recovered.push((slot, dir, rec)),
                     Err(e) => {
                         // Double fault: both siblings stay parked until a
@@ -1270,8 +1256,8 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         new_map: &ShardMap,
     ) -> Result<
         (
-            DynDens<D>,
-            DynDens<D>,
+            B::Engine,
+            B::Engine,
             (Option<WorkerPersistence>, Option<WorkerPersistence>),
             RebuildDetail,
         ),
@@ -1285,11 +1271,11 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         let (mut child_zero, mut child_one, detail) = match &self.persistence {
             Some(p) => {
                 let dir = recovery::shard_dir(&p.dir, spec.parent_engine);
-                rebuild_from_disk(&self.measure, &self.engine_config, &dir, parent_seq, keep)?
+                rebuild_from_disk(&self.blueprint, &dir, parent_seq, keep)?
             }
             None => {
                 let parent = self.engines[slot].lock().expect("shard engine poisoned");
-                let (zero, one) = parent.partition_by(keep);
+                let (zero, one) = parent.partition_by(&mut |v| keep(v));
                 (
                     zero,
                     one,
@@ -1313,8 +1299,9 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                 // topology.
                 recovery::rewrite_manifest(
                     &p.dir,
-                    self.measure.name(),
-                    &self.engine_config,
+                    self.blueprint.kind(),
+                    self.blueprint.measure_name(),
+                    &self.blueprint.params(),
                     new_map,
                 )?;
                 (Some(zero), Some(one))
@@ -1343,13 +1330,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
                     routing.map.engine_of(slot).unwrap_or(slot as u64)
                 };
                 let dir = recovery::shard_dir(&p.dir, engine_id);
-                match recovery::recover_shard(
-                    self.measure.clone(),
-                    &self.engine_config,
-                    slot,
-                    &dir,
-                    p,
-                ) {
+                match recovery::recover_shard(&self.blueprint, slot, &dir, p) {
                     Ok(rec) => {
                         debug_assert_eq!(rec.seq, parent_seq);
                         self.engines[slot] = Arc::new(Mutex::new(rec.engine));
@@ -1403,20 +1384,19 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
 /// child. Mirrors `recovery::recover_shard`, with the same torn-tail /
 /// mid-log-corruption discipline — except that after a clean quiesce a torn
 /// tail is genuine corruption, so any dirty segment is a hard error.
-fn rebuild_from_disk<D: DensityMeasure>(
-    measure: &D,
-    engine_config: &DynDensConfig,
+fn rebuild_from_disk<B: EngineBlueprint>(
+    blueprint: &B,
     dir: &std::path::Path,
     target_seq: u64,
     keep: &impl Fn(VertexId) -> bool,
-) -> Result<(DynDens<D>, DynDens<D>, RebuildDetail), RebalanceError> {
+) -> Result<(B::Engine, B::Engine, RebuildDetail), RebalanceError> {
     // Newest parseable snapshot, falling back to older retained ones.
-    let mut base: Option<DynDens<D>> = None;
+    let mut base: Option<B::Engine> = None;
     let mut snapshot_seq = 0u64;
     let mut last_snapshot_error: Option<RecoveryError> = None;
     for (_, path) in recovery::list_snapshots(dir)?.into_iter().rev() {
         match recovery::read_snapshot(&path).and_then(|(s, bytes)| {
-            match DynDens::restore(measure.clone(), &bytes) {
+            match blueprint.restore(&bytes) {
                 Ok(e) => Ok((s, e)),
                 Err(e) => Err(RecoveryError::Snapshot(e)),
             }
@@ -1431,9 +1411,9 @@ fn rebuild_from_disk<D: DensityMeasure>(
     }
     let base = match base {
         Some(e) => e,
-        None => DynDens::new(measure.clone(), engine_config.clone()),
+        None => blueprint.fresh(),
     };
-    let (mut zero, mut one) = base.partition_by(keep);
+    let (mut zero, mut one) = base.partition_by(&mut |v| keep(v));
     let mut seq = snapshot_seq;
     let mut replayed = 0u64;
     zero.set_recovering(true);
@@ -1494,11 +1474,11 @@ fn rebuild_from_disk<D: DensityMeasure>(
 /// from a previously crashed, uncommitted split — engine ids are only
 /// consumed by the manifest rewrite), a snapshot at the split point, and a
 /// fresh WAL positioned to append from it.
-fn persist_child<D: DensityMeasure>(
+fn persist_child<E: MaintenanceEngine>(
     p: &PersistenceConfig,
     engine_id: u64,
     seq: u64,
-    child: &DynDens<D>,
+    child: &E,
 ) -> Result<WorkerPersistence, RebalanceError> {
     let dir = recovery::shard_dir(&p.dir, engine_id);
     if dir.exists() {
@@ -1520,6 +1500,8 @@ fn persist_child<D: DensityMeasure>(
 mod tests {
     use super::*;
     use crate::config::{FsyncPolicy, ShardConfig, ShardFn};
+    use crate::sharded::ShardedDynDens;
+    use dyndens_core::DynDensConfig;
     use dyndens_density::AvgWeight;
     use dyndens_graph::{EdgeUpdate, VertexSet};
 

@@ -3,9 +3,9 @@
 //! Each shard persists two artifacts into its directory:
 //!
 //! * **snapshots** (`snap-<seq>.snap`) — the engine's full
-//!   [`DynDens::snapshot`] image at sequence number `seq`, wrapped in a
-//!   CRC-framed file header, written atomically (temp file + rename) every
-//!   [`PersistenceConfig::snapshot_every_batches`] micro-batches;
+//!   [`MaintenanceEngine::snapshot`] image at sequence number `seq`, wrapped
+//!   in a CRC-framed file header, written atomically (temp file + rename)
+//!   every [`PersistenceConfig::snapshot_every_batches`] micro-batches;
 //! * **WAL segments** (see [`crate::wal`]) — every routed micro-batch,
 //!   appended *before* it is applied.
 //!
@@ -27,12 +27,11 @@ use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
-use dyndens_core::{DeltaIt, DynDens, DynDensConfig, SnapshotError};
-use dyndens_density::DensityMeasure;
+use dyndens_core::{EngineBlueprint, MaintenanceEngine, SnapshotError};
 
 use crate::config::{PersistenceConfig, ShardConfig};
 use crate::wal::{self, WalWriter};
-use dyndens_graph::codec::{crc32, put_f64, put_u32, put_u64, ByteReader};
+use dyndens_graph::codec::{crc32, put_u32, put_u64, ByteReader};
 use dyndens_graph::ShardMap;
 
 const SNAP_PREFIX: &str = "snap-";
@@ -45,10 +44,14 @@ const SNAP_FILE_VERSION: u32 = 1;
 /// Name of the deployment manifest at the persistence root.
 const MANIFEST_NAME: &str = "MANIFEST";
 const MANIFEST_MAGIC: &[u8; 4] = b"DDMF";
-/// Version 2: the static parameter block is followed by the **generational
-/// shard map** ([`ShardMap`]), so a deployment refined by live splits
-/// recovers its refined topology instead of the construction-time one.
-const MANIFEST_VERSION: u32 = 2;
+/// Version 3: the static section now *pins the maintenance backend* — the
+/// [`EngineBlueprint::kind`] string followed by the measure name and a
+/// length-prefixed opaque parameter fingerprint ([`EngineBlueprint::params`])
+/// — ahead of the **generational shard map** ([`ShardMap`]) carried since
+/// version 2. A directory written by one backend can therefore never be
+/// reopened under another: the kind comparison fails first, before any
+/// snapshot or WAL byte is interpreted.
+const MANIFEST_VERSION: u32 = 3;
 
 /// An error recovering a shard from its persistence directory.
 #[derive(Debug)]
@@ -74,9 +77,10 @@ pub enum RecoveryError {
         found: u64,
     },
     /// The persistence directory was written by a deployment with different
-    /// state-affecting parameters (shard count, shard function or engine
-    /// configuration). Reusing it would silently drop shard slices or
-    /// misroute updates, so the mismatch is a hard error.
+    /// state-affecting parameters (engine kind, shard count, shard function,
+    /// density measure or engine configuration). Reusing it would silently
+    /// drop shard slices, misroute updates, or feed one backend's checkpoint
+    /// bytes to another, so the mismatch is a hard error.
     ManifestMismatch {
         /// The parameter that disagrees with the on-disk manifest.
         field: &'static str,
@@ -216,45 +220,33 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u8>), RecoveryError> {
 // Deployment manifest
 // ---------------------------------------------------------------------------
 
-/// Serialises the static state-affecting deployment parameters — the density
-/// measure (it decides what every persisted score means) and the engine
-/// configuration (it decides what "dense" means) — without framing.
-/// Queueing tunables (`channel_capacity`, `max_batch`, `top_k`) and
-/// persistence knobs are deliberately excluded: they may vary freely across
-/// restarts. The routing topology (base shard count, shard function, split
-/// refinements) lives in the [`ShardMap`] section that follows this block in
-/// the manifest.
-fn encode_static_section(measure_name: &str, engine_config: &DynDensConfig) -> Vec<u8> {
+/// Serialises the static state-affecting deployment parameters — the
+/// maintenance backend's kind (it decides what every checkpoint byte means),
+/// the density measure (it decides what every persisted score means) and the
+/// backend's opaque parameter fingerprint (it decides what "dense" means) —
+/// without framing. Queueing tunables (`channel_capacity`, `max_batch`,
+/// `top_k`) and persistence knobs are deliberately excluded: they may vary
+/// freely across restarts. The routing topology (base shard count, shard
+/// function, split refinements) lives in the [`ShardMap`] section that
+/// follows this block in the manifest.
+fn encode_static_section(kind: &str, measure_name: &str, params: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
+    put_u32(&mut buf, kind.len() as u32);
+    buf.extend_from_slice(kind.as_bytes());
     put_u32(&mut buf, measure_name.len() as u32);
     buf.extend_from_slice(measure_name.as_bytes());
-    put_f64(&mut buf, engine_config.threshold);
-    put_u64(&mut buf, engine_config.n_max as u64);
-    match engine_config.delta_it {
-        DeltaIt::Absolute(v) => {
-            buf.push(0);
-            put_f64(&mut buf, v);
-        }
-        DeltaIt::FractionOfMax(v) => {
-            buf.push(1);
-            put_f64(&mut buf, v);
-        }
-    }
-    buf.push(
-        engine_config.implicit_too_dense as u8
-            | (engine_config.max_explore as u8) << 1
-            | (engine_config.degree_prioritize as u8) << 2,
-    );
+    put_u32(&mut buf, params.len() as u32);
+    buf.extend_from_slice(params);
     buf
 }
 
 /// Serialises the full manifest: magic, version, static section, shard map,
 /// CRC trailer.
-fn encode_manifest(measure_name: &str, engine_config: &DynDensConfig, map: &ShardMap) -> Vec<u8> {
+fn encode_manifest(kind: &str, measure_name: &str, params: &[u8], map: &ShardMap) -> Vec<u8> {
     let mut buf = Vec::with_capacity(128);
     buf.extend_from_slice(MANIFEST_MAGIC);
     put_u32(&mut buf, MANIFEST_VERSION);
-    buf.extend_from_slice(&encode_static_section(measure_name, engine_config));
+    buf.extend_from_slice(&encode_static_section(kind, measure_name, params));
     map.encode_into(&mut buf);
     let crc = crc32(&buf);
     put_u32(&mut buf, crc);
@@ -284,11 +276,12 @@ fn write_manifest_atomic(root: &Path, bytes: &[u8]) -> io::Result<()> {
 /// children's from the moment it lands).
 pub(crate) fn rewrite_manifest(
     root: &Path,
+    kind: &str,
     measure_name: &str,
-    engine_config: &DynDensConfig,
+    params: &[u8],
     map: &ShardMap,
 ) -> io::Result<()> {
-    write_manifest_atomic(root, &encode_manifest(measure_name, engine_config, map))
+    write_manifest_atomic(root, &encode_manifest(kind, measure_name, params, map))
 }
 
 /// On first use, binds the persistence root to the deployment parameters by
@@ -300,13 +293,16 @@ pub(crate) fn rewrite_manifest(
 /// A mismatch on any state-affecting parameter is a hard
 /// [`RecoveryError::ManifestMismatch`] — restarting with, say, a different
 /// base shard count would otherwise silently lose shard slices and route
-/// their vertices into unrelated engines. An unreadable or corrupt manifest
-/// is reported likewise (the directory's provenance is unknown).
+/// their vertices into unrelated engines, and reopening under a different
+/// *backend* would feed one engine's checkpoint bytes to another. An
+/// unreadable or corrupt manifest is reported likewise (the directory's
+/// provenance is unknown).
 pub(crate) fn bind_manifest(
     root: &Path,
+    kind: &str,
     measure_name: &str,
+    params: &[u8],
     shard_config: &ShardConfig,
-    engine_config: &DynDensConfig,
 ) -> Result<ShardMap, RecoveryError> {
     let path = root.join(MANIFEST_NAME);
     match fs::read(&path) {
@@ -315,6 +311,9 @@ pub(crate) fn bind_manifest(
             let Ok(m) = decode_manifest(&existing) else {
                 return mismatch("manifest (unreadable/corrupt)");
             };
+            if m.kind != kind {
+                return mismatch("engine kind");
+            }
             if m.map.n_base() != shard_config.n_shards {
                 return mismatch("n_shards");
             }
@@ -324,14 +323,14 @@ pub(crate) fn bind_manifest(
             if m.measure_name != measure_name {
                 return mismatch("density measure");
             }
-            if m.static_section != encode_static_section(measure_name, engine_config) {
+            if m.params != params {
                 return mismatch("engine config");
             }
             Ok(m.map)
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
             let map = ShardMap::new(shard_config.shard_fn, shard_config.n_shards);
-            write_manifest_atomic(root, &encode_manifest(measure_name, engine_config, &map))?;
+            write_manifest_atomic(root, &encode_manifest(kind, measure_name, params, &map))?;
             Ok(map)
         }
         Err(e) => Err(e.into()),
@@ -339,10 +338,11 @@ pub(crate) fn bind_manifest(
 }
 
 struct ManifestView {
+    kind: String,
     measure_name: String,
-    /// The raw static section bytes, compared wholesale against the caller's
-    /// encoding (field-exact, including every engine-config flag).
-    static_section: Vec<u8>,
+    /// The backend's raw parameter fingerprint, compared wholesale against
+    /// the caller's encoding (field-exact, including every config flag).
+    params: Vec<u8>,
     map: ShardMap,
 }
 
@@ -353,20 +353,22 @@ fn decode_manifest(bytes: &[u8]) -> Result<ManifestView, ()> {
     {
         return Err(());
     }
-    let static_start = payload.len() - r.remaining();
-    let name_len = r.u32().map_err(|_| ())? as usize;
-    let measure_name =
-        String::from_utf8(r.take(name_len).map_err(|_| ())?.to_vec()).map_err(|_| ())?;
-    // threshold f64 | n_max u64 | delta_it tag + f64 | flags u8
-    r.take(8 + 8 + 1 + 8 + 1).map_err(|_| ())?;
-    let static_section = payload[static_start..payload.len() - r.remaining()].to_vec();
+    let string = |r: &mut ByteReader<'_>| -> Result<String, ()> {
+        let len = r.u32().map_err(|_| ())? as usize;
+        String::from_utf8(r.take(len).map_err(|_| ())?.to_vec()).map_err(|_| ())
+    };
+    let kind = string(&mut r)?;
+    let measure_name = string(&mut r)?;
+    let params_len = r.u32().map_err(|_| ())? as usize;
+    let params = r.take(params_len).map_err(|_| ())?.to_vec();
     let map = ShardMap::decode(&mut r).map_err(|_| ())?;
     if !r.is_empty() {
         return Err(());
     }
     Ok(ManifestView {
+        kind,
         measure_name,
-        static_section,
+        params,
         map,
     })
 }
@@ -394,35 +396,34 @@ pub struct RecoveryReport {
 
 /// A recovered shard: the rebuilt engine, its sequence number, and the WAL
 /// writer positioned to continue appending.
-pub(crate) struct RecoveredShard<D: DensityMeasure> {
-    pub engine: DynDens<D>,
+pub(crate) struct RecoveredShard<E: MaintenanceEngine> {
+    pub engine: E,
     pub seq: u64,
     pub wal: WalWriter,
     pub report: RecoveryReport,
 }
 
 /// Recovers one shard from `dir`: newest valid snapshot + WAL tail replay.
-pub(crate) fn recover_shard<D: DensityMeasure>(
-    measure: D,
-    engine_config: &DynDensConfig,
+/// The blueprint decides what engine the checkpoint bytes restore into —
+/// [`bind_manifest`] has already pinned the directory to its kind.
+pub(crate) fn recover_shard<B: EngineBlueprint>(
+    blueprint: &B,
     shard: usize,
     dir: &Path,
     persistence: &PersistenceConfig,
-) -> Result<RecoveredShard<D>, RecoveryError> {
+) -> Result<RecoveredShard<B::Engine>, RecoveryError> {
     fs::create_dir_all(dir)?;
 
     // 1. Restore from the newest snapshot that parses; a damaged newest
     //    snapshot falls back to an older retained one (the WAL is only ever
     //    pruned up to the oldest retained snapshot, so replay still works).
-    let mut engine: Option<DynDens<D>> = None;
+    let mut engine: Option<B::Engine> = None;
     let mut snapshot_seq = 0u64;
     let mut last_snapshot_error: Option<RecoveryError> = None;
     for (_, path) in list_snapshots(dir)?.into_iter().rev() {
-        match read_snapshot(&path).and_then(|(s, bytes)| {
-            match DynDens::restore(measure.clone(), &bytes) {
-                Ok(e) => Ok((s, e)),
-                Err(e) => Err(RecoveryError::Snapshot(e)),
-            }
+        match read_snapshot(&path).and_then(|(s, bytes)| match blueprint.restore(&bytes) {
+            Ok(e) => Ok((s, e)),
+            Err(e) => Err(RecoveryError::Snapshot(e)),
         }) {
             Ok((s, e)) => {
                 engine = Some(e);
@@ -434,7 +435,7 @@ pub(crate) fn recover_shard<D: DensityMeasure>(
     }
     let mut engine = match engine {
         Some(e) => e,
-        None => DynDens::new(measure, engine_config.clone()),
+        None => blueprint.fresh(),
     };
     let mut seq = snapshot_seq;
 
@@ -518,6 +519,7 @@ pub(crate) fn recover_shard<D: DensityMeasure>(
 mod tests {
     use super::*;
     use crate::config::FsyncPolicy;
+    use dyndens_core::{DynDens, DynDensBlueprint, DynDensConfig};
     use dyndens_density::AvgWeight;
     use dyndens_graph::{EdgeUpdate, VertexId};
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -536,6 +538,10 @@ mod tests {
 
     fn config() -> DynDensConfig {
         DynDensConfig::new(1.0, 4).with_delta_it(0.15)
+    }
+
+    fn blueprint() -> DynDensBlueprint<AvgWeight> {
+        DynDensBlueprint::new(AvgWeight, config())
     }
 
     fn persistence(dir: &Path) -> PersistenceConfig {
@@ -570,7 +576,7 @@ mod tests {
     #[test]
     fn fresh_directory_recovers_to_empty_engine() {
         let dir = temp_dir("fresh");
-        let rec = recover_shard(AvgWeight, &config(), 0, &dir, &persistence(&dir)).unwrap();
+        let rec = recover_shard(&blueprint(), 0, &dir, &persistence(&dir)).unwrap();
         assert_eq!(rec.seq, 0);
         assert_eq!(rec.report.replayed_updates, 0);
         assert_eq!(rec.engine.dense_count(), 0);
@@ -608,7 +614,7 @@ mod tests {
         drop(wal);
         drop(engine);
 
-        let rec = recover_shard(AvgWeight, &config(), 3, &dir, &p).unwrap();
+        let rec = recover_shard(&blueprint(), 3, &dir, &p).unwrap();
         assert_eq!(rec.report.shard, 3);
         assert_eq!(rec.report.snapshot_seq, 120);
         assert_eq!(rec.report.replayed_updates, 80);
@@ -639,12 +645,12 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
 
-        let rec = recover_shard(AvgWeight, &config(), 0, &dir, &p).unwrap();
+        let rec = recover_shard(&blueprint(), 0, &dir, &p).unwrap();
         assert_eq!(rec.seq, 20, "only the intact record replays");
         assert!(rec.report.repaired_torn_tail);
 
         // The tear is gone from disk: a second recovery sees a clean log.
-        let rec2 = recover_shard(AvgWeight, &config(), 0, &dir, &p).unwrap();
+        let rec2 = recover_shard(&blueprint(), 0, &dir, &p).unwrap();
         assert_eq!(rec2.seq, 20);
         assert!(!rec2.report.repaired_torn_tail);
         assert_eq!(rec2.engine.snapshot(), rec.engine.snapshot());
@@ -668,7 +674,7 @@ mod tests {
         bytes[12] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
 
-        match recover_shard(AvgWeight, &config(), 0, &dir, &p) {
+        match recover_shard(&blueprint(), 0, &dir, &p) {
             Err(RecoveryError::CorruptWal { segment }) => assert_eq!(segment, no),
             Err(other) => panic!("expected CorruptWal, got {other:?}"),
             Ok(_) => panic!("expected CorruptWal, recovery succeeded"),
@@ -708,7 +714,7 @@ mod tests {
         bytes[len / 2] ^= 0xFF;
         fs::write(newest, &bytes).unwrap();
 
-        let rec = recover_shard(AvgWeight, &config(), 0, &dir, &p).unwrap();
+        let rec = recover_shard(&blueprint(), 0, &dir, &p).unwrap();
         assert_eq!(rec.report.snapshot_seq, 50, "fell back to seq-50 snapshot");
         assert_eq!(rec.seq, 100);
         assert_eq!(rec.report.replayed_updates, 50);

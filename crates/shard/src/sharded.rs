@@ -1,12 +1,16 @@
-//! The [`ShardedDynDens`] facade: the single-engine API, scaled across
-//! cores, with a generational routing table that supports live shard splits.
+//! The [`ShardedFleet`] facade and its canonical [`ShardedDynDens`]
+//! specialisation: the single-engine API, scaled across cores, generic over
+//! the pluggable maintenance backend ([`EngineBlueprint`]), with a
+//! generational routing table that supports live shard splits.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use dyndens_core::{DynDens, DynDensConfig, EngineStats};
+use dyndens_core::{
+    DynDensBlueprint, DynDensConfig, EngineBlueprint, EngineStats, MaintenanceEngine,
+};
 use dyndens_density::DensityMeasure;
 use dyndens_graph::{EdgeUpdate, ShardMap, VertexSet};
 
@@ -75,14 +79,14 @@ impl RouteState {
     }
 }
 
-/// A cloneable, thread-safe ingest handle over a [`ShardedDynDens`]'s
+/// A cloneable, thread-safe ingest handle over a [`ShardedFleet`]'s
 /// routing table: the write-side counterpart of [`StoryView`].
 ///
 /// Handles route through the same generational shard map as the facade, so
 /// they follow splits transparently — including during a split, when updates
 /// for the splitting slot park and everything else flows undisturbed. This
 /// is what lets ingest continue from other threads while the owning thread
-/// drives [`ShardedDynDens::split_shard`].
+/// drives [`ShardedFleet::split_shard`].
 #[derive(Debug, Clone)]
 pub struct IngestHandle {
     routing: Arc<RwLock<RouteState>>,
@@ -118,8 +122,12 @@ impl IngestHandle {
     }
 }
 
-/// A DynDens deployment partitioned over worker slots by a generational
-/// routing table.
+/// A maintenance deployment partitioned over worker slots by a generational
+/// routing table, generic over the [`EngineBlueprint`] that builds, restores
+/// and fingerprints its per-shard engines. The canonical specialisation is
+/// [`ShardedDynDens`]; alternative backends (periodic recompute, top-k
+/// peeling) plug in through [`with_backend`](Self::with_backend) and ride
+/// the identical routing, WAL, recovery and rebalance machinery.
 ///
 /// The facade mirrors the single-engine API — [`apply_update`],
 /// [`apply_batch`], [`stats`], [`output_dense`] — with one semantic shift:
@@ -137,27 +145,26 @@ impl IngestHandle {
 /// See the crate docs for the partitioning invariant that governs when the
 /// sharded answer is identical to the single-engine answer.
 ///
-/// [`apply_update`]: ShardedDynDens::apply_update
-/// [`apply_batch`]: ShardedDynDens::apply_batch
-/// [`stats`]: ShardedDynDens::stats
-/// [`output_dense`]: ShardedDynDens::output_dense
-/// [`flush`]: ShardedDynDens::flush
-/// [`view`]: ShardedDynDens::view
-/// [`split_shard`]: ShardedDynDens::split_shard
+/// [`apply_update`]: ShardedFleet::apply_update
+/// [`apply_batch`]: ShardedFleet::apply_batch
+/// [`stats`]: ShardedFleet::stats
+/// [`output_dense`]: ShardedFleet::output_dense
+/// [`flush`]: ShardedFleet::flush
+/// [`view`]: ShardedFleet::view
+/// [`split_shard`]: ShardedFleet::split_shard
 #[derive(Debug)]
-pub struct ShardedDynDens<D: DensityMeasure> {
+pub struct ShardedFleet<B: EngineBlueprint> {
     pub(crate) config: ShardConfig,
-    pub(crate) engine_config: DynDensConfig,
-    pub(crate) measure: D,
+    pub(crate) blueprint: B,
     pub(crate) routing: Arc<RwLock<RouteState>>,
-    pub(crate) engines: Vec<Arc<Mutex<DynDens<D>>>>,
+    pub(crate) engines: Vec<Arc<Mutex<B::Engine>>>,
     pub(crate) roster: Arc<EpochCell<ShardRoster>>,
     pub(crate) workers: Vec<Option<JoinHandle<()>>>,
     /// Per-slot shared slot-number cells (see [`worker::WorkerSetup::slot`]):
     /// a merge renumbers the last live worker into a freed middle slot by
     /// storing into its cell, without respawning the thread.
     pub(crate) slots: Vec<Arc<AtomicU32>>,
-    /// Per-slot scratch buffers reused by [`ShardedDynDens::apply_batch`].
+    /// Per-slot scratch buffers reused by [`ShardedFleet::apply_batch`].
     route_scratch: Vec<Vec<EdgeUpdate>>,
     /// What recovery did per shard; empty for non-persistent deployments.
     recovery: Vec<RecoveryReport>,
@@ -174,9 +181,16 @@ pub struct ShardedDynDens<D: DensityMeasure> {
     pub(crate) dead_parked: Vec<Mutex<std::sync::mpsc::Receiver<WorkerMsg>>>,
 }
 
+/// The canonical deployment: a [`ShardedFleet`] running the exact
+/// [`DynDens`](dyndens_core::DynDens) maintenance algorithm via
+/// [`DynDensBlueprint`]. Every pre-backend call site keeps this name (and
+/// the [`new`](ShardedFleet::new)/[`with_persistence`](ShardedFleet::with_persistence)
+/// constructors, which live on the specialised impl).
+pub type ShardedDynDens<D> = ShardedFleet<DynDensBlueprint<D>>;
+
 /// A shard's initial state handed to its worker thread at spawn time.
-pub(crate) struct ShardSeed<D: DensityMeasure> {
-    pub(crate) engine: DynDens<D>,
+pub(crate) struct ShardSeed<E: MaintenanceEngine> {
+    pub(crate) engine: E,
     pub(crate) seq: u64,
     pub(crate) persist: Option<WorkerPersistence>,
 }
@@ -184,12 +198,12 @@ pub(crate) struct ShardSeed<D: DensityMeasure> {
 /// Spawns one worker thread for `slot`, publishing into `cell`/`ring`.
 /// Returns the inbox sender, the join handle and the shared slot-number cell
 /// (a merge renumbers the worker by storing into it).
-pub(crate) fn spawn_worker<D: DensityMeasure>(
+pub(crate) fn spawn_worker<E: MaintenanceEngine>(
     slot: usize,
     config: &ShardConfig,
     seq: u64,
     persist: Option<WorkerPersistence>,
-    engine: &Arc<Mutex<DynDens<D>>>,
+    engine: &Arc<Mutex<E>>,
     cell: &Arc<EpochCell<ShardSnapshot>>,
     ring: &Arc<DeltaRing>,
 ) -> (SyncSender<WorkerMsg>, JoinHandle<()>, Arc<AtomicU32>) {
@@ -222,21 +236,22 @@ pub(crate) fn spawn_worker<D: DensityMeasure>(
     (tx, handle, slot_cell)
 }
 
-impl<D: DensityMeasure> ShardedDynDens<D> {
+impl<B: EngineBlueprint> ShardedFleet<B> {
     /// Spawns `config.n_shards` worker threads, each owning an independent
-    /// `DynDens` engine built from `measure` and `engine_config`. No state
-    /// is persisted; see [`with_persistence`](Self::with_persistence) for
-    /// the crash-safe variant.
-    pub fn new(measure: D, engine_config: DynDensConfig, config: ShardConfig) -> Self {
+    /// engine built by [`blueprint.fresh()`](EngineBlueprint::fresh). No
+    /// state is persisted; see
+    /// [`with_backend_persistence`](Self::with_backend_persistence) for the
+    /// crash-safe variant.
+    pub fn with_backend(blueprint: B, config: ShardConfig) -> Self {
         let map = ShardMap::new(config.shard_fn, config.n_shards);
         let seeds = (0..config.n_shards)
             .map(|_| ShardSeed {
-                engine: DynDens::new(measure.clone(), engine_config.clone()),
+                engine: blueprint.fresh(),
                 seq: 0,
                 persist: None,
             })
             .collect();
-        Self::spawn(measure, engine_config, config, map, seeds, Vec::new(), None)
+        Self::spawn(blueprint, config, map, seeds, Vec::new(), None)
     }
 
     /// The crash-safe constructor: recovers every shard from
@@ -259,43 +274,41 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     /// state is bit-identical to a deployment that never crashed. Details of
     /// what was recovered are available via
     /// [`recovery_reports`](Self::recovery_reports).
-    pub fn with_persistence(
-        measure: D,
-        engine_config: DynDensConfig,
+    pub fn with_backend_persistence(
+        blueprint: B,
         config: ShardConfig,
         persistence: PersistenceConfig,
     ) -> Result<Self, RecoveryError> {
         std::fs::create_dir_all(&persistence.dir)?;
         // Bind the directory to the deployment's state-affecting parameters
         // (or verify it was written by an identical deployment) and load the
-        // current routing topology: restarting with a different base shard
-        // count / shard function / engine config would silently drop or
-        // misroute persisted slices.
-        let map =
-            recovery::bind_manifest(&persistence.dir, measure.name(), &config, &engine_config)?;
+        // current routing topology: restarting with a different engine kind /
+        // base shard count / shard function / engine config would silently
+        // drop or misroute persisted slices — or feed one backend's
+        // checkpoint bytes to another.
+        let map = recovery::bind_manifest(
+            &persistence.dir,
+            blueprint.kind(),
+            blueprint.measure_name(),
+            &blueprint.params(),
+            &config,
+        )?;
         let engine_ids = map.worker_engines();
 
         // Shards recover independently (distinct directories, no shared
         // state), so cold start pays the slowest shard's snapshot load +
         // WAL tail replay, not the sum over shards.
-        let recovered: Vec<Result<recovery::RecoveredShard<D>, RecoveryError>> =
+        let recovered: Vec<Result<recovery::RecoveredShard<B::Engine>, RecoveryError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = engine_ids
                     .iter()
                     .enumerate()
                     .map(|(slot, &engine_id)| {
-                        let measure = measure.clone();
-                        let engine_config = &engine_config;
+                        let blueprint = &blueprint;
                         let persistence = &persistence;
                         scope.spawn(move || {
                             let shard_dir = recovery::shard_dir(&persistence.dir, engine_id);
-                            recovery::recover_shard(
-                                measure,
-                                engine_config,
-                                slot,
-                                &shard_dir,
-                                persistence,
-                            )
+                            recovery::recover_shard(blueprint, slot, &shard_dir, persistence)
                         })
                     })
                     .collect();
@@ -341,8 +354,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             });
         }
         Ok(Self::spawn(
-            measure,
-            engine_config,
+            blueprint,
             config,
             map,
             seeds,
@@ -352,11 +364,10 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     }
 
     fn spawn(
-        measure: D,
-        engine_config: DynDensConfig,
+        blueprint: B,
         config: ShardConfig,
         map: ShardMap,
-        seeds: Vec<ShardSeed<D>>,
+        seeds: Vec<ShardSeed<B::Engine>>,
         recovery: Vec<RecoveryReport>,
         persistence: Option<PersistenceConfig>,
     ) -> Self {
@@ -371,7 +382,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         let mut slots = Vec::with_capacity(n);
         for (slot, seed) in seeds.into_iter().enumerate() {
             let ShardSeed {
-                engine,
+                mut engine,
                 seq,
                 persist,
             } = seed;
@@ -384,7 +395,7 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             cell.store_with_seq(
                 Arc::new(worker::build_snapshot(
                     slot,
-                    &engine,
+                    &mut engine,
                     seq,
                     seq,
                     &[],
@@ -414,11 +425,10 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
             workers.push(Some(handle));
             slots.push(slot_cell);
         }
-        ShardedDynDens {
+        ShardedFleet {
             route_scratch: vec![Vec::new(); n],
             config,
-            engine_config,
-            measure,
+            blueprint,
             routing: Arc::new(RwLock::new(RouteState {
                 map,
                 senders,
@@ -459,9 +469,10 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
         &self.config
     }
 
-    /// The per-shard engine configuration.
-    pub fn engine_config(&self) -> &DynDensConfig {
-        &self.engine_config
+    /// The blueprint that builds, restores and fingerprints this fleet's
+    /// per-shard engines.
+    pub fn blueprint(&self) -> &B {
+        &self.blueprint
     }
 
     /// A clone of the current generational routing table.
@@ -740,7 +751,40 @@ impl<D: DensityMeasure> ShardedDynDens<D> {
     }
 }
 
-impl<D: DensityMeasure> Drop for ShardedDynDens<D> {
+impl<D: DensityMeasure> ShardedFleet<DynDensBlueprint<D>> {
+    /// Spawns `config.n_shards` worker threads, each owning an independent
+    /// [`DynDens`](dyndens_core::DynDens) engine built from `measure` and
+    /// `engine_config`. Shorthand for
+    /// [`with_backend`](Self::with_backend) over a [`DynDensBlueprint`]. No
+    /// state is persisted; see [`with_persistence`](Self::with_persistence)
+    /// for the crash-safe variant.
+    pub fn new(measure: D, engine_config: DynDensConfig, config: ShardConfig) -> Self {
+        Self::with_backend(DynDensBlueprint::new(measure, engine_config), config)
+    }
+
+    /// The crash-safe constructor: shorthand for
+    /// [`with_backend_persistence`](Self::with_backend_persistence) over a
+    /// [`DynDensBlueprint`].
+    pub fn with_persistence(
+        measure: D,
+        engine_config: DynDensConfig,
+        config: ShardConfig,
+        persistence: PersistenceConfig,
+    ) -> Result<Self, RecoveryError> {
+        Self::with_backend_persistence(
+            DynDensBlueprint::new(measure, engine_config),
+            config,
+            persistence,
+        )
+    }
+
+    /// The per-shard engine configuration.
+    pub fn engine_config(&self) -> &DynDensConfig {
+        self.blueprint.config()
+    }
+}
+
+impl<B: EngineBlueprint> Drop for ShardedFleet<B> {
     fn drop(&mut self) {
         {
             let routing = self.routing.read().expect("routing poisoned");
@@ -760,6 +804,7 @@ impl<D: DensityMeasure> Drop for ShardedDynDens<D> {
 mod tests {
     use super::*;
     use crate::config::ShardFn;
+    use dyndens_core::DynDens;
     use dyndens_density::AvgWeight;
     use dyndens_graph::VertexId;
 

@@ -6,8 +6,7 @@ use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use dyndens_core::{DenseEvent, DynDens};
-use dyndens_density::DensityMeasure;
+use dyndens_core::{DenseEvent, MaintenanceEngine};
 use dyndens_graph::{EdgeUpdate, VertexSet};
 
 use crate::obs::{ShardObs, WalObs};
@@ -28,7 +27,7 @@ pub(crate) enum WorkerMsg {
     /// like ordinary updates), force a checkpoint, prune the WAL behind it,
     /// and acknowledge with the number of edges evicted.
     Compact {
-        /// The eviction floor handed to [`DynDens::edges_below`].
+        /// The eviction floor handed to [`MaintenanceEngine::edges_below`].
         min_weight: f64,
         /// Receives the number of edges evicted once the pass is durable.
         ack: Sender<u64>,
@@ -84,10 +83,10 @@ pub(crate) struct WorkerSetup {
 /// messages, WAL the drained micro-batch (durability first), apply it under
 /// a single engine lock, publish a fresh snapshot, acknowledge flushes,
 /// periodically checkpoint the engine, repeat.
-pub(crate) fn run<D: DensityMeasure>(
+pub(crate) fn run<E: MaintenanceEngine>(
     setup: WorkerSetup,
     inbox: Receiver<WorkerMsg>,
-    engine: Arc<Mutex<DynDens<D>>>,
+    engine: Arc<Mutex<E>>,
     cell: Arc<EpochCell<ShardSnapshot>>,
     ring: Arc<DeltaRing>,
 ) {
@@ -178,7 +177,7 @@ pub(crate) fn run<D: DensityMeasure>(
                     None => None,
                 };
                 (
-                    build_snapshot(shard, &guard, seq, delta_base_seq, &events, top_k),
+                    build_snapshot(shard, &mut *guard, seq, delta_base_seq, &events, top_k),
                     checkpoint,
                 )
             };
@@ -241,7 +240,7 @@ pub(crate) fn run<D: DensityMeasure>(
                 seq += report.edges_evicted;
                 let checkpoint = persist.is_some().then(|| guard.snapshot());
                 (
-                    build_snapshot(shard, &guard, seq, delta_base_seq, &events, top_k),
+                    build_snapshot(shard, &mut *guard, seq, delta_base_seq, &events, top_k),
                     checkpoint,
                     report.edges_evicted,
                 )
@@ -304,9 +303,9 @@ fn absorb(
 }
 
 /// Renders the engine's current answer into an immutable snapshot.
-pub(crate) fn build_snapshot<D: DensityMeasure>(
+pub(crate) fn build_snapshot<E: MaintenanceEngine>(
     shard: usize,
-    engine: &DynDens<D>,
+    engine: &mut E,
     seq: u64,
     delta_base_seq: u64,
     events: &[DenseEvent],

@@ -58,7 +58,9 @@ pub use aligned::{shard_aligned_stream, AlignedCommunities};
 pub use doc_corpus::DocCorpus;
 pub use flash_crowd::FlashCrowd;
 pub use geo::GeoPartitioned;
-pub use oracle::{Leg, LegReport, Oracle, OracleReport};
+pub use oracle::{
+    Backend, BackendReport, CompareMode, Leg, LegReport, Oracle, OracleReport, ALL_BACKENDS,
+};
 pub use synthetic::{SyntheticConfig, SyntheticStrategy, SyntheticWorkload};
 pub use tweets::{SimulatedCorpus, StoryScript, TweetSimulator, TweetSimulatorConfig};
 pub use workload::{Workload, WorkloadStream, MAX_PAIR_WEIGHT};

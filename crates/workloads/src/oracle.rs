@@ -24,16 +24,28 @@
 //! `tests/workload_scenarios.rs`, ...) are thin wrappers over this module;
 //! the `scenario_matrix` bench emits one `BENCH_scenarios.json` row per
 //! workload from the same [`OracleReport`].
+//!
+//! The **cross-backend differential harness** generalises the same legs
+//! over every pluggable [`Backend`]: each backend's sharded, recovered,
+//! rebalanced and served deployments are asserted bit-identical to a single
+//! engine of the same backend (the seam's determinism contract), then the
+//! backend is compared against the DynDens referee under its declared
+//! [`CompareMode`] — bit-exactness for `recompute` at rebuild boundaries, a
+//! top-q density-ratio bound for approximate backends. The `backend_matrix`
+//! bench emits one `BENCH_backends.json` row per backend × workload from
+//! the resulting [`BackendReport`]s.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use dyndens_core::{DynDens, DynDensConfig};
+use dyndens_baselines::{RecomputeBlueprint, TopKPeelingBlueprint};
+use dyndens_core::{DynDens, DynDensBlueprint, DynDensConfig, EngineBlueprint, MaintenanceEngine};
 use dyndens_density::AvgWeight;
 use dyndens_graph::{EdgeUpdate, VertexSet};
 use dyndens_serve::{Client, Mirror, StoryServer};
 use dyndens_shard::{
     FsyncPolicy, PersistenceConfig, RebalancePolicy, ShardConfig, ShardFn, ShardedDynDens,
+    ShardedFleet,
 };
 
 use crate::workload::Workload;
@@ -438,6 +450,419 @@ impl Oracle {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-backend differential harness
+// ---------------------------------------------------------------------------
+
+/// The maintenance backends the cross-backend harness drives, each with its
+/// canonical blueprint configuration (see [`Backend::compare_mode`] for the
+/// comparison each is held to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The incremental reference engine — the exactness referee itself.
+    DynDens,
+    /// Periodic full rebuild by log replay, driven at cadence 1 so every
+    /// published answer lands on a rebuild boundary.
+    Recompute,
+    /// Read-time greedy peeling (fully-dynamic top-k densest style),
+    /// extracting up to 4 disjoint subgraphs per component.
+    TopKPeeling,
+}
+
+/// All three backends, in referee-first order.
+pub const ALL_BACKENDS: [Backend; 3] = [Backend::DynDens, Backend::Recompute, Backend::TopKPeeling];
+
+/// How a backend's answers are compared against the DynDens referee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompareMode {
+    /// Story sets and density bits must match the referee exactly.
+    BitExact,
+    /// The top-q density ratio ([`top_q_density_ratio`]) must clear this
+    /// bound.
+    DensityRatio(f64),
+}
+
+impl Backend {
+    /// The backend's stable kind string (matches
+    /// [`EngineBlueprint::kind`]).
+    pub fn kind(self) -> &'static str {
+        match self {
+            Backend::DynDens => "dyndens",
+            Backend::Recompute => "recompute",
+            Backend::TopKPeeling => "topk-peeling",
+        }
+    }
+
+    /// The comparison mode this backend is held to against the referee:
+    /// bit-exactness for DynDens (trivially) and for Recompute (its harness
+    /// cadence of 1 makes every read a rebuild boundary), a 0.8 top-q
+    /// density-ratio bound for the approximate peeling backend.
+    pub fn compare_mode(self) -> CompareMode {
+        match self {
+            Backend::DynDens | Backend::Recompute => CompareMode::BitExact,
+            Backend::TopKPeeling => CompareMode::DensityRatio(0.8),
+        }
+    }
+}
+
+/// The outcome of one backend × workload harness run: the deployment legs
+/// (each asserting the sharded/recovered/rebalanced/served fleet is
+/// bit-identical to a single engine of the *same* backend) plus the
+/// `quality` leg comparing the backend against the DynDens referee under
+/// [`Backend::compare_mode`]. In the `quality` leg's [`LegReport`],
+/// `bit_exact` means "cleared its comparison mode".
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendReport {
+    /// The workload's [`name`](Workload::name).
+    pub workload: String,
+    /// The backend's [`kind`](Backend::kind).
+    pub backend: &'static str,
+    /// Stream length in updates.
+    pub n_updates: usize,
+    /// The comparison mode the quality leg enforced.
+    pub mode: CompareMode,
+    /// Output-dense story count of the backend's single-engine run.
+    pub output_dense: usize,
+    /// Top-q density ratio against the DynDens referee (1.0 is parity).
+    pub quality_ratio: f64,
+    /// Star markers the referee created — must be 0 (the too-dense
+    /// precondition of exact comparisons).
+    pub star_markers: u64,
+    /// Deployment legs plus the final `quality` leg.
+    pub legs: Vec<LegReport>,
+}
+
+impl BackendReport {
+    /// `true` when every leg (deployment self-consistency and quality)
+    /// passed and the referee stayed below the too-dense regime.
+    pub fn passed(&self) -> bool {
+        self.star_markers == 0 && self.legs.iter().all(|l| l.bit_exact)
+    }
+
+    /// Panics with the first failure unless [`passed`](Self::passed).
+    pub fn assert_passed(&self) {
+        assert_eq!(
+            self.star_markers, 0,
+            "{}/{}: workload entered the too-dense regime",
+            self.workload, self.backend
+        );
+        for leg in &self.legs {
+            assert!(
+                leg.bit_exact,
+                "{}/{}: {} leg failed: {}",
+                self.workload, self.backend, leg.leg, leg.detail
+            );
+        }
+    }
+}
+
+/// Top-q density-ratio quality of a backend's story family against the
+/// exact referee's, with `q = min(16, referee count)`: the backend's `q`
+/// highest densities (missing entries contribute 0) summed, over the
+/// referee's `q` highest densities summed. `1.0` when the referee is empty.
+/// For backends whose extraction rule only admits members of the exact
+/// output family (score at or above the output bound, cardinality at most
+/// `Nmax`) the ratio never exceeds 1.
+pub fn top_q_density_ratio(got: &[(VertexSet, u64)], referee: &[(VertexSet, u64)]) -> f64 {
+    if referee.is_empty() {
+        return 1.0;
+    }
+    let mut g: Vec<f64> = got.iter().map(|(_, bits)| f64::from_bits(*bits)).collect();
+    let mut r: Vec<f64> = referee
+        .iter()
+        .map(|(_, bits)| f64::from_bits(*bits))
+        .collect();
+    g.sort_by(|a, b| b.total_cmp(a));
+    r.sort_by(|a, b| b.total_cmp(a));
+    let q = 16usize.min(r.len());
+    let denom: f64 = r[..q].iter().sum();
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    let numer: f64 = g[..q.min(g.len())].iter().sum();
+    numer / denom
+}
+
+impl Oracle {
+    /// Runs the full cross-backend harness for one backend: every requested
+    /// deployment leg against a single engine of the same backend
+    /// (bit-exact — the seam's determinism contract), then the `quality`
+    /// leg against the DynDens referee under the backend's
+    /// [`compare_mode`](Backend::compare_mode).
+    pub fn run_backend(&self, backend: Backend) -> BackendReport {
+        self.run_backend_legs(backend, &ALL_LEGS)
+    }
+
+    /// [`run_backend`](Self::run_backend) restricted to the given legs.
+    pub fn run_backend_legs(&self, backend: Backend, legs: &[Leg]) -> BackendReport {
+        let config = engine_config();
+        match backend {
+            Backend::DynDens => {
+                self.backend_run(DynDensBlueprint::new(AvgWeight, config), backend, legs)
+            }
+            Backend::Recompute => {
+                self.backend_run(RecomputeBlueprint::new(AvgWeight, config, 1), backend, legs)
+            }
+            Backend::TopKPeeling => self.backend_run(
+                TopKPeelingBlueprint::new(AvgWeight, config, 4),
+                backend,
+                legs,
+            ),
+        }
+    }
+
+    fn backend_run<B: EngineBlueprint>(
+        &self,
+        blueprint: B,
+        backend: Backend,
+        legs: &[Leg],
+    ) -> BackendReport {
+        // The backend's own single-engine ground truth.
+        let mut single = blueprint.fresh();
+        let mut events = Vec::new();
+        for u in &self.updates {
+            single.apply_update_into(*u, &mut events);
+            events.clear();
+        }
+        let mut reports = Vec::with_capacity(legs.len() + 1);
+        if let Err(e) = single.validate() {
+            reports.push(leg_failed("single", format!("backend invariants: {e}")));
+        }
+        let want = sorted_bits(single.output_dense_subgraphs());
+        for leg in legs {
+            reports.push(match leg {
+                Leg::Sharded => self.backend_sharded_leg(&blueprint, &want),
+                Leg::Recovery => self.backend_recovery_leg(&blueprint, backend, &want),
+                Leg::Rebalance => self.backend_rebalance_leg(&blueprint, &want),
+                Leg::Serve => self.backend_serve_leg(&blueprint, &want),
+            });
+        }
+        // The quality leg: this backend vs. the exactness referee.
+        let (referee, star_markers) = self.reference();
+        let quality_ratio = top_q_density_ratio(&want, &referee);
+        let mode = backend.compare_mode();
+        reports.push(match mode {
+            CompareMode::BitExact => match compare(&referee, &want) {
+                Ok(()) => leg_ok(
+                    "quality",
+                    format!("bit-exact with referee ({} sets)", want.len()),
+                ),
+                Err(detail) => leg_failed("quality", format!("vs referee: {detail}")),
+            },
+            CompareMode::DensityRatio(bound) => {
+                if quality_ratio >= bound {
+                    leg_ok(
+                        "quality",
+                        format!(
+                            "density ratio {quality_ratio:.3} >= {bound} ({} sets vs {} referee)",
+                            want.len(),
+                            referee.len()
+                        ),
+                    )
+                } else {
+                    leg_failed(
+                        "quality",
+                        format!("density ratio {quality_ratio:.3} below bound {bound}"),
+                    )
+                }
+            }
+        });
+        BackendReport {
+            workload: self.name.clone(),
+            backend: backend.kind(),
+            n_updates: self.updates.len(),
+            mode,
+            output_dense: want.len(),
+            quality_ratio,
+            star_markers,
+            legs: reports,
+        }
+    }
+
+    fn backend_sharded_leg<B: EngineBlueprint>(
+        &self,
+        blueprint: &B,
+        want: &[(VertexSet, u64)],
+    ) -> LegReport {
+        for n_shards in [1usize, 2, 4] {
+            let mut fleet = ShardedFleet::with_backend(blueprint.clone(), shard_config(n_shards));
+            for chunk in self.updates.chunks(CHUNK) {
+                fleet.apply_batch(chunk);
+            }
+            fleet.flush();
+            if let Err(e) = fleet.validate() {
+                return leg_failed("sharded", format!("{n_shards} shards: {e}"));
+            }
+            if let Err(detail) = compare(want, &sorted_bits(fleet.output_dense())) {
+                return leg_failed("sharded", format!("{n_shards} shards: {detail}"));
+            }
+            if fleet.stats().updates != self.updates.len() as u64 {
+                return leg_failed("sharded", format!("{n_shards} shards: ledger mismatch"));
+            }
+        }
+        leg_ok(
+            "sharded",
+            format!("1/2/4 shards == single engine ({} sets)", want.len()),
+        )
+    }
+
+    fn backend_recovery_leg<B: EngineBlueprint>(
+        &self,
+        blueprint: &B,
+        backend: Backend,
+        want: &[(VertexSet, u64)],
+    ) -> LegReport {
+        let dir = self.temp_dir(&format!("{}-recovery", backend.kind()));
+        let persistence = || {
+            PersistenceConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_snapshot_every_batches(8)
+        };
+        let chunks: Vec<&[EdgeUpdate]> = self.updates.chunks(CHUNK).collect();
+        let kill_at = chunks.len() / 2;
+        {
+            let mut doomed = match ShardedFleet::with_backend_persistence(
+                blueprint.clone(),
+                shard_config(2),
+                persistence(),
+            ) {
+                Ok(fleet) => fleet,
+                Err(e) => return leg_failed("recovery", format!("fresh deployment: {e}")),
+            };
+            for chunk in &chunks[..kill_at] {
+                doomed.apply_batch(chunk);
+            }
+            doomed.flush();
+        }
+        let mut recovered = match ShardedFleet::with_backend_persistence(
+            blueprint.clone(),
+            shard_config(2),
+            persistence(),
+        ) {
+            Ok(fleet) => fleet,
+            Err(e) => return leg_failed("recovery", format!("recovery: {e}")),
+        };
+        let pre_crash: u64 = chunks[..kill_at].iter().map(|c| c.len() as u64).sum();
+        let recovered_seq: u64 = recovered
+            .recovery_reports()
+            .iter()
+            .map(|r| r.recovered_seq)
+            .sum();
+        if recovered_seq != pre_crash {
+            return leg_failed(
+                "recovery",
+                format!("recovered seq {recovered_seq} != {pre_crash} pre-crash updates"),
+            );
+        }
+        for chunk in &chunks[kill_at..] {
+            recovered.apply_batch(chunk);
+        }
+        recovered.flush();
+        let verdict = compare(want, &sorted_bits(recovered.output_dense()));
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+        match verdict {
+            Ok(()) => leg_ok(
+                "recovery",
+                format!("kill at update {pre_crash} + recover == never crashed"),
+            ),
+            Err(detail) => leg_failed("recovery", detail),
+        }
+    }
+
+    fn backend_rebalance_leg<B: EngineBlueprint>(
+        &self,
+        blueprint: &B,
+        want: &[(VertexSet, u64)],
+    ) -> LegReport {
+        let mut fleet = ShardedFleet::with_backend(blueprint.clone(), shard_config(2));
+        let third = self.updates.len() / 3;
+        for chunk in self.updates[..third].chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        let split = match fleet.split_shard(0) {
+            Ok(report) => report,
+            Err(e) => return leg_failed("rebalance", format!("split: {e}")),
+        };
+        for chunk in self.updates[third..2 * third].chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        if let Err(e) = fleet.merge_shards(split.slot, split.new_slot) {
+            return leg_failed("rebalance", format!("merge: {e}"));
+        }
+        for chunk in self.updates[2 * third..].chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        fleet.flush();
+        if let Err(e) = fleet.validate() {
+            return leg_failed("rebalance", e.to_string());
+        }
+        if fleet.stats().updates != self.updates.len() as u64 {
+            return leg_failed(
+                "rebalance",
+                "split+merge lost or double-counted updates".into(),
+            );
+        }
+        match compare(want, &sorted_bits(fleet.output_dense())) {
+            Ok(()) => leg_ok(
+                "rebalance",
+                "split @1/3 + merge @2/3 == untouched topology".into(),
+            ),
+            Err(detail) => leg_failed("rebalance", detail),
+        }
+    }
+
+    /// The backend serve leg uses the late-join resync path only: backends
+    /// that publish no per-update [`DenseEvent`](dyndens_core::DenseEvent)s
+    /// (periodic rebuilders, read-time peelers) have empty delta streams, so
+    /// a push-fed mirror would never materialise their stories. Resync
+    /// snapshots carry the full story family regardless of backend. The
+    /// push path itself is covered by the classic [`Oracle::run`] serve leg
+    /// on DynDens.
+    fn backend_serve_leg<B: EngineBlueprint>(
+        &self,
+        blueprint: &B,
+        want: &[(VertexSet, u64)],
+    ) -> LegReport {
+        let mut fleet = ShardedFleet::with_backend(
+            blueprint.clone(),
+            shard_config(2)
+                .with_top_k(usize::MAX)
+                .with_delta_retention(16),
+        );
+        for chunk in self.updates.chunks(CHUNK) {
+            fleet.apply_batch(chunk);
+        }
+        fleet.flush();
+        let server = match StoryServer::builder(fleet.view())
+            .workers(2)
+            .bind("127.0.0.1:0")
+        {
+            Ok(server) => server,
+            Err(e) => return leg_failed("serve", format!("bind: {e}")),
+        };
+        let mut poll_client = match Client::builder().connect(server.local_addr()) {
+            Ok(client) => client,
+            Err(e) => return leg_failed("serve", format!("connect: {e}")),
+        };
+        let mut mirror = Mirror::new();
+        loop {
+            match mirror.poll(&mut poll_client) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return leg_failed("serve", format!("poll: {e}")),
+            }
+        }
+        match compare(want, &sorted_bits(mirror.story_sets())) {
+            Ok(()) => leg_ok(
+                "serve",
+                format!("resync mirror == in-process view ({} sets)", want.len()),
+            ),
+            Err(detail) => leg_failed("serve", format!("resync mirror: {detail}")),
+        }
+    }
+}
+
 fn leg_ok(leg: &'static str, detail: String) -> LegReport {
     LegReport {
         leg,
@@ -486,6 +911,29 @@ mod tests {
         assert_eq!(report.n_updates, 4_000);
         assert!(report.output_dense > 0);
         report.assert_bit_exact();
+    }
+
+    #[test]
+    fn backend_harness_passes_on_a_small_aligned_stream() {
+        let oracle = Oracle::new(&AlignedCommunities::new(2_000, 17));
+        for backend in ALL_BACKENDS {
+            let report = oracle.run_backend_legs(backend, &[Leg::Sharded]);
+            assert_eq!(report.backend, backend.kind());
+            assert!(report.output_dense > 0, "{}: no stories", report.backend);
+            report.assert_passed();
+            if backend != Backend::TopKPeeling {
+                assert_eq!(report.quality_ratio, 1.0, "{}", report.backend);
+            }
+        }
+    }
+
+    #[test]
+    fn density_ratio_handles_degenerate_families() {
+        let some = vec![(VertexSet::from_ids(&[0, 1]), 1.25f64.to_bits())];
+        assert_eq!(top_q_density_ratio(&[], &[]), 1.0);
+        assert_eq!(top_q_density_ratio(&some, &[]), 1.0);
+        assert_eq!(top_q_density_ratio(&[], &some), 0.0);
+        assert_eq!(top_q_density_ratio(&some, &some), 1.0);
     }
 
     #[test]

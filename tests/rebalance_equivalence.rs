@@ -287,6 +287,20 @@ fn merge_mid_stream_matches_never_merged_bit_identically() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The backend-parameterized run: for every pluggable maintenance backend,
+/// splitting mid-stream and merging the siblings back (the engine-side
+/// `partition_by`/`absorb` paths under that backend's implementation) must
+/// match an untouched-topology fleet of the same backend bit for bit.
+#[test]
+fn every_backend_split_merge_matches_untouched_topology() {
+    let oracle = support::Oracle::from_updates("canonical-8k", support::backend_stream());
+    support::for_each_backend(|backend| {
+        oracle
+            .run_backend_legs(backend, &[support::Leg::Rebalance])
+            .assert_passed();
+    });
+}
+
 /// Two successive splits of the same base slot exercise depth-2 routing bits
 /// (still community-aligned at alignment 8 over 2 base shards) on the
 /// in-memory partition path.

@@ -26,6 +26,24 @@ fn sharded_matches_single_engine_on_50k_update_stream() {
 }
 
 #[test]
+fn every_backend_sharded_matches_its_own_single_engine() {
+    // The backend-parameterized run of the headline property: for every
+    // pluggable maintenance backend, a 1/2/4-shard fleet of that backend is
+    // bit-identical to a single engine of the same backend (plus the
+    // quality comparison against the DynDens referee).
+    let oracle = Oracle::from_updates("canonical-8k", support::backend_stream());
+    support::for_each_backend(|backend| {
+        let report = oracle.run_backend_legs(backend, &[Leg::Sharded]);
+        assert!(
+            report.output_dense > 0,
+            "{}: degenerate stream",
+            backend.kind()
+        );
+        report.assert_passed();
+    });
+}
+
+#[test]
 fn view_snapshot_agrees_with_ledger_and_sorts_by_density() {
     let updates = canonical_stream();
     let mut sharded = ShardedDynDens::new(AvgWeight, engine_config(), shard_config(4));

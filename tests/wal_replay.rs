@@ -124,6 +124,20 @@ fn crash_at_any_batch_then_recover_equals_never_crashed() {
 }
 
 #[test]
+fn every_backend_recovers_bit_identically_after_a_crash() {
+    // The backend-parameterized run: for every pluggable maintenance
+    // backend, kill-and-recover mid-stream (newest snapshot + WAL tail
+    // replay under that backend's own checkpoint format) must match a
+    // never-crashed single engine of the same backend bit for bit.
+    let oracle = support::Oracle::from_updates("canonical-8k", support::backend_stream());
+    support::for_each_backend(|backend| {
+        oracle
+            .run_backend_legs(backend, &[support::Leg::Recovery])
+            .assert_passed();
+    });
+}
+
+#[test]
 fn recovered_stats_do_not_double_count_replayed_updates() {
     // The BENCH_shard throughput ledgers merge per-shard EngineStats; a
     // recovered deployment must report the snapshot-time counters plus any
